@@ -1,0 +1,58 @@
+// Shared helpers for the figure/table reproduction binaries.
+#pragma once
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+namespace orderless::bench {
+
+using harness::AppKind;
+using harness::AveragedPoint;
+using harness::BenchReps;
+using harness::BenchSeconds;
+using harness::ExperimentConfig;
+using harness::PrintBanner;
+using harness::PrintSeries;
+using harness::RunAveraged;
+using harness::RunExperiment;
+using harness::SystemKind;
+using harness::TablePrinter;
+
+/// Default experiment setup used across the synthetic-application figures
+/// (Table 2's default control variables, at reproduction scale).
+inline ExperimentConfig SyntheticDefaults(std::uint64_t seed = 1) {
+  ExperimentConfig config;
+  config.system = SystemKind::kOrderless;
+  config.app = AppKind::kSynthetic;
+  config.num_orgs = 16;
+  config.policy = core::EndorsementPolicy{4, 16};
+  config.workload.arrival_tps = 3000;
+  config.workload.duration = BenchSeconds(sim::Sec(8));
+  config.workload.modify_fraction = 0.5;  // R50M50
+  config.workload.num_clients = 1000;
+  config.workload.obj_count = 1;
+  config.workload.ops_per_obj = 1;
+  config.workload.crdt_type = "g-counter";
+  config.seed = seed;
+  return config;
+}
+
+inline void PrintPointRow(TablePrinter& table, const std::string& label,
+                          const AveragedPoint& p) {
+  table.AddRow({label, TablePrinter::Num(p.throughput_tps, 0),
+                TablePrinter::Num(p.modify_avg_ms),
+                TablePrinter::Num(p.modify_p1_ms),
+                TablePrinter::Num(p.modify_p99_ms),
+                TablePrinter::Num(p.read_avg_ms),
+                TablePrinter::Num(p.read_p1_ms),
+                TablePrinter::Num(p.read_p99_ms)});
+}
+
+inline std::vector<std::string> PointHeaders(const std::string& first) {
+  return {first,          "tput(tps)",   "mod avg(ms)", "mod p1(ms)",
+          "mod p99(ms)",  "read avg(ms)", "read p1(ms)", "read p99(ms)"};
+}
+
+}  // namespace orderless::bench

@@ -1,0 +1,23 @@
+// Reproduces Fig. 6(b): synthetic application — throughput and latency for
+// 8…32 organizations at 3000 tps with EP {4 of NumberOfOrgs}. Expected
+// shape: flat — OrderlessChain scales with organizations because there is no
+// coordination between them.
+#include "bench_common.h"
+
+int main() {
+  using namespace orderless::bench;
+  PrintBanner("Fig. 6(b) — Number of Organizations",
+              "Synthetic app, 3000 tps, EP {4 of N}. Expected shape: "
+              "throughput and latency unaffected by adding organizations.");
+  const int reps = BenchReps(1);
+  TablePrinter table(PointHeaders("orgs"));
+  for (std::uint32_t orgs : {8u, 16u, 24u, 32u}) {
+    ExperimentConfig config = SyntheticDefaults();
+    config.num_orgs = orgs;
+    config.policy = orderless::core::EndorsementPolicy{4, orgs};
+    const AveragedPoint p = RunAveraged(config, reps);
+    PrintPointRow(table, std::to_string(orgs) + " orgs", p);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Reproduces Fig. 6(c): synthetic application — throughput and latency for
+// endorsement policies {2 of 16} … {16 of 16} at 3000 tps. Expected shape:
+// latency climbs with q (more endorsements per transaction load every
+// organization and inflate commit-time signature validation).
+#include "bench_common.h"
+
+int main() {
+  using namespace orderless::bench;
+  PrintBanner("Fig. 6(c) — Endorsement Policy",
+              "Synthetic app, 3000 tps, EP {q of 16}, q = 2…16. Expected "
+              "shape: latency rises with q as per-organization load grows.");
+  const int reps = BenchReps(1);
+  TablePrinter table(PointHeaders("policy"));
+  for (std::uint32_t q = 2; q <= 16; q += 2) {
+    ExperimentConfig config = SyntheticDefaults();
+    config.policy = orderless::core::EndorsementPolicy{q, 16};
+    const AveragedPoint p = RunAveraged(config, reps);
+    PrintPointRow(table, "{" + std::to_string(q) + " of 16}", p);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Reproduces Fig. 6(d): synthetic application — throughput and latency for
+// 2…16 CRDT objects per transaction at 3000 tps. Expected shape: latency
+// rises steeply with the object count because cache modifications serialize
+// under the cache's lock (the paper's noted bottleneck).
+#include "bench_common.h"
+
+int main() {
+  using namespace orderless::bench;
+  PrintBanner("Fig. 6(d) — Number of Objects",
+              "Synthetic app, 3000 tps, EP {4 of 16}, 2…16 objects per "
+              "transaction. Expected shape: latency explodes at high object "
+              "counts — the cache lock serializes modifications.");
+  const int reps = BenchReps(1);
+  TablePrinter table(PointHeaders("objects"));
+  for (std::int64_t objs = 2; objs <= 16; objs += 2) {
+    ExperimentConfig config = SyntheticDefaults();
+    config.workload.obj_count = objs;
+    const AveragedPoint p = RunAveraged(config, reps);
+    PrintPointRow(table, std::to_string(objs) + " objs", p);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Micro-benchmarks for the crypto substrate: SHA-256 and the simulated PKI.
+#include <benchmark/benchmark.h>
+
+#include "crypto/pki.h"
+
+namespace {
+
+using namespace orderless;
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::Hash(BytesView(data)));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_SignVerify(benchmark::State& state) {
+  crypto::Pki pki;
+  const crypto::PrivateKey key = pki.Generate("bench");
+  const Bytes message(256, 0x42);
+  for (auto _ : state) {
+    const crypto::Signature sig = key.Sign("ctx", BytesView(message));
+    benchmark::DoNotOptimize(
+        pki.Verify(key.id(), "ctx", BytesView(message), sig));
+  }
+}
+BENCHMARK(BM_SignVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Micro-benchmarks for MiniLevel (the LevelDB substitute).
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "ledger/minilevel.h"
+
+namespace {
+
+using namespace orderless;
+namespace fs = std::filesystem;
+
+void BM_MiniLevelPut(benchmark::State& state) {
+  const fs::path dir = fs::temp_directory_path() / "minilevel_bench_put";
+  fs::remove_all(dir);
+  auto db = ledger::MiniLevel::Open(dir.string());
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "key" + std::to_string(i++);
+    benchmark::DoNotOptimize(db.value()->Put(key, ToBytes("value")).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_MiniLevelPut);
+
+void BM_MiniLevelGetAfterFlush(benchmark::State& state) {
+  const fs::path dir = fs::temp_directory_path() / "minilevel_bench_get";
+  fs::remove_all(dir);
+  auto db = ledger::MiniLevel::Open(dir.string());
+  for (int i = 0; i < 10000; ++i) {
+    (void)db.value()->Put("key" + std::to_string(i), ToBytes("value"));
+  }
+  (void)db.value()->Flush();
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "key" + std::to_string(i++ % 10000);
+    benchmark::DoNotOptimize(db.value()->Get(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_MiniLevelGetAfterFlush);
+
+}  // namespace
+
+BENCHMARK_MAIN();

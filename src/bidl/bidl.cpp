@@ -1,0 +1,338 @@
+#include "bidl/bidl.h"
+
+#include <algorithm>
+
+namespace orderless::bidl {
+
+// ------------------------------------------------------------- sequencer
+
+BidlSequencer::BidlSequencer(sim::Simulation& simulation,
+                             sim::Network& network, sim::NodeId node,
+                             BidlConfig config)
+    : simulation_(simulation),
+      network_(network),
+      node_(node),
+      config_(config),
+      cpu_(simulation, 1) {}
+
+void BidlSequencer::Start() {
+  network_.Register(node_, [this](const sim::Delivery& d) { OnDelivery(d); });
+}
+
+void BidlSequencer::OnDelivery(const sim::Delivery& delivery) {
+  if (delivery.corrupted) return;
+  const auto* msg = dynamic_cast<const BidlTxMsg*>(delivery.message.get());
+  if (msg == nullptr) return;
+  auto tx = msg->tx;
+  cpu_.Submit(config_.sequencer_per_tx, [this, tx] {
+    const std::uint64_t seq = next_seq_++;
+    // Multicast to every organization: the per-organization egress copies
+    // are what saturate the sequencer uplink in a WAN (paper §9).
+    for (sim::NodeId org : orgs_) {
+      auto out = std::make_shared<BidlSeqMsg>();
+      out->tx = tx;
+      out->seq = seq;
+      network_.Send(node_, org, out);
+    }
+  });
+}
+
+// ------------------------------------------------------------------ org
+
+BidlOrg::BidlOrg(sim::Simulation& simulation, sim::Network& network,
+                 sim::NodeId node,
+                 const fabric::FabricContractRegistry& contracts,
+                 bool is_leader, BidlConfig config)
+    : simulation_(simulation),
+      network_(network),
+      node_(node),
+      contracts_(contracts),
+      is_leader_(is_leader),
+      config_(config),
+      cpu_(simulation, config.org_cores) {}
+
+void BidlOrg::Start() {
+  network_.Register(node_, [this](const sim::Delivery& d) { OnDelivery(d); });
+  if (is_leader_) {
+    simulation_.Schedule(config_.consensus_interval,
+                         [this] { ConsensusTick(); });
+  }
+}
+
+std::uint64_t BidlOrg::ContiguousMax() const {
+  std::uint64_t max = committed_up_to_;
+  for (auto it = pending_.find(max + 1); it != pending_.end();
+       it = pending_.find(max + 1)) {
+    ++max;
+  }
+  return max;
+}
+
+void BidlOrg::OnDelivery(const sim::Delivery& delivery) {
+  if (delivery.corrupted) return;
+  if (const auto* seq_msg =
+          dynamic_cast<const BidlSeqMsg*>(delivery.message.get())) {
+    if (seq_msg->seq > committed_up_to_) {
+      if (pending_.emplace(seq_msg->seq, seq_msg->tx).second &&
+          orgs_[seq_msg->tx->client % orgs_.size()] == node_) {
+        seq_arrival_[seq_msg->seq] = simulation_.now();
+        if (seq_msg->tx->submitted_at > 0) {
+          ++phase_count_;
+          seq_time_us_ += simulation_.now() - seq_msg->tx->submitted_at;
+        }
+      }
+    }
+    return;
+  }
+  if (const auto* propose =
+          dynamic_cast<const BidlProposeMsg*>(delivery.message.get())) {
+    (void)propose;
+    auto vote = std::make_shared<BidlVoteMsg>();
+    vote->contiguous_max = ContiguousMax();
+    network_.Send(node_, delivery.from, vote);
+    return;
+  }
+  if (const auto* vote =
+          dynamic_cast<const BidlVoteMsg*>(delivery.message.get())) {
+    if (!is_leader_ || round_proposed_ == 0) return;
+    round_votes_.push_back(vote->contiguous_max);
+    // PBFT-style quorum: 2f+1 of n = 3f+1 organizations.
+    const std::size_t n = orgs_.size();
+    const std::size_t quorum = n - (n - 1) / 3;
+    if (round_votes_.size() >= quorum) {
+      std::sort(round_votes_.begin(), round_votes_.end(),
+                std::greater<std::uint64_t>());
+      const std::uint64_t agreed =
+          std::min(round_votes_[quorum - 1], round_proposed_);
+      round_proposed_ = 0;
+      round_votes_.clear();
+      if (agreed > committed_up_to_) {
+        auto commit = std::make_shared<BidlCommitMsg>();
+        commit->up_to = agreed;
+        for (sim::NodeId org : orgs_) {
+          if (org != node_) network_.Send(node_, org, commit);
+        }
+        CommitUpTo(agreed);
+      }
+    }
+    return;
+  }
+  if (const auto* commit =
+          dynamic_cast<const BidlCommitMsg*>(delivery.message.get())) {
+    CommitUpTo(commit->up_to);
+    return;
+  }
+  if (const auto* read =
+          dynamic_cast<const BidlReadMsg*>(delivery.message.get())) {
+    const BidlReadMsg req = *read;
+    const sim::NodeId from = delivery.from;
+    cpu_.Submit(config_.exec_per_tx, [this, req, from] {
+      auto reply = std::make_shared<BidlReadReplyMsg>();
+      reply->id = req.id;
+      const fabric::FabricContract* contract = contracts_.Find(req.contract);
+      if (contract != nullptr) {
+        fabric::FabricResult result =
+            contract->Invoke(state_, req.function, req.client, 0, req.args);
+        reply->ok = result.ok;
+        reply->value = std::move(result.value);
+      }
+      network_.Send(node_, from, reply);
+    });
+    return;
+  }
+}
+
+void BidlOrg::ConsensusTick() {
+  if (round_proposed_ == 0) {
+    const std::uint64_t up_to = ContiguousMax();
+    if (up_to > committed_up_to_) {
+      round_proposed_ = up_to;
+      round_votes_.clear();
+      round_votes_.push_back(up_to);  // leader's own vote
+      auto propose = std::make_shared<BidlProposeMsg>();
+      propose->up_to = up_to;
+      for (sim::NodeId org : orgs_) {
+        if (org != node_) network_.Send(node_, org, propose);
+      }
+    }
+  }
+  simulation_.Schedule(config_.consensus_interval, [this] { ConsensusTick(); });
+}
+
+void BidlOrg::CommitUpTo(std::uint64_t up_to) {
+  if (up_to <= committed_up_to_) return;
+  // Execute the agreed prefix in sequence order.
+  std::vector<std::shared_ptr<const BidlTx>> batch;
+  for (std::uint64_t seq = committed_up_to_ + 1; seq <= up_to; ++seq) {
+    const auto it = pending_.find(seq);
+    if (it == pending_.end()) break;  // hole: cannot execute further yet
+    batch.push_back(it->second);
+    pending_.erase(it);
+    committed_up_to_ = seq;
+  }
+  if (batch.empty()) return;
+  for (const auto& tx : batch) {
+    (void)tx;
+  }
+  const sim::SimTime service =
+      config_.exec_per_tx * static_cast<sim::SimTime>(batch.size());
+  cpu_.Submit(service, [this, batch = std::move(batch)] {
+    for (const auto& tx : batch) {
+      const fabric::FabricContract* contract = contracts_.Find(tx->contract);
+      bool valid = false;
+      if (contract != nullptr) {
+        fabric::FabricResult result = contract->Invoke(
+            state_, tx->function, tx->client, tx->nonce, tx->args);
+        if (result.ok) {
+          for (const auto& [key, value] : result.rwset.writes) {
+            state_.Put(key, value);
+          }
+          valid = true;
+        }
+      }
+      // The organization hosting the client confirms the commit.
+      if (tx->client_node != 0 &&
+          orgs_[tx->client % orgs_.size()] == node_) {
+        // Consensus phase: from sequencer delivery to committed execution.
+        for (auto it = seq_arrival_.begin(); it != seq_arrival_.end();) {
+          if (it->first <= committed_up_to_) {
+            consensus_time_us_ += simulation_.now() - it->second;
+            it = seq_arrival_.erase(it);
+          } else {
+            break;
+          }
+        }
+        auto confirm = std::make_shared<BidlConfirmMsg>();
+        confirm->tx_id = tx->id;
+        confirm->valid = valid;
+        network_.Send(node_, tx->client_node, confirm);
+      }
+    }
+  });
+}
+
+// --------------------------------------------------------------- client
+
+BidlClient::BidlClient(sim::Simulation& simulation, sim::Network& network,
+                       sim::NodeId node, std::uint64_t client_id,
+                       sim::NodeId sequencer, sim::NodeId assigned_org,
+                       sim::SimTime timeout)
+    : simulation_(simulation),
+      network_(network),
+      node_(node),
+      client_id_(client_id),
+      sequencer_(sequencer),
+      assigned_org_(assigned_org),
+      timeout_(timeout) {}
+
+void BidlClient::Start() {
+  network_.Register(node_, [this](const sim::Delivery& d) { OnDelivery(d); });
+}
+
+void BidlClient::SubmitModify(const std::string& contract,
+                              const std::string& function,
+                              std::vector<crdt::Value> args,
+                              core::TxCallback callback) {
+  auto tx = std::make_shared<BidlTx>();
+  tx->submitted_at = simulation_.now();
+  tx->client = client_id_;
+  tx->client_node = node_;
+  tx->contract = contract;
+  tx->function = function;
+  tx->args = std::move(args);
+  tx->nonce = next_nonce_++;
+  codec::Writer w;
+  w.PutU64(tx->client);
+  w.PutU64(tx->nonce);
+  w.PutString(contract);
+  w.PutString(function);
+  tx->id = crypto::Sha256::Hash(BytesView(w.data()));
+
+  Pending& p = pending_[tx->id];
+  p.callback = std::move(callback);
+  p.start = simulation_.now();
+  const std::uint64_t generation = ++p.generation;
+
+  auto msg = std::make_shared<BidlTxMsg>();
+  msg->tx = std::move(tx);
+  const crypto::Digest id = msg->tx->id;
+  network_.Send(node_, sequencer_, msg);
+
+  simulation_.Schedule(timeout_, [this, id, generation] {
+    const auto it = pending_.find(id);
+    if (it == pending_.end() || it->second.generation != generation) return;
+    core::TxOutcome outcome;
+    outcome.failure = "timeout";
+    outcome.latency = simulation_.now() - it->second.start;
+    Finish(id, std::move(outcome));
+  });
+}
+
+void BidlClient::SubmitRead(const std::string& contract,
+                            const std::string& function,
+                            std::vector<crdt::Value> args,
+                            core::TxCallback callback) {
+  auto msg = std::make_shared<BidlReadMsg>();
+  msg->contract = contract;
+  msg->function = function;
+  msg->args = std::move(args);
+  msg->client = client_id_;
+  codec::Writer w;
+  w.PutU64(client_id_);
+  w.PutU64(next_nonce_++);
+  w.PutString("read");
+  msg->id = crypto::Sha256::Hash(BytesView(w.data()));
+
+  Pending& p = pending_[msg->id];
+  p.callback = std::move(callback);
+  p.start = simulation_.now();
+  const std::uint64_t generation = ++p.generation;
+  const crypto::Digest id = msg->id;
+  network_.Send(node_, assigned_org_, msg);
+  simulation_.Schedule(timeout_, [this, id, generation] {
+    const auto it = pending_.find(id);
+    if (it == pending_.end() || it->second.generation != generation) return;
+    core::TxOutcome outcome;
+    outcome.failure = "read timeout";
+    outcome.read = true;
+    outcome.latency = simulation_.now() - it->second.start;
+    Finish(id, std::move(outcome));
+  });
+}
+
+void BidlClient::OnDelivery(const sim::Delivery& delivery) {
+  if (delivery.corrupted) return;
+  if (const auto* confirm =
+          dynamic_cast<const BidlConfirmMsg*>(delivery.message.get())) {
+    const auto it = pending_.find(confirm->tx_id);
+    if (it == pending_.end()) return;
+    core::TxOutcome outcome;
+    outcome.committed = confirm->valid;
+    outcome.rejected = !confirm->valid;
+    outcome.latency = simulation_.now() - it->second.start;
+    Finish(confirm->tx_id, std::move(outcome));
+    return;
+  }
+  if (const auto* reply =
+          dynamic_cast<const BidlReadReplyMsg*>(delivery.message.get())) {
+    const auto it = pending_.find(reply->id);
+    if (it == pending_.end()) return;
+    core::TxOutcome outcome;
+    outcome.committed = reply->ok;
+    outcome.read = true;
+    outcome.read_value = reply->value;
+    outcome.latency = simulation_.now() - it->second.start;
+    Finish(reply->id, std::move(outcome));
+    return;
+  }
+}
+
+void BidlClient::Finish(const crypto::Digest& id, core::TxOutcome outcome) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  core::TxCallback callback = std::move(it->second.callback);
+  pending_.erase(it);
+  if (callback) callback(outcome);
+}
+
+}  // namespace orderless::bidl

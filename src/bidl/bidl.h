@@ -1,0 +1,200 @@
+// BIDL baseline (paper [66]): a permissioned blockchain optimized for data
+// center networks. A central sequencer assigns sequence numbers and
+// multicasts transactions to every organization; organizations execute in
+// sequence order while a leader-driven batch consensus confirms prefixes.
+// In the paper's WAN setup the sequencer multicast and the coordination
+// rounds become the bottleneck — which this model reproduces: the sequencer
+// pays per-organization egress bandwidth for every transaction.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/client.h"  // TxOutcome / TxCallback
+#include "fabric/contract.h"
+#include "sim/processor.h"
+
+namespace orderless::bidl {
+
+struct BidlTx {
+  crypto::Digest id;
+  sim::SimTime submitted_at = 0;  // phase instrumentation (Table 3)
+  std::uint64_t client = 0;
+  sim::NodeId client_node = 0;
+  std::string contract;
+  std::string function;
+  std::vector<crdt::Value> args;
+  std::uint64_t nonce = 0;
+  /// Compact datacenter wire format.
+  std::size_t WireSize() const { return 220; }
+};
+
+struct BidlTxMsg final : sim::Message {
+  std::shared_ptr<const BidlTx> tx;
+  std::string_view TypeName() const override { return "BidlTx"; }
+  std::size_t WireSize() const override { return tx->WireSize(); }
+};
+
+struct BidlSeqMsg final : sim::Message {
+  std::shared_ptr<const BidlTx> tx;
+  std::uint64_t seq = 0;
+  std::string_view TypeName() const override { return "BidlSeq"; }
+  std::size_t WireSize() const override { return tx->WireSize() + 16; }
+};
+
+struct BidlProposeMsg final : sim::Message {
+  std::uint64_t up_to = 0;  // propose committing sequence prefix [1, up_to]
+  crypto::Digest batch_hash;
+  std::string_view TypeName() const override { return "BidlPropose"; }
+  std::size_t WireSize() const override { return 80; }
+};
+
+struct BidlVoteMsg final : sim::Message {
+  std::uint64_t contiguous_max = 0;  // highest prefix the voter holds
+  std::string_view TypeName() const override { return "BidlVote"; }
+  std::size_t WireSize() const override { return 72; }
+};
+
+struct BidlCommitMsg final : sim::Message {
+  std::uint64_t up_to = 0;
+  std::string_view TypeName() const override { return "BidlCommit"; }
+  std::size_t WireSize() const override { return 72; }
+};
+
+struct BidlConfirmMsg final : sim::Message {
+  crypto::Digest tx_id;
+  bool valid = true;
+  std::string_view TypeName() const override { return "BidlConfirm"; }
+  std::size_t WireSize() const override { return 80; }
+};
+
+struct BidlReadMsg final : sim::Message {
+  crypto::Digest id;
+  std::string contract;
+  std::string function;
+  std::vector<crdt::Value> args;
+  std::uint64_t client = 0;
+  std::string_view TypeName() const override { return "BidlRead"; }
+  std::size_t WireSize() const override { return 160; }
+};
+
+struct BidlReadReplyMsg final : sim::Message {
+  crypto::Digest id;
+  bool ok = false;
+  crdt::Value value;
+  std::string_view TypeName() const override { return "BidlReadReply"; }
+  std::size_t WireSize() const override { return 96; }
+};
+
+struct BidlConfig {
+  sim::SimTime sequencer_per_tx = sim::Us(120);
+  sim::SimTime exec_per_tx = sim::Us(100);
+  sim::SimTime consensus_interval = sim::Ms(250);
+  unsigned org_cores = 4;
+};
+
+class BidlSequencer {
+ public:
+  BidlSequencer(sim::Simulation& simulation, sim::Network& network,
+                sim::NodeId node, BidlConfig config);
+  void Start();
+  void SetOrgs(std::vector<sim::NodeId> orgs) { orgs_ = std::move(orgs); }
+  std::uint64_t sequenced() const { return next_seq_ - 1; }
+
+ private:
+  void OnDelivery(const sim::Delivery& delivery);
+
+  sim::Simulation& simulation_;
+  sim::Network& network_;
+  sim::NodeId node_;
+  BidlConfig config_;
+  sim::Processor cpu_;
+  std::vector<sim::NodeId> orgs_;
+  std::uint64_t next_seq_ = 1;
+};
+
+class BidlOrg {
+ public:
+  BidlOrg(sim::Simulation& simulation, sim::Network& network, sim::NodeId node,
+          const fabric::FabricContractRegistry& contracts, bool is_leader,
+          BidlConfig config);
+  void Start();
+  void SetOrgs(std::vector<sim::NodeId> orgs) { orgs_ = std::move(orgs); }
+
+  sim::NodeId node() const { return node_; }
+  std::uint64_t committed() const { return committed_up_to_; }
+  const fabric::VersionedStore& state() const { return state_; }
+
+  /// Phase averages over transactions this org confirms (Table 3).
+  double AvgSequenceMs() const {
+    return phase_count_ == 0 ? 0.0 : seq_time_us_ / 1000.0 / phase_count_;
+  }
+  double AvgConsensusMs() const {
+    return phase_count_ == 0
+               ? 0.0
+               : consensus_time_us_ / 1000.0 / phase_count_;
+  }
+
+ private:
+  void OnDelivery(const sim::Delivery& delivery);
+  void ConsensusTick();
+  void CommitUpTo(std::uint64_t up_to);
+  std::uint64_t ContiguousMax() const;
+
+  sim::Simulation& simulation_;
+  sim::Network& network_;
+  sim::NodeId node_;
+  const fabric::FabricContractRegistry& contracts_;
+  bool is_leader_;
+  BidlConfig config_;
+  sim::Processor cpu_;
+  std::vector<sim::NodeId> orgs_;
+
+  std::map<std::uint64_t, std::shared_ptr<const BidlTx>> pending_;  // by seq
+  std::map<std::uint64_t, sim::SimTime> seq_arrival_;  // for confirmed txs
+  std::uint64_t phase_count_ = 0;
+  std::uint64_t seq_time_us_ = 0;
+  std::uint64_t consensus_time_us_ = 0;
+  std::uint64_t committed_up_to_ = 0;
+  fabric::VersionedStore state_;
+  // Leader consensus round state.
+  std::uint64_t round_proposed_ = 0;
+  std::vector<std::uint64_t> round_votes_;
+};
+
+class BidlClient {
+ public:
+  BidlClient(sim::Simulation& simulation, sim::Network& network,
+             sim::NodeId node, std::uint64_t client_id, sim::NodeId sequencer,
+             sim::NodeId assigned_org, sim::SimTime timeout);
+  void Start();
+  void SubmitModify(const std::string& contract, const std::string& function,
+                    std::vector<crdt::Value> args, core::TxCallback callback);
+  void SubmitRead(const std::string& contract, const std::string& function,
+                  std::vector<crdt::Value> args, core::TxCallback callback);
+  sim::NodeId node() const { return node_; }
+
+ private:
+  struct Pending {
+    core::TxCallback callback;
+    sim::SimTime start = 0;
+    std::uint64_t generation = 0;
+  };
+  void OnDelivery(const sim::Delivery& delivery);
+  void Finish(const crypto::Digest& id, core::TxOutcome outcome);
+
+  sim::Simulation& simulation_;
+  sim::Network& network_;
+  sim::NodeId node_;
+  std::uint64_t client_id_;
+  sim::NodeId sequencer_;
+  sim::NodeId assigned_org_;
+  sim::SimTime timeout_;
+  std::uint64_t next_nonce_ = 1;
+  std::unordered_map<crypto::Digest, Pending, crypto::DigestHash> pending_;
+};
+
+}  // namespace orderless::bidl

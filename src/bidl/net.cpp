@@ -1,0 +1,46 @@
+#include "bidl/net.h"
+
+namespace orderless::bidl {
+
+namespace {
+constexpr sim::NodeId kSequencerNode = 600;
+}  // namespace
+
+BidlNet::BidlNet(BidlNetConfig config) : config_(config), rng_(config.seed) {
+  network_ = std::make_unique<sim::Network>(simulation_, config_.net,
+                                            rng_.Fork());
+  sequencer_ = std::make_unique<BidlSequencer>(simulation_, *network_,
+                                               kSequencerNode, config_.bidl);
+  std::vector<sim::NodeId> org_nodes;
+  for (std::uint32_t i = 0; i < config_.num_orgs; ++i) {
+    const sim::NodeId node = static_cast<sim::NodeId>(1 + i);
+    org_nodes.push_back(node);
+    orgs_.push_back(std::make_unique<BidlOrg>(simulation_, *network_, node,
+                                              contracts_, /*is_leader=*/i == 0,
+                                              config_.bidl));
+  }
+  sequencer_->SetOrgs(org_nodes);
+  for (auto& org : orgs_) org->SetOrgs(org_nodes);
+
+  for (std::uint32_t i = 0; i < config_.num_clients; ++i) {
+    const sim::NodeId node = static_cast<sim::NodeId>(1001 + i);
+    const std::uint64_t client_id = i;
+    const sim::NodeId assigned = org_nodes[client_id % org_nodes.size()];
+    clients_.push_back(std::make_unique<BidlClient>(
+        simulation_, *network_, node, client_id, kSequencerNode, assigned,
+        config_.client_timeout));
+  }
+}
+
+void BidlNet::RegisterContract(
+    std::shared_ptr<const fabric::FabricContract> c) {
+  contracts_.Register(std::move(c));
+}
+
+void BidlNet::Start() {
+  sequencer_->Start();
+  for (auto& org : orgs_) org->Start();
+  for (auto& client : clients_) client->Start();
+}
+
+}  // namespace orderless::bidl

@@ -1,0 +1,45 @@
+// Builds a simulated BIDL network: sequencer + organizations + clients.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bidl/bidl.h"
+
+namespace orderless::bidl {
+
+struct BidlNetConfig {
+  std::uint32_t num_orgs = 16;
+  std::uint32_t num_clients = 2;
+  BidlConfig bidl;
+  sim::NetworkConfig net;
+  sim::SimTime client_timeout = sim::Sec(240);
+  std::uint64_t seed = 1;
+};
+
+class BidlNet {
+ public:
+  explicit BidlNet(BidlNetConfig config);
+
+  void RegisterContract(std::shared_ptr<const fabric::FabricContract> c);
+  void Start();
+
+  sim::Simulation& simulation() { return simulation_; }
+  std::size_t org_count() const { return orgs_.size(); }
+  std::size_t client_count() const { return clients_.size(); }
+  BidlOrg& org(std::size_t i) { return *orgs_[i]; }
+  BidlClient& client(std::size_t i) { return *clients_[i]; }
+  BidlSequencer& sequencer() { return *sequencer_; }
+
+ private:
+  BidlNetConfig config_;
+  sim::Simulation simulation_;
+  fabric::FabricContractRegistry contracts_;
+  Rng rng_;
+  std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<BidlSequencer> sequencer_;
+  std::vector<std::unique_ptr<BidlOrg>> orgs_;
+  std::vector<std::unique_ptr<BidlClient>> clients_;
+};
+
+}  // namespace orderless::bidl

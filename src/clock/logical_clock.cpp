@@ -1,0 +1,44 @@
+#include "clock/logical_clock.h"
+
+namespace orderless::clk {
+
+std::string OpClock::ToString() const {
+  return "c" + std::to_string(client) + "@" + std::to_string(counter);
+}
+
+void OpClock::Encode(codec::Writer& w) const {
+  w.PutVarint(client);
+  w.PutVarint(counter);
+}
+
+std::optional<OpClock> OpClock::Decode(codec::Reader& r) {
+  const auto client = r.GetVarint();
+  const auto counter = r.GetVarint();
+  if (!client || !counter) return std::nullopt;
+  return OpClock{*client, *counter};
+}
+
+Order Compare(const OpClock& a, const OpClock& b) {
+  if (a == b) return Order::kEqual;
+  if (a.IsImplicit()) return Order::kBefore;
+  if (b.IsImplicit()) return Order::kAfter;
+  if (a.client == b.client) {
+    return a.counter < b.counter ? Order::kBefore : Order::kAfter;
+  }
+  return Order::kConcurrent;
+}
+
+bool HappenedBefore(const OpClock& a, const OpClock& b) {
+  return Compare(a, b) == Order::kBefore;
+}
+
+OpClock LamportClock::Tick() {
+  ++counter_;
+  return OpClock{client_id_, counter_};
+}
+
+void LamportClock::Observe(std::uint64_t counter) {
+  if (counter > counter_) counter_ = counter;
+}
+
+}  // namespace orderless::clk

@@ -1,0 +1,64 @@
+// Per-client Lamport clocks and the happened-before relation used by the
+// CRDT conflict resolution (paper §2, §5, §6).
+//
+// Each client keeps an independent Lamport counter and stamps every proposal
+// with (client id, counter). Two operation clocks are causally related only
+// when they come from the same client: the lower counter happened-before the
+// higher one. Clocks from different clients are concurrent. This is exactly
+// the model the paper uses to reason about Fig. 3/4/5.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "codec/codec.h"
+
+namespace orderless::clk {
+
+/// Causal relation between two operation clocks.
+enum class Order { kBefore, kAfter, kEqual, kConcurrent };
+
+/// The timestamp attached to every CRDT operation.
+struct OpClock {
+  std::uint64_t client = 0;   // 0 is reserved for "implicit" structure nodes
+  std::uint64_t counter = 0;
+
+  auto operator<=>(const OpClock&) const = default;
+
+  bool IsImplicit() const { return client == 0 && counter == 0; }
+  std::string ToString() const;
+
+  void Encode(codec::Writer& w) const;
+  static std::optional<OpClock> Decode(codec::Reader& r);
+};
+
+/// Compares a and b under the per-client Lamport model. Implicit clocks
+/// happened-before every explicit clock.
+Order Compare(const OpClock& a, const OpClock& b);
+
+/// True iff a happened-before b.
+bool HappenedBefore(const OpClock& a, const OpClock& b);
+
+/// A client's monotonically increasing Lamport counter.
+class LamportClock {
+ public:
+  explicit LamportClock(std::uint64_t client_id) : client_id_(client_id) {}
+
+  /// Increments and returns the clock for the next proposal.
+  OpClock Tick();
+
+  /// Current value without advancing (mainly for assertions/tests).
+  OpClock Peek() const { return OpClock{client_id_, counter_}; }
+
+  /// Lamport receive rule: advance past an observed counter.
+  void Observe(std::uint64_t counter);
+
+  std::uint64_t client_id() const { return client_id_; }
+
+ private:
+  std::uint64_t client_id_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace orderless::clk

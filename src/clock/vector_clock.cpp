@@ -1,0 +1,85 @@
+#include "clock/vector_clock.h"
+
+#include <sstream>
+
+namespace orderless::clk {
+
+VectorClock VectorClock::Tick(std::uint64_t node) {
+  ++components_[node];
+  return *this;
+}
+
+std::uint64_t VectorClock::Get(std::uint64_t node) const {
+  const auto it = components_.find(node);
+  return it == components_.end() ? 0 : it->second;
+}
+
+void VectorClock::Set(std::uint64_t node, std::uint64_t value) {
+  if (value == 0) {
+    components_.erase(node);
+  } else {
+    components_[node] = value;
+  }
+}
+
+void VectorClock::Merge(const VectorClock& other) {
+  for (const auto& [node, value] : other.components_) {
+    auto& mine = components_[node];
+    if (value > mine) mine = value;
+  }
+}
+
+Order VectorClock::CompareTo(const VectorClock& other) const {
+  bool less_somewhere = false;
+  bool greater_somewhere = false;
+  auto scan = [&](const VectorClock& a, const VectorClock& b, bool& flag) {
+    for (const auto& [node, value] : a.components_) {
+      if (value > b.Get(node)) {
+        flag = true;
+        return;
+      }
+    }
+  };
+  scan(other, *this, less_somewhere);     // other exceeds us somewhere
+  scan(*this, other, greater_somewhere);  // we exceed other somewhere
+  if (!less_somewhere && !greater_somewhere) return Order::kEqual;
+  if (less_somewhere && !greater_somewhere) return Order::kBefore;
+  if (!less_somewhere && greater_somewhere) return Order::kAfter;
+  return Order::kConcurrent;
+}
+
+std::string VectorClock::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [node, value] : components_) {
+    if (!first) out << ",";
+    first = false;
+    out << node << ":" << value;
+  }
+  out << "}";
+  return out.str();
+}
+
+void VectorClock::Encode(codec::Writer& w) const {
+  w.PutVarint(components_.size());
+  for (const auto& [node, value] : components_) {
+    w.PutVarint(node);
+    w.PutVarint(value);
+  }
+}
+
+std::optional<VectorClock> VectorClock::Decode(codec::Reader& r) {
+  const auto n = r.GetVarint();
+  if (!n) return std::nullopt;
+  VectorClock vc;
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    const auto node = r.GetVarint();
+    const auto value = r.GetVarint();
+    if (!node || !value) return std::nullopt;
+    vc.components_[*node] = *value;
+  }
+  return vc;
+}
+
+}  // namespace orderless::clk

@@ -1,0 +1,47 @@
+// Vector clocks: used by the OR-Set extension CRDT and by convergence tests
+// that need causality across multiple writers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "codec/codec.h"
+#include "clock/logical_clock.h"
+
+namespace orderless::clk {
+
+/// A classic vector clock over sparse node ids.
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  /// Advances this node's component and returns the new clock snapshot.
+  VectorClock Tick(std::uint64_t node);
+
+  /// Component value (0 when absent).
+  std::uint64_t Get(std::uint64_t node) const;
+  void Set(std::uint64_t node, std::uint64_t value);
+
+  /// Pointwise max.
+  void Merge(const VectorClock& other);
+
+  /// Causal comparison.
+  Order CompareTo(const VectorClock& other) const;
+
+  bool operator==(const VectorClock& other) const = default;
+
+  std::string ToString() const;
+  void Encode(codec::Writer& w) const;
+  static std::optional<VectorClock> Decode(codec::Reader& r);
+
+  const std::map<std::uint64_t, std::uint64_t>& components() const {
+    return components_;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> components_;
+};
+
+}  // namespace orderless::clk

@@ -1,0 +1,136 @@
+#include "codec/codec.h"
+
+#include <bit>
+#include <cstring>
+
+namespace orderless::codec {
+
+void Writer::PutU8(std::uint8_t v) { buffer_.push_back(v); }
+
+void Writer::PutU16(std::uint16_t v) {
+  PutU8(static_cast<std::uint8_t>(v));
+  PutU8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::PutU32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::PutU64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::PutVarint(std::uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  PutU8(static_cast<std::uint8_t>(v));
+}
+
+void Writer::PutI64(std::int64_t v) {
+  // Zigzag so small negative values stay small.
+  const std::uint64_t zz =
+      (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+  PutVarint(zz);
+}
+
+void Writer::PutDouble(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void Writer::PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+void Writer::PutString(std::string_view s) {
+  PutVarint(s.size());
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void Writer::PutBytes(BytesView b) {
+  PutVarint(b.size());
+  buffer_.insert(buffer_.end(), b.begin(), b.end());
+}
+
+void Writer::PutRaw(BytesView b) {
+  buffer_.insert(buffer_.end(), b.begin(), b.end());
+}
+
+std::optional<std::uint8_t> Reader::GetU8() {
+  if (!Need(1)) return std::nullopt;
+  return data_[pos_++];
+}
+
+std::optional<std::uint16_t> Reader::GetU16() {
+  if (!Need(2)) return std::nullopt;
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) v |= static_cast<std::uint16_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::optional<std::uint32_t> Reader::GetU32() {
+  if (!Need(4)) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::optional<std::uint64_t> Reader::GetU64() {
+  if (!Need(8)) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::optional<std::uint64_t> Reader::GetVarint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (!Need(1) || shift > 63) return std::nullopt;
+    const std::uint8_t byte = data_[pos_++];
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+std::optional<std::int64_t> Reader::GetI64() {
+  const auto zz = GetVarint();
+  if (!zz) return std::nullopt;
+  return static_cast<std::int64_t>((*zz >> 1) ^ (~(*zz & 1) + 1));
+}
+
+std::optional<double> Reader::GetDouble() {
+  const auto bits = GetU64();
+  if (!bits) return std::nullopt;
+  double v;
+  std::memcpy(&v, &*bits, sizeof(v));
+  return v;
+}
+
+std::optional<bool> Reader::GetBool() {
+  const auto b = GetU8();
+  if (!b) return std::nullopt;
+  return *b != 0;
+}
+
+std::optional<std::string> Reader::GetString() {
+  const auto len = GetVarint();
+  if (!len || !Need(*len)) return std::nullopt;
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), *len);
+  pos_ += *len;
+  return s;
+}
+
+std::optional<Bytes> Reader::GetBytes() {
+  const auto len = GetVarint();
+  if (!len || !Need(*len)) return std::nullopt;
+  Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+          data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *len));
+  pos_ += *len;
+  return b;
+}
+
+}  // namespace orderless::codec

@@ -1,0 +1,68 @@
+// Bounds-checked binary encoding used for wire messages, ledger blocks, and
+// CRDT persistence. Little-endian fixed ints plus LEB128 varints.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace orderless::codec {
+
+/// Serializes values into a growing byte buffer.
+class Writer {
+ public:
+  Writer() = default;
+
+  void PutU8(std::uint8_t v);
+  void PutU16(std::uint16_t v);
+  void PutU32(std::uint32_t v);
+  void PutU64(std::uint64_t v);
+  void PutI64(std::int64_t v);  // zigzag varint
+  void PutVarint(std::uint64_t v);
+  void PutDouble(double v);
+  void PutBool(bool v);
+  /// Length-prefixed string.
+  void PutString(std::string_view s);
+  /// Length-prefixed blob.
+  void PutBytes(BytesView b);
+  /// Raw bytes with no length prefix (caller knows the framing).
+  void PutRaw(BytesView b);
+
+  const Bytes& data() const { return buffer_; }
+  Bytes Take() { return std::move(buffer_); }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+/// Deserializes values; every getter returns nullopt past the end or on a
+/// malformed encoding, so corrupted network input can never fault.
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::optional<std::uint8_t> GetU8();
+  std::optional<std::uint16_t> GetU16();
+  std::optional<std::uint32_t> GetU32();
+  std::optional<std::uint64_t> GetU64();
+  std::optional<std::int64_t> GetI64();
+  std::optional<std::uint64_t> GetVarint();
+  std::optional<double> GetDouble();
+  std::optional<bool> GetBool();
+  std::optional<std::string> GetString();
+  std::optional<Bytes> GetBytes();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  bool Need(std::size_t n) const { return pos_ + n <= data_.size(); }
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace orderless::codec

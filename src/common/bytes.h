@@ -1,0 +1,31 @@
+// Byte-buffer and hex utilities shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orderless {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encodes `data` as lowercase hex.
+std::string ToHex(BytesView data);
+
+/// Decodes a hex string; returns an empty vector on malformed input and sets
+/// `*ok` (if provided) accordingly.
+Bytes FromHex(std::string_view hex, bool* ok = nullptr);
+
+/// Converts a string to its raw bytes.
+Bytes ToBytes(std::string_view s);
+
+/// Appends `src` to `dst`.
+void Append(Bytes& dst, BytesView src);
+
+/// Constant-time equality to mirror how signature comparison should behave.
+bool ConstantTimeEqual(BytesView a, BytesView b);
+
+}  // namespace orderless

@@ -1,0 +1,38 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace orderless {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+std::mutex g_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void LogLine(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace orderless

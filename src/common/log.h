@@ -1,0 +1,42 @@
+// Minimal leveled logger. Silent by default so simulations stay fast; tests
+// and examples can raise the level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace orderless {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one line to stderr if `level` passes the threshold.
+void LogLine(LogLevel level, const std::string& message);
+
+namespace internal {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogLine(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace orderless
+
+#define ORDERLESS_LOG(level) ::orderless::internal::LogStream(level)
+#define ORDERLESS_DEBUG() ORDERLESS_LOG(::orderless::LogLevel::kDebug)
+#define ORDERLESS_INFO() ORDERLESS_LOG(::orderless::LogLevel::kInfo)
+#define ORDERLESS_WARN() ORDERLESS_LOG(::orderless::LogLevel::kWarn)
+#define ORDERLESS_ERROR() ORDERLESS_LOG(::orderless::LogLevel::kError)

@@ -1,0 +1,60 @@
+// Deterministic random number generation for the simulator and workloads.
+//
+// Every experiment seeds its own Rng so results are reproducible run to run;
+// nothing in the repository uses std::random_device or wall-clock entropy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace orderless {
+
+/// xoshiro256** seeded through splitmix64. Small, fast, and good enough for
+/// workload generation and network jitter (not for cryptography).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform in [0, bound), bound > 0. Uses rejection sampling to avoid
+  /// modulo bias.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Gaussian with given mean/stddev (Box–Muller).
+  double NextGaussian(double mean, double stddev);
+
+  /// Exponential with given rate (for Poisson arrivals).
+  double NextExponential(double rate);
+
+  /// Bernoulli trial.
+  bool NextBool(double probability_true);
+
+  /// Derives an independent child generator (for per-node streams).
+  Rng Fork();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBelow(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples k distinct indices out of [0, n).
+  std::vector<std::size_t> SampleDistinct(std::size_t n, std::size_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace orderless

@@ -1,0 +1,9 @@
+#include "common/status.h"
+
+// Status and Result are header-only; this translation unit anchors the
+// library so the target always has at least one object file.
+namespace orderless {
+namespace internal {
+void StatusAnchor() {}
+}  // namespace internal
+}  // namespace orderless

@@ -1,0 +1,55 @@
+// Lightweight Status / Result<T> types: explicit error propagation without
+// exceptions on hot protocol paths.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace orderless {
+
+/// Outcome of an operation that carries no value.
+class Status {
+ public:
+  Status() = default;  // OK
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// Outcome of an operation that yields a T on success.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : ok_(true), value_(std::move(value)) {}  // NOLINT
+  static Result Error(std::string message) {
+    Result r;
+    r.ok_ = false;
+    r.message_ = std::move(message);
+    return r;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+ private:
+  Result() = default;
+  bool ok_ = false;
+  T value_{};
+  std::string message_;
+};
+
+}  // namespace orderless

@@ -1,0 +1,64 @@
+#include "contracts/auction.h"
+
+namespace orderless::contracts {
+
+std::string AuctionContract::AuctionObject(const std::string& auction) {
+  return "auction/" + auction;
+}
+
+std::string AuctionContract::BidderKey(crypto::KeyId client) {
+  return "bidder" + std::to_string(client);
+}
+
+std::pair<std::int64_t, std::string> AuctionContract::HighestBid(
+    const core::ReadContext& state, const std::string& auction) {
+  const std::string object = AuctionObject(auction);
+  const crdt::ReadResult map = state.ReadObject(object);
+  std::int64_t best = 0;
+  std::string winner;
+  for (const auto& bidder : map.keys) {
+    const crdt::ReadResult counter = state.ReadObject(object, {bidder});
+    if (counter.counter > best) {
+      best = counter.counter;
+      winner = bidder;
+    }
+  }
+  return {best, winner};
+}
+
+core::ContractResult AuctionContract::Invoke(const core::ReadContext& state,
+                                             const std::string& function,
+                                             const core::Invocation& in) const {
+  if (function == "Bid") {
+    if (in.args.size() != 2 || !in.args[0].IsString() || !in.args[1].IsInt()) {
+      return core::ContractResult::Error("Bid(auction, increase)");
+    }
+    const std::int64_t increase = in.args[1].AsInt();
+    if (increase <= 0) {
+      // The increase-only invariant is enforced at operation creation: a
+      // non-positive bid never becomes an operation.
+      return core::ContractResult::Error("bids must increase");
+    }
+    core::OpEmitter emit(in.clock);
+    emit.Add(AuctionObject(in.args[0].AsString()), crdt::CrdtType::kMap,
+             {BidderKey(in.client)}, increase);
+    core::ContractResult result;
+    result.ops = emit.Take();
+    return result;
+  }
+
+  if (function == "GetHighestBid") {
+    if (in.args.size() != 1 || !in.args[0].IsString()) {
+      return core::ContractResult::Error("GetHighestBid(auction)");
+    }
+    core::ContractResult result;
+    result.value =
+        crdt::Value(HighestBid(state, in.args[0].AsString()).first);
+    result.objects_read = 1;
+    return result;
+  }
+
+  return core::ContractResult::Error("unknown function: " + function);
+}
+
+}  // namespace orderless::contracts

@@ -1,0 +1,32 @@
+// Auction application (paper §5, Fig. 2(b)): one CRDT Map per auction, one
+// G-Counter per bidder holding the cumulative bid. Bids only increase the
+// counter, so the increase-only-bids invariant is I-confluent.
+#pragma once
+
+#include "core/contract.h"
+
+namespace orderless::contracts {
+
+class AuctionContract final : public core::SmartContract {
+ public:
+  const std::string& name() const override { return name_; }
+
+  /// Functions:
+  ///  Bid(auction:string, increase:int)
+  ///  GetHighestBid(auction:string)
+  core::ContractResult Invoke(const core::ReadContext& state,
+                              const std::string& function,
+                              const core::Invocation& in) const override;
+
+  static std::string AuctionObject(const std::string& auction);
+  static std::string BidderKey(crypto::KeyId client);
+
+  /// Returns the highest cumulative bid and the winning bidder key.
+  static std::pair<std::int64_t, std::string> HighestBid(
+      const core::ReadContext& state, const std::string& auction);
+
+ private:
+  std::string name_ = "auction";
+};
+
+}  // namespace orderless::contracts

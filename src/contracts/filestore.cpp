@@ -1,0 +1,62 @@
+#include "contracts/filestore.h"
+
+namespace orderless::contracts {
+
+core::ContractResult FileStoreContract::Invoke(
+    const core::ReadContext& state, const std::string& function,
+    const core::Invocation& in) const {
+  if (function == "RegisterFile") {
+    if (in.args.size() != 2 || !in.args[0].IsString() ||
+        !in.args[1].IsString()) {
+      return core::ContractResult::Error("RegisterFile(name, digest)");
+    }
+    core::OpEmitter emit(in.clock);
+    emit.Assign(kRegistryObject, crdt::CrdtType::kMap,
+                {in.args[0].AsString()}, crdt::Value(in.args[1].AsString()));
+    core::ContractResult result;
+    result.ops = emit.Take();
+    return result;
+  }
+
+  if (function == "DeleteFile") {
+    if (in.args.size() != 1 || !in.args[0].IsString()) {
+      return core::ContractResult::Error("DeleteFile(name)");
+    }
+    core::OpEmitter emit(in.clock);
+    emit.Insert(kRegistryObject, crdt::CrdtType::kMap,
+                {in.args[0].AsString()}, crdt::CrdtType::kNone);
+    core::ContractResult result;
+    result.ops = emit.Take();
+    return result;
+  }
+
+  if (function == "GetFile") {
+    if (in.args.size() != 1 || !in.args[0].IsString()) {
+      return core::ContractResult::Error("GetFile(name)");
+    }
+    const crdt::ReadResult reg =
+        state.ReadObject(kRegistryObject, {in.args[0].AsString()});
+    core::ContractResult result;
+    // A single unambiguous registration reads back; a concurrent conflict
+    // (multiple values) is surfaced as empty so callers must re-register.
+    if (reg.values.size() == 1 && reg.values[0].IsString()) {
+      result.value = reg.values[0];
+    } else {
+      result.value = crdt::Value(std::string());
+    }
+    result.objects_read = 1;
+    return result;
+  }
+
+  if (function == "ListFiles") {
+    const crdt::ReadResult map = state.ReadObject(kRegistryObject);
+    core::ContractResult result;
+    result.value = crdt::Value(static_cast<std::int64_t>(map.keys.size()));
+    result.objects_read = 1;
+    return result;
+  }
+
+  return core::ContractResult::Error("unknown function: " + function);
+}
+
+}  // namespace orderless::contracts

@@ -1,0 +1,30 @@
+// Trusted distributed file-storage extension (paper §9 "Discussion",
+// OrderlessFile): a registry of file names to content digests with owner
+// tags. Registration uses MV-Registers, so concurrent registrations of the
+// same name surface as conflicts that callers can observe and resolve.
+#pragma once
+
+#include "core/contract.h"
+
+namespace orderless::contracts {
+
+class FileStoreContract final : public core::SmartContract {
+ public:
+  const std::string& name() const override { return name_; }
+
+  /// Functions:
+  ///  RegisterFile(name:string, digest:string)
+  ///  DeleteFile(name:string)
+  ///  GetFile(name:string)          → digest, or "" when absent/conflicted
+  ///  ListFiles()                   → number of live files
+  core::ContractResult Invoke(const core::ReadContext& state,
+                              const std::string& function,
+                              const core::Invocation& in) const override;
+
+  static constexpr const char* kRegistryObject = "filestore/registry";
+
+ private:
+  std::string name_ = "filestore";
+};
+
+}  // namespace orderless::contracts

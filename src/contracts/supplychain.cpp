@@ -1,0 +1,68 @@
+#include "contracts/supplychain.h"
+
+namespace orderless::contracts {
+
+std::string SupplyChainContract::ShipmentObject(const std::string& shipment) {
+  return "shipment/" + shipment;
+}
+
+core::ContractResult SupplyChainContract::Invoke(
+    const core::ReadContext& state, const std::string& function,
+    const core::Invocation& in) const {
+  if (function == "RecordReading") {
+    if (in.args.size() != 4 || !in.args[0].IsString() ||
+        !in.args[1].IsString() || !in.args[2].IsDouble() ||
+        !in.args[3].IsDouble()) {
+      return core::ContractResult::Error(
+          "RecordReading(shipment, sensor, temperature, threshold)");
+    }
+    const std::string object = ShipmentObject(in.args[0].AsString());
+    const std::string& sensor = in.args[1].AsString();
+    const double temperature = in.args[2].AsDouble();
+    const double threshold = in.args[3].AsDouble();
+
+    core::OpEmitter emit(in.clock);
+    emit.Add(object, crdt::CrdtType::kMap, {sensor, "readings"}, 1);
+    emit.Assign(object, crdt::CrdtType::kMap, {sensor, "last"},
+                crdt::Value(temperature));
+    if (temperature > threshold) {
+      emit.Add(object, crdt::CrdtType::kMap, {sensor, "violations"}, 1);
+    }
+    core::ContractResult result;
+    result.ops = emit.Take();
+    return result;
+  }
+
+  if (function == "GetViolations") {
+    if (in.args.size() != 1 || !in.args[0].IsString()) {
+      return core::ContractResult::Error("GetViolations(shipment)");
+    }
+    const std::string object = ShipmentObject(in.args[0].AsString());
+    const crdt::ReadResult sensors = state.ReadObject(object);
+    std::int64_t violations = 0;
+    for (const auto& sensor : sensors.keys) {
+      violations += state.ReadObject(object, {sensor, "violations"}).counter;
+    }
+    core::ContractResult result;
+    result.value = crdt::Value(violations);
+    result.objects_read = 1;
+    return result;
+  }
+
+  if (function == "GetLastReading") {
+    if (in.args.size() != 2 || !in.args[0].IsString() ||
+        !in.args[1].IsString()) {
+      return core::ContractResult::Error("GetLastReading(shipment, sensor)");
+    }
+    const crdt::ReadResult reg = state.ReadObject(
+        ShipmentObject(in.args[0].AsString()), {in.args[1].AsString(), "last"});
+    core::ContractResult result;
+    if (!reg.values.empty()) result.value = reg.values.back();
+    result.objects_read = 1;
+    return result;
+  }
+
+  return core::ContractResult::Error("unknown function: " + function);
+}
+
+}  // namespace orderless::contracts

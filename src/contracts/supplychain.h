@@ -1,0 +1,31 @@
+// IoT supply-chain extension (paper §9 "Discussion"): monitors the health of
+// temperature-sensitive products during transit. Each shipment is a nested
+// CRDT Map: sensor → {readings: G-Counter, violations: G-Counter,
+// last: MV-Register}. All updates are increment/assign operations, so the
+// application is I-confluent.
+#pragma once
+
+#include "core/contract.h"
+
+namespace orderless::contracts {
+
+class SupplyChainContract final : public core::SmartContract {
+ public:
+  const std::string& name() const override { return name_; }
+
+  /// Functions:
+  ///  RecordReading(shipment:string, sensor:string, temperature:double,
+  ///                threshold:double)
+  ///  GetViolations(shipment:string)
+  ///  GetLastReading(shipment:string, sensor:string)
+  core::ContractResult Invoke(const core::ReadContext& state,
+                              const std::string& function,
+                              const core::Invocation& in) const override;
+
+  static std::string ShipmentObject(const std::string& shipment);
+
+ private:
+  std::string name_ = "supplychain";
+};
+
+}  // namespace orderless::contracts

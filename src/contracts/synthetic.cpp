@@ -1,0 +1,71 @@
+#include "contracts/synthetic.h"
+
+namespace orderless::contracts {
+
+std::string SyntheticContract::ObjectId(std::string_view crdt_type,
+                                        std::int64_t index) {
+  return "synthetic/" + std::string(crdt_type) + "/" + std::to_string(index);
+}
+
+core::ContractResult SyntheticContract::Invoke(
+    const core::ReadContext& state, const std::string& function,
+    const core::Invocation& in) const {
+  if (function == "Modify") {
+    if (in.args.size() != 3 || !in.args[0].IsInt() || !in.args[1].IsInt() ||
+        !in.args[2].IsString()) {
+      return core::ContractResult::Error(
+          "Modify(obj_count, ops_per_obj, crdt_type)");
+    }
+    const std::int64_t obj_count = in.args[0].AsInt();
+    const std::int64_t ops_per_obj = in.args[1].AsInt();
+    const std::string& crdt_type = in.args[2].AsString();
+    if (obj_count <= 0 || ops_per_obj <= 0) {
+      return core::ContractResult::Error("counts must be positive");
+    }
+
+    core::OpEmitter emit(in.clock);
+    for (std::int64_t obj = 0; obj < obj_count; ++obj) {
+      const std::string object_id = ObjectId(crdt_type, obj);
+      for (std::int64_t op = 0; op < ops_per_obj; ++op) {
+        if (crdt_type == kTypeGCounter) {
+          emit.Add(object_id, crdt::CrdtType::kGCounter, {}, 1);
+        } else if (crdt_type == kTypeMVRegister) {
+          emit.Assign(object_id, crdt::CrdtType::kMVRegister, {},
+                      crdt::Value(static_cast<std::int64_t>(in.clock.counter)));
+        } else if (crdt_type == kTypeMap) {
+          // One register per client inside the shared map.
+          emit.Assign(object_id, crdt::CrdtType::kMap,
+                      {"client-" + std::to_string(in.client)},
+                      crdt::Value(static_cast<std::int64_t>(in.clock.counter)));
+        } else {
+          return core::ContractResult::Error("unknown CRDT type: " + crdt_type);
+        }
+      }
+    }
+    core::ContractResult result;
+    result.ops = emit.Take();
+    return result;
+  }
+
+  if (function == "Read") {
+    if (in.args.size() != 2 || !in.args[0].IsInt() || !in.args[1].IsString()) {
+      return core::ContractResult::Error("Read(obj_count, crdt_type)");
+    }
+    const std::int64_t obj_count = in.args[0].AsInt();
+    const std::string& crdt_type = in.args[1].AsString();
+    std::int64_t sum = 0;
+    for (std::int64_t obj = 0; obj < obj_count; ++obj) {
+      const crdt::ReadResult r = state.ReadObject(ObjectId(crdt_type, obj));
+      sum += r.counter + static_cast<std::int64_t>(r.values.size()) +
+             static_cast<std::int64_t>(r.keys.size());
+    }
+    core::ContractResult result;
+    result.value = crdt::Value(sum);
+    result.objects_read = static_cast<std::uint32_t>(obj_count);
+    return result;
+  }
+
+  return core::ContractResult::Error("unknown function: " + function);
+}
+
+}  // namespace orderless::contracts

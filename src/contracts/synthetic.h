@@ -1,0 +1,33 @@
+// Synthetic application (paper §9): Modify(ObjCount, OpsPerObjCount,
+// CRDTType) and Read(ObjCount), used for the controlled evaluation of
+// OrderlessChain (Fig. 6/7/8, configurations 1–12).
+#pragma once
+
+#include "core/contract.h"
+
+namespace orderless::contracts {
+
+/// CRDT type selector accepted as the contract's CRDTType argument.
+inline constexpr std::string_view kTypeGCounter = "g-counter";
+inline constexpr std::string_view kTypeMVRegister = "mv-register";
+inline constexpr std::string_view kTypeMap = "map";
+
+class SyntheticContract final : public core::SmartContract {
+ public:
+  const std::string& name() const override { return name_; }
+
+  /// Functions:
+  ///  Modify(obj_count:int, ops_per_obj:int, crdt_type:string)
+  ///  Read(obj_count:int)
+  core::ContractResult Invoke(const core::ReadContext& state,
+                              const std::string& function,
+                              const core::Invocation& in) const override;
+
+  /// Object id used for the i-th synthetic object of a given type.
+  static std::string ObjectId(std::string_view crdt_type, std::int64_t index);
+
+ private:
+  std::string name_ = "synthetic";
+};
+
+}  // namespace orderless::contracts

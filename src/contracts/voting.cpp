@@ -1,0 +1,74 @@
+#include "contracts/voting.h"
+
+namespace orderless::contracts {
+
+std::string VotingContract::PartyObject(const std::string& election,
+                                        std::int64_t party) {
+  return "vote/" + election + "/party" + std::to_string(party);
+}
+
+std::string VotingContract::VoterKey(crypto::KeyId client) {
+  return "voter" + std::to_string(client);
+}
+
+std::int64_t VotingContract::CountVotes(const core::ReadContext& state,
+                                        const std::string& election,
+                                        std::int64_t party) {
+  const std::string object = PartyObject(election, party);
+  const crdt::ReadResult map = state.ReadObject(object);
+  std::int64_t votes = 0;
+  for (const auto& voter : map.keys) {
+    const crdt::ReadResult reg = state.ReadObject(object, {voter});
+    // Concurrent conflicting values (possible only from a misbehaving
+    // client racing itself) do not count as a vote unless unambiguous.
+    if (reg.values.size() == 1 && reg.values[0].IsBool() &&
+        reg.values[0].AsBool()) {
+      ++votes;
+    }
+  }
+  return votes;
+}
+
+core::ContractResult VotingContract::Invoke(const core::ReadContext& state,
+                                            const std::string& function,
+                                            const core::Invocation& in) const {
+  if (function == "Vote") {
+    if (in.args.size() != 3 || !in.args[0].IsString() || !in.args[1].IsInt() ||
+        !in.args[2].IsInt()) {
+      return core::ContractResult::Error(
+          "Vote(election, party_index, party_count)");
+    }
+    const std::string& election = in.args[0].AsString();
+    const std::int64_t party = in.args[1].AsInt();
+    const std::int64_t party_count = in.args[2].AsInt();
+    if (party < 0 || party >= party_count || party_count <= 0) {
+      return core::ContractResult::Error("party index out of range");
+    }
+    // One operation per party object: true on the elected party, false on
+    // the others (paper §6's four-operation example for four parties).
+    core::OpEmitter emit(in.clock);
+    const std::string voter = VoterKey(in.client);
+    for (std::int64_t p = 0; p < party_count; ++p) {
+      emit.Assign(PartyObject(election, p), crdt::CrdtType::kMap, {voter},
+                  crdt::Value(p == party));
+    }
+    core::ContractResult result;
+    result.ops = emit.Take();
+    return result;
+  }
+
+  if (function == "ReadVoteCount") {
+    if (in.args.size() != 2 || !in.args[0].IsString() || !in.args[1].IsInt()) {
+      return core::ContractResult::Error("ReadVoteCount(election, party)");
+    }
+    core::ContractResult result;
+    result.value = crdt::Value(
+        CountVotes(state, in.args[0].AsString(), in.args[1].AsInt()));
+    result.objects_read = 1;
+    return result;
+  }
+
+  return core::ContractResult::Error("unknown function: " + function);
+}
+
+}  // namespace orderless::contracts

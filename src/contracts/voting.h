@@ -1,0 +1,37 @@
+// Voting application (paper §5/§6/§7, Fig. 2(a)/5). One CRDT Map per party
+// per election; a vote assigns the voter's MV-Register to true on the chosen
+// party and false on every other party, so the maximally-one-vote-per-voter
+// invariant is preserved: a later vote from the same client happened-after
+// and overwrites the earlier one on every party map.
+#pragma once
+
+#include "core/contract.h"
+
+namespace orderless::contracts {
+
+class VotingContract final : public core::SmartContract {
+ public:
+  const std::string& name() const override { return name_; }
+
+  /// Functions:
+  ///  Vote(election:string, party_index:int, party_count:int)
+  ///  ReadVoteCount(election:string, party_index:int)
+  core::ContractResult Invoke(const core::ReadContext& state,
+                              const std::string& function,
+                              const core::Invocation& in) const override;
+
+  /// Object id of one party's map in one election.
+  static std::string PartyObject(const std::string& election,
+                                 std::int64_t party);
+  static std::string VoterKey(crypto::KeyId client);
+
+  /// Counts true-votes on a party map (used by examples/tests too).
+  static std::int64_t CountVotes(const core::ReadContext& state,
+                                 const std::string& election,
+                                 std::int64_t party);
+
+ private:
+  std::string name_ = "voting";
+};
+
+}  // namespace orderless::contracts

@@ -1,0 +1,339 @@
+#include "core/client.h"
+
+#include <algorithm>
+
+namespace orderless::core {
+
+Client::Client(sim::Simulation& simulation, sim::Network& network,
+               sim::NodeId node, crypto::PrivateKey key,
+               const crypto::Pki& pki, EndorsementPolicy policy,
+               std::vector<sim::NodeId> org_nodes, ClientTimingConfig timing,
+               Rng rng)
+    : simulation_(simulation),
+      network_(network),
+      node_(node),
+      key_(key),
+      pki_(pki),
+      policy_(policy),
+      org_nodes_(std::move(org_nodes)),
+      timing_(timing),
+      rng_(rng),
+      clock_(key.id()) {}
+
+void Client::Start() {
+  network_.Register(node_,
+                    [this](const sim::Delivery& d) { OnDelivery(d); });
+}
+
+void Client::SubmitModify(const std::string& contract,
+                          const std::string& function,
+                          std::vector<crdt::Value> args, TxCallback callback) {
+  Submit(contract, function, std::move(args), /*read_only=*/false,
+         std::move(callback));
+}
+
+void Client::SubmitRead(const std::string& contract,
+                        const std::string& function,
+                        std::vector<crdt::Value> args, TxCallback callback) {
+  Submit(contract, function, std::move(args), /*read_only=*/true,
+         std::move(callback));
+}
+
+void Client::Submit(const std::string& contract, const std::string& function,
+                    std::vector<crdt::Value> args, bool read_only,
+                    TxCallback callback) {
+  const std::uint64_t seq = next_seq_++;
+  Pending& p = pending_[seq];
+  p.seq = seq;
+  p.callback = std::move(callback);
+  p.start = simulation_.now();
+  p.proposal.client = key_.id();
+  p.proposal.contract = contract;
+  p.proposal.function = function;
+  p.proposal.args = std::move(args);
+  p.proposal.read_only = read_only;
+  // Byzantine fault (4): a frozen clock prevents organizations from
+  // inferring happened-before relations between this client's operations.
+  p.proposal.clock =
+      (byzantine_.active && byzantine_.frozen_clock) ? clock_.Peek()
+                                                     : clock_.Tick();
+  StartEndorsePhase(p);
+}
+
+std::vector<std::size_t> Client::PickOrgs() {
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < org_nodes_.size(); ++i) {
+    if (timing_.avoid_byzantine && suspected_.contains(i)) continue;
+    candidates.push_back(i);
+  }
+  if (candidates.size() < policy_.q) {
+    // Not enough unsuspected organizations left; fall back to everyone.
+    candidates.clear();
+    for (std::size_t i = 0; i < org_nodes_.size(); ++i) candidates.push_back(i);
+  }
+  std::vector<std::size_t> picked;
+  if (org_weights_.size() == org_nodes_.size()) {
+    // Weighted sampling without replacement (non-uniform org load).
+    std::vector<std::size_t> pool = candidates;
+    while (picked.size() < policy_.q && !pool.empty()) {
+      double total = 0;
+      for (std::size_t idx : pool) total += org_weights_[idx];
+      double r = rng_.NextDouble() * total;
+      std::size_t chosen = pool.size() - 1;
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        r -= org_weights_[pool[i]];
+        if (r <= 0) {
+          chosen = i;
+          break;
+        }
+      }
+      picked.push_back(pool[chosen]);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(chosen));
+    }
+    return picked;
+  }
+  for (std::size_t idx : rng_.SampleDistinct(candidates.size(), policy_.q)) {
+    picked.push_back(candidates[idx]);
+  }
+  return picked;
+}
+
+void Client::ArmTimeout(Pending& p, sim::SimTime delay) {
+  const std::uint64_t generation = ++p.timeout_generation;
+  const std::uint64_t seq = p.seq;
+  simulation_.Schedule(delay,
+                       [this, seq, generation] { OnTimeout(seq, generation); });
+}
+
+void Client::StartEndorsePhase(Pending& p) {
+  p.phase = Phase::kEndorse;
+  p.groups.clear();
+  p.replied.clear();
+  p.chosen = PickOrgs();
+
+  for (std::size_t i = 0; i < p.chosen.size(); ++i) {
+    Proposal proposal = p.proposal;
+    if (byzantine_.active && byzantine_.inconsistent_clocks) {
+      // Byzantine fault (3): different logical timestamps per organization;
+      // the endorsements cannot match and no valid transaction forms.
+      proposal.clock.counter += i;
+    }
+    route_[proposal.Digest()] = p.seq;
+    auto msg = std::make_shared<ProposalMsg>();
+    msg->proposal = std::move(proposal);
+    network_.Send(node_, org_nodes_[p.chosen[i]], msg);
+  }
+  ArmTimeout(p, timing_.endorse_timeout);
+}
+
+void Client::OnDelivery(const sim::Delivery& delivery) {
+  if (delivery.corrupted) return;
+  if (const auto* endorse =
+          dynamic_cast<const EndorseReplyMsg*>(delivery.message.get())) {
+    HandleEndorseReply(delivery.from, *endorse);
+    return;
+  }
+  if (const auto* commit =
+          dynamic_cast<const CommitReplyMsg*>(delivery.message.get())) {
+    HandleCommitReply(delivery.from, *commit);
+    return;
+  }
+}
+
+std::optional<std::size_t> Client::OrgIndexOfNode(sim::NodeId node) const {
+  for (std::size_t i = 0; i < org_nodes_.size(); ++i) {
+    if (org_nodes_[i] == node) return i;
+  }
+  return std::nullopt;
+}
+
+void Client::HandleEndorseReply(sim::NodeId from, const EndorseReplyMsg& msg) {
+  const auto route = route_.find(msg.proposal_digest);
+  if (route == route_.end()) return;
+  const auto it = pending_.find(route->second);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (p.phase != Phase::kEndorse) return;
+
+  const auto org_index = OrgIndexOfNode(from);
+  if (!org_index) return;
+  if (!p.replied.insert(*org_index).second) return;  // duplicate reply
+
+  if (msg.ok) {
+    if (p.proposal.read_only) {
+      if (!p.read_value_set) {
+        p.read_value = msg.read_value;
+        p.read_value_set = true;
+      }
+      if (++p.read_ok >= policy_.q) {
+        TxOutcome outcome;
+        outcome.committed = true;
+        outcome.read = true;
+        outcome.read_value = p.read_value;
+        outcome.latency = simulation_.now() - p.start;
+        outcome.phase1 = outcome.latency;
+        Finish(p, std::move(outcome));
+        return;
+      }
+    } else {
+      const crypto::Digest ws = WriteSetDigest(msg.ops);
+      auto& group = p.groups[ws];
+      if (group.ops.empty()) group.ops = msg.ops;
+      group.endorsements.push_back(msg.endorsement);
+      group.orgs.push_back(*org_index);
+      if (group.endorsements.size() >= policy_.q) {
+        // Identical write-sets from q organizations: assemble and commit.
+        p.phase1_done = simulation_.now();
+        if (timing_.avoid_byzantine) {
+          // Any org that answered with a different write-set mis-endorsed.
+          for (const auto& [digest, other] : p.groups) {
+            if (digest == ws) continue;
+            for (std::size_t idx : other.orgs) suspected_.insert(idx);
+          }
+        }
+        StartCommitPhase(p, std::move(group));
+        return;
+      }
+    }
+  }
+
+  if (p.replied.size() >= p.chosen.size()) {
+    // Everyone answered but no q identical write-sets exist.
+    if (timing_.avoid_byzantine) {
+      // Minority write-set groups are the suspects.
+      std::size_t best = 0;
+      for (const auto& [digest, group] : p.groups) {
+        (void)digest;
+        best = std::max(best, group.endorsements.size());
+      }
+      for (const auto& [digest, group] : p.groups) {
+        (void)digest;
+        if (group.endorsements.size() < best) {
+          for (std::size_t idx : group.orgs) suspected_.insert(idx);
+        }
+      }
+    }
+    if (p.attempt < timing_.max_attempts) {
+      ++p.attempt;
+      StartEndorsePhase(p);
+    } else {
+      TxOutcome outcome;
+      outcome.failure = "endorsement mismatch";
+      outcome.latency = simulation_.now() - p.start;
+      Finish(p, std::move(outcome));
+    }
+  }
+}
+
+void Client::StartCommitPhase(Pending& p, Pending::WsGroup group) {
+  p.phase = Phase::kCommit;
+  p.valid_receipts = 0;
+
+  std::vector<crdt::Operation> ops = std::move(group.ops);
+  if (byzantine_.active && byzantine_.tamper_writeset && !ops.empty()) {
+    // Byzantine: tamper with the endorsed write-set; every organization must
+    // detect the signature mismatch and reject.
+    if (ops[0].value.IsInt()) {
+      ops[0].value = crdt::Value(ops[0].value.AsInt() * 31 + 7);
+    } else {
+      ops[0].value = crdt::Value(std::string("tampered"));
+    }
+  }
+  auto tx = Transaction::Assemble(p.proposal, std::move(ops),
+                                  std::move(group.endorsements), key_);
+  p.tx = tx;
+  route_[tx->id] = p.seq;
+
+  if (byzantine_.active && byzantine_.no_commit) {
+    // Byzantine fault (1): never sends the transaction for commit. No
+    // lasting side effects on any organization.
+    TxOutcome outcome;
+    outcome.failure = "byzantine client withheld commit";
+    outcome.latency = simulation_.now() - p.start;
+    Finish(p, std::move(outcome));
+    return;
+  }
+
+  std::vector<std::size_t> targets = p.chosen;
+  if (byzantine_.active && byzantine_.partial_commit) {
+    // Byzantine fault (2): commit reaches one organization only; gossip must
+    // still spread it everywhere (tested by the SEC integration tests).
+    targets.resize(1);
+  }
+  for (std::size_t idx : targets) {
+    auto msg = std::make_shared<CommitMsg>();
+    msg->tx = tx;
+    network_.Send(node_, org_nodes_[idx], msg);
+  }
+  ArmTimeout(p, timing_.commit_timeout);
+}
+
+void Client::HandleCommitReply(sim::NodeId from, const CommitReplyMsg& msg) {
+  const auto route = route_.find(msg.receipt.tx_id);
+  if (route == route_.end()) return;
+  const auto it = pending_.find(route->second);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (p.phase != Phase::kCommit) return;
+  if (!msg.receipt.Verify(pki_)) return;  // forged receipt
+  (void)from;
+
+  if (!msg.receipt.valid) {
+    // A rejection is deterministic (signature validation): retrying cannot
+    // help, the transaction itself is invalid.
+    TxOutcome outcome;
+    outcome.rejected = true;
+    outcome.failure = "rejected by organization";
+    outcome.latency = simulation_.now() - p.start;
+    Finish(p, std::move(outcome));
+    return;
+  }
+  ++p.valid_receipts;
+  const std::uint32_t needed =
+      (byzantine_.active && byzantine_.partial_commit) ? 1 : policy_.q;
+  if (p.valid_receipts >= needed) {
+    TxOutcome outcome;
+    outcome.committed = true;
+    outcome.latency = simulation_.now() - p.start;
+    outcome.phase1 = p.phase1_done - p.start;
+    outcome.phase2 = simulation_.now() - p.phase1_done;
+    Finish(p, std::move(outcome));
+  }
+}
+
+void Client::OnTimeout(std::uint64_t seq, std::uint64_t generation) {
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (p.timeout_generation != generation) return;  // superseded
+
+  if (timing_.avoid_byzantine && p.phase == Phase::kEndorse) {
+    // Whoever did not reply in time is suspect.
+    for (std::size_t idx : p.chosen) {
+      if (!p.replied.contains(idx)) suspected_.insert(idx);
+    }
+  }
+  if (p.attempt < timing_.max_attempts) {
+    ++p.attempt;
+    StartEndorsePhase(p);
+    return;
+  }
+  TxOutcome outcome;
+  outcome.failure = p.phase == Phase::kEndorse ? "endorsement timeout"
+                                               : "commit timeout";
+  outcome.latency = simulation_.now() - p.start;
+  Finish(p, std::move(outcome));
+}
+
+void Client::Finish(Pending& p, TxOutcome outcome) {
+  // Erase routing entries for this pending transaction.
+  std::erase_if(route_, [&p](const auto& entry) {
+    return entry.second == p.seq;
+  });
+  TxCallback callback = std::move(p.callback);
+  const std::uint64_t seq = p.seq;
+  pending_.erase(seq);
+  if (callback) callback(outcome);
+}
+
+}  // namespace orderless::core

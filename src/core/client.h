@@ -1,0 +1,150 @@
+// An OrderlessChain client: drives the two-phase execute–commit protocol
+// (paper §4, Fig. 1) — broadcast proposals to q organizations, check that
+// all endorsements carry identical write-sets, assemble + sign the
+// transaction, send it for commit, and await q receipts.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/messages.h"
+#include "sim/network.h"
+
+namespace orderless::core {
+
+struct ClientTimingConfig {
+  sim::SimTime endorse_timeout = sim::Sec(4);
+  sim::SimTime commit_timeout = sim::Sec(4);
+  /// Total tries for each phase (1 = no retry; Fig. 8(a) behaviour).
+  std::uint32_t max_attempts = 1;
+  /// When set, organizations that timed out or mis-endorsed are avoided on
+  /// later submissions (Fig. 8(b) behaviour).
+  bool avoid_byzantine = false;
+};
+
+/// Byzantine client faults (paper §8, four types).
+struct ByzantineClientBehavior {
+  bool active = false;
+  bool no_commit = false;            // (1) proposals only, never commits
+  bool tamper_writeset = false;      // corrupts the write-set before signing
+  bool partial_commit = false;       // (2) commits to a single organization
+  bool inconsistent_clocks = false;  // (3) different clock per organization
+  bool frozen_clock = false;         // (4) never increments its clock
+};
+
+/// Result of one submitted transaction, reported via callback.
+struct TxOutcome {
+  bool committed = false;  // q valid receipts collected
+  bool rejected = false;   // an organization rejected the transaction
+  bool read = false;
+  std::string failure;     // empty on success
+  sim::SimTime latency = 0;
+  sim::SimTime phase1 = 0;
+  sim::SimTime phase2 = 0;
+  crdt::Value read_value;
+};
+
+using TxCallback = std::function<void(const TxOutcome&)>;
+
+class Client {
+ public:
+  /// `org_nodes` lists the organizations (node ids, aligned with the
+  /// policy's n).
+  Client(sim::Simulation& simulation, sim::Network& network, sim::NodeId node,
+         crypto::PrivateKey key, const crypto::Pki& pki,
+         EndorsementPolicy policy, std::vector<sim::NodeId> org_nodes,
+         ClientTimingConfig timing, Rng rng);
+
+  void Start();
+
+  /// Invokes a modify-function: full two-phase protocol.
+  void SubmitModify(const std::string& contract, const std::string& function,
+                    std::vector<crdt::Value> args, TxCallback callback);
+
+  /// Invokes a read-function: execution phase only.
+  void SubmitRead(const std::string& contract, const std::string& function,
+                  std::vector<crdt::Value> args, TxCallback callback);
+
+  void SetByzantine(ByzantineClientBehavior behavior) {
+    byzantine_ = behavior;
+  }
+
+  /// Biases organization selection (configuration 8's normal-distribution
+  /// workload); empty = uniform. Must match org_nodes in length.
+  void SetOrgWeights(std::vector<double> weights) {
+    org_weights_ = std::move(weights);
+  }
+
+  crypto::KeyId key() const { return key_.id(); }
+  sim::NodeId node() const { return node_; }
+  const std::set<std::size_t>& suspected_orgs() const { return suspected_; }
+
+ private:
+  enum class Phase { kEndorse, kCommit };
+
+  struct Pending {
+    std::uint64_t seq = 0;
+    Proposal proposal;
+    TxCallback callback;
+    sim::SimTime start = 0;
+    sim::SimTime phase1_done = 0;
+    Phase phase = Phase::kEndorse;
+    std::uint32_t attempt = 1;
+    std::uint64_t timeout_generation = 0;
+    std::vector<std::size_t> chosen;  // org indices for this attempt
+    // Phase 1: endorsements grouped by write-set digest.
+    struct WsGroup {
+      std::vector<crdt::Operation> ops;
+      std::vector<Endorsement> endorsements;
+      std::vector<std::size_t> orgs;
+    };
+    std::map<crypto::Digest, WsGroup> groups;
+    std::set<std::size_t> replied;
+    crdt::Value read_value;
+    bool read_value_set = false;
+    std::uint32_t read_ok = 0;
+    // Phase 2.
+    std::shared_ptr<const Transaction> tx;
+    std::uint32_t valid_receipts = 0;
+  };
+
+  void Submit(const std::string& contract, const std::string& function,
+              std::vector<crdt::Value> args, bool read_only,
+              TxCallback callback);
+  void StartEndorsePhase(Pending& p);
+  void StartCommitPhase(Pending& p, Pending::WsGroup group);
+  void OnDelivery(const sim::Delivery& delivery);
+  void HandleEndorseReply(sim::NodeId from, const EndorseReplyMsg& msg);
+  void HandleCommitReply(sim::NodeId from, const CommitReplyMsg& msg);
+  void OnTimeout(std::uint64_t seq, std::uint64_t generation);
+  void Finish(Pending& p, TxOutcome outcome);
+  std::vector<std::size_t> PickOrgs();
+  std::optional<std::size_t> OrgIndexOfNode(sim::NodeId node) const;
+  void ArmTimeout(Pending& p, sim::SimTime delay);
+
+  sim::Simulation& simulation_;
+  sim::Network& network_;
+  sim::NodeId node_;
+  crypto::PrivateKey key_;
+  const crypto::Pki& pki_;
+  EndorsementPolicy policy_;
+  std::vector<sim::NodeId> org_nodes_;
+  ClientTimingConfig timing_;
+  Rng rng_;
+  ByzantineClientBehavior byzantine_;
+
+  clk::LamportClock clock_;
+  std::vector<double> org_weights_;
+  std::uint64_t next_seq_ = 1;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  // Routes message digests (proposal digest / tx id) to pending entries.
+  std::unordered_map<crypto::Digest, std::uint64_t, crypto::DigestHash>
+      route_;
+  std::set<std::size_t> suspected_;
+};
+
+}  // namespace orderless::core

@@ -1,0 +1,104 @@
+#include "core/contract.h"
+
+#include "crdt/sequence_node.h"
+
+namespace orderless::core {
+
+crdt::Operation& OpEmitter::NewOp(const std::string& object_id,
+                                  crdt::CrdtType object_type,
+                                  std::vector<std::string> path) {
+  crdt::Operation op;
+  op.object_id = object_id;
+  op.object_type = object_type;
+  op.path = std::move(path);
+  op.clock = clock_;
+  op.seq = next_seq_++;
+  ops_.push_back(std::move(op));
+  return ops_.back();
+}
+
+void OpEmitter::Add(const std::string& object_id, crdt::CrdtType object_type,
+                    std::vector<std::string> path, std::int64_t amount,
+                    crdt::CrdtType counter_type) {
+  crdt::Operation& op = NewOp(object_id, object_type, std::move(path));
+  op.kind = crdt::OpKind::kAddValue;
+  op.value_type = counter_type;
+  op.value = crdt::Value(amount);
+}
+
+void OpEmitter::Assign(const std::string& object_id,
+                       crdt::CrdtType object_type,
+                       std::vector<std::string> path, crdt::Value value,
+                       crdt::CrdtType register_type) {
+  crdt::Operation& op = NewOp(object_id, object_type, std::move(path));
+  op.kind = crdt::OpKind::kAssignValue;
+  op.value_type = register_type;
+  op.value = std::move(value);
+}
+
+void OpEmitter::Insert(const std::string& object_id,
+                       crdt::CrdtType object_type,
+                       std::vector<std::string> path_with_key,
+                       crdt::CrdtType child_type, crdt::Value init) {
+  crdt::Operation& op = NewOp(object_id, object_type, std::move(path_with_key));
+  op.kind = crdt::OpKind::kInsertValue;
+  op.value_type = child_type;
+  op.value = std::move(init);
+}
+
+void OpEmitter::SetAdd(const std::string& object_id,
+                       crdt::CrdtType object_type,
+                       std::vector<std::string> path, crdt::Value element) {
+  crdt::Operation& op = NewOp(object_id, object_type, std::move(path));
+  op.kind = crdt::OpKind::kAddValue;
+  op.value_type = crdt::CrdtType::kORSet;
+  op.value = std::move(element);
+}
+
+void OpEmitter::SetRemove(const std::string& object_id,
+                          crdt::CrdtType object_type,
+                          std::vector<std::string> path, crdt::Value element) {
+  crdt::Operation& op = NewOp(object_id, object_type, std::move(path));
+  op.kind = crdt::OpKind::kRemoveValue;
+  op.value_type = crdt::CrdtType::kORSet;
+  op.value = std::move(element);
+}
+
+crdt::OpId OpEmitter::SeqInsert(const std::string& object_id,
+                                crdt::CrdtType object_type,
+                                std::vector<std::string> path_to_sequence,
+                                std::optional<crdt::OpId> anchor,
+                                crdt::Value value) {
+  path_to_sequence.push_back(
+      anchor ? crdt::SequenceNode::AnchorSegment(*anchor)
+             : crdt::SequenceNode::AnchorRootSegment());
+  crdt::Operation& op =
+      NewOp(object_id, object_type, std::move(path_to_sequence));
+  op.kind = crdt::OpKind::kInsertValue;
+  op.value_type = crdt::CrdtType::kSequence;
+  op.value = std::move(value);
+  return op.id();
+}
+
+void OpEmitter::SeqRemove(const std::string& object_id,
+                          crdt::CrdtType object_type,
+                          std::vector<std::string> path_to_sequence,
+                          const crdt::OpId& element) {
+  path_to_sequence.push_back(crdt::SequenceNode::ElementSegment(element));
+  crdt::Operation& op =
+      NewOp(object_id, object_type, std::move(path_to_sequence));
+  op.kind = crdt::OpKind::kRemoveValue;
+  op.value_type = crdt::CrdtType::kSequence;
+}
+
+void ContractRegistry::Register(
+    std::shared_ptr<const SmartContract> contract) {
+  contracts_[contract->name()] = std::move(contract);
+}
+
+const SmartContract* ContractRegistry::Find(const std::string& name) const {
+  const auto it = contracts_.find(name);
+  return it == contracts_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace orderless::core

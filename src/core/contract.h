@@ -1,0 +1,128 @@
+// Smart Contract Library (SCL, paper §6): the interface organizations use to
+// execute application logic, and the CRDT-API builder developers use inside
+// contracts to emit I-confluent write-set operations.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "clock/logical_clock.h"
+#include "crdt/node.h"
+#include "crdt/op.h"
+#include "crypto/pki.h"
+
+namespace orderless::core {
+
+/// Read access to the executing organization's application state ST_Oi.
+/// Read API calls cause no side effects (Table 1).
+class ReadContext {
+ public:
+  virtual ~ReadContext() = default;
+  virtual crdt::ReadResult ReadObject(
+      const std::string& object_id,
+      const std::vector<std::string>& path = {}) const = 0;
+};
+
+/// Input of one contract invocation.
+struct Invocation {
+  crypto::KeyId client = 0;
+  clk::OpClock clock;  // the client's Lamport clock for this proposal
+  std::vector<crdt::Value> args;
+};
+
+/// Output: either a write-set of CRDT operations (modify functions) or a
+/// value (read functions), or a deterministic error.
+struct ContractResult {
+  bool ok = true;
+  std::string error;
+  std::vector<crdt::Operation> ops;
+  crdt::Value value;
+  /// Objects touched by read API calls (drives the cache-lock cost model).
+  std::uint32_t objects_read = 0;
+
+  static ContractResult Error(std::string message) {
+    ContractResult r;
+    r.ok = false;
+    r.error = std::move(message);
+    return r;
+  }
+};
+
+/// A deterministic, Turing-complete application program. Contracts are
+/// stateless; all state lives on the ledger and is reached via ReadContext.
+class SmartContract {
+ public:
+  virtual ~SmartContract() = default;
+  virtual const std::string& name() const = 0;
+  virtual ContractResult Invoke(const ReadContext& state,
+                                const std::string& function,
+                                const Invocation& in) const = 0;
+};
+
+/// SCL CRDT APIs (Table 1): builds the write-set operations of one
+/// invocation, stamping each with the client clock and a sequence number so
+/// operation ids are unique per object.
+class OpEmitter {
+ public:
+  explicit OpEmitter(clk::OpClock clock) : clock_(clock) {}
+
+  /// G-Counter / PN-Counter AddValue(value, clock).
+  void Add(const std::string& object_id, crdt::CrdtType object_type,
+           std::vector<std::string> path, std::int64_t amount,
+           crdt::CrdtType counter_type = crdt::CrdtType::kGCounter);
+
+  /// MV-Register / LWW-Register AssignValue(value, clock).
+  void Assign(const std::string& object_id, crdt::CrdtType object_type,
+              std::vector<std::string> path, crdt::Value value,
+              crdt::CrdtType register_type = crdt::CrdtType::kMVRegister);
+
+  /// CRDT Map InsertValue(key, value, clock); the key is the last path
+  /// segment. A kNone child type with null value deletes the key.
+  void Insert(const std::string& object_id, crdt::CrdtType object_type,
+              std::vector<std::string> path_with_key,
+              crdt::CrdtType child_type, crdt::Value init = {});
+
+  /// OR-Set extension: add / remove an element.
+  void SetAdd(const std::string& object_id, crdt::CrdtType object_type,
+              std::vector<std::string> path, crdt::Value element);
+  void SetRemove(const std::string& object_id, crdt::CrdtType object_type,
+                 std::vector<std::string> path, crdt::Value element);
+
+  /// Sequence (RGA) extension: insert `value` after the element `anchor`
+  /// (nullopt = at the start); returns the new element's id. Remove deletes
+  /// one element.
+  crdt::OpId SeqInsert(const std::string& object_id,
+                       crdt::CrdtType object_type,
+                       std::vector<std::string> path_to_sequence,
+                       std::optional<crdt::OpId> anchor, crdt::Value value);
+  void SeqRemove(const std::string& object_id, crdt::CrdtType object_type,
+                 std::vector<std::string> path_to_sequence,
+                 const crdt::OpId& element);
+
+  std::vector<crdt::Operation> Take() { return std::move(ops_); }
+
+ private:
+  crdt::Operation& NewOp(const std::string& object_id,
+                         crdt::CrdtType object_type,
+                         std::vector<std::string> path);
+  clk::OpClock clock_;
+  std::uint32_t next_seq_ = 0;
+  std::vector<crdt::Operation> ops_;
+};
+
+/// Name → contract lookup shared by every organization.
+class ContractRegistry {
+ public:
+  void Register(std::shared_ptr<const SmartContract> contract);
+  const SmartContract* Find(const std::string& name) const;
+  std::size_t size() const { return contracts_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<const SmartContract>>
+      contracts_;
+};
+
+}  // namespace orderless::core

@@ -1,0 +1,354 @@
+#include "core/org.h"
+
+#include <algorithm>
+
+namespace orderless::core {
+
+/// Exposes the organization's cache to executing contracts.
+class Organization::LedgerReadContext final : public ReadContext {
+ public:
+  explicit LedgerReadContext(const ledger::Ledger& ledger) : ledger_(ledger) {}
+  crdt::ReadResult ReadObject(
+      const std::string& object_id,
+      const std::vector<std::string>& path) const override {
+    return ledger_.Read(object_id, path);
+  }
+
+ private:
+  const ledger::Ledger& ledger_;
+};
+
+Organization::Organization(sim::Simulation& simulation, sim::Network& network,
+                           sim::NodeId node, crypto::PrivateKey key,
+                           const crypto::Pki& pki,
+                           const ContractRegistry& contracts,
+                           EndorsementPolicy policy, OrgTimingConfig timing,
+                           Rng rng)
+    : simulation_(simulation),
+      network_(network),
+      node_(node),
+      key_(key),
+      pki_(pki),
+      contracts_(contracts),
+      policy_(policy),
+      timing_(timing),
+      rng_(rng),
+      cpu_(simulation, timing.cores),
+      cache_lock_(simulation, 1),
+      ledger_(std::make_shared<ledger::MemKvStore>(), timing.ledger_options) {}
+
+void Organization::Start() {
+  network_.Register(node_,
+                    [this](const sim::Delivery& d) { OnDelivery(d); });
+  // Random phase offset: organizations do not share a clock, so their
+  // periodic gossip is naturally desynchronized.
+  simulation_.Schedule(rng_.NextBelow(timing_.gossip_interval) + 1,
+                       [this] { GossipTick(); });
+  if (timing_.antientropy_interval > 0) {
+    simulation_.Schedule(
+        timing_.antientropy_interval +
+            rng_.NextBelow(timing_.antientropy_interval),
+        [this] { AntiEntropyTick(); });
+  }
+}
+
+void Organization::SetPeers(std::vector<sim::NodeId> peer_nodes,
+                            std::set<crypto::KeyId> org_keys) {
+  peers_ = std::move(peer_nodes);
+  peers_.erase(std::remove(peers_.begin(), peers_.end(), node_), peers_.end());
+  org_keys_ = std::move(org_keys);
+}
+
+void Organization::OnDelivery(const sim::Delivery& delivery) {
+  if (delivery.corrupted) return;  // undecodable on the wire
+  if (const auto* proposal =
+          dynamic_cast<const ProposalMsg*>(delivery.message.get())) {
+    // Copy is cheap relative to execution; keeps the handler simple.
+    HandleProposal(delivery.from, *proposal);
+    return;
+  }
+  if (const auto* commit =
+          dynamic_cast<const CommitMsg*>(delivery.message.get())) {
+    HandleCommit(delivery.from, commit->tx, /*from_gossip=*/false);
+    return;
+  }
+  if (const auto* gossip =
+          dynamic_cast<const GossipMsg*>(delivery.message.get())) {
+    for (const auto& tx : gossip->txs) {
+      HandleCommit(delivery.from, tx, /*from_gossip=*/true);
+    }
+    return;
+  }
+  if (const auto* advert =
+          dynamic_cast<const GossipAdvertMsg*>(delivery.message.get())) {
+    // Pull whatever we neither committed nor already requested recently.
+    auto pull = std::make_shared<GossipPullMsg>();
+    const sim::SimTime repull_after = 2 * timing_.gossip_interval;
+    for (const crypto::Digest& id : advert->ids) {
+      if (commit_index_.contains(id) || in_flight_.contains(id)) continue;
+      const auto it = pulled_at_.find(id);
+      if (it != pulled_at_.end() &&
+          simulation_.now() < it->second + repull_after) {
+        continue;
+      }
+      pulled_at_[id] = simulation_.now();
+      pull->ids.push_back(id);
+    }
+    if (!pull->ids.empty()) {
+      network_.Send(node_, delivery.from, pull);
+    }
+    return;
+  }
+  if (const auto* pull =
+          dynamic_cast<const GossipPullMsg*>(delivery.message.get())) {
+    if (byzantine_.active && byzantine_.suppress_gossip) return;
+    auto msg = std::make_shared<GossipMsg>();
+    for (const crypto::Digest& id : pull->ids) {
+      const auto it = recent_txs_.find(id);
+      if (it != recent_txs_.end()) msg->txs.push_back(it->second.first);
+    }
+    if (!msg->txs.empty()) {
+      network_.Send(node_, delivery.from, msg);
+    }
+    return;
+  }
+  if (const auto* summary =
+          dynamic_cast<const SummaryMsg*>(delivery.message.get())) {
+    if (timing_.antientropy_interval > 0 &&
+        (summary->tx_count != committed_txs_.size() ||
+         summary->tx_xor != committed_xor_)) {
+      network_.Send(node_, delivery.from, std::make_shared<SyncRequestMsg>());
+    }
+    return;
+  }
+  if (dynamic_cast<const SyncRequestMsg*>(delivery.message.get()) != nullptr) {
+    if (!committed_txs_.empty() &&
+        !(byzantine_.active && byzantine_.suppress_gossip)) {
+      auto msg = std::make_shared<GossipMsg>();
+      msg->txs = committed_txs_;
+      network_.Send(node_, delivery.from, msg);
+    }
+    return;
+  }
+}
+
+void Organization::HandleProposal(sim::NodeId from, const ProposalMsg& msg) {
+  if (byzantine_.active && rng_.NextBool(byzantine_.ignore_proposal_prob)) {
+    return;  // Byzantine: silently drop
+  }
+  const sim::SimTime arrival = simulation_.now();
+  const Proposal proposal = msg.proposal;
+
+  // Estimate service before executing: base plus argument-proportional work.
+  const sim::SimTime exec_service =
+      proposal.read_only
+          ? timing_.read_base
+          : timing_.endorse_base +
+                timing_.endorse_per_op * proposal.args.size() / 4;
+
+  cpu_.Submit(exec_service, [this, from, proposal, arrival] {
+    auto reply = std::make_shared<EndorseReplyMsg>();
+    reply->proposal_digest = proposal.Digest();
+
+    const SmartContract* contract = contracts_.Find(proposal.contract);
+    if (contract == nullptr) {
+      reply->ok = false;
+      reply->error = "unknown contract: " + proposal.contract;
+      network_.Send(node_, from, reply);
+      return;
+    }
+    Invocation in;
+    in.client = proposal.client;
+    in.clock = proposal.clock;
+    in.args = proposal.args;
+    LedgerReadContext state(ledger_);
+    ContractResult result = contract->Invoke(state, proposal.function, in);
+    if (!result.ok) {
+      reply->ok = false;
+      reply->error = result.error;
+      network_.Send(node_, from, reply);
+      return;
+    }
+
+    if (proposal.read_only) {
+      // Reads go through the cache's lock as well (read-your-writes path).
+      const sim::SimTime lock_service =
+          timing_.cache_read_base + timing_.cache_read_per_object *
+                                        std::max<std::uint32_t>(
+                                            1, result.objects_read);
+      auto value = std::make_shared<crdt::Value>(std::move(result.value));
+      cache_lock_.Submit(lock_service, [this, from, reply, value, arrival] {
+        reply->ok = true;
+        reply->read_value = *value;
+        phase_stats_.endorse_count++;
+        phase_stats_.endorse_time_us += simulation_.now() - arrival;
+        network_.Send(node_, from, reply);
+      });
+      return;
+    }
+
+    std::vector<crdt::Operation> ops = std::move(result.ops);
+    if (byzantine_.active && rng_.NextBool(byzantine_.wrong_endorse_prob) &&
+        !ops.empty()) {
+      // Byzantine: execute the contract incorrectly — the write-set will not
+      // match honest endorsements and the client cannot assemble a valid tx.
+      if (ops[0].value.IsInt()) {
+        ops[0].value = crdt::Value(ops[0].value.AsInt() + 987654321);
+      } else {
+        ops[0].value = crdt::Value(std::string("byzantine-garbage"));
+      }
+    }
+    const crypto::Digest ws_digest = WriteSetDigest(ops);
+    reply->ok = true;
+    reply->ops = std::move(ops);
+    reply->endorsement.org = key_.id();
+    reply->endorsement.signature = key_.Sign(
+        kEndorseContext, EndorsementMessage(reply->proposal_digest, ws_digest));
+    phase_stats_.endorse_count++;
+    phase_stats_.endorse_time_us += simulation_.now() - arrival;
+    network_.Send(node_, from, reply);
+  });
+}
+
+void Organization::HandleCommit(sim::NodeId from,
+                                std::shared_ptr<const Transaction> tx,
+                                bool from_gossip) {
+  if (byzantine_.active && rng_.NextBool(byzantine_.ignore_commit_prob)) {
+    return;
+  }
+  const sim::SimTime arrival = simulation_.now();
+
+  cpu_.Submit(timing_.dedup_check, [this, from, tx, from_gossip, arrival] {
+    // Already committed: do not commit again; resend the receipt (paper §4).
+    const auto done = commit_index_.find(tx->id);
+    if (done != commit_index_.end()) {
+      if (!from_gossip) {
+        auto reply = std::make_shared<CommitReplyMsg>();
+        reply->receipt = Receipt::Make(tx->id, done->second.valid,
+                                       done->second.block_hash, key_);
+        network_.Send(node_, from, reply);
+      }
+      return;
+    }
+    // Already being processed: just remember who else wants the receipt.
+    const auto inflight = in_flight_.find(tx->id);
+    if (inflight != in_flight_.end()) {
+      if (!from_gossip) inflight->second.push_back(from);
+      return;
+    }
+    in_flight_.emplace(tx->id, std::vector<sim::NodeId>{});
+
+    const sim::SimTime validate_service =
+        timing_.commit_base +
+        timing_.commit_per_sig *
+            static_cast<sim::SimTime>(tx->endorsements.size() + 1);
+    cpu_.Submit(validate_service, [this, from, tx, from_gossip, arrival] {
+      const TxVerdict verdict =
+          ValidateTransaction(*tx, pki_, org_keys_, policy_);
+      if (verdict == TxVerdict::kValid) {
+        const sim::SimTime apply_service =
+            timing_.cache_apply_base +
+            timing_.cache_apply_per_op *
+                static_cast<sim::SimTime>(tx->ops.size());
+        cache_lock_.Submit(apply_service,
+                           [this, from, tx, from_gossip, arrival] {
+                             FinishCommit(from, tx, from_gossip,
+                                          TxVerdict::kValid, arrival);
+                           });
+      } else {
+        FinishCommit(from, tx, from_gossip, verdict, arrival);
+      }
+    });
+  });
+}
+
+void Organization::FinishCommit(sim::NodeId from,
+                                std::shared_ptr<const Transaction> tx,
+                                bool from_gossip, TxVerdict verdict,
+                                sim::SimTime arrival) {
+  const bool valid = verdict == TxVerdict::kValid;
+  const ledger::Block& block =
+      ledger_.Commit(tx->id, valid, valid ? tx->ops
+                                          : std::vector<crdt::Operation>{});
+  commit_index_[tx->id] = CommitRecord{valid, block.hash};
+  if (!valid) ++rejected_;
+
+  phase_stats_.commit_count++;
+  phase_stats_.commit_time_us += simulation_.now() - arrival;
+
+  std::vector<sim::NodeId> recipients;
+  if (!from_gossip) recipients.push_back(from);
+  const auto inflight = in_flight_.find(tx->id);
+  if (inflight != in_flight_.end()) {
+    for (sim::NodeId extra : inflight->second) recipients.push_back(extra);
+    in_flight_.erase(inflight);
+  }
+  for (sim::NodeId recipient : recipients) {
+    auto reply = std::make_shared<CommitReplyMsg>();
+    reply->receipt = Receipt::Make(tx->id, valid, block.hash, key_);
+    network_.Send(node_, recipient, reply);
+  }
+
+  if (valid) {
+    advert_queue_.emplace_back(tx->id, timing_.gossip_rounds);
+    // Keep the transaction around long enough to serve pulls triggered by
+    // the last advert round (one extra round-trip of slack).
+    recent_txs_[tx->id] = {tx, timing_.gossip_rounds + 4};
+    if (timing_.antientropy_interval > 0) {
+      committed_txs_.push_back(tx);
+      committed_xor_ ^= tx->id.Prefix64();
+    }
+  }
+}
+
+void Organization::GossipTick() {
+  const bool suppressed = byzantine_.active && byzantine_.suppress_gossip;
+  if (!advert_queue_.empty() && !peers_.empty() && !suppressed) {
+    auto msg = std::make_shared<GossipAdvertMsg>();
+    msg->ids.reserve(advert_queue_.size());
+    for (const auto& [id, rounds] : advert_queue_) {
+      (void)rounds;
+      msg->ids.push_back(id);
+    }
+    const std::uint32_t fanout = std::min<std::uint32_t>(
+        timing_.gossip_fanout, static_cast<std::uint32_t>(peers_.size()));
+    for (std::size_t idx : rng_.SampleDistinct(peers_.size(), fanout)) {
+      network_.Send(node_, peers_[idx], msg);
+    }
+  }
+  // Entries age out whether or not they were actually advertised (a
+  // Byzantine organization silently withholds forwarding).
+  for (auto& [id, rounds] : advert_queue_) {
+    (void)id;
+    --rounds;
+  }
+  std::erase_if(advert_queue_,
+                [](const auto& entry) { return entry.second == 0; });
+  // Expire the pull-serving buffer and the pull-dedup index.
+  for (auto it = recent_txs_.begin(); it != recent_txs_.end();) {
+    if (--it->second.second == 0) {
+      it = recent_txs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const sim::SimTime stale = 4 * timing_.gossip_interval;
+  std::erase_if(pulled_at_, [this, stale](const auto& entry) {
+    return simulation_.now() > entry.second + stale;
+  });
+  simulation_.Schedule(timing_.gossip_interval, [this] { GossipTick(); });
+}
+
+void Organization::AntiEntropyTick() {
+  if (!peers_.empty() && !(byzantine_.active && byzantine_.suppress_gossip)) {
+    auto msg = std::make_shared<SummaryMsg>();
+    msg->tx_count = committed_txs_.size();
+    msg->tx_xor = committed_xor_;
+    const std::size_t peer = rng_.NextBelow(peers_.size());
+    network_.Send(node_, peers_[peer], msg);
+  }
+  simulation_.Schedule(timing_.antientropy_interval,
+                       [this] { AntiEntropyTick(); });
+}
+
+}  // namespace orderless::core

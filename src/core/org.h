@@ -1,0 +1,169 @@
+// An OrderlessChain organization: hosts smart contracts, endorses proposals,
+// validates and commits transactions, and gossips committed transactions to
+// its peers (paper §4).
+#pragma once
+
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/contract.h"
+#include "core/messages.h"
+#include "core/policy.h"
+#include "ledger/ledger.h"
+#include "sim/network.h"
+#include "sim/processor.h"
+
+namespace orderless::core {
+
+/// CPU / storage cost model, calibrated so a 4-vCPU organization saturates
+/// where the paper's does (Fig. 6/7 knees).
+struct OrgTimingConfig {
+  unsigned cores = 4;
+  sim::SimTime endorse_base = sim::Us(180);
+  sim::SimTime endorse_per_op = sim::Us(30);
+  sim::SimTime read_base = sim::Us(60);
+  sim::SimTime read_per_object = sim::Us(30);
+  sim::SimTime commit_base = sim::Us(60);
+  sim::SimTime commit_per_sig = sim::Us(160);   // endorsement verification
+  sim::SimTime dedup_check = sim::Us(10);
+  // The CRDT cache applies modifications under one lock (paper §9's noted
+  // bottleneck) — modeled as a single-server queue.
+  sim::SimTime cache_apply_base = sim::Us(20);
+  sim::SimTime cache_apply_per_op = sim::Us(25);
+  sim::SimTime cache_read_base = sim::Us(10);
+  sim::SimTime cache_read_per_object = sim::Us(10);
+  sim::SimTime gossip_interval = sim::Sec(1);
+  std::uint32_t gossip_fanout = 1;   // "Gossip Ratio" control variable
+  std::uint32_t gossip_rounds = 3;   // ticks each tx keeps being pushed
+  /// Anti-entropy reconciliation period (0 disables). Repairs divergence
+  /// push gossip missed, e.g. after partitions heal. Requires retaining the
+  /// committed transaction set, so large benchmarks leave it off.
+  sim::SimTime antientropy_interval = 0;
+
+  /// Ledger retention knobs (benchmarks use lightweight settings).
+  ledger::LedgerOptions ledger_options;
+};
+
+/// How a Byzantine organization misbehaves while `active` (paper §9 Fig. 8:
+/// randomly not responding, endorsing incorrectly, not forwarding gossip).
+struct ByzantineOrgBehavior {
+  bool active = false;
+  double ignore_proposal_prob = 0.5;
+  double wrong_endorse_prob = 0.5;   // of the proposals it does answer
+  double ignore_commit_prob = 0.5;
+  bool suppress_gossip = true;
+};
+
+/// Phase-time accumulators backing Table 3.
+struct OrgPhaseStats {
+  std::uint64_t endorse_count = 0;
+  std::uint64_t endorse_time_us = 0;   // proposal arrival → endorsement sent
+  std::uint64_t commit_count = 0;
+  std::uint64_t commit_time_us = 0;    // commit arrival → committed
+  double AvgEndorseMs() const {
+    return endorse_count == 0 ? 0.0
+                              : endorse_time_us / 1000.0 / endorse_count;
+  }
+  double AvgCommitMs() const {
+    return commit_count == 0 ? 0.0 : commit_time_us / 1000.0 / commit_count;
+  }
+};
+
+class Organization {
+ public:
+  Organization(sim::Simulation& simulation, sim::Network& network,
+               sim::NodeId node, crypto::PrivateKey key,
+               const crypto::Pki& pki, const ContractRegistry& contracts,
+               EndorsementPolicy policy, OrgTimingConfig timing, Rng rng);
+
+  /// Registers the network handler and starts the gossip timer.
+  void Start();
+
+  /// Supplies the full organization directory (node ids + key ids).
+  void SetPeers(std::vector<sim::NodeId> peer_nodes,
+                std::set<crypto::KeyId> org_keys);
+
+  void SetByzantine(ByzantineOrgBehavior behavior) { byzantine_ = behavior; }
+  const ByzantineOrgBehavior& byzantine() const { return byzantine_; }
+
+  sim::NodeId node() const { return node_; }
+  crypto::KeyId key() const { return key_.id(); }
+  const ledger::Ledger& ledger() const { return ledger_; }
+  ledger::Ledger& mutable_ledger() { return ledger_; }
+  const OrgPhaseStats& phase_stats() const { return phase_stats_; }
+  std::uint64_t rejected_transactions() const { return rejected_; }
+
+  /// Local read of the application state ST_Oi (used by examples/tests).
+  crdt::ReadResult ReadState(const std::string& object_id,
+                             const std::vector<std::string>& path = {}) const {
+    return ledger_.Read(object_id, path);
+  }
+
+ private:
+  class LedgerReadContext;
+
+  void OnDelivery(const sim::Delivery& delivery);
+  void HandleProposal(sim::NodeId from, const ProposalMsg& msg);
+  void HandleCommit(sim::NodeId from, std::shared_ptr<const Transaction> tx,
+                    bool from_gossip);
+  void FinishCommit(sim::NodeId from, std::shared_ptr<const Transaction> tx,
+                    bool from_gossip, TxVerdict verdict,
+                    sim::SimTime arrival);
+  void GossipTick();
+  void AntiEntropyTick();
+
+  sim::Simulation& simulation_;
+  sim::Network& network_;
+  sim::NodeId node_;
+  crypto::PrivateKey key_;
+  const crypto::Pki& pki_;
+  const ContractRegistry& contracts_;
+  EndorsementPolicy policy_;
+  OrgTimingConfig timing_;
+  Rng rng_;
+
+  sim::Processor cpu_;
+  sim::Processor cache_lock_;  // single server: the cache's lock
+
+  ledger::Ledger ledger_;
+  std::vector<sim::NodeId> peers_;
+  std::set<crypto::KeyId> org_keys_;
+  ByzantineOrgBehavior byzantine_;
+
+  // Ids still being advertised to peers: (tx id, remaining rounds).
+  std::vector<std::pair<crypto::Digest, std::uint32_t>> advert_queue_;
+  // Recently committed transactions kept to serve pulls: (tx, ttl ticks).
+  std::unordered_map<crypto::Digest,
+                     std::pair<std::shared_ptr<const Transaction>,
+                               std::uint32_t>,
+                     crypto::DigestHash>
+      recent_txs_;
+  // Ids pulled recently; suppresses duplicate pulls until re-advertised.
+  std::unordered_map<crypto::Digest, sim::SimTime, crypto::DigestHash>
+      pulled_at_;
+  // Full committed set, retained only when anti-entropy is enabled.
+  std::vector<std::shared_ptr<const Transaction>> committed_txs_;
+  std::uint64_t committed_xor_ = 0;
+
+  // Commit index: verdict + block hash per transaction id, for dedup and
+  // receipt re-sends.
+  struct CommitRecord {
+    bool valid = false;
+    crypto::Digest block_hash;
+  };
+  std::unordered_map<crypto::Digest, CommitRecord, crypto::DigestHash>
+      commit_index_;
+  // Transactions currently in the validate/commit pipeline; extra client
+  // senders arriving meanwhile get their receipt on completion.
+  std::unordered_map<crypto::Digest, std::vector<sim::NodeId>,
+                     crypto::DigestHash>
+      in_flight_;
+
+  OrgPhaseStats phase_stats_;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace orderless::core

@@ -1,0 +1,30 @@
+// Endorsement policy EP: {q of n} (paper §3). Safety and liveness bounds
+// from Theorem 8.1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace orderless::core {
+
+struct EndorsementPolicy {
+  std::uint32_t q = 1;
+  std::uint32_t n = 1;
+
+  /// Safe against f Byzantine organizations iff q >= f+1.
+  bool SafeAgainst(std::uint32_t f) const { return q >= f + 1; }
+  /// Live with f Byzantine organizations iff n-q >= f.
+  bool LiveWith(std::uint32_t f) const { return n >= q && n - q >= f; }
+  /// Largest f the policy tolerates for both safety and liveness.
+  std::uint32_t MaxToleratedFaults() const {
+    std::uint32_t f = 0;
+    while (SafeAgainst(f + 1) && LiveWith(f + 1)) ++f;
+    return f;
+  }
+
+  std::string ToString() const {
+    return "{" + std::to_string(q) + " of " + std::to_string(n) + "}";
+  }
+};
+
+}  // namespace orderless::core

@@ -1,0 +1,185 @@
+#include "core/transaction.h"
+
+#include <unordered_set>
+
+namespace orderless::core {
+
+void Proposal::Encode(codec::Writer& w) const {
+  w.PutU64(client);
+  w.PutString(contract);
+  w.PutString(function);
+  w.PutVarint(args.size());
+  for (const auto& arg : args) arg.Encode(w);
+  clock.Encode(w);
+  w.PutBool(read_only);
+}
+
+std::optional<Proposal> Proposal::Decode(codec::Reader& r) {
+  Proposal p;
+  const auto client = r.GetU64();
+  auto contract = r.GetString();
+  auto function = r.GetString();
+  const auto n_args = r.GetVarint();
+  if (!client || !contract || !function || !n_args || *n_args > 4096) {
+    return std::nullopt;
+  }
+  p.client = *client;
+  p.contract = std::move(*contract);
+  p.function = std::move(*function);
+  for (std::uint64_t i = 0; i < *n_args; ++i) {
+    auto v = crdt::Value::Decode(r);
+    if (!v) return std::nullopt;
+    p.args.push_back(std::move(*v));
+  }
+  const auto clock = clk::OpClock::Decode(r);
+  const auto read_only = r.GetBool();
+  if (!clock || !read_only) return std::nullopt;
+  p.clock = *clock;
+  p.read_only = *read_only;
+  return p;
+}
+
+crypto::Digest Proposal::Digest() const {
+  codec::Writer w;
+  Encode(w);
+  return crypto::Sha256::Hash(BytesView(w.data()));
+}
+
+std::size_t Proposal::WireSize() const {
+  codec::Writer w;
+  Encode(w);
+  return w.size();
+}
+
+crypto::Digest WriteSetDigest(const std::vector<crdt::Operation>& ops) {
+  codec::Writer w;
+  crdt::EncodeOperations(ops, w);
+  return crypto::Sha256::Hash(BytesView(w.data()));
+}
+
+crypto::Digest EndorsementMessage(const crypto::Digest& proposal_digest,
+                                  const crypto::Digest& writeset_digest) {
+  crypto::Sha256 h;
+  h.Update(proposal_digest.View());
+  h.Update(writeset_digest.View());
+  return h.Finalize();
+}
+
+crypto::Digest Transaction::ComputeId(const crypto::Digest& proposal_digest,
+                                      const crypto::Digest& writeset_digest) {
+  crypto::Sha256 h;
+  h.Update("orderless.txid");
+  h.Update(proposal_digest.View());
+  h.Update(writeset_digest.View());
+  return h.Finalize();
+}
+
+std::shared_ptr<Transaction> Transaction::Assemble(
+    Proposal proposal, std::vector<crdt::Operation> ops,
+    std::vector<Endorsement> endorsements,
+    const crypto::PrivateKey& client_key) {
+  auto tx = std::make_shared<Transaction>();
+  tx->proposal = std::move(proposal);
+  tx->ops = std::move(ops);
+  tx->endorsements = std::move(endorsements);
+  tx->id = ComputeId(tx->proposal.Digest(), WriteSetDigest(tx->ops));
+  tx->client_signature = client_key.Sign(kTxContext, tx->id);
+  return tx;
+}
+
+std::size_t Transaction::WireSize() const {
+  if (cached_wire_size_ == 0) {
+    codec::Writer w;
+    proposal.Encode(w);
+    crdt::EncodeOperations(ops, w);
+    // endorsements: org id + 32-byte signature; client signature + id.
+    cached_wire_size_ =
+        w.size() + endorsements.size() * 40 + 32 + 32 + 16;
+  }
+  return cached_wire_size_;
+}
+
+std::string_view TxVerdictName(TxVerdict v) {
+  switch (v) {
+    case TxVerdict::kValid:
+      return "valid";
+    case TxVerdict::kBadClientSignature:
+      return "bad-client-signature";
+    case TxVerdict::kInsufficientEndorsements:
+      return "insufficient-endorsements";
+    case TxVerdict::kUnknownEndorser:
+      return "unknown-endorser";
+    case TxVerdict::kDuplicateEndorser:
+      return "duplicate-endorser";
+    case TxVerdict::kBadEndorsementSignature:
+      return "bad-endorsement-signature";
+    case TxVerdict::kIdMismatch:
+      return "id-mismatch";
+  }
+  return "?";
+}
+
+TxVerdict ValidateTransaction(const Transaction& tx, const crypto::Pki& pki,
+                              const std::set<crypto::KeyId>& organization_keys,
+                              const EndorsementPolicy& policy) {
+  // The transaction id must really bind this proposal and write-set; a
+  // tampered write-set changes the digest and voids everything below.
+  const crypto::Digest proposal_digest = tx.proposal.Digest();
+  const crypto::Digest ws_digest = WriteSetDigest(tx.ops);
+  if (Transaction::ComputeId(proposal_digest, ws_digest) != tx.id) {
+    return TxVerdict::kIdMismatch;
+  }
+  if (!pki.Verify(tx.proposal.client, kTxContext, tx.id,
+                  tx.client_signature)) {
+    return TxVerdict::kBadClientSignature;
+  }
+  const crypto::Digest message = EndorsementMessage(proposal_digest, ws_digest);
+  std::unordered_set<crypto::KeyId> seen;
+  std::uint32_t valid_endorsements = 0;
+  for (const auto& endorsement : tx.endorsements) {
+    if (!organization_keys.contains(endorsement.org)) {
+      return TxVerdict::kUnknownEndorser;
+    }
+    if (!seen.insert(endorsement.org).second) {
+      return TxVerdict::kDuplicateEndorser;
+    }
+    if (!pki.Verify(endorsement.org, kEndorseContext, message,
+                    endorsement.signature)) {
+      return TxVerdict::kBadEndorsementSignature;
+    }
+    ++valid_endorsements;
+  }
+  if (valid_endorsements < policy.q) {
+    return TxVerdict::kInsufficientEndorsements;
+  }
+  return TxVerdict::kValid;
+}
+
+crypto::Digest Receipt::SignedMessage(const crypto::Digest& tx_id, bool valid,
+                                      const crypto::Digest& block_hash) {
+  crypto::Sha256 h;
+  h.Update(tx_id.View());
+  h.Update(valid ? "1" : "0");
+  h.Update(block_hash.View());
+  return h.Finalize();
+}
+
+Receipt Receipt::Make(const crypto::Digest& tx_id, bool valid,
+                      const crypto::Digest& block_hash,
+                      const crypto::PrivateKey& org_key) {
+  Receipt r;
+  r.tx_id = tx_id;
+  r.valid = valid;
+  r.org = org_key.id();
+  r.block_hash = block_hash;
+  r.signature = org_key.Sign(kReceiptContext,
+                             SignedMessage(tx_id, valid, block_hash));
+  return r;
+}
+
+bool Receipt::Verify(const crypto::Pki& pki) const {
+  return pki.Verify(org, kReceiptContext,
+                    SignedMessage(tx_id, valid, block_hash), signature);
+}
+
+}  // namespace orderless::core

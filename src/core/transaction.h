@@ -1,0 +1,115 @@
+// Protocol data types for the two-phase execute–commit protocol (paper §4):
+// proposals, endorsements, transactions and receipts, plus the signature and
+// validation rules from Definitions 3.2/3.3.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clock/logical_clock.h"
+#include "core/policy.h"
+#include "crdt/op.h"
+#include "crypto/pki.h"
+
+namespace orderless::core {
+
+/// Phase-1 message content: what the client asks organizations to execute.
+struct Proposal {
+  crypto::KeyId client = 0;
+  std::string contract;
+  std::string function;
+  std::vector<crdt::Value> args;
+  clk::OpClock clock;       // the client's Lamport clock for this proposal
+  bool read_only = false;   // read API calls produce no operations
+
+  void Encode(codec::Writer& w) const;
+  static std::optional<Proposal> Decode(codec::Reader& r);
+  crypto::Digest Digest() const;
+  std::size_t WireSize() const;
+};
+
+/// Digest of a write-set (the thing organizations hash and sign).
+crypto::Digest WriteSetDigest(const std::vector<crdt::Operation>& ops);
+
+/// The message an endorsement signature covers: binds the write-set to the
+/// proposal that produced it.
+crypto::Digest EndorsementMessage(const crypto::Digest& proposal_digest,
+                                  const crypto::Digest& writeset_digest);
+
+/// One organization's endorsement of a proposal's write-set.
+struct Endorsement {
+  crypto::KeyId org = 0;
+  crypto::Signature signature;
+};
+
+/// Signature contexts (domain separation).
+inline constexpr std::string_view kEndorseContext = "orderless.endorse";
+inline constexpr std::string_view kTxContext = "orderless.tx";
+inline constexpr std::string_view kReceiptContext = "orderless.receipt";
+
+/// Phase-2 transaction: proposal + endorsed write-set + endorsements +
+/// client signature.
+struct Transaction {
+  Proposal proposal;
+  std::vector<crdt::Operation> ops;
+  std::vector<Endorsement> endorsements;
+  crypto::Signature client_signature;
+  crypto::Digest id;  // hash(proposal digest ‖ write-set digest)
+
+  /// Builds and signs the transaction exactly as an honest client would.
+  static std::shared_ptr<Transaction> Assemble(
+      Proposal proposal, std::vector<crdt::Operation> ops,
+      std::vector<Endorsement> endorsements,
+      const crypto::PrivateKey& client_key);
+
+  static crypto::Digest ComputeId(const crypto::Digest& proposal_digest,
+                                  const crypto::Digest& writeset_digest);
+
+  std::size_t WireSize() const;
+
+ private:
+  mutable std::size_t cached_wire_size_ = 0;
+};
+
+/// Why a transaction was accepted or rejected.
+enum class TxVerdict : std::uint8_t {
+  kValid = 0,
+  kBadClientSignature,
+  kInsufficientEndorsements,
+  kUnknownEndorser,
+  kDuplicateEndorser,
+  kBadEndorsementSignature,
+  kIdMismatch,
+};
+
+std::string_view TxVerdictName(TxVerdict v);
+
+/// Definition 3.2 signature validity: the client signed the transaction and
+/// at least q distinct known organizations endorsed the exact write-set.
+TxVerdict ValidateTransaction(const Transaction& tx, const crypto::Pki& pki,
+                              const std::set<crypto::KeyId>& organization_keys,
+                              const EndorsementPolicy& policy);
+
+/// Signed commit receipt (RCPT) or rejection (REJ).
+struct Receipt {
+  crypto::Digest tx_id;
+  bool valid = false;
+  crypto::KeyId org = 0;
+  crypto::Digest block_hash;
+  crypto::Signature signature;
+
+  static Receipt Make(const crypto::Digest& tx_id, bool valid,
+                      const crypto::Digest& block_hash,
+                      const crypto::PrivateKey& org_key);
+  bool Verify(const crypto::Pki& pki) const;
+
+ private:
+  static crypto::Digest SignedMessage(const crypto::Digest& tx_id, bool valid,
+                                      const crypto::Digest& block_hash);
+};
+
+}  // namespace orderless::core

@@ -1,0 +1,129 @@
+// Leaf CRDTs: G-Counter and MV-Register from the paper's Table 1, plus the
+// PN-Counter, LWW-Register and OR-Set extensions.
+#pragma once
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "clock/logical_clock.h"
+#include "crdt/node.h"
+
+namespace orderless::crdt {
+
+/// Grow-only counter: value = sum of all (positive) AddValue contributions.
+/// Contributions are keyed by (op id, amount) so replays dedup and Byzantine
+/// op-id reuse still converges.
+class GCounterNode final : public CrdtNode {
+ public:
+  CrdtType type() const override { return CrdtType::kGCounter; }
+  bool Apply(const Operation& op, std::size_t depth) override;
+  ReadResult ReadAt(const std::vector<std::string>& path,
+                    std::size_t depth) const override;
+  void Encode(codec::Writer& w) const override;
+  std::unique_ptr<CrdtNode> Clone() const override;
+  void MergeFrom(const CrdtNode& other) override;
+  std::size_t OpCount() const override { return contributions_.size(); }
+
+  std::int64_t Total() const { return total_; }
+
+  static std::unique_ptr<GCounterNode> Decode(codec::Reader& r);
+
+ private:
+  std::set<std::pair<OpId, std::int64_t>> contributions_;
+  std::int64_t total_ = 0;
+};
+
+/// PN-Counter extension: increments and decrements.
+class PNCounterNode final : public CrdtNode {
+ public:
+  CrdtType type() const override { return CrdtType::kPNCounter; }
+  bool Apply(const Operation& op, std::size_t depth) override;
+  ReadResult ReadAt(const std::vector<std::string>& path,
+                    std::size_t depth) const override;
+  void Encode(codec::Writer& w) const override;
+  std::unique_ptr<CrdtNode> Clone() const override;
+  void MergeFrom(const CrdtNode& other) override;
+  std::size_t OpCount() const override { return contributions_.size(); }
+
+  std::int64_t Total() const { return total_; }
+
+  static std::unique_ptr<PNCounterNode> Decode(codec::Reader& r);
+
+ private:
+  std::set<std::pair<OpId, std::int64_t>> contributions_;
+  std::int64_t total_ = 0;
+};
+
+/// Multi-value register: keeps the maximal antichain of assignments under
+/// happened-before; concurrent assignments all survive (paper Fig. 4).
+class MVRegisterNode final : public CrdtNode {
+ public:
+  CrdtType type() const override { return CrdtType::kMVRegister; }
+  bool Apply(const Operation& op, std::size_t depth) override;
+  ReadResult ReadAt(const std::vector<std::string>& path,
+                    std::size_t depth) const override;
+  void Encode(codec::Writer& w) const override;
+  std::unique_ptr<CrdtNode> Clone() const override;
+  void MergeFrom(const CrdtNode& other) override;
+  std::size_t OpCount() const override { return candidates_.size(); }
+
+  /// Direct assignment (used when a map insert carries an initial value).
+  void Assign(const Value& v, const clk::OpClock& clock);
+
+  static std::unique_ptr<MVRegisterNode> Decode(codec::Reader& r);
+
+ private:
+  std::set<std::pair<clk::OpClock, Value>> candidates_;
+};
+
+/// Last-writer-wins register extension: total order on (counter, client,
+/// value) picks a single winner deterministically.
+class LWWRegisterNode final : public CrdtNode {
+ public:
+  CrdtType type() const override { return CrdtType::kLWWRegister; }
+  bool Apply(const Operation& op, std::size_t depth) override;
+  ReadResult ReadAt(const std::vector<std::string>& path,
+                    std::size_t depth) const override;
+  void Encode(codec::Writer& w) const override;
+  std::unique_ptr<CrdtNode> Clone() const override;
+  void MergeFrom(const CrdtNode& other) override;
+  std::size_t OpCount() const override { return has_value_ ? 1 : 0; }
+
+  void Assign(const Value& v, const clk::OpClock& clock);
+
+  static std::unique_ptr<LWWRegisterNode> Decode(codec::Reader& r);
+
+ private:
+  bool has_value_ = false;
+  clk::OpClock clock_;
+  Value value_;
+};
+
+/// Observed-remove set extension: an element is present iff some add is not
+/// happened-before any remove of the same element.
+class ORSetNode final : public CrdtNode {
+ public:
+  CrdtType type() const override { return CrdtType::kORSet; }
+  bool Apply(const Operation& op, std::size_t depth) override;
+  ReadResult ReadAt(const std::vector<std::string>& path,
+                    std::size_t depth) const override;
+  void Encode(codec::Writer& w) const override;
+  std::unique_ptr<CrdtNode> Clone() const override;
+  void MergeFrom(const CrdtNode& other) override;
+  std::size_t OpCount() const override;
+
+  bool Contains(const Value& v) const;
+
+  static std::unique_ptr<ORSetNode> Decode(codec::Reader& r);
+
+ private:
+  struct Element {
+    std::set<clk::OpClock> adds;
+    std::set<clk::OpClock> removes;
+    bool Visible() const;
+  };
+  std::map<Value, Element> elements_;
+};
+
+}  // namespace orderless::crdt

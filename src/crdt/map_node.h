@@ -1,0 +1,81 @@
+// CRDT Map (paper Fig. 3): nested key→CRDT structure with happened-before
+// conflict resolution on inserts.
+//
+// Each key owns a Slot that records two order-free sets:
+//   * insert records — explicit InsertValue operations on the key;
+//   * descendant operations — every operation whose path traverses the key.
+// The visible children ("candidates") are materialized lazily from those
+// sets: the maximal (non-dominated) inserts each become a candidate, a
+// candidate absorbs exactly the descendant operations that did not
+// happen-before its insert (so a re-insert resets the subtree, as in Fig. 3),
+// and keys touched only by descendant operations get implicit candidates.
+// Because materialization is a pure function of the recorded sets, replicas
+// converge regardless of delivery order.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "clock/logical_clock.h"
+#include "crdt/node.h"
+#include "crypto/sha256.h"
+
+namespace orderless::crdt {
+
+class MapNode final : public CrdtNode {
+ public:
+  CrdtType type() const override { return CrdtType::kMap; }
+  bool Apply(const Operation& op, std::size_t depth) override;
+  ReadResult ReadAt(const std::vector<std::string>& path,
+                    std::size_t depth) const override;
+  void Encode(codec::Writer& w) const override;
+  std::unique_ptr<CrdtNode> Clone() const override;
+  void MergeFrom(const CrdtNode& other) override;
+  std::size_t OpCount() const override;
+
+  /// Keys with at least one visible candidate, sorted.
+  std::vector<std::string> LiveKeys() const;
+
+  static std::unique_ptr<MapNode> Decode(codec::Reader& r);
+
+ private:
+  /// An explicit InsertValue on a key. child_type == kNone is a delete
+  /// tombstone. `init` optionally seeds a register/counter child.
+  struct InsertRecord {
+    clk::OpClock clock;
+    CrdtType child_type = CrdtType::kNone;
+    Value init;
+    auto operator<=>(const InsertRecord&) const = default;
+  };
+
+  /// A materialized child.
+  struct Candidate {
+    clk::OpClock clock;  // insert clock, or implicit for traversal-created
+    std::unique_ptr<CrdtNode> node;
+  };
+
+  struct Slot {
+    // Path depth of this slot's segment within operation paths; fixed by the
+    // slot's position in the object tree.
+    std::size_t depth = 0;
+    std::set<InsertRecord> inserts;
+    // Descendant ops keyed by (op id, content digest): idempotent under
+    // re-delivery, convergent under Byzantine op-id reuse.
+    std::map<std::pair<OpId, crypto::Digest>, Operation> ops;
+
+    mutable bool dirty = true;
+    mutable std::vector<Candidate> candidates;
+
+    void Materialize() const;
+    std::size_t OpCount() const;
+  };
+
+  /// Child type a descendant op expects one level below this map.
+  static CrdtType ImpliedChildType(const Operation& op, std::size_t depth);
+
+  std::map<std::string, Slot> slots_;
+};
+
+}  // namespace orderless::crdt

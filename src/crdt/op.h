@@ -1,0 +1,76 @@
+// CRDT modification operations — the only thing a transaction's write-set
+// may contain (paper §6). Each operation carries:
+//   (1) an operation identifier, unique per CRDT object: the client id, the
+//       client's Lamport counter, and a sequence number within the write-set
+//       (a single proposal may emit several operations on one object);
+//   (2) the modification value and CRDT type;
+//   (3) the client's logical clock;
+//   (4) the operation path from the root of the (possibly nested) object.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "clock/logical_clock.h"
+#include "codec/codec.h"
+#include "crdt/types.h"
+#include "crdt/value.h"
+#include "crypto/sha256.h"
+
+namespace orderless::crdt {
+
+/// What the modification does (Table 1, plus Remove for the OR-Set
+/// extension).
+enum class OpKind : std::uint8_t {
+  kAddValue = 0,     // G-Counter / PN-Counter
+  kInsertValue = 1,  // CRDT Map (null value deletes)
+  kAssignValue = 2,  // MV-Register / LWW-Register
+  kRemoveValue = 3,  // OR-Set extension
+};
+
+std::string_view OpKindName(OpKind k);
+
+/// Uniquely identifies an operation within one CRDT object.
+struct OpId {
+  std::uint64_t client = 0;
+  std::uint64_t counter = 0;
+  std::uint32_t seq = 0;
+
+  auto operator<=>(const OpId&) const = default;
+  std::string ToString() const;
+};
+
+/// One CRDT modification.
+struct Operation {
+  std::string object_id;            // ledger-wide id of the CRDT object
+  CrdtType object_type = CrdtType::kMap;  // type of the object's root
+  std::vector<std::string> path;    // slot chain from the root (may be empty)
+  OpKind kind = OpKind::kAssignValue;
+  CrdtType value_type = CrdtType::kNone;  // leaf/child CRDT type
+  Value value;
+  clk::OpClock clock;
+  std::uint32_t seq = 0;            // uniquifier within (client, counter)
+
+  OpId id() const { return OpId{clock.client, clock.counter, seq}; }
+
+  bool operator==(const Operation&) const = default;
+
+  void Encode(codec::Writer& w) const;
+  static std::optional<Operation> Decode(codec::Reader& r);
+
+  /// Canonical digest of the encoded operation; used to dedup Byzantine
+  /// operations that reuse an OpId with different content.
+  crypto::Digest ContentDigest() const;
+
+  std::string ToString() const;
+};
+
+/// Encodes a whole write-set; the digest of this encoding is what
+/// organizations sign during endorsement.
+void EncodeOperations(const std::vector<Operation>& ops, codec::Writer& w);
+std::optional<std::vector<Operation>> DecodeOperations(codec::Reader& r);
+
+}  // namespace orderless::crdt

@@ -1,0 +1,72 @@
+#include "crdt/value.h"
+
+namespace orderless::crdt {
+
+namespace {
+enum Tag : std::uint8_t {
+  kTagNull = 0,
+  kTagBool = 1,
+  kTagInt = 2,
+  kTagDouble = 3,
+  kTagString = 4,
+};
+}  // namespace
+
+std::string Value::ToString() const {
+  if (IsNull()) return "null";
+  if (IsBool()) return AsBool() ? "true" : "false";
+  if (IsInt()) return std::to_string(AsInt());
+  if (IsDouble()) return std::to_string(AsDouble());
+  return "\"" + AsString() + "\"";
+}
+
+void Value::Encode(codec::Writer& w) const {
+  if (IsNull()) {
+    w.PutU8(kTagNull);
+  } else if (IsBool()) {
+    w.PutU8(kTagBool);
+    w.PutBool(AsBool());
+  } else if (IsInt()) {
+    w.PutU8(kTagInt);
+    w.PutI64(AsInt());
+  } else if (IsDouble()) {
+    w.PutU8(kTagDouble);
+    w.PutDouble(AsDouble());
+  } else {
+    w.PutU8(kTagString);
+    w.PutString(AsString());
+  }
+}
+
+std::optional<Value> Value::Decode(codec::Reader& r) {
+  const auto tag = r.GetU8();
+  if (!tag) return std::nullopt;
+  switch (*tag) {
+    case kTagNull:
+      return Value();
+    case kTagBool: {
+      const auto b = r.GetBool();
+      if (!b) return std::nullopt;
+      return Value(*b);
+    }
+    case kTagInt: {
+      const auto i = r.GetI64();
+      if (!i) return std::nullopt;
+      return Value(*i);
+    }
+    case kTagDouble: {
+      const auto d = r.GetDouble();
+      if (!d) return std::nullopt;
+      return Value(*d);
+    }
+    case kTagString: {
+      auto s = r.GetString();
+      if (!s) return std::nullopt;
+      return Value(std::move(*s));
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace orderless::crdt

@@ -1,0 +1,47 @@
+// Scalar values carried by CRDT operations (register contents, counter
+// increments, set elements, map keys).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "codec/codec.h"
+
+namespace orderless::crdt {
+
+/// Null, bool, int64, double or string.
+class Value {
+ public:
+  Value() = default;
+  Value(bool b) : data_(b) {}                       // NOLINT
+  Value(std::int64_t i) : data_(i) {}               // NOLINT
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(double d) : data_(d) {}                     // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}     // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}   // NOLINT
+
+  bool IsNull() const { return std::holds_alternative<std::monostate>(data_); }
+  bool IsBool() const { return std::holds_alternative<bool>(data_); }
+  bool IsInt() const { return std::holds_alternative<std::int64_t>(data_); }
+  bool IsDouble() const { return std::holds_alternative<double>(data_); }
+  bool IsString() const { return std::holds_alternative<std::string>(data_); }
+
+  bool AsBool() const { return std::get<bool>(data_); }
+  std::int64_t AsInt() const { return std::get<std::int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Total order used for deterministic tie-breaking and sorted reads.
+  auto operator<=>(const Value& other) const = default;
+
+  std::string ToString() const;
+  void Encode(codec::Writer& w) const;
+  static std::optional<Value> Decode(codec::Reader& r);
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string> data_;
+};
+
+}  // namespace orderless::crdt

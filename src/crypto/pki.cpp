@@ -1,0 +1,61 @@
+#include "crypto/pki.h"
+
+namespace orderless::crypto {
+
+namespace {
+Signature KeyedHash(const Digest& secret, std::string_view context,
+                    BytesView message) {
+  Sha256 h;
+  h.Update(secret.View());
+  h.Update("\x1f");
+  h.Update(context);
+  h.Update("\x1f");
+  h.Update(message);
+  return h.Finalize();
+}
+}  // namespace
+
+Signature PrivateKey::Sign(std::string_view context, BytesView message) const {
+  return KeyedHash(secret_, context, message);
+}
+
+Signature PrivateKey::Sign(std::string_view context, const Digest& digest) const {
+  return KeyedHash(secret_, context, digest.View());
+}
+
+PrivateKey Pki::Generate(const std::string& name) {
+  const KeyId id = next_id_++;
+  // Derive the secret deterministically from the registry's sequence so that
+  // simulations are reproducible; within the simulation the secret is still
+  // unguessable by protocol code, which never sees this derivation.
+  Sha256 h;
+  h.Update("orderless-pki-secret");
+  std::uint8_t id_bytes[8];
+  for (int i = 0; i < 8; ++i) id_bytes[i] = static_cast<std::uint8_t>(id >> (8 * i));
+  h.Update(BytesView(id_bytes, 8));
+  h.Update(name);
+  const Digest secret = h.Finalize();
+  keys_.emplace(id, Entry{secret, name});
+  return PrivateKey(id, secret);
+}
+
+bool Pki::Verify(KeyId signer, std::string_view context, BytesView message,
+                 const Signature& signature) const {
+  const auto it = keys_.find(signer);
+  if (it == keys_.end()) return false;
+  const Signature expected = KeyedHash(it->second.secret, context, message);
+  return ConstantTimeEqual(expected.View(), signature.View());
+}
+
+bool Pki::Verify(KeyId signer, std::string_view context, const Digest& digest,
+                 const Signature& signature) const {
+  return Verify(signer, context, digest.View(), signature);
+}
+
+const std::string& Pki::NameOf(KeyId id) const {
+  static const std::string kUnknown = "<unknown>";
+  const auto it = keys_.find(id);
+  return it == keys_.end() ? kUnknown : it->second.name;
+}
+
+}  // namespace orderless::crypto

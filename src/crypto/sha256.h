@@ -1,0 +1,52 @@
+// From-scratch SHA-256 (FIPS 180-4). The whole reproduction runs offline, so
+// we implement the hash rather than depend on OpenSSL.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace orderless::crypto {
+
+/// A 32-byte SHA-256 digest, usable as a map key.
+struct Digest {
+  std::array<std::uint8_t, 32> bytes{};
+
+  auto operator<=>(const Digest&) const = default;
+  std::string Hex() const;
+  /// First 8 bytes as an integer, handy for hash-table sharding and ids.
+  std::uint64_t Prefix64() const;
+  BytesView View() const { return BytesView(bytes.data(), bytes.size()); }
+  static Digest FromHexOrZero(std::string_view hex);
+};
+
+struct DigestHash {
+  std::size_t operator()(const Digest& d) const noexcept {
+    return static_cast<std::size_t>(d.Prefix64());
+  }
+};
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256();
+  void Update(BytesView data);
+  void Update(std::string_view data);
+  Digest Finalize();
+
+  static Digest Hash(BytesView data);
+  static Digest Hash(std::string_view data);
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace orderless::crypto

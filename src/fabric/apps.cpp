@@ -1,0 +1,128 @@
+#include "fabric/apps.h"
+
+namespace orderless::fabric {
+
+std::string FabricVotingContract::CountKey(const std::string& election,
+                                           std::int64_t party) {
+  return "count/" + election + "/" + std::to_string(party);
+}
+
+std::string FabricVotingContract::VoterKey(const std::string& election,
+                                           std::uint64_t client) {
+  return "vote/" + election + "/" + std::to_string(client);
+}
+
+FabricResult FabricVotingContract::Invoke(
+    const VersionedStore& state, const std::string& function,
+    std::uint64_t client, std::uint64_t nonce,
+    const std::vector<crdt::Value>& args) const {
+  (void)nonce;
+  if (function == "Vote") {
+    if (args.size() != 3 || !args[0].IsString() || !args[1].IsInt() ||
+        !args[2].IsInt()) {
+      return FabricResult::Error("Vote(election, party, parties)");
+    }
+    const std::string& election = args[0].AsString();
+    const std::int64_t party = args[1].AsInt();
+    if (party < 0 || party >= args[2].AsInt()) {
+      return FabricResult::Error("party out of range");
+    }
+    FabricResult result;
+    // Read-modify-write on the voter record and the party tally. The tally
+    // key is shared by every voter of the party: classic MVCC hotspot.
+    const std::string voter_key = VoterKey(election, client);
+    const VersionedValue previous = state.Get(voter_key);
+    result.rwset.reads.emplace_back(voter_key, previous.version);
+    if (previous.version != 0 && previous.value.IsInt()) {
+      // Re-vote: decrement the old party's tally.
+      const std::string old_count_key =
+          CountKey(election, previous.value.AsInt());
+      const VersionedValue old_count = state.Get(old_count_key);
+      result.rwset.reads.emplace_back(old_count_key, old_count.version);
+      result.rwset.writes.emplace_back(
+          old_count_key,
+          crdt::Value(old_count.value.IsInt() ? old_count.value.AsInt() - 1
+                                              : 0));
+    }
+    const std::string count_key = CountKey(election, party);
+    const VersionedValue count = state.Get(count_key);
+    result.rwset.reads.emplace_back(count_key, count.version);
+    result.rwset.writes.emplace_back(
+        count_key,
+        crdt::Value(count.value.IsInt() ? count.value.AsInt() + 1
+                                        : std::int64_t{1}));
+    result.rwset.writes.emplace_back(voter_key, crdt::Value(party));
+    return result;
+  }
+
+  if (function == "ReadVoteCount") {
+    if (args.size() != 2 || !args[0].IsString() || !args[1].IsInt()) {
+      return FabricResult::Error("ReadVoteCount(election, party)");
+    }
+    FabricResult result;
+    result.read_only = true;
+    const VersionedValue count =
+        state.Get(CountKey(args[0].AsString(), args[1].AsInt()));
+    result.value = count.value.IsInt() ? count.value : crdt::Value(std::int64_t{0});
+    return result;
+  }
+
+  return FabricResult::Error("unknown function: " + function);
+}
+
+std::string FabricAuctionContract::BidKey(const std::string& auction,
+                                          std::uint64_t client) {
+  return "bid/" + auction + "/" + std::to_string(client);
+}
+
+std::string FabricAuctionContract::HighestKey(const std::string& auction) {
+  return "high/" + auction;
+}
+
+FabricResult FabricAuctionContract::Invoke(
+    const VersionedStore& state, const std::string& function,
+    std::uint64_t client, std::uint64_t nonce,
+    const std::vector<crdt::Value>& args) const {
+  (void)nonce;
+  if (function == "Bid") {
+    if (args.size() != 2 || !args[0].IsString() || !args[1].IsInt()) {
+      return FabricResult::Error("Bid(auction, increase)");
+    }
+    const std::int64_t increase = args[1].AsInt();
+    if (increase <= 0) return FabricResult::Error("bids must increase");
+    const std::string& auction = args[0].AsString();
+
+    FabricResult result;
+    const std::string bid_key = BidKey(auction, client);
+    const VersionedValue bid = state.Get(bid_key);
+    const std::int64_t new_bid =
+        (bid.value.IsInt() ? bid.value.AsInt() : 0) + increase;
+    result.rwset.reads.emplace_back(bid_key, bid.version);
+    result.rwset.writes.emplace_back(bid_key, crdt::Value(new_bid));
+
+    // The shared highest-bid key: every bid reads and possibly writes it.
+    const std::string high_key = HighestKey(auction);
+    const VersionedValue high = state.Get(high_key);
+    result.rwset.reads.emplace_back(high_key, high.version);
+    if (!high.value.IsInt() || new_bid > high.value.AsInt()) {
+      result.rwset.writes.emplace_back(high_key, crdt::Value(new_bid));
+    }
+    return result;
+  }
+
+  if (function == "GetHighestBid") {
+    if (args.size() != 1 || !args[0].IsString()) {
+      return FabricResult::Error("GetHighestBid(auction)");
+    }
+    FabricResult result;
+    result.read_only = true;
+    const VersionedValue high = state.Get(HighestKey(args[0].AsString()));
+    result.value =
+        high.value.IsInt() ? high.value : crdt::Value(std::int64_t{0});
+    return result;
+  }
+
+  return FabricResult::Error("unknown function: " + function);
+}
+
+}  // namespace orderless::fabric

@@ -1,0 +1,43 @@
+// Voting and auction smart contracts for the Fabric-style baselines,
+// implemented "based on the best practices for developing smart contracts on
+// these systems" (paper §9): read-modify-write over keyed state, with a
+// shared tally/highest key that creates the MVCC contention the paper
+// observes (up to 90% of voting transactions fail on Fabric [14]).
+#pragma once
+
+#include "fabric/contract.h"
+
+namespace orderless::fabric {
+
+class FabricVotingContract final : public FabricContract {
+ public:
+  const std::string& name() const override { return name_; }
+  /// Vote(election, party, parties) / ReadVoteCount(election, party)
+  FabricResult Invoke(const VersionedStore& state, const std::string& function,
+                      std::uint64_t client, std::uint64_t nonce,
+                      const std::vector<crdt::Value>& args) const override;
+
+  static std::string CountKey(const std::string& election, std::int64_t party);
+  static std::string VoterKey(const std::string& election,
+                              std::uint64_t client);
+
+ private:
+  std::string name_ = "voting";
+};
+
+class FabricAuctionContract final : public FabricContract {
+ public:
+  const std::string& name() const override { return name_; }
+  /// Bid(auction, increase) / GetHighestBid(auction)
+  FabricResult Invoke(const VersionedStore& state, const std::string& function,
+                      std::uint64_t client, std::uint64_t nonce,
+                      const std::vector<crdt::Value>& args) const override;
+
+  static std::string BidKey(const std::string& auction, std::uint64_t client);
+  static std::string HighestKey(const std::string& auction);
+
+ private:
+  std::string name_ = "auction";
+};
+
+}  // namespace orderless::fabric

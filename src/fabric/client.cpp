@@ -1,0 +1,261 @@
+#include "fabric/client.h"
+
+namespace orderless::fabric {
+
+std::size_t RwSet::WireSize() const {
+  std::size_t size = 16;
+  for (const auto& [key, version] : reads) {
+    (void)version;
+    size += key.size() + 12;
+  }
+  for (const auto& [key, value] : writes) {
+    codec::Writer w;
+    value.Encode(w);
+    size += key.size() + w.size() + 4;
+  }
+  return size;
+}
+
+void FabricContractRegistry::Register(
+    std::shared_ptr<const FabricContract> contract) {
+  contracts_[contract->name()] = std::move(contract);
+}
+
+const FabricContract* FabricContractRegistry::Find(
+    const std::string& name) const {
+  const auto it = contracts_.find(name);
+  return it == contracts_.end() ? nullptr : it->second.get();
+}
+
+std::size_t FabProposal::WireSize() const {
+  std::size_t size = 64 + contract.size() + function.size();
+  for (const auto& arg : args) {
+    codec::Writer w;
+    arg.Encode(w);
+    size += w.size();
+  }
+  return size;
+}
+
+crypto::Digest FabProposal::Digest() const {
+  codec::Writer w;
+  w.PutU64(client);
+  w.PutU64(nonce);
+  w.PutString(contract);
+  w.PutString(function);
+  for (const auto& arg : args) arg.Encode(w);
+  return crypto::Sha256::Hash(BytesView(w.data()));
+}
+
+FabricClient::FabricClient(sim::Simulation& simulation, sim::Network& network,
+                           sim::NodeId node, crypto::PrivateKey key,
+                           std::vector<sim::NodeId> peer_nodes,
+                           sim::NodeId orderer, FabricClientConfig config,
+                           Rng rng)
+    : simulation_(simulation),
+      network_(network),
+      node_(node),
+      key_(key),
+      peer_nodes_(std::move(peer_nodes)),
+      orderer_(orderer),
+      config_(config),
+      rng_(rng) {}
+
+void FabricClient::Start() {
+  network_.Register(node_, [this](const sim::Delivery& d) { OnDelivery(d); });
+}
+
+crypto::Digest FabricClient::RwSetDigest(const RwSet& rwset) {
+  codec::Writer w;
+  for (const auto& [key, version] : rwset.reads) {
+    w.PutString(key);
+    w.PutU64(version);
+  }
+  for (const auto& [key, value] : rwset.writes) {
+    w.PutString(key);
+    value.Encode(w);
+  }
+  return crypto::Sha256::Hash(BytesView(w.data()));
+}
+
+void FabricClient::SubmitModify(const std::string& contract,
+                                const std::string& function,
+                                std::vector<crdt::Value> args,
+                                core::TxCallback callback) {
+  const std::uint64_t seq = next_nonce_++;
+  Pending& p = pending_[seq];
+  p.seq = seq;
+  p.callback = std::move(callback);
+  p.start = simulation_.now();
+  p.proposal.client = key_.id();
+  p.proposal.nonce = seq;
+  p.proposal.contract = contract;
+  p.proposal.function = function;
+  p.proposal.args = std::move(args);
+  p.read_only = false;
+
+  route_[p.proposal.Digest()] = seq;
+  for (std::size_t idx :
+       rng_.SampleDistinct(peer_nodes_.size(), config_.q)) {
+    auto msg = std::make_shared<FabProposalMsg>();
+    msg->proposal = p.proposal;
+    network_.Send(node_, peer_nodes_[idx], msg);
+  }
+  const std::uint64_t generation = ++p.timeout_generation;
+  simulation_.Schedule(config_.endorse_timeout, [this, seq, generation] {
+    OnTimeout(seq, generation);
+  });
+}
+
+void FabricClient::SubmitRead(const std::string& contract,
+                              const std::string& function,
+                              std::vector<crdt::Value> args,
+                              core::TxCallback callback) {
+  const std::uint64_t seq = next_nonce_++;
+  Pending& p = pending_[seq];
+  p.seq = seq;
+  p.callback = std::move(callback);
+  p.start = simulation_.now();
+  p.proposal.client = key_.id();
+  p.proposal.nonce = seq;
+  p.proposal.contract = contract;
+  p.proposal.function = function;
+  p.proposal.args = std::move(args);
+  p.read_only = true;
+
+  route_[p.proposal.Digest()] = seq;
+  for (std::size_t idx :
+       rng_.SampleDistinct(peer_nodes_.size(), config_.q)) {
+    auto msg = std::make_shared<FabProposalMsg>();
+    msg->proposal = p.proposal;
+    network_.Send(node_, peer_nodes_[idx], msg);
+  }
+  const std::uint64_t generation = ++p.timeout_generation;
+  simulation_.Schedule(config_.endorse_timeout, [this, seq, generation] {
+    OnTimeout(seq, generation);
+  });
+}
+
+void FabricClient::OnDelivery(const sim::Delivery& delivery) {
+  if (delivery.corrupted) return;
+  if (const auto* endorse =
+          dynamic_cast<const FabEndorseReplyMsg*>(delivery.message.get())) {
+    HandleEndorseReply(*endorse);
+    return;
+  }
+  if (const auto* event =
+          dynamic_cast<const FabCommitEventMsg*>(delivery.message.get())) {
+    HandleCommitEvent(*event);
+    return;
+  }
+}
+
+void FabricClient::HandleEndorseReply(const FabEndorseReplyMsg& msg) {
+  const auto route = route_.find(msg.proposal_digest);
+  if (route == route_.end()) return;
+  const auto it = pending_.find(route->second);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (p.ordering) return;
+
+  ++p.replied;
+  if (msg.ok) {
+    if (p.read_only) {
+      if (p.read_ok == 0) p.read_value = msg.read_value;
+      if (++p.read_ok >= config_.q) {
+        core::TxOutcome outcome;
+        outcome.committed = true;
+        outcome.read = true;
+        outcome.read_value = p.read_value;
+        outcome.latency = simulation_.now() - p.start;
+        outcome.phase1 = outcome.latency;
+        Finish(p, std::move(outcome));
+        return;
+      }
+    } else {
+      const crypto::Digest group_key =
+          config_.require_matching_rwsets ? RwSetDigest(msg.rwset)
+                                          : crypto::Digest{};
+      auto& group = p.groups[group_key];
+      if (group.count == 0) group.rwset = msg.rwset;
+      if (++group.count >= config_.q) {
+        // Matching endorsements: submit to the ordering service.
+        p.ordering = true;
+        p.phase1_done = simulation_.now();
+        auto tx = std::make_shared<FabTransaction>();
+        tx->client = key_.id();
+        tx->client_node = node_;
+        tx->rwset = std::move(group.rwset);
+        tx->endorsement_count = group.count;
+        tx->id = msg.proposal_digest;
+        tx->order_submit_time = simulation_.now();
+        p.tx_id = tx->id;
+        route_[tx->id] = p.seq;
+        auto order = std::make_shared<FabOrderMsg>();
+        order->tx = std::move(tx);
+        network_.Send(node_, orderer_, order);
+        const std::uint64_t generation = ++p.timeout_generation;
+        const std::uint64_t seq = p.seq;
+        simulation_.Schedule(config_.commit_timeout, [this, seq, generation] {
+          OnTimeout(seq, generation);
+        });
+        return;
+      }
+    }
+  }
+  if (p.replied >= config_.q && !p.ordering) {
+    bool can_still_match = false;
+    for (const auto& [digest, group] : p.groups) {
+      (void)digest;
+      if (group.count >= config_.q) can_still_match = true;
+    }
+    if (!can_still_match) {
+      core::TxOutcome outcome;
+      outcome.failure = "endorsement mismatch";
+      outcome.latency = simulation_.now() - p.start;
+      Finish(p, std::move(outcome));
+    }
+  }
+}
+
+void FabricClient::HandleCommitEvent(const FabCommitEventMsg& msg) {
+  const auto route = route_.find(msg.tx_id);
+  if (route == route_.end()) return;
+  const auto it = pending_.find(route->second);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (!p.ordering) return;
+
+  core::TxOutcome outcome;
+  outcome.latency = simulation_.now() - p.start;
+  outcome.phase1 = p.phase1_done - p.start;
+  outcome.phase2 = simulation_.now() - p.phase1_done;
+  if (msg.valid) {
+    outcome.committed = true;
+  } else {
+    outcome.rejected = true;  // MVCC validation failure
+    outcome.failure = "MVCC conflict";
+  }
+  Finish(p, std::move(outcome));
+}
+
+void FabricClient::OnTimeout(std::uint64_t seq, std::uint64_t generation) {
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (p.timeout_generation != generation) return;
+  core::TxOutcome outcome;
+  outcome.failure = p.ordering ? "commit timeout" : "endorsement timeout";
+  outcome.latency = simulation_.now() - p.start;
+  Finish(p, std::move(outcome));
+}
+
+void FabricClient::Finish(Pending& p, core::TxOutcome outcome) {
+  std::erase_if(route_,
+                [&p](const auto& entry) { return entry.second == p.seq; });
+  core::TxCallback callback = std::move(p.callback);
+  pending_.erase(p.seq);
+  if (callback) callback(outcome);
+}
+
+}  // namespace orderless::fabric

@@ -1,0 +1,84 @@
+// Fabric-style client: endorse at q peers, submit to the ordering service,
+// await the commit event with the MVCC verdict.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "core/client.h"  // reuses TxOutcome / TxCallback
+#include "fabric/messages.h"
+
+namespace orderless::fabric {
+
+struct FabricClientConfig {
+  std::uint32_t q = 4;
+  sim::SimTime endorse_timeout = sim::Sec(5);
+  sim::SimTime commit_timeout = sim::Sec(240);  // paper's 240 s cutoff
+  /// Fabric requires q byte-identical read/write sets; FabricCRDT merges at
+  /// commit, so any q successful endorsements suffice.
+  bool require_matching_rwsets = true;
+};
+
+class FabricClient {
+ public:
+  FabricClient(sim::Simulation& simulation, sim::Network& network,
+               sim::NodeId node, crypto::PrivateKey key,
+               std::vector<sim::NodeId> peer_nodes, sim::NodeId orderer,
+               FabricClientConfig config, Rng rng);
+
+  void Start();
+
+  void SubmitModify(const std::string& contract, const std::string& function,
+                    std::vector<crdt::Value> args, core::TxCallback callback);
+  void SubmitRead(const std::string& contract, const std::string& function,
+                  std::vector<crdt::Value> args, core::TxCallback callback);
+
+  crypto::KeyId key() const { return key_.id(); }
+  sim::NodeId node() const { return node_; }
+
+ private:
+  struct Pending {
+    std::uint64_t seq = 0;
+    FabProposal proposal;
+    bool read_only = false;
+    core::TxCallback callback;
+    sim::SimTime start = 0;
+    sim::SimTime phase1_done = 0;
+    bool ordering = false;  // phase: false = endorsing
+    crypto::Digest tx_id;
+    std::uint64_t timeout_generation = 0;
+    // rwset digests → (rwset, count, value)
+    struct Group {
+      RwSet rwset;
+      std::uint32_t count = 0;
+    };
+    std::map<crypto::Digest, Group> groups;
+    std::uint32_t replied = 0;
+    std::uint32_t read_ok = 0;
+    crdt::Value read_value;
+  };
+
+  void OnDelivery(const sim::Delivery& delivery);
+  void HandleEndorseReply(const FabEndorseReplyMsg& msg);
+  void HandleCommitEvent(const FabCommitEventMsg& msg);
+  void OnTimeout(std::uint64_t seq, std::uint64_t generation);
+  void Finish(Pending& p, core::TxOutcome outcome);
+  static crypto::Digest RwSetDigest(const RwSet& rwset);
+
+  sim::Simulation& simulation_;
+  sim::Network& network_;
+  sim::NodeId node_;
+  crypto::PrivateKey key_;
+  std::vector<sim::NodeId> peer_nodes_;
+  sim::NodeId orderer_;
+  FabricClientConfig config_;
+  Rng rng_;
+
+  std::uint64_t next_nonce_ = 1;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::unordered_map<crypto::Digest, std::uint64_t, crypto::DigestHash>
+      route_;
+};
+
+}  // namespace orderless::fabric

@@ -1,0 +1,60 @@
+// Smart-contract interface for the Fabric / FabricCRDT / BIDL / Sync
+// HotStuff baselines: execution produces a read/write set over the versioned
+// world state (execute-order-validate), or the baselines execute it in
+// sequence order (order-execute for BIDL / Sync HotStuff).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/state.h"
+
+namespace orderless::fabric {
+
+struct RwSet {
+  std::vector<std::pair<std::string, std::uint64_t>> reads;   // key, version
+  std::vector<std::pair<std::string, crdt::Value>> writes;    // key, value
+
+  std::size_t WireSize() const;
+};
+
+struct FabricResult {
+  bool ok = true;
+  std::string error;
+  bool read_only = false;
+  RwSet rwset;
+  crdt::Value value;  // read results
+
+  static FabricResult Error(std::string message) {
+    FabricResult r;
+    r.ok = false;
+    r.error = std::move(message);
+    return r;
+  }
+};
+
+class FabricContract {
+ public:
+  virtual ~FabricContract() = default;
+  virtual const std::string& name() const = 0;
+  /// `nonce` is the client's per-submission counter (FabricCRDT derives its
+  /// CRDT timestamps from it).
+  virtual FabricResult Invoke(const VersionedStore& state,
+                              const std::string& function,
+                              std::uint64_t client, std::uint64_t nonce,
+                              const std::vector<crdt::Value>& args) const = 0;
+};
+
+class FabricContractRegistry {
+ public:
+  void Register(std::shared_ptr<const FabricContract> contract);
+  const FabricContract* Find(const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<const FabricContract>>
+      contracts_;
+};
+
+}  // namespace orderless::fabric

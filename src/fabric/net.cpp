@@ -1,0 +1,48 @@
+#include "fabric/net.h"
+
+namespace orderless::fabric {
+
+namespace {
+constexpr sim::NodeId kOrdererNode = 500;
+}  // namespace
+
+FabricNet::FabricNet(FabricNetConfig config)
+    : config_(config), rng_(config.seed) {
+  network_ = std::make_unique<sim::Network>(simulation_, config_.net,
+                                            rng_.Fork());
+
+  std::vector<sim::NodeId> peer_nodes;
+  for (std::uint32_t i = 0; i < config_.num_peers; ++i) {
+    const sim::NodeId node = static_cast<sim::NodeId>(1 + i);
+    peer_nodes.push_back(node);
+    PeerConfig peer_config = config_.peer;
+    peer_config.emits_events = (i == 0);  // peer 0 runs the event service
+    peers_.push_back(std::make_unique<Peer>(
+        simulation_, *network_, node,
+        pki_.Generate("peer" + std::to_string(i)), contracts_, peer_config));
+  }
+  orderer_ = std::make_unique<Orderer>(simulation_, *network_, kOrdererNode,
+                                       config_.orderer);
+  orderer_->SetPeers(peer_nodes);
+
+  for (std::uint32_t i = 0; i < config_.num_clients; ++i) {
+    const sim::NodeId node = static_cast<sim::NodeId>(1001 + i);
+    clients_.push_back(std::make_unique<FabricClient>(
+        simulation_, *network_, node,
+        pki_.Generate("client" + std::to_string(i)), peer_nodes, kOrdererNode,
+        config_.client, rng_.Fork()));
+  }
+}
+
+void FabricNet::RegisterContract(
+    std::shared_ptr<const FabricContract> contract) {
+  contracts_.Register(std::move(contract));
+}
+
+void FabricNet::Start() {
+  for (auto& peer : peers_) peer->Start();
+  orderer_->Start();
+  for (auto& client : clients_) client->Start();
+}
+
+}  // namespace orderless::fabric

@@ -1,0 +1,51 @@
+// Builds a complete simulated Fabric-style network: peers, Solo orderer and
+// clients. With ValidationMode::kCrdtMerge and the fabriccrdt contracts this
+// same pipeline is the FabricCRDT baseline.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fabric/client.h"
+#include "fabric/orderer.h"
+#include "fabric/peer.h"
+
+namespace orderless::fabric {
+
+struct FabricNetConfig {
+  std::uint32_t num_peers = 8;
+  std::uint32_t num_clients = 2;
+  FabricClientConfig client;  // client.q is the endorsement policy
+  PeerConfig peer;
+  OrdererConfig orderer;
+  sim::NetworkConfig net;
+  std::uint64_t seed = 1;
+};
+
+class FabricNet {
+ public:
+  explicit FabricNet(FabricNetConfig config);
+
+  void RegisterContract(std::shared_ptr<const FabricContract> contract);
+  void Start();
+
+  sim::Simulation& simulation() { return simulation_; }
+  std::size_t peer_count() const { return peers_.size(); }
+  std::size_t client_count() const { return clients_.size(); }
+  Peer& peer(std::size_t i) { return *peers_[i]; }
+  FabricClient& client(std::size_t i) { return *clients_[i]; }
+  Orderer& orderer() { return *orderer_; }
+
+ private:
+  FabricNetConfig config_;
+  sim::Simulation simulation_;
+  crypto::Pki pki_;
+  FabricContractRegistry contracts_;
+  Rng rng_;
+  std::unique_ptr<sim::Network> network_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  std::unique_ptr<Orderer> orderer_;
+  std::vector<std::unique_ptr<FabricClient>> clients_;
+};
+
+}  // namespace orderless::fabric

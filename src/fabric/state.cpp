@@ -1,0 +1,20 @@
+#include "fabric/state.h"
+
+namespace orderless::fabric {
+
+VersionedValue VersionedStore::Get(const std::string& key) const {
+  const auto it = data_.find(key);
+  return it == data_.end() ? VersionedValue{} : it->second;
+}
+
+std::uint64_t VersionedStore::VersionOf(const std::string& key) const {
+  return Get(key).version;
+}
+
+void VersionedStore::Put(const std::string& key, crdt::Value value) {
+  auto& slot = data_[key];
+  slot.value = std::move(value);
+  ++slot.version;
+}
+
+}  // namespace orderless::fabric

@@ -1,0 +1,34 @@
+// Versioned world state for the Fabric-style baselines: each key carries a
+// version that MVCC validation checks against endorsement-time reads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "crdt/value.h"
+
+namespace orderless::fabric {
+
+struct VersionedValue {
+  crdt::Value value;
+  std::uint64_t version = 0;  // 0 = never written
+};
+
+class VersionedStore {
+ public:
+  /// Value + version (version 0 when the key was never written).
+  VersionedValue Get(const std::string& key) const;
+  std::uint64_t VersionOf(const std::string& key) const;
+
+  /// Writes the value, bumping the key's version.
+  void Put(const std::string& key, crdt::Value value);
+
+  std::size_t size() const { return data_.size(); }
+
+ private:
+  std::unordered_map<std::string, VersionedValue> data_;
+};
+
+}  // namespace orderless::fabric

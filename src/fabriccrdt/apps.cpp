@@ -1,0 +1,145 @@
+#include "fabriccrdt/apps.h"
+
+#include "crdt/object.h"
+
+namespace orderless::fabriccrdt {
+
+namespace {
+
+/// Loads the CRDT object stored under `key`, or a fresh map object.
+std::unique_ptr<crdt::CrdtObject> LoadObject(
+    const fabric::VersionedStore& state, const std::string& key) {
+  const fabric::VersionedValue stored = state.Get(key);
+  if (stored.version != 0 && stored.value.IsString()) {
+    const std::string& bytes = stored.value.AsString();
+    auto decoded = crdt::CrdtObject::DecodeState(
+        key, BytesView(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                       bytes.size()));
+    if (decoded != nullptr) return decoded;
+  }
+  return std::make_unique<crdt::CrdtObject>(key, crdt::CrdtType::kMap);
+}
+
+crdt::Value EncodeObject(const crdt::CrdtObject& object) {
+  const Bytes bytes = object.EncodeState();
+  return crdt::Value(std::string(bytes.begin(), bytes.end()));
+}
+
+}  // namespace
+
+std::string FabricCrdtVotingContract::ElectionKey(
+    const std::string& election) {
+  return "crdtvote/" + election;
+}
+
+fabric::FabricResult FabricCrdtVotingContract::Invoke(
+    const fabric::VersionedStore& state, const std::string& function,
+    std::uint64_t client, std::uint64_t nonce,
+    const std::vector<crdt::Value>& args) const {
+  if (function == "Vote") {
+    if (args.size() != 3 || !args[0].IsString() || !args[1].IsInt() ||
+        !args[2].IsInt()) {
+      return fabric::FabricResult::Error("Vote(election, party, parties)");
+    }
+    const std::string key = ElectionKey(args[0].AsString());
+    const std::int64_t party = args[1].AsInt();
+    const std::int64_t parties = args[2].AsInt();
+    if (party < 0 || party >= parties) {
+      return fabric::FabricResult::Error("party out of range");
+    }
+    auto object = LoadObject(state, key);
+    // Same MV-register semantics as OrderlessChain's voting app, but the
+    // full object travels in the write-set (state-based CRDT).
+    const std::string voter = "voter" + std::to_string(client);
+    for (std::int64_t p = 0; p < parties; ++p) {
+      crdt::Operation op;
+      op.object_id = key;
+      op.object_type = crdt::CrdtType::kMap;
+      op.path = {"party" + std::to_string(p), voter};
+      op.kind = crdt::OpKind::kAssignValue;
+      op.value_type = crdt::CrdtType::kMVRegister;
+      op.value = crdt::Value(p == party);
+      op.clock = clk::OpClock{client, nonce};
+      op.seq = static_cast<std::uint32_t>(p);
+      object->ApplyOperation(op);
+    }
+    fabric::FabricResult result;
+    result.rwset.reads.emplace_back(key, state.VersionOf(key));
+    result.rwset.writes.emplace_back(key, EncodeObject(*object));
+    return result;
+  }
+
+  if (function == "ReadVoteCount") {
+    if (args.size() != 2 || !args[0].IsString() || !args[1].IsInt()) {
+      return fabric::FabricResult::Error("ReadVoteCount(election, party)");
+    }
+    auto object = LoadObject(state, ElectionKey(args[0].AsString()));
+    const std::string party = "party" + std::to_string(args[1].AsInt());
+    std::int64_t votes = 0;
+    for (const auto& voter : object->Read({party}).keys) {
+      const crdt::ReadResult r = object->Read({party, voter});
+      if (r.values.size() == 1 && r.values[0].IsBool() && r.values[0].AsBool()) {
+        ++votes;
+      }
+    }
+    fabric::FabricResult result;
+    result.read_only = true;
+    result.value = crdt::Value(votes);
+    return result;
+  }
+
+  return fabric::FabricResult::Error("unknown function: " + function);
+}
+
+std::string FabricCrdtAuctionContract::AuctionKey(const std::string& auction) {
+  return "crdtauction/" + auction;
+}
+
+fabric::FabricResult FabricCrdtAuctionContract::Invoke(
+    const fabric::VersionedStore& state, const std::string& function,
+    std::uint64_t client, std::uint64_t nonce,
+    const std::vector<crdt::Value>& args) const {
+  if (function == "Bid") {
+    if (args.size() != 2 || !args[0].IsString() || !args[1].IsInt()) {
+      return fabric::FabricResult::Error("Bid(auction, increase)");
+    }
+    if (args[1].AsInt() <= 0) {
+      return fabric::FabricResult::Error("bids must increase");
+    }
+    const std::string key = AuctionKey(args[0].AsString());
+    auto object = LoadObject(state, key);
+    crdt::Operation op;
+    op.object_id = key;
+    op.object_type = crdt::CrdtType::kMap;
+    op.path = {"bidder" + std::to_string(client)};
+    op.kind = crdt::OpKind::kAddValue;
+    op.value_type = crdt::CrdtType::kGCounter;
+    op.value = args[1];
+    op.clock = clk::OpClock{client, nonce};
+    object->ApplyOperation(op);
+
+    fabric::FabricResult result;
+    result.rwset.reads.emplace_back(key, state.VersionOf(key));
+    result.rwset.writes.emplace_back(key, EncodeObject(*object));
+    return result;
+  }
+
+  if (function == "GetHighestBid") {
+    if (args.size() != 1 || !args[0].IsString()) {
+      return fabric::FabricResult::Error("GetHighestBid(auction)");
+    }
+    auto object = LoadObject(state, AuctionKey(args[0].AsString()));
+    std::int64_t best = 0;
+    for (const auto& bidder : object->Read().keys) {
+      best = std::max(best, object->Read({bidder}).counter);
+    }
+    fabric::FabricResult result;
+    result.read_only = true;
+    result.value = crdt::Value(best);
+    return result;
+  }
+
+  return fabric::FabricResult::Error("unknown function: " + function);
+}
+
+}  // namespace orderless::fabriccrdt

@@ -1,0 +1,42 @@
+// FabricCRDT baseline contracts (paper [54]): state-based JSON-CRDT
+// pipeline. Every modification reads the whole object from the world state,
+// applies the change locally, and writes the *entire* updated object back;
+// peers merge objects at commit instead of MVCC-validating. Objects
+// therefore grow with history — the bottleneck the paper measures.
+#pragma once
+
+#include "fabric/contract.h"
+
+namespace orderless::fabriccrdt {
+
+class FabricCrdtVotingContract final : public fabric::FabricContract {
+ public:
+  const std::string& name() const override { return name_; }
+  /// Vote(election, party, parties) / ReadVoteCount(election, party)
+  fabric::FabricResult Invoke(
+      const fabric::VersionedStore& state, const std::string& function,
+      std::uint64_t client, std::uint64_t nonce,
+      const std::vector<crdt::Value>& args) const override;
+
+  static std::string ElectionKey(const std::string& election);
+
+ private:
+  std::string name_ = "voting";
+};
+
+class FabricCrdtAuctionContract final : public fabric::FabricContract {
+ public:
+  const std::string& name() const override { return name_; }
+  /// Bid(auction, increase) / GetHighestBid(auction)
+  fabric::FabricResult Invoke(
+      const fabric::VersionedStore& state, const std::string& function,
+      std::uint64_t client, std::uint64_t nonce,
+      const std::vector<crdt::Value>& args) const override;
+
+  static std::string AuctionKey(const std::string& auction);
+
+ private:
+  std::string name_ = "auction";
+};
+
+}  // namespace orderless::fabriccrdt

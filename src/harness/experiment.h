@@ -1,0 +1,102 @@
+// Experiment runner: builds one of the five systems (OrderlessChain, Fabric,
+// FabricCRDT, BIDL, Sync HotStuff), drives the paper's workloads against it
+// (synthetic / voting / auction, §9 "Workloads, Control Variables and
+// Metrics"), and collects the paper's metrics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "core/org.h"
+#include "harness/metrics.h"
+
+namespace orderless::harness {
+
+enum class SystemKind {
+  kOrderless,
+  kFabric,
+  kFabricCrdt,
+  kBidl,
+  kSyncHotStuff,
+};
+std::string_view SystemName(SystemKind kind);
+
+enum class AppKind { kSynthetic, kVoting, kAuction };
+std::string_view AppName(AppKind kind);
+
+struct WorkloadConfig {
+  double arrival_tps = 3000;            // total submission rate
+  sim::SimTime duration = sim::Sec(8);  // submission window
+  sim::SimTime drain = sim::Sec(20);    // extra time to let commits finish
+  double modify_fraction = 0.5;         // R50M50 default
+  std::uint32_t num_clients = 200;
+
+  // Synthetic application parameters (control variables 4-6).
+  std::int64_t obj_count = 1;
+  std::int64_t ops_per_obj = 1;
+  std::string crdt_type = "g-counter";
+
+  // Voting / auction parameters (paper: 8 elections × 8 parties,
+  // 8 auctions).
+  std::int64_t elections = 8;
+  std::int64_t parties = 8;
+  std::int64_t auctions = 8;
+};
+
+/// A scheduled change of the number of Byzantine organizations (Fig. 8).
+struct ByzantinePhase {
+  sim::SimTime at = 0;
+  std::uint32_t byzantine_orgs = 0;
+};
+
+struct ExperimentConfig {
+  SystemKind system = SystemKind::kOrderless;
+  AppKind app = AppKind::kSynthetic;
+  std::uint32_t num_orgs = 16;
+  core::EndorsementPolicy policy{4, 16};
+  WorkloadConfig workload;
+  std::uint64_t seed = 1;
+
+  // OrderlessChain knobs (control variables 8-9).
+  std::uint32_t gossip_fanout = 1;
+  sim::SimTime gossip_interval = sim::Sec(1);
+  bool normal_org_load = false;
+
+  // Byzantine configuration (control variables 10-12, Fig. 8).
+  std::vector<ByzantinePhase> byzantine_phases;
+  core::ByzantineOrgBehavior byzantine_org_behavior;
+  double byzantine_client_fraction = 0.0;
+  core::ByzantineClientBehavior byzantine_client_behavior;
+  bool client_avoidance = false;
+  std::uint32_t client_max_attempts = 1;
+};
+
+struct PhaseBreakdown {
+  // System-specific phase names and average milliseconds (Table 3 rows).
+  std::vector<std::pair<std::string, double>> phases;
+};
+
+struct ExperimentResult {
+  ExperimentMetrics metrics;
+  PhaseBreakdown breakdown;
+  std::vector<double> throughput_per_second;  // Fig. 8 timeline
+};
+
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+/// Averages `reps` runs with different seeds (the paper averages >= 3 runs).
+struct AveragedPoint {
+  double throughput_tps = 0;
+  double modify_avg_ms = 0, modify_p1_ms = 0, modify_p99_ms = 0;
+  double read_avg_ms = 0, read_p1_ms = 0, read_p99_ms = 0;
+  double combined_avg_ms = 0;
+  double failed_fraction = 0;
+};
+AveragedPoint RunAveraged(ExperimentConfig config, int reps);
+
+/// Environment knobs: ORDERLESS_BENCH_SECONDS / ORDERLESS_BENCH_REPS.
+sim::SimTime BenchSeconds(sim::SimTime fallback);
+int BenchReps(int fallback);
+
+}  // namespace orderless::harness

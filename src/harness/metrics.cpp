@@ -1,0 +1,60 @@
+#include "harness/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace orderless::harness {
+
+void LatencyRecorder::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double LatencyRecorder::AverageMs() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0;
+  for (sim::SimTime t : samples_) sum += sim::ToMs(t);
+  return sum / static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::PercentileMs(double p) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const std::size_t idx = static_cast<std::size_t>(std::llround(rank));
+  return sim::ToMs(samples_[std::min(idx, samples_.size() - 1)]);
+}
+
+void ThroughputSeries::Record(sim::SimTime commit_time) {
+  const std::size_t bucket = static_cast<std::size_t>(commit_time / bucket_);
+  if (buckets_.size() <= bucket) buckets_.resize(bucket + 1, 0);
+  ++buckets_[bucket];
+}
+
+std::vector<double> ThroughputSeries::PerSecond(sim::SimTime until) const {
+  const std::size_t n = static_cast<std::size_t>(until / bucket_);
+  std::vector<double> out(n, 0.0);
+  const double scale = 1e6 / static_cast<double>(bucket_);
+  for (std::size_t i = 0; i < n && i < buckets_.size(); ++i) {
+    out[i] = static_cast<double>(buckets_[i]) * scale;
+  }
+  return out;
+}
+
+double ExperimentMetrics::ThroughputTps() const {
+  const std::uint64_t committed = committed_modify + committed_read;
+  if (committed == 0 || last_commit <= first_commit) return 0.0;
+  return static_cast<double>(committed) /
+         sim::ToSec(last_commit - first_commit);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace orderless::harness

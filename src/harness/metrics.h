@@ -1,0 +1,66 @@
+// Performance metrics matching the paper's §9: transaction throughput,
+// average / 1st-percentile / 99th-percentile latency, split by modify and
+// read transactions, plus per-second throughput series for the Byzantine
+// timeline plots (Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace orderless::harness {
+
+/// Collects per-transaction latencies and computes the paper's statistics.
+class LatencyRecorder {
+ public:
+  void Record(sim::SimTime latency) { samples_.push_back(latency); }
+  std::size_t count() const { return samples_.size(); }
+  double AverageMs() const;
+  /// p in [0, 100]; nearest-rank percentile.
+  double PercentileMs(double p) const;
+
+ private:
+  mutable std::vector<sim::SimTime> samples_;
+  mutable bool sorted_ = false;
+  void EnsureSorted() const;
+};
+
+/// Per-second committed-transaction counts (Fig. 8 timelines).
+class ThroughputSeries {
+ public:
+  explicit ThroughputSeries(sim::SimTime bucket = sim::Sec(1))
+      : bucket_(bucket) {}
+  void Record(sim::SimTime commit_time);
+  /// Committed tx per second for each bucket up to `until`.
+  std::vector<double> PerSecond(sim::SimTime until) const;
+
+ private:
+  sim::SimTime bucket_;
+  std::vector<std::uint64_t> buckets_;
+};
+
+/// Everything one experiment reports.
+struct ExperimentMetrics {
+  std::uint64_t submitted = 0;
+  std::uint64_t committed_modify = 0;
+  std::uint64_t committed_read = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected = 0;
+  LatencyRecorder modify_latency;
+  LatencyRecorder read_latency;
+  LatencyRecorder combined_latency;
+  ThroughputSeries per_second;
+  sim::SimTime first_commit = 0;
+  sim::SimTime last_commit = 0;
+
+  /// Committed transactions divided by the time they took (paper's
+  /// definition of transaction throughput).
+  double ThroughputTps() const;
+};
+
+/// Averages a metric across repetition runs.
+double Mean(const std::vector<double>& values);
+
+}  // namespace orderless::harness

@@ -1,0 +1,55 @@
+#include "harness/orderless_net.h"
+
+namespace orderless::harness {
+
+OrderlessNet::OrderlessNet(OrderlessNetConfig config)
+    : config_(config), rng_(config.seed) {
+  network_ = std::make_unique<sim::Network>(simulation_, config_.net,
+                                            rng_.Fork());
+
+  std::vector<sim::NodeId> org_nodes;
+  std::set<crypto::KeyId> org_keys;
+  for (std::uint32_t i = 0; i < config_.num_orgs; ++i) {
+    const sim::NodeId node = org_node(i);
+    crypto::PrivateKey key = pki_.Generate("org" + std::to_string(i));
+    org_keys.insert(key.id());
+    org_nodes.push_back(node);
+    orgs_.push_back(std::make_unique<core::Organization>(
+        simulation_, *network_, node, key, pki_, contracts_, config_.policy,
+        config_.org_timing, rng_.Fork()));
+  }
+  for (auto& org : orgs_) {
+    org->SetPeers(org_nodes, org_keys);
+  }
+  for (std::uint32_t i = 0; i < config_.num_clients; ++i) {
+    const sim::NodeId node = static_cast<sim::NodeId>(1001 + i);
+    crypto::PrivateKey key = pki_.Generate("client" + std::to_string(i));
+    clients_.push_back(std::make_unique<core::Client>(
+        simulation_, *network_, node, key, pki_, config_.policy, org_nodes,
+        config_.client_timing, rng_.Fork()));
+  }
+}
+
+void OrderlessNet::RegisterContract(
+    std::shared_ptr<const core::SmartContract> contract) {
+  contracts_.Register(std::move(contract));
+}
+
+void OrderlessNet::Start() {
+  for (auto& org : orgs_) org->Start();
+  for (auto& client : clients_) client->Start();
+}
+
+bool OrderlessNet::StateConverged(const std::string& object_id) const {
+  if (orgs_.empty()) return true;
+  const Bytes reference =
+      orgs_[0]->ledger().cache().EncodeObjectState(object_id);
+  for (std::size_t i = 1; i < orgs_.size(); ++i) {
+    if (orgs_[i]->ledger().cache().EncodeObjectState(object_id) != reference) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace orderless::harness

@@ -1,0 +1,65 @@
+// Builds a complete simulated OrderlessChain network: organizations with
+// PKI identities, clients, and the WAN fabric. Shared by integration tests,
+// examples and the benchmark harness.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/client.h"
+#include "core/org.h"
+#include "crypto/pki.h"
+#include "sim/network.h"
+
+namespace orderless::harness {
+
+struct OrderlessNetConfig {
+  std::uint32_t num_orgs = 4;
+  std::uint32_t num_clients = 2;
+  core::EndorsementPolicy policy{2, 4};
+  sim::NetworkConfig net;  // defaults to the paper's WAN emulation
+  core::OrgTimingConfig org_timing;
+  core::ClientTimingConfig client_timing;
+  std::uint64_t seed = 1;
+};
+
+class OrderlessNet {
+ public:
+  explicit OrderlessNet(OrderlessNetConfig config);
+
+  /// Registers a contract on every organization (call before Start).
+  void RegisterContract(std::shared_ptr<const core::SmartContract> contract);
+
+  /// Wires handlers and starts gossip timers.
+  void Start();
+
+  sim::Simulation& simulation() { return simulation_; }
+  sim::Network& network() { return *network_; }
+  const crypto::Pki& pki() const { return pki_; }
+  const OrderlessNetConfig& config() const { return config_; }
+
+  std::size_t org_count() const { return orgs_.size(); }
+  std::size_t client_count() const { return clients_.size(); }
+  core::Organization& org(std::size_t i) { return *orgs_[i]; }
+  core::Client& client(std::size_t i) { return *clients_[i]; }
+
+  /// Node id helpers (organizations are 1..n, clients 1001..).
+  sim::NodeId org_node(std::size_t i) const {
+    return static_cast<sim::NodeId>(1 + i);
+  }
+
+  /// True when every organization holds the same state for `object_id`.
+  bool StateConverged(const std::string& object_id) const;
+
+ private:
+  OrderlessNetConfig config_;
+  sim::Simulation simulation_;
+  crypto::Pki pki_;
+  core::ContractRegistry contracts_;
+  Rng rng_;
+  std::unique_ptr<sim::Network> network_;
+  std::vector<std::unique_ptr<core::Organization>> orgs_;
+  std::vector<std::unique_ptr<core::Client>> clients_;
+};
+
+}  // namespace orderless::harness

@@ -1,0 +1,63 @@
+#include "harness/table.h"
+
+#include <cstdio>
+
+namespace orderless::harness {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double v, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, v);
+  return buffer;
+}
+
+void TablePrinter::Print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&widths](const std::vector<std::string>& cells) {
+    std::printf("|");
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : "";
+      std::printf(" %-*s |", static_cast<int>(widths[i]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  auto print_rule = [&widths] {
+    std::printf("+");
+    for (std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) std::printf("-");
+      std::printf("+");
+    }
+    std::printf("\n");
+  };
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+void PrintBanner(const std::string& title, const std::string& description) {
+  std::printf("\n=== %s ===\n%s\n\n", title.c_str(), description.c_str());
+}
+
+void PrintSeries(const std::string& label, const std::vector<double>& values) {
+  std::printf("%s:", label.c_str());
+  for (double v : values) std::printf(" %.0f", v);
+  std::printf("\n");
+}
+
+}  // namespace orderless::harness

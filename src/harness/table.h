@@ -1,0 +1,30 @@
+// ASCII table / series printers for the benchmark binaries: each bench
+// prints the same rows and series the paper's figure or table reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace orderless::harness {
+
+/// Fixed-width table with a header row.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+  static std::string Num(double v, int decimals = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a banner naming the figure/table being reproduced.
+void PrintBanner(const std::string& title, const std::string& description);
+
+/// Prints a numbered time series (Fig. 8 timelines).
+void PrintSeries(const std::string& label, const std::vector<double>& values);
+
+}  // namespace orderless::harness

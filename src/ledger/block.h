@@ -1,0 +1,27 @@
+// Blocks of the append-only hash-chain log (paper §4). OrderlessChain has no
+// global order, so a block is local to one organization: it records one
+// transaction (valid or invalid — invalid ones are kept for bookkeeping) and
+// chains to the previous block by hash.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/sha256.h"
+
+namespace orderless::ledger {
+
+struct Block {
+  std::uint64_t height = 0;
+  crypto::Digest prev_hash;
+  crypto::Digest tx_digest;  // digest of the transaction's canonical bytes
+  bool valid = true;         // validation verdict (recorded for bookkeeping)
+  crypto::Digest hash;       // hash over the fields above
+
+  /// Recomputes the chained hash for these fields.
+  static crypto::Digest ComputeHash(std::uint64_t height,
+                                    const crypto::Digest& prev_hash,
+                                    const crypto::Digest& tx_digest,
+                                    bool valid);
+};
+
+}  // namespace orderless::ledger

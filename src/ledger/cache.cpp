@@ -1,0 +1,63 @@
+#include "ledger/cache.h"
+
+namespace orderless::ledger {
+
+CrdtCache::Entry& CrdtCache::GetOrCreate(const std::string& object_id,
+                                         crdt::CrdtType type) {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  auto& slot = entries_[object_id];
+  if (slot == nullptr) {
+    slot = std::make_unique<Entry>();
+    slot->object = std::make_unique<crdt::CrdtObject>(object_id, type);
+  }
+  return *slot;
+}
+
+std::size_t CrdtCache::Apply(const std::vector<crdt::Operation>& ops) {
+  std::size_t absorbed = 0;
+  for (const auto& op : ops) {
+    Entry& entry = GetOrCreate(op.object_id, op.object_type);
+    std::lock_guard<std::mutex> lock(entry.mutex);
+    if (entry.object->ApplyOperation(op)) ++absorbed;
+  }
+  total_ops_ += absorbed;
+  return absorbed;
+}
+
+crdt::ReadResult CrdtCache::Read(const std::string& object_id,
+                                 const std::vector<std::string>& path) const {
+  const Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(map_mutex_);
+    const auto it = entries_.find(object_id);
+    if (it == entries_.end()) return crdt::ReadResult{};
+    entry = it->second.get();
+  }
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  return entry->object->Read(path);
+}
+
+Bytes CrdtCache::EncodeObjectState(const std::string& object_id) const {
+  const Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(map_mutex_);
+    const auto it = entries_.find(object_id);
+    if (it == entries_.end()) return {};
+    entry = it->second.get();
+  }
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  return entry->object->EncodeState();
+}
+
+std::size_t CrdtCache::object_count() const {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  return entries_.size();
+}
+
+void CrdtCache::Clear() {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  entries_.clear();
+  total_ops_ = 0;
+}
+
+}  // namespace orderless::ledger

@@ -1,0 +1,53 @@
+// In-memory CRDT object cache (paper §6): the materialized current value of
+// every CRDT object, updated on commit so reads don't replay the whole
+// operation history. Offers read-your-writes from the organization's view.
+//
+// The paper's Go prototype guards the cache with a lock and applies
+// modifications sequentially; in the simulator that serialization is modeled
+// as CPU service time, and this class additionally keeps a mutex per entry
+// so it stays correct if embedded in a threaded host.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "crdt/object.h"
+
+namespace orderless::ledger {
+
+class CrdtCache {
+ public:
+  /// Applies operations to their objects, creating objects on first touch.
+  /// Returns the number of operations actually absorbed (duplicates and
+  /// type-incompatible operations are ignored deterministically).
+  std::size_t Apply(const std::vector<crdt::Operation>& ops);
+
+  /// Reads an object's value at `path`; a missing object reads as absent.
+  crdt::ReadResult Read(const std::string& object_id,
+                        const std::vector<std::string>& path = {}) const;
+
+  /// Canonical state of one object (empty when absent).
+  Bytes EncodeObjectState(const std::string& object_id) const;
+
+  std::size_t object_count() const;
+  std::size_t total_ops() const { return total_ops_; }
+
+  /// Drops everything (used when rebuilding from the persistent store).
+  void Clear();
+
+ private:
+  struct Entry {
+    mutable std::mutex mutex;
+    std::unique_ptr<crdt::CrdtObject> object;
+  };
+  Entry& GetOrCreate(const std::string& object_id, crdt::CrdtType type);
+
+  mutable std::mutex map_mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_;
+  std::size_t total_ops_ = 0;
+};
+
+}  // namespace orderless::ledger

@@ -1,0 +1,57 @@
+#include "ledger/hashchain.h"
+
+#include "codec/codec.h"
+
+namespace orderless::ledger {
+
+crypto::Digest Block::ComputeHash(std::uint64_t height,
+                                  const crypto::Digest& prev_hash,
+                                  const crypto::Digest& tx_digest, bool valid) {
+  codec::Writer w;
+  w.PutU64(height);
+  w.PutRaw(prev_hash.View());
+  w.PutRaw(tx_digest.View());
+  w.PutBool(valid);
+  return crypto::Sha256::Hash(BytesView(w.data()));
+}
+
+const Block& HashChainLog::Append(const crypto::Digest& tx_digest, bool valid) {
+  Block block;
+  block.height = total_appended_++;
+  block.prev_hash = LastHash();
+  block.tx_digest = tx_digest;
+  block.valid = valid;
+  block.hash = Block::ComputeHash(block.height, block.prev_hash,
+                                  block.tx_digest, block.valid);
+  if (rolling_ && !blocks_.empty()) blocks_.clear();
+  blocks_.push_back(block);
+  return blocks_.back();
+}
+
+crypto::Digest HashChainLog::LastHash() const {
+  return blocks_.empty() ? crypto::Digest{} : blocks_.back().hash;
+}
+
+std::size_t HashChainLog::FirstInvalidBlock() const {
+  crypto::Digest prev{};
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const Block& b = blocks_[i];
+    if (i == 0) {
+      // In rolling mode the retained suffix may start past genesis, where
+      // the predecessor hash is no longer available to check.
+      if (b.height == 0 && b.prev_hash != prev) return i;
+    } else {
+      if (b.height != blocks_[i - 1].height + 1 || b.prev_hash != prev) {
+        return i;
+      }
+    }
+    if (Block::ComputeHash(b.height, b.prev_hash, b.tx_digest, b.valid) !=
+        b.hash) {
+      return i;
+    }
+    prev = b.hash;
+  }
+  return blocks_.size();
+}
+
+}  // namespace orderless::ledger

@@ -1,0 +1,43 @@
+// Append-only hash-chain log: tampering with any block invalidates it and
+// every later block, which is what makes receipts binding (paper §4).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ledger/block.h"
+
+namespace orderless::ledger {
+
+class HashChainLog {
+ public:
+  /// Appends a transaction digest; returns the new block.
+  const Block& Append(const crypto::Digest& tx_digest, bool valid);
+
+  /// Rolling mode keeps only the newest block in memory (the chain hash
+  /// still accumulates); long simulations use it to bound memory.
+  void SetRolling(bool rolling) { rolling_ = rolling; }
+  std::uint64_t total_appended() const { return total_appended_; }
+
+  std::size_t size() const { return blocks_.size(); }
+  const Block& at(std::size_t i) const { return blocks_[i]; }
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// Hash of the latest block (zero digest when empty).
+  crypto::Digest LastHash() const;
+
+  /// Walks the chain, recomputing every hash and link. Returns the index of
+  /// the first bad block, or size() when the chain verifies.
+  std::size_t FirstInvalidBlock() const;
+  bool Verify() const { return FirstInvalidBlock() == blocks_.size(); }
+
+  /// Test hook: deliberately corrupt a block to exercise tamper detection.
+  Block& MutableBlockForTest(std::size_t i) { return blocks_[i]; }
+
+ private:
+  bool rolling_ = false;
+  std::uint64_t total_appended_ = 0;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace orderless::ledger

@@ -1,0 +1,70 @@
+#include "ledger/ledger.h"
+
+#include "codec/codec.h"
+
+namespace orderless::ledger {
+
+Ledger::Ledger(std::shared_ptr<KvStore> store, LedgerOptions options)
+    : store_(std::move(store)), options_(options) {
+  log_.SetRolling(options_.rolling_log);
+}
+
+std::string Ledger::TxKey(const crypto::Digest& tx_digest) {
+  return "tx/" + tx_digest.Hex();
+}
+
+std::string Ledger::OpKey(const crdt::Operation& op) {
+  const auto id = op.id();
+  // object id first so a prefix scan groups one object's operations.
+  return "op/" + op.object_id + "/" + std::to_string(id.client) + "." +
+         std::to_string(id.counter) + "." + std::to_string(id.seq) + "." +
+         op.ContentDigest().Hex().substr(0, 8);
+}
+
+const Block& Ledger::Commit(const crypto::Digest& tx_digest, bool valid,
+                            const std::vector<crdt::Operation>& ops) {
+  const Block& block = log_.Append(tx_digest, valid);
+  if (options_.track_tx_keys) {
+    codec::Writer height;
+    height.PutU64(block.height);
+    store_->Put(TxKey(tx_digest), BytesView(height.data()));
+  }
+  if (valid) {
+    ++committed_valid_;
+    if (options_.persist_ops) {
+      for (const auto& op : ops) {
+        codec::Writer w;
+        op.Encode(w);
+        store_->Put(OpKey(op), BytesView(w.data()));
+      }
+    }
+    cache_.Apply(ops);
+  } else {
+    ++committed_invalid_;
+  }
+  return block;
+}
+
+bool Ledger::HasTransaction(const crypto::Digest& tx_digest) const {
+  return store_->Get(TxKey(tx_digest)).has_value();
+}
+
+crdt::ReadResult Ledger::Read(const std::string& object_id,
+                              const std::vector<std::string>& path) const {
+  return cache_.Read(object_id, path);
+}
+
+void Ledger::RebuildCacheFromStore() {
+  cache_.Clear();
+  std::vector<crdt::Operation> ops;
+  store_->ScanPrefix("op/", [&ops](std::string_view key, BytesView value) {
+    (void)key;
+    codec::Reader r(value);
+    auto op = crdt::Operation::Decode(r);
+    if (op) ops.push_back(std::move(*op));
+    return true;
+  });
+  cache_.Apply(ops);
+}
+
+}  // namespace orderless::ledger

@@ -1,0 +1,71 @@
+// The per-application ledger of one organization: an append-only hash-chain
+// log plus a database (KV store for durable operations, CRDT cache for the
+// current application state ST_Oi).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ledger/cache.h"
+#include "ledger/hashchain.h"
+#include "ledger/kvstore.h"
+
+namespace orderless::ledger {
+
+struct LedgerOptions {
+  /// Persist each operation to the KV store (needed for RebuildCacheFromStore;
+  /// large simulations turn it off to bound memory).
+  bool persist_ops = true;
+  /// Keep only the newest block in memory (chain hash still accumulates).
+  bool rolling_log = false;
+  /// Record "tx/<digest>" keys for HasTransaction (hosts that keep their own
+  /// commit index turn it off).
+  bool track_tx_keys = true;
+};
+
+class Ledger {
+ public:
+  /// `store` may be shared or owned; pass a MemKvStore in simulations or a
+  /// MiniLevel store for durability.
+  explicit Ledger(std::shared_ptr<KvStore> store, LedgerOptions options = {});
+
+  /// Commits one transaction: appends a block (valid and invalid alike, for
+  /// bookkeeping), and for valid transactions persists the operations and
+  /// updates the cache. Returns the appended block.
+  const Block& Commit(const crypto::Digest& tx_digest, bool valid,
+                      const std::vector<crdt::Operation>& ops);
+
+  /// True when a transaction with this digest was already committed (used to
+  /// dedup gossip and client retries).
+  bool HasTransaction(const crypto::Digest& tx_digest) const;
+
+  /// Current value of an object (read-your-writes at this organization).
+  crdt::ReadResult Read(const std::string& object_id,
+                        const std::vector<std::string>& path = {}) const;
+
+  /// Rebuilds the cache by replaying every persisted operation; exercising
+  /// the recovery path LevelDB serves in the prototype.
+  void RebuildCacheFromStore();
+
+  const HashChainLog& log() const { return log_; }
+  HashChainLog& mutable_log() { return log_; }
+  const CrdtCache& cache() const { return cache_; }
+  KvStore& store() { return *store_; }
+
+  std::uint64_t committed_valid() const { return committed_valid_; }
+  std::uint64_t committed_invalid() const { return committed_invalid_; }
+
+ private:
+  static std::string TxKey(const crypto::Digest& tx_digest);
+  static std::string OpKey(const crdt::Operation& op);
+
+  std::shared_ptr<KvStore> store_;
+  LedgerOptions options_;
+  HashChainLog log_;
+  CrdtCache cache_;
+  std::uint64_t committed_valid_ = 0;
+  std::uint64_t committed_invalid_ = 0;
+};
+
+}  // namespace orderless::ledger

@@ -1,0 +1,234 @@
+#include "ledger/minilevel.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "codec/codec.h"
+
+namespace orderless::ledger {
+
+namespace fs = std::filesystem;
+
+Result<std::unique_ptr<MiniLevel>> MiniLevel::Open(const std::string& dir,
+                                                   MiniLevelOptions options) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Result<std::unique_ptr<MiniLevel>>::Error(
+        "minilevel: cannot create " + dir + ": " + ec.message());
+  }
+  auto db = std::unique_ptr<MiniLevel>(new MiniLevel(dir, options));
+  const Status manifest = db->LoadManifest();
+  if (!manifest.ok()) {
+    return Result<std::unique_ptr<MiniLevel>>::Error(manifest.message());
+  }
+
+  const std::string wal_path = dir + "/wal.log";
+  WriteAheadLog::Replay(wal_path, [&db](const WalRecord& record) {
+    if (record.is_delete) {
+      db->memtable_[record.key] = std::nullopt;
+    } else {
+      db->memtable_[record.key] = record.value;
+    }
+    db->memtable_bytes_ += record.key.size() + record.value.size() + 16;
+  });
+
+  auto wal = WriteAheadLog::Open(wal_path);
+  if (!wal.ok()) {
+    return Result<std::unique_ptr<MiniLevel>>::Error(wal.message());
+  }
+  db->wal_ = std::move(wal.value());
+  return db;
+}
+
+MiniLevel::~MiniLevel() {
+  if (wal_ != nullptr) wal_->Sync();
+}
+
+std::string MiniLevel::TablePath(std::uint64_t seq) const {
+  return dir_ + "/sst_" + std::to_string(seq) + ".mlt";
+}
+
+Status MiniLevel::LoadManifest() {
+  const std::string path = dir_ + "/MANIFEST";
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Ok();  // fresh store
+  Bytes file((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  codec::Reader r{BytesView(file)};
+  const auto next_seq = r.GetU64();
+  const auto count = r.GetVarint();
+  if (!next_seq || !count) return Status::Error("minilevel: bad manifest");
+  next_seq_ = *next_seq;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto seq = r.GetU64();
+    if (!seq) return Status::Error("minilevel: bad manifest entry");
+    auto reader = SstableReader::Open(TablePath(*seq));
+    if (!reader.ok()) return Status::Error(reader.message());
+    table_seqs_.push_back(*seq);
+    tables_.push_back(std::move(reader.value()));
+  }
+  return Status::Ok();
+}
+
+Status MiniLevel::StoreManifest() const {
+  codec::Writer w;
+  w.PutU64(next_seq_);
+  w.PutVarint(table_seqs_.size());
+  for (std::uint64_t seq : table_seqs_) w.PutU64(seq);
+  const std::string tmp = dir_ + "/MANIFEST.tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::Error("minilevel: cannot write manifest");
+    out.write(reinterpret_cast<const char*>(w.data().data()),
+              static_cast<std::streamsize>(w.size()));
+    if (!out.good()) return Status::Error("minilevel: manifest write failed");
+  }
+  if (std::rename(tmp.c_str(), (dir_ + "/MANIFEST").c_str()) != 0) {
+    return Status::Error("minilevel: manifest rename failed");
+  }
+  return Status::Ok();
+}
+
+Status MiniLevel::Write(std::string_view key, std::optional<BytesView> value) {
+  WalRecord record;
+  record.is_delete = !value.has_value();
+  record.key = std::string(key);
+  if (value) record.value = Bytes(value->begin(), value->end());
+  Status s = wal_->Append(record);
+  if (!s.ok()) return s;
+  if (options_.sync_every_write) {
+    s = wal_->Sync();
+    if (!s.ok()) return s;
+  }
+  memtable_bytes_ += record.key.size() + record.value.size() + 16;
+  memtable_[std::move(record.key)] =
+      value ? std::optional<Bytes>(std::move(record.value)) : std::nullopt;
+  return MaybeFlush();
+}
+
+Status MiniLevel::Put(std::string_view key, BytesView value) {
+  return Write(key, value);
+}
+
+Status MiniLevel::Delete(std::string_view key) {
+  return Write(key, std::nullopt);
+}
+
+Status MiniLevel::MaybeFlush() {
+  if (memtable_bytes_ < options_.memtable_flush_bytes) return Status::Ok();
+  Status s = Flush();
+  if (!s.ok()) return s;
+  if (tables_.size() >= options_.compaction_trigger) return Compact();
+  return Status::Ok();
+}
+
+Status MiniLevel::Flush() {
+  if (memtable_.empty()) return Status::Ok();
+  std::vector<SstRecord> records;
+  records.reserve(memtable_.size());
+  for (const auto& [key, value] : memtable_) {
+    SstRecord rec;
+    rec.key = key;
+    rec.tombstone = !value.has_value();
+    if (value) rec.value = *value;
+    records.push_back(std::move(rec));
+  }
+  const std::uint64_t seq = next_seq_++;
+  Status s = WriteSstable(TablePath(seq), records);
+  if (!s.ok()) return s;
+  auto reader = SstableReader::Open(TablePath(seq));
+  if (!reader.ok()) return Status::Error(reader.message());
+  tables_.push_back(std::move(reader.value()));
+  table_seqs_.push_back(seq);
+  s = StoreManifest();
+  if (!s.ok()) return s;
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  return wal_->Reset();
+}
+
+Status MiniLevel::Compact() {
+  if (tables_.size() < 2) return Status::Ok();
+  // Full merge, newest wins; tombstones drop out of the merged table since
+  // nothing older remains to shadow.
+  std::map<std::string, std::optional<Bytes>> merged;
+  for (const auto& table : tables_) {  // oldest → newest: later overwrites
+    table->ScanPrefix("", [&merged](const SstRecord& rec) {
+      merged[rec.key] =
+          rec.tombstone ? std::nullopt : std::optional<Bytes>(rec.value);
+      return true;
+    });
+  }
+  std::vector<SstRecord> records;
+  records.reserve(merged.size());
+  for (auto& [key, value] : merged) {
+    if (!value) continue;
+    SstRecord rec;
+    rec.key = key;
+    rec.value = std::move(*value);
+    records.push_back(std::move(rec));
+  }
+  const std::uint64_t seq = next_seq_++;
+  Status s = WriteSstable(TablePath(seq), records);
+  if (!s.ok()) return s;
+  auto reader = SstableReader::Open(TablePath(seq));
+  if (!reader.ok()) return Status::Error(reader.message());
+
+  const std::vector<std::uint64_t> old_seqs = table_seqs_;
+  tables_.clear();
+  table_seqs_.clear();
+  tables_.push_back(std::move(reader.value()));
+  table_seqs_.push_back(seq);
+  s = StoreManifest();
+  if (!s.ok()) return s;
+  for (std::uint64_t old : old_seqs) {
+    std::error_code ec;
+    fs::remove(TablePath(old), ec);
+  }
+  return Status::Ok();
+}
+
+std::optional<Bytes> MiniLevel::Get(std::string_view key) const {
+  const auto it = memtable_.find(key);
+  if (it != memtable_.end()) return it->second;  // may be tombstone=nullopt
+  for (auto t = tables_.rbegin(); t != tables_.rend(); ++t) {
+    auto rec = (*t)->Get(key);
+    if (rec) {
+      if (rec->tombstone) return std::nullopt;
+      return rec->value;
+    }
+  }
+  return std::nullopt;
+}
+
+void MiniLevel::ScanPrefix(
+    std::string_view prefix,
+    const std::function<bool(std::string_view, BytesView)>& visitor) const {
+  // Merge all sources, newest wins.
+  std::map<std::string, std::optional<Bytes>> merged;
+  for (const auto& table : tables_) {
+    table->ScanPrefix(prefix, [&merged](const SstRecord& rec) {
+      merged[rec.key] =
+          rec.tombstone ? std::nullopt : std::optional<Bytes>(rec.value);
+      return true;
+    });
+  }
+  for (auto it = memtable_.lower_bound(prefix); it != memtable_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    merged[it->first] = it->second;
+  }
+  for (const auto& [key, value] : merged) {
+    if (!value) continue;
+    if (!visitor(key, BytesView(*value))) return;
+  }
+}
+
+std::size_t MiniLevel::ApproximateCount() const {
+  std::size_t n = memtable_.size();
+  for (const auto& table : tables_) n += table->record_count();
+  return n;
+}
+
+}  // namespace orderless::ledger

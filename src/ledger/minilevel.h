@@ -1,0 +1,73 @@
+// MiniLevel: the LevelDB substitute (paper §6 uses LevelDB as the durable
+// operation store). WAL + in-memory memtable + immutable SSTables, with
+// bloom-filtered point lookups, newest-wins shadowing, and full-merge
+// compaction once enough tables accumulate.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ledger/kvstore.h"
+#include "ledger/sstable.h"
+#include "ledger/wal.h"
+
+namespace orderless::ledger {
+
+struct MiniLevelOptions {
+  std::size_t memtable_flush_bytes = 1 << 20;  // flush threshold
+  std::size_t compaction_trigger = 4;          // tables before compaction
+  bool sync_every_write = false;
+};
+
+class MiniLevel final : public KvStore {
+ public:
+  /// Opens (creating) a store rooted at directory `dir`, replaying the WAL
+  /// and the manifest of live SSTables.
+  static Result<std::unique_ptr<MiniLevel>> Open(const std::string& dir,
+                                                 MiniLevelOptions options = {});
+  ~MiniLevel() override;
+
+  Status Put(std::string_view key, BytesView value) override;
+  Status Delete(std::string_view key) override;
+  std::optional<Bytes> Get(std::string_view key) const override;
+  void ScanPrefix(std::string_view prefix,
+                  const std::function<bool(std::string_view, BytesView)>&
+                      visitor) const override;
+  std::size_t ApproximateCount() const override;
+
+  /// Forces the memtable to an SSTable (no-op when empty).
+  Status Flush();
+
+  /// Merges every SSTable into one, dropping shadowed entries and
+  /// tombstones.
+  Status Compact();
+
+  std::size_t sstable_count() const { return tables_.size(); }
+  std::size_t memtable_entries() const { return memtable_.size(); }
+
+ private:
+  explicit MiniLevel(std::string dir, MiniLevelOptions options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  Status Write(std::string_view key, std::optional<BytesView> value);
+  Status MaybeFlush();
+  Status LoadManifest();
+  Status StoreManifest() const;
+  std::string TablePath(std::uint64_t seq) const;
+
+  std::string dir_;
+  MiniLevelOptions options_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  // nullopt value = tombstone.
+  std::map<std::string, std::optional<Bytes>, std::less<>> memtable_;
+  std::size_t memtable_bytes_ = 0;
+  // Newest last; lookups walk back-to-front.
+  std::vector<std::shared_ptr<SstableReader>> tables_;
+  std::vector<std::uint64_t> table_seqs_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace orderless::ledger

@@ -1,0 +1,66 @@
+// Immutable sorted-string-table files for MiniLevel.
+//
+// Layout:
+//   records:  (varint key_len, key, u8 tombstone, varint value_len, value)*
+//   index:    varint count, (varint key_len, key, varint file_offset)*
+//             — one entry per kIndexStride records
+//   bloom:    u32 num_hashes, varint word_count, u64 words…
+//   footer:   u64 index_offset, u64 bloom_offset, u64 record_count, u64 magic
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "ledger/bloom.h"
+
+namespace orderless::ledger {
+
+/// One key-value record; a tombstone marks a deletion that shadows older
+/// tables.
+struct SstRecord {
+  std::string key;
+  bool tombstone = false;
+  Bytes value;
+};
+
+/// Writes a sorted run of records to `path`.
+Status WriteSstable(const std::string& path,
+                    const std::vector<SstRecord>& sorted_records);
+
+/// Reads SSTables. The index and bloom filter stay in memory; record data is
+/// fetched from the file region on demand.
+class SstableReader {
+ public:
+  static Result<std::shared_ptr<SstableReader>> Open(const std::string& path);
+
+  /// Point lookup. Returns nullopt when absent; a present tombstone returns
+  /// a record with tombstone=true.
+  std::optional<SstRecord> Get(std::string_view key) const;
+
+  /// Visits records with the prefix in key order.
+  void ScanPrefix(
+      std::string_view prefix,
+      const std::function<bool(const SstRecord&)>& visitor) const;
+
+  std::size_t record_count() const { return record_count_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  SstableReader() = default;
+
+  std::optional<SstRecord> DecodeRecordAt(std::size_t& offset) const;
+
+  std::string path_;
+  Bytes data_;               // record region (only), loaded at open
+  std::vector<std::pair<std::string, std::uint64_t>> index_;
+  std::unique_ptr<BloomFilter> bloom_;
+  std::size_t record_count_ = 0;
+};
+
+}  // namespace orderless::ledger

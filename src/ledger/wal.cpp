@@ -1,0 +1,87 @@
+#include "ledger/wal.h"
+
+#include <cstring>
+
+#include "codec/codec.h"
+#include "ledger/bloom.h"  // HashKey doubles as the checksum hash
+
+namespace orderless::ledger {
+
+namespace {
+std::uint32_t Checksum(BytesView payload) {
+  const std::uint64_t h = HashKey(std::string_view(
+      reinterpret_cast<const char*>(payload.data()), payload.size()));
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+}  // namespace
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path) {
+  auto wal = std::unique_ptr<WriteAheadLog>(new WriteAheadLog(path));
+  wal->out_.open(path, std::ios::binary | std::ios::app);
+  if (!wal->out_) {
+    return Result<std::unique_ptr<WriteAheadLog>>::Error(
+        "wal: cannot open " + path);
+  }
+  return wal;
+}
+
+Status WriteAheadLog::Append(const WalRecord& record) {
+  codec::Writer payload;
+  payload.PutBool(record.is_delete);
+  payload.PutString(record.key);
+  payload.PutBytes(BytesView(record.value));
+
+  codec::Writer frame;
+  frame.PutU32(static_cast<std::uint32_t>(payload.size()));
+  frame.PutU32(Checksum(BytesView(payload.data())));
+  frame.PutRaw(BytesView(payload.data()));
+
+  out_.write(reinterpret_cast<const char*>(frame.data().data()),
+             static_cast<std::streamsize>(frame.size()));
+  if (!out_.good()) return Status::Error("wal: append failed");
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Sync() {
+  out_.flush();
+  return out_.good() ? Status::Ok() : Status::Error("wal: flush failed");
+}
+
+Status WriteAheadLog::Reset() {
+  out_.close();
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_) return Status::Error("wal: reset failed for " + path_);
+  return Status::Ok();
+}
+
+void WriteAheadLog::Replay(
+    const std::string& path,
+    const std::function<void(const WalRecord&)>& visitor) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  Bytes file((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  std::size_t offset = 0;
+  while (offset + 8 <= file.size()) {
+    codec::Reader header(BytesView(file.data() + offset, 8));
+    const auto len = header.GetU32();
+    const auto checksum = header.GetU32();
+    if (!len || !checksum || offset + 8 + *len > file.size()) return;
+    const BytesView payload(file.data() + offset + 8, *len);
+    if (Checksum(payload) != *checksum) return;  // torn/corrupt tail
+    codec::Reader body(payload);
+    const auto is_delete = body.GetBool();
+    auto key = body.GetString();
+    auto value = body.GetBytes();
+    if (!is_delete || !key || !value) return;
+    WalRecord record;
+    record.is_delete = *is_delete;
+    record.key = std::move(*key);
+    record.value = std::move(*value);
+    visitor(record);
+    offset += 8 + *len;
+  }
+}
+
+}  // namespace orderless::ledger

@@ -1,0 +1,45 @@
+// Write-ahead log for MiniLevel's memtable. Records are checksummed; replay
+// stops cleanly at the first torn/corrupt record.
+#pragma once
+
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace orderless::ledger {
+
+struct WalRecord {
+  bool is_delete = false;
+  std::string key;
+  Bytes value;
+};
+
+class WriteAheadLog {
+ public:
+  /// Opens (creating if needed) the log at `path` for appending.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path);
+
+  Status Append(const WalRecord& record);
+  Status Sync();
+
+  /// Truncates after a successful memtable flush.
+  Status Reset();
+
+  /// Replays every intact record in `path` in order.
+  static void Replay(const std::string& path,
+                     const std::function<void(const WalRecord&)>& visitor);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit WriteAheadLog(std::string path) : path_(std::move(path)) {}
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace orderless::ledger

@@ -1,0 +1,74 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace orderless::sim {
+
+void Network::Register(NodeId node, Handler handler) {
+  handlers_[node] = std::move(handler);
+}
+
+void Network::SetPartition(NodeId node, std::uint32_t group) {
+  partitions_[node] = group;
+}
+
+void Network::HealPartitions() { partitions_.clear(); }
+
+void Network::Send(NodeId from, NodeId to, MessagePtr message) {
+  ++messages_sent_;
+  const std::size_t size = message->WireSize();
+  bytes_sent_ += size;
+
+  if (from == to) {
+    Deliver(from, to, std::move(message), /*corrupted=*/false);
+    return;
+  }
+
+  const auto group_of = [this](NodeId n) {
+    const auto it = partitions_.find(n);
+    return it == partitions_.end() ? 0u : it->second;
+  };
+  if (group_of(from) != group_of(to)) {
+    ++messages_dropped_;
+    return;
+  }
+  if (config_.drop_probability > 0 && rng_.NextBool(config_.drop_probability)) {
+    ++messages_dropped_;
+    return;
+  }
+
+  // Egress serialization: a node's uplink transmits one message at a time.
+  const SimTime serialization = static_cast<SimTime>(
+      static_cast<double>(size) * 8.0 / config_.bandwidth_bps * 1e6);
+  SimTime& busy_until = egress_busy_until_[from];
+  const SimTime start = std::max(simulation_.now(), busy_until);
+  busy_until = start + serialization;
+
+  double jitter_ms = rng_.NextGaussian(0.0, config_.jitter_stddev_ms);
+  if (jitter_ms < 0) jitter_ms = -jitter_ms;
+  const SimTime arrival = busy_until + config_.one_way_latency +
+                          static_cast<SimTime>(jitter_ms * 1000.0);
+
+  const bool corrupted = config_.corrupt_probability > 0 &&
+                         rng_.NextBool(config_.corrupt_probability);
+  simulation_.ScheduleAt(arrival, [this, from, to, message, corrupted] {
+    Deliver(from, to, message, corrupted);
+  });
+
+  if (config_.duplicate_probability > 0 &&
+      rng_.NextBool(config_.duplicate_probability)) {
+    const SimTime dup_arrival = arrival + Ms(1) + rng_.NextBelow(Ms(20));
+    simulation_.ScheduleAt(dup_arrival, [this, from, to, message] {
+      Deliver(from, to, message, /*corrupted=*/false);
+    });
+  }
+}
+
+void Network::Deliver(NodeId from, NodeId to, MessagePtr message,
+                      bool corrupted) {
+  const auto it = handlers_.find(to);
+  if (it == handlers_.end()) return;
+  it->second(Delivery{from, std::move(message), corrupted});
+}
+
+}  // namespace orderless::sim

@@ -1,0 +1,90 @@
+// Simulated WAN. Models the paper's NetEm setup: per-link propagation delay
+// (100 ms ping → 50 ms one-way), Gaussian jitter (4 ms), per-node egress
+// serialization at 100 Mbit/s, plus fault injection (drop / duplicate /
+// corrupt) and network partitions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulation.h"
+
+namespace orderless::sim {
+
+using NodeId = std::uint32_t;
+
+/// Base class of every simulated wire message. Concrete messages report
+/// their encoded size so the bandwidth model is faithful without paying for
+/// full serialization on every send.
+class Message {
+ public:
+  virtual ~Message() = default;
+  virtual std::string_view TypeName() const = 0;
+  virtual std::size_t WireSize() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// What a node receives.
+struct Delivery {
+  NodeId from = 0;
+  MessagePtr message;
+  /// Set when the link corrupted the payload in flight; receivers must treat
+  /// the message as undecodable.
+  bool corrupted = false;
+};
+
+struct NetworkConfig {
+  SimTime one_way_latency = Ms(50);  // 100 ms ping
+  double jitter_stddev_ms = 2.0;     // ~4 ms peak-to-peak
+  double bandwidth_bps = 100e6;      // 100 Mbit/s egress per node
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double corrupt_probability = 0.0;
+};
+
+/// Point-to-point message fabric between registered handlers.
+class Network {
+ public:
+  Network(Simulation& simulation, NetworkConfig config, Rng rng)
+      : simulation_(simulation), config_(config), rng_(rng) {}
+
+  using Handler = std::function<void(const Delivery&)>;
+
+  /// Registers the receive handler for `node`.
+  void Register(NodeId node, Handler handler);
+
+  /// Sends `message` from → to with the configured link model. Local sends
+  /// (from == to) are delivered with negligible delay.
+  void Send(NodeId from, NodeId to, MessagePtr message);
+
+  /// Assigns `node` to a partition group; nodes in different groups cannot
+  /// exchange messages until the partition heals. Group 0 is the default.
+  void SetPartition(NodeId node, std::uint32_t group);
+  void HealPartitions();
+
+  const NetworkConfig& config() const { return config_; }
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  void Deliver(NodeId from, NodeId to, MessagePtr message, bool corrupted);
+
+  Simulation& simulation_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::unordered_map<NodeId, Handler> handlers_;
+  std::unordered_map<NodeId, std::uint32_t> partitions_;
+  std::unordered_map<NodeId, SimTime> egress_busy_until_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace orderless::sim

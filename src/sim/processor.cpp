@@ -1,0 +1,23 @@
+#include "sim/processor.h"
+
+#include <algorithm>
+
+namespace orderless::sim {
+
+SimTime Processor::Submit(SimTime service_time, std::function<void()> fn) {
+  auto earliest = std::min_element(core_free_.begin(), core_free_.end());
+  const SimTime start = std::max(simulation_.now(), *earliest);
+  const SimTime done = start + service_time;
+  *earliest = done;
+  busy_time_ += service_time;
+  simulation_.ScheduleAt(done, std::move(fn));
+  return done;
+}
+
+SimTime Processor::Backlog() const {
+  const SimTime latest = *std::max_element(core_free_.begin(), core_free_.end());
+  const SimTime now = simulation_.now();
+  return latest > now ? latest - now : 0;
+}
+
+}  // namespace orderless::sim

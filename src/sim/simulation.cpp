@@ -1,0 +1,38 @@
+#include "sim/simulation.h"
+
+#include <utility>
+
+namespace orderless::sim {
+
+void Simulation::Schedule(SimTime delay, std::function<void()> fn) {
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool Simulation::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast is UB-adjacent, so
+  // copy the function handle instead (cheap: std::function).
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.time;
+  ++processed_;
+  event.fn();
+  return true;
+}
+
+void Simulation::RunUntil(SimTime until) {
+  while (!queue_.empty() && queue_.top().time <= until) Step();
+  if (now_ < until) now_ = until;
+}
+
+void Simulation::RunUntilIdle() {
+  while (Step()) {
+  }
+}
+
+}  // namespace orderless::sim

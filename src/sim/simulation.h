@@ -1,0 +1,63 @@
+// Deterministic discrete-event simulation loop.
+//
+// This is the substrate substituting for the paper's 16-VM testbed: all
+// network transmission, CPU service and timer behaviour is expressed as
+// events on this queue. Ties are broken by insertion sequence, so a given
+// seed always replays identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace orderless::sim {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` after the current time.
+  void Schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedules `fn` at an absolute time (clamped to now).
+  void ScheduleAt(SimTime when, std::function<void()> fn);
+
+  /// Runs the earliest event; returns false when the queue is empty.
+  bool Step();
+
+  /// Processes every event with time <= until, then sets now = until.
+  void RunUntil(SimTime until);
+
+  /// Drains the queue completely.
+  void RunUntilIdle();
+
+  std::size_t events_processed() const { return processed_; }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace orderless::sim

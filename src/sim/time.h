@@ -1,0 +1,17 @@
+// Simulated time, in microseconds since experiment start.
+#pragma once
+
+#include <cstdint>
+
+namespace orderless::sim {
+
+using SimTime = std::uint64_t;  // microseconds
+
+constexpr SimTime Us(std::uint64_t us) { return us; }
+constexpr SimTime Ms(std::uint64_t ms) { return ms * 1000; }
+constexpr SimTime Sec(std::uint64_t s) { return s * 1000 * 1000; }
+
+constexpr double ToMs(SimTime t) { return static_cast<double>(t) / 1000.0; }
+constexpr double ToSec(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace orderless::sim

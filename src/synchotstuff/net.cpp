@@ -1,0 +1,47 @@
+#include "synchotstuff/net.h"
+
+namespace orderless::synchotstuff {
+
+namespace {
+constexpr sim::NodeId kLeaderNode = 700;
+}  // namespace
+
+HsNet::HsNet(HsNetConfig config) : config_(config), rng_(config.seed) {
+  network_ = std::make_unique<sim::Network>(simulation_, config_.net,
+                                            rng_.Fork());
+  leader_ = std::make_unique<HsLeader>(simulation_, *network_, kLeaderNode,
+                                       config_.hs);
+  std::vector<sim::NodeId> org_nodes;
+  for (std::uint32_t i = 0; i < config_.num_orgs; ++i) {
+    const sim::NodeId node = static_cast<sim::NodeId>(1 + i);
+    org_nodes.push_back(node);
+    orgs_.push_back(std::make_unique<HsOrg>(simulation_, *network_, node,
+                                            contracts_, kLeaderNode,
+                                            config_.hs));
+  }
+  leader_->SetOrgs(org_nodes);
+  for (auto& org : orgs_) org->SetOrgs(org_nodes);
+
+  for (std::uint32_t i = 0; i < config_.num_clients; ++i) {
+    const sim::NodeId node = static_cast<sim::NodeId>(1001 + i);
+    const std::uint64_t client_id = i;
+    const sim::NodeId assigned = org_nodes[client_id % org_nodes.size()];
+    clients_.push_back(std::make_unique<HsClient>(simulation_, *network_,
+                                                  node, client_id, kLeaderNode,
+                                                  assigned,
+                                                  config_.client_timeout));
+  }
+}
+
+void HsNet::RegisterContract(
+    std::shared_ptr<const fabric::FabricContract> c) {
+  contracts_.Register(std::move(c));
+}
+
+void HsNet::Start() {
+  leader_->Start();
+  for (auto& org : orgs_) org->Start();
+  for (auto& client : clients_) client->Start();
+}
+
+}  // namespace orderless::synchotstuff

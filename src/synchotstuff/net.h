@@ -1,0 +1,46 @@
+// Builds a simulated Sync HotStuff network: leader + organizations +
+// clients.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "synchotstuff/synchotstuff.h"
+
+namespace orderless::synchotstuff {
+
+struct HsNetConfig {
+  std::uint32_t num_orgs = 16;
+  std::uint32_t num_clients = 2;
+  HsConfig hs;
+  sim::NetworkConfig net;
+  sim::SimTime client_timeout = sim::Sec(240);
+  std::uint64_t seed = 1;
+};
+
+class HsNet {
+ public:
+  explicit HsNet(HsNetConfig config);
+
+  void RegisterContract(std::shared_ptr<const fabric::FabricContract> c);
+  void Start();
+
+  sim::Simulation& simulation() { return simulation_; }
+  std::size_t org_count() const { return orgs_.size(); }
+  std::size_t client_count() const { return clients_.size(); }
+  HsOrg& org(std::size_t i) { return *orgs_[i]; }
+  HsClient& client(std::size_t i) { return *clients_[i]; }
+  HsLeader& leader() { return *leader_; }
+
+ private:
+  HsNetConfig config_;
+  sim::Simulation simulation_;
+  fabric::FabricContractRegistry contracts_;
+  Rng rng_;
+  std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<HsLeader> leader_;
+  std::vector<std::unique_ptr<HsOrg>> orgs_;
+  std::vector<std::unique_ptr<HsClient>> clients_;
+};
+
+}  // namespace orderless::synchotstuff

@@ -1,0 +1,281 @@
+#include "synchotstuff/synchotstuff.h"
+
+namespace orderless::synchotstuff {
+
+// --------------------------------------------------------------- leader
+
+HsLeader::HsLeader(sim::Simulation& simulation, sim::Network& network,
+                   sim::NodeId node, HsConfig config)
+    : simulation_(simulation),
+      network_(network),
+      node_(node),
+      config_(config),
+      cpu_(simulation, config.cores) {}
+
+void HsLeader::Start() {
+  network_.Register(node_, [this](const sim::Delivery& d) { OnDelivery(d); });
+  simulation_.Schedule(config_.round_interval, [this] { RoundTick(); });
+}
+
+void HsLeader::OnDelivery(const sim::Delivery& delivery) {
+  if (delivery.corrupted) return;
+  if (const auto* msg = dynamic_cast<const HsTxMsg*>(delivery.message.get())) {
+    auto tx = msg->tx;
+    cpu_.Submit(config_.leader_per_tx,
+                [this, tx] { mempool_.push_back(tx); });
+    return;
+  }
+  if (const auto* vote =
+          dynamic_cast<const HsVoteMsg*>(delivery.message.get())) {
+    const auto it = rounds_.find(vote->block_number);
+    if (it == rounds_.end() || it->second.committed) return;
+    Round& round = it->second;
+    ++round.votes;
+    // Synchronous BFT: wait for n-f votes, then the 2Δ synchronous delay
+    // before committing.
+    const std::size_t n = orgs_.size();
+    const std::size_t needed = n - (n - 1) / 2;  // f < n/2 for Sync HotStuff
+    if (round.votes >= needed) {
+      round.committed = true;
+      const std::uint64_t number = vote->block_number;
+      simulation_.Schedule(2 * config_.delta, [this, number] {
+        auto commit = std::make_shared<HsCommitMsg>();
+        commit->block_number = number;
+        for (sim::NodeId org : orgs_) network_.Send(node_, org, commit);
+        rounds_.erase(number);
+      });
+    }
+    return;
+  }
+}
+
+void HsLeader::RoundTick() {
+  if (!mempool_.empty()) {
+    auto block = std::make_shared<HsBlock>();
+    block->number = next_block_++;
+    const std::size_t take = std::min(mempool_.size(), config_.max_block_txs);
+    block->txs.assign(mempool_.begin(),
+                      mempool_.begin() + static_cast<std::ptrdiff_t>(take));
+    mempool_.erase(mempool_.begin(),
+                   mempool_.begin() + static_cast<std::ptrdiff_t>(take));
+    rounds_[block->number] = Round{block, 0, false};
+    // Leader broadcast: one full copy of the block per organization — the
+    // WAN bottleneck for leader-based consensus.
+    auto msg = std::make_shared<HsProposeMsg>();
+    msg->block = block;
+    for (sim::NodeId org : orgs_) network_.Send(node_, org, msg);
+  }
+  simulation_.Schedule(config_.round_interval, [this] { RoundTick(); });
+}
+
+// ------------------------------------------------------------------ org
+
+HsOrg::HsOrg(sim::Simulation& simulation, sim::Network& network,
+             sim::NodeId node, const fabric::FabricContractRegistry& contracts,
+             sim::NodeId leader, HsConfig config)
+    : simulation_(simulation),
+      network_(network),
+      node_(node),
+      contracts_(contracts),
+      leader_(leader),
+      config_(config),
+      cpu_(simulation, config.cores) {}
+
+void HsOrg::Start() {
+  network_.Register(node_, [this](const sim::Delivery& d) { OnDelivery(d); });
+}
+
+void HsOrg::OnDelivery(const sim::Delivery& delivery) {
+  if (delivery.corrupted) return;
+  if (const auto* propose =
+          dynamic_cast<const HsProposeMsg*>(delivery.message.get())) {
+    pending_blocks_[propose->block->number] = propose->block;
+    auto vote = std::make_shared<HsVoteMsg>();
+    vote->block_number = propose->block->number;
+    network_.Send(node_, leader_, vote);
+    return;
+  }
+  if (const auto* commit =
+          dynamic_cast<const HsCommitMsg*>(delivery.message.get())) {
+    const auto it = pending_blocks_.find(commit->block_number);
+    if (it == pending_blocks_.end()) return;
+    auto block = it->second;
+    pending_blocks_.erase(it);
+    const sim::SimTime service =
+        config_.exec_per_tx * static_cast<sim::SimTime>(block->txs.size());
+    cpu_.Submit(service, [this, block] { ExecuteBlock(*block); });
+    return;
+  }
+  if (const auto* read =
+          dynamic_cast<const HsReadMsg*>(delivery.message.get())) {
+    const HsReadMsg req = *read;
+    const sim::NodeId from = delivery.from;
+    cpu_.Submit(config_.exec_per_tx, [this, req, from] {
+      auto reply = std::make_shared<HsReadReplyMsg>();
+      reply->id = req.id;
+      const fabric::FabricContract* contract = contracts_.Find(req.contract);
+      if (contract != nullptr) {
+        fabric::FabricResult result =
+            contract->Invoke(state_, req.function, req.client, 0, req.args);
+        reply->ok = result.ok;
+        reply->value = std::move(result.value);
+      }
+      network_.Send(node_, from, reply);
+    });
+    return;
+  }
+}
+
+void HsOrg::ExecuteBlock(const HsBlock& block) {
+  ++committed_blocks_;
+  for (const auto& tx : block.txs) {
+    const fabric::FabricContract* contract = contracts_.Find(tx->contract);
+    bool valid = false;
+    if (contract != nullptr) {
+      fabric::FabricResult result =
+          contract->Invoke(state_, tx->function, tx->client, tx->nonce,
+                           tx->args);
+      if (result.ok) {
+        for (const auto& [key, value] : result.rwset.writes) {
+          state_.Put(key, value);
+        }
+        valid = true;
+      }
+    }
+    if (tx->client_node != 0 && orgs_[tx->client % orgs_.size()] == node_) {
+      if (tx->submitted_at > 0) {
+        ++phase_count_;
+        consensus_time_us_ += simulation_.now() - tx->submitted_at;
+      }
+      auto confirm = std::make_shared<HsConfirmMsg>();
+      confirm->tx_id = tx->id;
+      confirm->valid = valid;
+      network_.Send(node_, tx->client_node, confirm);
+    }
+  }
+}
+
+// --------------------------------------------------------------- client
+
+HsClient::HsClient(sim::Simulation& simulation, sim::Network& network,
+                   sim::NodeId node, std::uint64_t client_id,
+                   sim::NodeId leader, sim::NodeId assigned_org,
+                   sim::SimTime timeout)
+    : simulation_(simulation),
+      network_(network),
+      node_(node),
+      client_id_(client_id),
+      leader_(leader),
+      assigned_org_(assigned_org),
+      timeout_(timeout) {}
+
+void HsClient::Start() {
+  network_.Register(node_, [this](const sim::Delivery& d) { OnDelivery(d); });
+}
+
+void HsClient::SubmitModify(const std::string& contract,
+                            const std::string& function,
+                            std::vector<crdt::Value> args,
+                            core::TxCallback callback) {
+  auto tx = std::make_shared<HsTx>();
+  tx->submitted_at = simulation_.now();
+  tx->client = client_id_;
+  tx->client_node = node_;
+  tx->contract = contract;
+  tx->function = function;
+  tx->args = std::move(args);
+  tx->nonce = next_nonce_++;
+  codec::Writer w;
+  w.PutU64(tx->client);
+  w.PutU64(tx->nonce);
+  w.PutString(contract);
+  w.PutString(function);
+  tx->id = crypto::Sha256::Hash(BytesView(w.data()));
+
+  const crypto::Digest id = tx->id;
+  Pending& p = pending_[id];
+  p.callback = std::move(callback);
+  p.start = simulation_.now();
+  const std::uint64_t generation = ++p.generation;
+
+  auto msg = std::make_shared<HsTxMsg>();
+  msg->tx = std::move(tx);
+  network_.Send(node_, leader_, msg);
+  simulation_.Schedule(timeout_, [this, id, generation] {
+    const auto it = pending_.find(id);
+    if (it == pending_.end() || it->second.generation != generation) return;
+    core::TxOutcome outcome;
+    outcome.failure = "timeout";
+    outcome.latency = simulation_.now() - it->second.start;
+    Finish(id, std::move(outcome));
+  });
+}
+
+void HsClient::SubmitRead(const std::string& contract,
+                          const std::string& function,
+                          std::vector<crdt::Value> args,
+                          core::TxCallback callback) {
+  auto msg = std::make_shared<HsReadMsg>();
+  msg->contract = contract;
+  msg->function = function;
+  msg->args = std::move(args);
+  msg->client = client_id_;
+  codec::Writer w;
+  w.PutU64(client_id_);
+  w.PutU64(next_nonce_++);
+  w.PutString("read");
+  msg->id = crypto::Sha256::Hash(BytesView(w.data()));
+
+  const crypto::Digest id = msg->id;
+  Pending& p = pending_[id];
+  p.callback = std::move(callback);
+  p.start = simulation_.now();
+  const std::uint64_t generation = ++p.generation;
+  network_.Send(node_, assigned_org_, msg);
+  simulation_.Schedule(timeout_, [this, id, generation] {
+    const auto it = pending_.find(id);
+    if (it == pending_.end() || it->second.generation != generation) return;
+    core::TxOutcome outcome;
+    outcome.failure = "read timeout";
+    outcome.read = true;
+    outcome.latency = simulation_.now() - it->second.start;
+    Finish(id, std::move(outcome));
+  });
+}
+
+void HsClient::OnDelivery(const sim::Delivery& delivery) {
+  if (delivery.corrupted) return;
+  if (const auto* confirm =
+          dynamic_cast<const HsConfirmMsg*>(delivery.message.get())) {
+    const auto it = pending_.find(confirm->tx_id);
+    if (it == pending_.end()) return;
+    core::TxOutcome outcome;
+    outcome.committed = confirm->valid;
+    outcome.rejected = !confirm->valid;
+    outcome.latency = simulation_.now() - it->second.start;
+    Finish(confirm->tx_id, std::move(outcome));
+    return;
+  }
+  if (const auto* reply =
+          dynamic_cast<const HsReadReplyMsg*>(delivery.message.get())) {
+    const auto it = pending_.find(reply->id);
+    if (it == pending_.end()) return;
+    core::TxOutcome outcome;
+    outcome.committed = reply->ok;
+    outcome.read = true;
+    outcome.read_value = reply->value;
+    outcome.latency = simulation_.now() - it->second.start;
+    Finish(reply->id, std::move(outcome));
+    return;
+  }
+}
+
+void HsClient::Finish(const crypto::Digest& id, core::TxOutcome outcome) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  core::TxCallback callback = std::move(it->second.callback);
+  pending_.erase(it);
+  if (callback) callback(outcome);
+}
+
+}  // namespace orderless::synchotstuff

@@ -1,0 +1,205 @@
+// Sync HotStuff baseline (paper [1]): synchronous leader-based BFT state
+// machine replication. The leader batches client transactions into a block
+// each round, broadcasts the proposal to every organization, collects votes,
+// and commits after the synchronous 2Δ wait. Under load the leader's
+// per-organization proposal broadcast saturates its WAN uplink, and the
+// leader queue becomes the latency bottleneck (paper Table 3 / Fig. 10).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/client.h"
+#include "fabric/contract.h"
+#include "sim/processor.h"
+
+namespace orderless::synchotstuff {
+
+struct HsTx {
+  crypto::Digest id;
+  sim::SimTime submitted_at = 0;  // phase instrumentation (Table 3)
+  std::uint64_t client = 0;
+  sim::NodeId client_node = 0;
+  std::string contract;
+  std::string function;
+  std::vector<crdt::Value> args;
+  std::uint64_t nonce = 0;
+  std::size_t WireSize() const { return 400; }
+};
+
+struct HsTxMsg final : sim::Message {
+  std::shared_ptr<const HsTx> tx;
+  std::string_view TypeName() const override { return "HsTx"; }
+  std::size_t WireSize() const override { return tx->WireSize(); }
+};
+
+struct HsBlock {
+  std::uint64_t number = 0;
+  std::vector<std::shared_ptr<const HsTx>> txs;
+  std::size_t WireSize() const {
+    std::size_t size = 128;
+    for (const auto& tx : txs) size += tx->WireSize();
+    return size;
+  }
+};
+
+struct HsProposeMsg final : sim::Message {
+  std::shared_ptr<const HsBlock> block;
+  std::string_view TypeName() const override { return "HsPropose"; }
+  std::size_t WireSize() const override { return block->WireSize(); }
+};
+
+struct HsVoteMsg final : sim::Message {
+  std::uint64_t block_number = 0;
+  crypto::KeyId voter = 0;
+  std::string_view TypeName() const override { return "HsVote"; }
+  std::size_t WireSize() const override { return 96; }
+};
+
+struct HsCommitMsg final : sim::Message {
+  std::uint64_t block_number = 0;
+  std::string_view TypeName() const override { return "HsCommit"; }
+  std::size_t WireSize() const override { return 80; }
+};
+
+struct HsConfirmMsg final : sim::Message {
+  crypto::Digest tx_id;
+  bool valid = true;
+  std::string_view TypeName() const override { return "HsConfirm"; }
+  std::size_t WireSize() const override { return 80; }
+};
+
+struct HsReadMsg final : sim::Message {
+  crypto::Digest id;
+  std::string contract;
+  std::string function;
+  std::vector<crdt::Value> args;
+  std::uint64_t client = 0;
+  std::string_view TypeName() const override { return "HsRead"; }
+  std::size_t WireSize() const override { return 160; }
+};
+
+struct HsReadReplyMsg final : sim::Message {
+  crypto::Digest id;
+  bool ok = false;
+  crdt::Value value;
+  std::string_view TypeName() const override { return "HsReadReply"; }
+  std::size_t WireSize() const override { return 96; }
+};
+
+struct HsConfig {
+  sim::SimTime round_interval = sim::Ms(150);  // block proposal cadence
+  sim::SimTime delta = sim::Ms(100);           // synchronous delay bound Δ
+  sim::SimTime exec_per_tx = sim::Us(100);
+  sim::SimTime leader_per_tx = sim::Us(60);
+  unsigned cores = 4;
+  std::size_t max_block_txs = 2000;
+};
+
+/// The dedicated leader node.
+class HsLeader {
+ public:
+  HsLeader(sim::Simulation& simulation, sim::Network& network,
+           sim::NodeId node, HsConfig config);
+  void Start();
+  void SetOrgs(std::vector<sim::NodeId> orgs) { orgs_ = std::move(orgs); }
+  std::uint64_t blocks() const { return next_block_; }
+
+ private:
+  void OnDelivery(const sim::Delivery& delivery);
+  void RoundTick();
+
+  sim::Simulation& simulation_;
+  sim::Network& network_;
+  sim::NodeId node_;
+  HsConfig config_;
+  sim::Processor cpu_;
+  std::vector<sim::NodeId> orgs_;
+
+  std::deque<std::shared_ptr<const HsTx>> mempool_;
+  std::uint64_t next_block_ = 0;
+  struct Round {
+    std::shared_ptr<const HsBlock> block;
+    std::size_t votes = 0;
+    bool committed = false;
+  };
+  std::unordered_map<std::uint64_t, Round> rounds_;
+};
+
+/// A replica organization.
+class HsOrg {
+ public:
+  HsOrg(sim::Simulation& simulation, sim::Network& network, sim::NodeId node,
+        const fabric::FabricContractRegistry& contracts, sim::NodeId leader,
+        HsConfig config);
+  void Start();
+  void SetOrgs(std::vector<sim::NodeId> orgs) { orgs_ = std::move(orgs); }
+
+  sim::NodeId node() const { return node_; }
+  std::uint64_t committed_blocks() const { return committed_blocks_; }
+  const fabric::VersionedStore& state() const { return state_; }
+
+  /// Consensus phase average over transactions this org confirms.
+  double AvgConsensusMs() const {
+    return phase_count_ == 0
+               ? 0.0
+               : consensus_time_us_ / 1000.0 / phase_count_;
+  }
+
+ private:
+  void OnDelivery(const sim::Delivery& delivery);
+  void ExecuteBlock(const HsBlock& block);
+
+  sim::Simulation& simulation_;
+  sim::Network& network_;
+  sim::NodeId node_;
+  const fabric::FabricContractRegistry& contracts_;
+  sim::NodeId leader_;
+  HsConfig config_;
+  sim::Processor cpu_;
+  std::vector<sim::NodeId> orgs_;
+
+  std::unordered_map<std::uint64_t, std::shared_ptr<const HsBlock>>
+      pending_blocks_;
+  std::uint64_t committed_blocks_ = 0;
+  std::uint64_t phase_count_ = 0;
+  std::uint64_t consensus_time_us_ = 0;
+  fabric::VersionedStore state_;
+};
+
+class HsClient {
+ public:
+  HsClient(sim::Simulation& simulation, sim::Network& network,
+           sim::NodeId node, std::uint64_t client_id, sim::NodeId leader,
+           sim::NodeId assigned_org, sim::SimTime timeout);
+  void Start();
+  void SubmitModify(const std::string& contract, const std::string& function,
+                    std::vector<crdt::Value> args, core::TxCallback callback);
+  void SubmitRead(const std::string& contract, const std::string& function,
+                  std::vector<crdt::Value> args, core::TxCallback callback);
+  sim::NodeId node() const { return node_; }
+
+ private:
+  struct Pending {
+    core::TxCallback callback;
+    sim::SimTime start = 0;
+    std::uint64_t generation = 0;
+  };
+  void OnDelivery(const sim::Delivery& delivery);
+  void Finish(const crypto::Digest& id, core::TxOutcome outcome);
+
+  sim::Simulation& simulation_;
+  sim::Network& network_;
+  sim::NodeId node_;
+  std::uint64_t client_id_;
+  sim::NodeId leader_;
+  sim::NodeId assigned_org_;
+  sim::SimTime timeout_;
+  std::uint64_t next_nonce_ = 1;
+  std::unordered_map<crypto::Digest, Pending, crypto::DigestHash> pending_;
+};
+
+}  // namespace orderless::synchotstuff

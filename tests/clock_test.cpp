@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "clock/logical_clock.h"
+#include "clock/vector_clock.h"
+
+namespace orderless::clk {
+namespace {
+
+TEST(OpClock, SameClientOrdering) {
+  const OpClock early{1, 5};
+  const OpClock late{1, 9};
+  EXPECT_EQ(Compare(early, late), Order::kBefore);
+  EXPECT_EQ(Compare(late, early), Order::kAfter);
+  EXPECT_TRUE(HappenedBefore(early, late));
+  EXPECT_FALSE(HappenedBefore(late, early));
+}
+
+TEST(OpClock, DifferentClientsAreConcurrent) {
+  const OpClock a{1, 5};
+  const OpClock b{2, 9};
+  EXPECT_EQ(Compare(a, b), Order::kConcurrent);
+  EXPECT_EQ(Compare(b, a), Order::kConcurrent);
+  EXPECT_FALSE(HappenedBefore(a, b));
+  EXPECT_FALSE(HappenedBefore(b, a));
+}
+
+TEST(OpClock, EqualClocks) {
+  const OpClock a{1, 5};
+  const OpClock b{1, 5};
+  EXPECT_EQ(Compare(a, b), Order::kEqual);
+  EXPECT_FALSE(HappenedBefore(a, b));
+}
+
+TEST(OpClock, ImplicitHappenedBeforeEverything) {
+  const OpClock implicit{};
+  const OpClock real{3, 1};
+  EXPECT_TRUE(implicit.IsImplicit());
+  EXPECT_EQ(Compare(implicit, real), Order::kBefore);
+  EXPECT_EQ(Compare(real, implicit), Order::kAfter);
+}
+
+TEST(OpClock, EncodeDecode) {
+  const OpClock a{77, 123456789};
+  codec::Writer w;
+  a.Encode(w);
+  codec::Reader r{BytesView(w.data())};
+  EXPECT_EQ(OpClock::Decode(r), a);
+}
+
+TEST(LamportClock, TickIncrements) {
+  LamportClock clock(42);
+  const OpClock first = clock.Tick();
+  const OpClock second = clock.Tick();
+  EXPECT_EQ(first.client, 42u);
+  EXPECT_EQ(first.counter + 1, second.counter);
+  EXPECT_TRUE(HappenedBefore(first, second));
+}
+
+TEST(LamportClock, ObserveAdvances) {
+  LamportClock clock(1);
+  clock.Tick();
+  clock.Observe(100);
+  EXPECT_EQ(clock.Tick().counter, 101u);
+  clock.Observe(50);  // lower values don't rewind
+  EXPECT_EQ(clock.Tick().counter, 102u);
+}
+
+TEST(VectorClock, TickAndGet) {
+  VectorClock vc;
+  EXPECT_EQ(vc.Get(1), 0u);
+  vc.Tick(1);
+  vc.Tick(1);
+  vc.Tick(2);
+  EXPECT_EQ(vc.Get(1), 2u);
+  EXPECT_EQ(vc.Get(2), 1u);
+}
+
+TEST(VectorClock, CompareCausal) {
+  VectorClock a;
+  a.Tick(1);
+  VectorClock b = a;
+  b.Tick(1);
+  EXPECT_EQ(a.CompareTo(b), Order::kBefore);
+  EXPECT_EQ(b.CompareTo(a), Order::kAfter);
+  EXPECT_EQ(a.CompareTo(a), Order::kEqual);
+}
+
+TEST(VectorClock, CompareConcurrent) {
+  VectorClock a;
+  a.Tick(1);
+  VectorClock b;
+  b.Tick(2);
+  EXPECT_EQ(a.CompareTo(b), Order::kConcurrent);
+  EXPECT_EQ(b.CompareTo(a), Order::kConcurrent);
+}
+
+TEST(VectorClock, MergeIsLeastUpperBound) {
+  VectorClock a;
+  a.Tick(1);
+  a.Tick(1);
+  VectorClock b;
+  b.Tick(2);
+  VectorClock m = a;
+  m.Merge(b);
+  EXPECT_EQ(m.Get(1), 2u);
+  EXPECT_EQ(m.Get(2), 1u);
+  EXPECT_EQ(a.CompareTo(m), Order::kBefore);
+  EXPECT_EQ(b.CompareTo(m), Order::kBefore);
+}
+
+TEST(VectorClock, MergeIdempotentCommutative) {
+  VectorClock a;
+  a.Tick(1);
+  a.Tick(3);
+  VectorClock b;
+  b.Tick(2);
+  b.Tick(3);
+  b.Tick(3);
+
+  VectorClock ab = a;
+  ab.Merge(b);
+  VectorClock ba = b;
+  ba.Merge(a);
+  EXPECT_EQ(ab, ba);
+  VectorClock abb = ab;
+  abb.Merge(b);
+  EXPECT_EQ(abb, ab);
+}
+
+TEST(VectorClock, EncodeDecode) {
+  VectorClock vc;
+  vc.Tick(1);
+  vc.Tick(7);
+  vc.Tick(7);
+  codec::Writer w;
+  vc.Encode(w);
+  codec::Reader r{BytesView(w.data())};
+  const auto decoded = VectorClock::Decode(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, vc);
+}
+
+}  // namespace
+}  // namespace orderless::clk

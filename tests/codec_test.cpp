@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "codec/codec.h"
+
+namespace orderless::codec {
+namespace {
+
+TEST(Codec, FixedWidthRoundtrip) {
+  Writer w;
+  w.PutU8(0xab);
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutBool(true);
+  w.PutBool(false);
+  w.PutDouble(3.25);
+
+  Reader r{BytesView(w.data())};
+  EXPECT_EQ(r.GetU8(), 0xab);
+  EXPECT_EQ(r.GetU16(), 0x1234);
+  EXPECT_EQ(r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.GetBool(), true);
+  EXPECT_EQ(r.GetBool(), false);
+  EXPECT_EQ(r.GetDouble(), 3.25);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Codec, VarintRoundtrip) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 300,
+                                 16383,
+                                 16384,
+                                 (1ull << 32),
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t v : cases) {
+    Writer w;
+    w.PutVarint(v);
+    Reader r{BytesView(w.data())};
+    EXPECT_EQ(r.GetVarint(), v) << v;
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(Codec, ZigzagRoundtrip) {
+  const std::int64_t cases[] = {0,
+                                -1,
+                                1,
+                                -2,
+                                63,
+                                -64,
+                                1000000,
+                                -1000000,
+                                std::numeric_limits<std::int64_t>::max(),
+                                std::numeric_limits<std::int64_t>::min()};
+  for (std::int64_t v : cases) {
+    Writer w;
+    w.PutI64(v);
+    Reader r{BytesView(w.data())};
+    EXPECT_EQ(r.GetI64(), v) << v;
+  }
+}
+
+TEST(Codec, SmallNegativesStaySmall) {
+  Writer w;
+  w.PutI64(-1);
+  EXPECT_EQ(w.size(), 1u);  // zigzag: -1 → 1
+}
+
+TEST(Codec, StringAndBytesRoundtrip) {
+  Writer w;
+  w.PutString("hello");
+  w.PutString("");
+  const Bytes blob = {0, 1, 2, 255};
+  w.PutBytes(BytesView(blob));
+
+  Reader r{BytesView(w.data())};
+  EXPECT_EQ(r.GetString(), "hello");
+  EXPECT_EQ(r.GetString(), "");
+  EXPECT_EQ(r.GetBytes(), blob);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Codec, TruncatedInputReturnsNullopt) {
+  Writer w;
+  w.PutU64(123);
+  w.PutString("abcdef");
+  const Bytes& full = w.data();
+
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Reader r{BytesView(full.data(), cut)};
+    const auto u = r.GetU64();
+    if (cut < 8) {
+      EXPECT_FALSE(u.has_value());
+      continue;
+    }
+    ASSERT_TRUE(u.has_value());
+    const auto s = r.GetString();
+    EXPECT_FALSE(s.has_value());  // always cut before the string ends
+  }
+}
+
+TEST(Codec, MalformedVarintRejected) {
+  // 10 continuation bytes exceed the 64-bit range.
+  Bytes bad(11, 0xff);
+  Reader r{BytesView(bad)};
+  EXPECT_FALSE(r.GetVarint().has_value());
+}
+
+TEST(Codec, LengthPrefixBeyondBufferRejected) {
+  Writer w;
+  w.PutVarint(1000);  // claims 1000 bytes follow
+  w.PutU8('x');
+  Reader r{BytesView(w.data())};
+  EXPECT_FALSE(r.GetString().has_value());
+}
+
+TEST(Codec, RawAppend) {
+  Writer w;
+  const Bytes raw = {9, 8, 7};
+  w.PutRaw(BytesView(raw));
+  EXPECT_EQ(w.data(), raw);
+}
+
+}  // namespace
+}  // namespace orderless::codec

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace orderless {
+namespace {
+
+TEST(Bytes, HexRoundtrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  const std::string hex = ToHex(BytesView(data));
+  EXPECT_EQ(hex, "0001abff7f");
+  bool ok = false;
+  EXPECT_EQ(FromHex(hex, &ok), data);
+  EXPECT_TRUE(ok);
+}
+
+TEST(Bytes, HexRejectsMalformed) {
+  bool ok = true;
+  EXPECT_TRUE(FromHex("abc", &ok).empty());  // odd length
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(FromHex("zz", &ok).empty());  // non-hex
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(FromHex("", &ok).empty());  // empty is fine
+  EXPECT_TRUE(ok);
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(ConstantTimeEqual(BytesView(a), BytesView(b)));
+  EXPECT_FALSE(ConstantTimeEqual(BytesView(a), BytesView(c)));
+  EXPECT_FALSE(ConstantTimeEqual(BytesView(a), BytesView(d)));
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.NextBelow(bound), bound);
+  }
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, SampleDistinctUniqueAndComplete) {
+  Rng rng(11);
+  const auto sample = rng.SampleDistinct(10, 4);
+  ASSERT_EQ(sample.size(), 4u);
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 4u);
+  for (std::size_t v : sample) EXPECT_LT(v, 10u);
+
+  // k >= n returns everything.
+  const auto all = rng.SampleDistinct(3, 9);
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0;
+  double sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian(5.0, 2.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(21);
+  Rng child = parent.Fork();
+  // The fork must not replay the parent's stream.
+  Rng parent2(21);
+  parent2.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.Next() == parent.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace orderless

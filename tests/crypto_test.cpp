@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "crypto/pki.h"
+#include "crypto/sha256.h"
+
+namespace orderless::crypto {
+namespace {
+
+TEST(Sha256, KnownVectors) {
+  // FIPS 180-4 test vectors.
+  EXPECT_EQ(Sha256::Hash(std::string_view("")).Hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(Sha256::Hash(std::string_view("abc")).Hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      Sha256::Hash(std::string_view(
+                       "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))
+          .Hex(),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(h.Finalize().Hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string data =
+      "the quick brown fox jumps over the lazy dog multiple times, enough to "
+      "cross several 64-byte block boundaries in the compression function";
+  for (std::size_t split = 0; split <= data.size(); split += 7) {
+    Sha256 h;
+    h.Update(std::string_view(data).substr(0, split));
+    h.Update(std::string_view(data).substr(split));
+    EXPECT_EQ(h.Finalize(), Sha256::Hash(std::string_view(data)));
+  }
+}
+
+TEST(Sha256, DigestOrderingAndPrefix) {
+  const Digest a = Sha256::Hash(std::string_view("a"));
+  const Digest b = Sha256::Hash(std::string_view("b"));
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.Prefix64(), b.Prefix64());
+  EXPECT_EQ(Digest::FromHexOrZero(a.Hex()), a);
+}
+
+TEST(Pki, SignAndVerify) {
+  Pki pki;
+  const PrivateKey alice = pki.Generate("alice");
+  const Bytes message = ToBytes("transfer 10 coins");
+  const Signature sig = alice.Sign("ctx", BytesView(message));
+  EXPECT_TRUE(pki.Verify(alice.id(), "ctx", BytesView(message), sig));
+}
+
+TEST(Pki, RejectsWrongSigner) {
+  Pki pki;
+  const PrivateKey alice = pki.Generate("alice");
+  const PrivateKey bob = pki.Generate("bob");
+  const Bytes message = ToBytes("hello");
+  const Signature sig = alice.Sign("ctx", BytesView(message));
+  EXPECT_FALSE(pki.Verify(bob.id(), "ctx", BytesView(message), sig));
+}
+
+TEST(Pki, RejectsTamperedMessage) {
+  Pki pki;
+  const PrivateKey alice = pki.Generate("alice");
+  const Bytes message = ToBytes("pay 10");
+  const Bytes tampered = ToBytes("pay 99");
+  const Signature sig = alice.Sign("ctx", BytesView(message));
+  EXPECT_FALSE(pki.Verify(alice.id(), "ctx", BytesView(tampered), sig));
+}
+
+TEST(Pki, RejectsWrongContext) {
+  Pki pki;
+  const PrivateKey alice = pki.Generate("alice");
+  const Bytes message = ToBytes("msg");
+  const Signature sig = alice.Sign("endorse", BytesView(message));
+  EXPECT_FALSE(pki.Verify(alice.id(), "commit", BytesView(message), sig));
+}
+
+TEST(Pki, RejectsUnknownSigner) {
+  Pki pki;
+  Pki other;
+  const PrivateKey mallory = other.Generate("mallory");
+  const Bytes message = ToBytes("msg");
+  const Signature sig = mallory.Sign("ctx", BytesView(message));
+  EXPECT_FALSE(pki.Verify(mallory.id(), "ctx", BytesView(message), sig));
+}
+
+TEST(Pki, ForgedSignatureFails) {
+  Pki pki;
+  const PrivateKey alice = pki.Generate("alice");
+  const Bytes message = ToBytes("msg");
+  Signature forged = alice.Sign("ctx", BytesView(message));
+  forged.bytes[0] ^= 0x01;
+  EXPECT_FALSE(pki.Verify(alice.id(), "ctx", BytesView(message), forged));
+}
+
+TEST(Pki, NamesAreTracked) {
+  Pki pki;
+  const PrivateKey alice = pki.Generate("alice");
+  EXPECT_EQ(pki.NameOf(alice.id()), "alice");
+  EXPECT_EQ(pki.NameOf(9999), "<unknown>");
+  EXPECT_EQ(pki.size(), 1u);
+}
+
+}  // namespace
+}  // namespace orderless::crypto

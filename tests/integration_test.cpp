@@ -1,0 +1,444 @@
+// End-to-end protocol tests on a fully simulated OrderlessChain network:
+// the two-phase execute–commit flow, SEC convergence via gossip, invariant
+// preservation, Byzantine organizations and clients, partitions.
+#include <gtest/gtest.h>
+
+#include "contracts/auction.h"
+#include "contracts/voting.h"
+#include "harness/orderless_net.h"
+
+namespace orderless {
+namespace {
+
+using core::TxOutcome;
+
+harness::OrderlessNetConfig FastConfig(std::uint32_t orgs, std::uint32_t q,
+                                       std::uint32_t clients) {
+  harness::OrderlessNetConfig config;
+  config.num_orgs = orgs;
+  config.num_clients = clients;
+  config.policy = core::EndorsementPolicy{q, orgs};
+  config.net.one_way_latency = sim::Ms(5);
+  config.net.jitter_stddev_ms = 0.5;
+  // Aggressive gossip so convergence completes within short test runs.
+  config.org_timing.gossip_interval = sim::Ms(200);
+  config.org_timing.gossip_fanout = orgs > 1 ? orgs - 1 : 1;
+  config.org_timing.gossip_rounds = 3;
+  config.org_timing.antientropy_interval = sim::Sec(2);
+  config.seed = 12345;
+  return config;
+}
+
+std::unique_ptr<harness::OrderlessNet> MakeVotingNet(std::uint32_t orgs,
+                                                     std::uint32_t q,
+                                                     std::uint32_t clients) {
+  auto net = std::make_unique<harness::OrderlessNet>(FastConfig(orgs, q, clients));
+  net->RegisterContract(std::make_shared<contracts::VotingContract>());
+  net->RegisterContract(std::make_shared<contracts::AuctionContract>());
+  net->Start();
+  return net;
+}
+
+std::vector<crdt::Value> VoteArgs(std::int64_t party, std::int64_t parties = 4) {
+  return {crdt::Value("e1"), crdt::Value(party), crdt::Value(parties)};
+}
+
+TEST(Integration, VoteCommitsWithReceipts) {
+  auto net = MakeVotingNet(4, 2, 1);
+  TxOutcome outcome;
+  bool done = false;
+  net->client(0).SubmitModify("voting", "Vote", VoteArgs(1),
+                              [&](const TxOutcome& o) {
+                                outcome = o;
+                                done = true;
+                              });
+  net->simulation().RunUntil(sim::Sec(5));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(outcome.committed);
+  EXPECT_FALSE(outcome.rejected);
+  EXPECT_GT(outcome.latency, sim::Ms(10));  // at least two rounds
+  EXPECT_GT(outcome.phase1, 0u);
+  EXPECT_GT(outcome.phase2, 0u);
+}
+
+TEST(Integration, GossipSpreadsToEveryOrganization) {
+  auto net = MakeVotingNet(4, 2, 1);
+  bool committed = false;
+  net->client(0).SubmitModify("voting", "Vote", VoteArgs(0),
+                              [&](const TxOutcome& o) {
+                                committed = o.committed;
+                              });
+  net->simulation().RunUntil(sim::Sec(8));
+  ASSERT_TRUE(committed);
+  // Only q=2 organizations got the commit from the client; gossip must have
+  // spread it to all four (eventual delivery).
+  for (std::size_t i = 0; i < net->org_count(); ++i) {
+    EXPECT_EQ(net->org(i).ledger().committed_valid(), 1u) << "org " << i;
+  }
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_TRUE(net->StateConverged(
+        contracts::VotingContract::PartyObject("e1", p)));
+  }
+}
+
+TEST(Integration, MaximallyOneVotePerVoterInvariant) {
+  auto net = MakeVotingNet(4, 2, 1);
+  int commits = 0;
+  auto count = [&commits](const TxOutcome& o) {
+    if (o.committed) ++commits;
+  };
+  // The voter votes party 1, then switches to party 3.
+  net->client(0).SubmitModify("voting", "Vote", VoteArgs(1), count);
+  net->simulation().RunUntil(sim::Sec(2));
+  net->client(0).SubmitModify("voting", "Vote", VoteArgs(3), count);
+  net->simulation().RunUntil(sim::Sec(10));
+  ASSERT_EQ(commits, 2);
+
+  // On every organization exactly one vote exists, and it is for party 3.
+  for (std::size_t i = 0; i < net->org_count(); ++i) {
+    class OrgCtx final : public core::ReadContext {
+     public:
+      explicit OrgCtx(const core::Organization& org) : org_(org) {}
+      crdt::ReadResult ReadObject(
+          const std::string& id,
+          const std::vector<std::string>& path) const override {
+        return org_.ReadState(id, path);
+      }
+      const core::Organization& org_;
+    } ctx(net->org(i));
+    std::int64_t total = 0;
+    for (std::int64_t p = 0; p < 4; ++p) {
+      const auto votes = contracts::VotingContract::CountVotes(ctx, "e1", p);
+      total += votes;
+      if (p == 3) {
+        EXPECT_EQ(votes, 1) << "org " << i;
+      } else {
+        EXPECT_EQ(votes, 0) << "org " << i << " party " << p;
+      }
+    }
+    EXPECT_EQ(total, 1) << "invariant violated on org " << i;
+  }
+}
+
+TEST(Integration, ReadReflectsCommittedState) {
+  auto net = MakeVotingNet(4, 2, 1);
+  bool voted = false;
+  net->client(0).SubmitModify("voting", "Vote", VoteArgs(2),
+                              [&voted](const TxOutcome& o) {
+                                voted = o.committed;
+                              });
+  net->simulation().RunUntil(sim::Sec(8));
+  ASSERT_TRUE(voted);
+
+  crdt::Value read_value;
+  bool read_done = false;
+  net->client(0).SubmitRead(
+      "voting", "ReadVoteCount",
+      {crdt::Value("e1"), crdt::Value(std::int64_t{2})},
+      [&](const TxOutcome& o) {
+        read_done = o.committed && o.read;
+        read_value = o.read_value;
+      });
+  net->simulation().RunUntil(sim::Sec(12));
+  ASSERT_TRUE(read_done);
+  EXPECT_EQ(read_value, crdt::Value(std::int64_t{1}));
+}
+
+TEST(Integration, ConcurrentAuctionBidsConverge) {
+  auto net = MakeVotingNet(4, 2, 3);
+  int commits = 0;
+  auto count = [&commits](const TxOutcome& o) {
+    if (o.committed) ++commits;
+  };
+  net->client(0).SubmitModify(
+      "auction", "Bid", {crdt::Value("a1"), crdt::Value(std::int64_t{10})},
+      count);
+  net->client(1).SubmitModify(
+      "auction", "Bid", {crdt::Value("a1"), crdt::Value(std::int64_t{30})},
+      count);
+  net->client(2).SubmitModify(
+      "auction", "Bid", {crdt::Value("a1"), crdt::Value(std::int64_t{20})},
+      count);
+  net->simulation().RunUntil(sim::Sec(8));
+  ASSERT_EQ(commits, 3);
+  EXPECT_TRUE(net->StateConverged(
+      contracts::AuctionContract::AuctionObject("a1")));
+  // Highest bid is visible at every organization.
+  for (std::size_t i = 0; i < net->org_count(); ++i) {
+    const auto bid = net->org(i).ReadState(
+        contracts::AuctionContract::AuctionObject("a1"),
+        {contracts::AuctionContract::BidderKey(net->client(1).key())});
+    EXPECT_EQ(bid.counter, 30) << "org " << i;
+  }
+}
+
+TEST(Integration, ByzantineClientTamperingIsRejectedEverywhere) {
+  auto net = MakeVotingNet(4, 2, 2);
+  core::ByzantineClientBehavior evil;
+  evil.active = true;
+  evil.tamper_writeset = true;
+  net->client(0).SetByzantine(evil);
+
+  TxOutcome outcome;
+  bool done = false;
+  net->client(0).SubmitModify("voting", "Vote", VoteArgs(1),
+                              [&](const TxOutcome& o) {
+                                outcome = o;
+                                done = true;
+                              });
+  net->simulation().RunUntil(sim::Sec(8));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(outcome.rejected);
+  EXPECT_FALSE(outcome.committed);
+  // Safety: no organization applied the tampered write-set.
+  for (std::size_t i = 0; i < net->org_count(); ++i) {
+    EXPECT_EQ(net->org(i).ledger().committed_valid(), 0u);
+    for (int p = 0; p < 4; ++p) {
+      EXPECT_FALSE(
+          net->org(i)
+              .ReadState(contracts::VotingContract::PartyObject("e1", p))
+              .exists);
+    }
+  }
+  // The invalid transaction is bookkept on the log of contacted orgs.
+  std::uint64_t invalid_total = 0;
+  for (std::size_t i = 0; i < net->org_count(); ++i) {
+    invalid_total += net->org(i).ledger().committed_invalid();
+  }
+  EXPECT_GE(invalid_total, 1u);
+}
+
+TEST(Integration, ByzantinePartialCommitStillSpreadsViaGossip) {
+  auto net = MakeVotingNet(4, 2, 1);
+  core::ByzantineClientBehavior lazy;
+  lazy.active = true;
+  lazy.partial_commit = true;  // sends the commit to one organization only
+  net->client(0).SetByzantine(lazy);
+
+  bool done = false;
+  net->client(0).SubmitModify("voting", "Vote", VoteArgs(0),
+                              [&done](const TxOutcome& o) {
+                                done = o.committed;
+                              });
+  net->simulation().RunUntil(sim::Sec(10));
+  ASSERT_TRUE(done);
+  // Eventual delivery: all organizations committed it regardless.
+  for (std::size_t i = 0; i < net->org_count(); ++i) {
+    EXPECT_EQ(net->org(i).ledger().committed_valid(), 1u) << "org " << i;
+  }
+}
+
+TEST(Integration, ByzantineClientInconsistentClocksCannotFormTransaction) {
+  auto net = MakeVotingNet(4, 2, 1);
+  core::ByzantineClientBehavior evil;
+  evil.active = true;
+  evil.inconsistent_clocks = true;
+  net->client(0).SetByzantine(evil);
+
+  TxOutcome outcome;
+  bool done = false;
+  net->client(0).SubmitModify("voting", "Vote", VoteArgs(1),
+                              [&](const TxOutcome& o) {
+                                outcome = o;
+                                done = true;
+                              });
+  net->simulation().RunUntil(sim::Sec(12));
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(outcome.committed);
+  for (std::size_t i = 0; i < net->org_count(); ++i) {
+    EXPECT_EQ(net->org(i).ledger().committed_valid(), 0u);
+  }
+}
+
+TEST(Integration, ByzantineOrgWrongEndorsementFailsClosedWithoutRetry) {
+  auto config = FastConfig(4, 2, 1);
+  config.client_timing.max_attempts = 1;
+  config.client_timing.endorse_timeout = sim::Sec(2);
+  auto net = std::make_unique<harness::OrderlessNet>(config);
+  net->RegisterContract(std::make_shared<contracts::VotingContract>());
+  net->Start();
+
+  // Every organization the client could pick is honest except two that
+  // always mis-endorse; with q=2 of 4 some submissions hit a Byzantine org.
+  core::ByzantineOrgBehavior evil;
+  evil.active = true;
+  evil.ignore_proposal_prob = 0.0;
+  evil.wrong_endorse_prob = 1.0;
+  evil.ignore_commit_prob = 0.0;
+  net->org(0).SetByzantine(evil);
+  net->org(1).SetByzantine(evil);
+
+  int committed = 0;
+  int failed = 0;
+  for (int i = 0; i < 20; ++i) {
+    net->client(0).SubmitModify("voting", "Vote", VoteArgs(i % 4),
+                                [&](const TxOutcome& o) {
+                                  if (o.committed) {
+                                    ++committed;
+                                  } else {
+                                    ++failed;
+                                  }
+                                });
+    net->simulation().RunUntil(net->simulation().now() + sim::Ms(400));
+  }
+  net->simulation().RunUntil(net->simulation().now() + sim::Sec(6));
+  EXPECT_EQ(committed + failed, 20);
+  EXPECT_GT(failed, 0);     // Byzantine endorsements break some transactions
+  EXPECT_GT(committed, 0);  // picks that avoid them still work
+  // Safety: nothing invalid was ever applied. Each committed vote wrote
+  // identical state everywhere it reached.
+  for (std::size_t i = 0; i < net->org_count(); ++i) {
+    EXPECT_EQ(net->org(i).rejected_transactions(), 0u);
+  }
+}
+
+TEST(Integration, ClientAvoidanceRecoversThroughput) {
+  auto config = FastConfig(8, 2, 1);
+  config.client_timing.max_attempts = 3;
+  config.client_timing.avoid_byzantine = true;
+  config.client_timing.endorse_timeout = sim::Ms(800);
+  auto net = std::make_unique<harness::OrderlessNet>(config);
+  net->RegisterContract(std::make_shared<contracts::VotingContract>());
+  net->Start();
+
+  core::ByzantineOrgBehavior evil;
+  evil.active = true;
+  evil.ignore_proposal_prob = 1.0;  // silent org
+  net->org(0).SetByzantine(evil);
+  net->org(1).SetByzantine(evil);
+
+  int committed = 0;
+  for (int i = 0; i < 15; ++i) {
+    net->client(0).SubmitModify("voting", "Vote", VoteArgs(i % 4),
+                                [&](const TxOutcome& o) {
+                                  if (o.committed) ++committed;
+                                });
+    net->simulation().RunUntil(net->simulation().now() + sim::Ms(300));
+  }
+  net->simulation().RunUntil(net->simulation().now() + sim::Sec(10));
+  // With retry + avoidance every transaction eventually commits, and the
+  // Byzantine organizations end up blacklisted.
+  EXPECT_EQ(committed, 15);
+  EXPECT_GE(net->client(0).suspected_orgs().size(), 1u);
+}
+
+TEST(Integration, PartitionHealsAndStatesMerge) {
+  // Clients retry with avoidance until they find the q reachable
+  // organizations inside their partition (availability per §3's CAP
+  // discussion requires q organizations per partition).
+  auto config = FastConfig(4, 2, 2);
+  config.client_timing.max_attempts = 8;
+  config.client_timing.avoid_byzantine = true;
+  config.client_timing.endorse_timeout = sim::Ms(400);
+  config.client_timing.commit_timeout = sim::Ms(400);
+  auto net = std::make_unique<harness::OrderlessNet>(config);
+  net->RegisterContract(std::make_shared<contracts::VotingContract>());
+  net->Start();
+  // Partition: orgs {0,1} + client0 vs orgs {2,3} + client1. Each side has
+  // q=2 organizations, so both stay available (CAP discussion, §3).
+  net->network().SetPartition(net->org_node(0), 1);
+  net->network().SetPartition(net->org_node(1), 1);
+  net->network().SetPartition(net->client(0).node(), 1);
+  net->network().SetPartition(net->org_node(2), 2);
+  net->network().SetPartition(net->org_node(3), 2);
+  net->network().SetPartition(net->client(1).node(), 2);
+
+  int commits = 0;
+  auto count = [&commits](const TxOutcome& o) {
+    if (o.committed) ++commits;
+  };
+  net->client(0).SubmitModify("voting", "Vote", VoteArgs(0), count);
+  net->client(1).SubmitModify("voting", "Vote", VoteArgs(2), count);
+  net->simulation().RunUntil(sim::Sec(5));
+  EXPECT_EQ(commits, 2);  // both partitions stayed available
+
+  // Heal; gossip merges both histories everywhere.
+  net->network().HealPartitions();
+  net->simulation().RunUntil(sim::Sec(20));
+  for (std::size_t i = 0; i < net->org_count(); ++i) {
+    EXPECT_EQ(net->org(i).ledger().committed_valid(), 2u) << "org " << i;
+  }
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_TRUE(net->StateConverged(
+        contracts::VotingContract::PartyObject("e1", p)));
+  }
+}
+
+TEST(Integration, DuplicatedAndDroppedMessagesAreHandled) {
+  auto config = FastConfig(4, 2, 1);
+  config.net.duplicate_probability = 0.3;
+  config.client_timing.max_attempts = 4;
+  config.client_timing.endorse_timeout = sim::Ms(800);
+  config.client_timing.commit_timeout = sim::Ms(800);
+  auto net = std::make_unique<harness::OrderlessNet>(config);
+  net->RegisterContract(std::make_shared<contracts::VotingContract>());
+  net->Start();
+
+  int commits = 0;
+  for (int i = 0; i < 10; ++i) {
+    net->client(0).SubmitModify("voting", "Vote", VoteArgs(i % 4),
+                                [&](const TxOutcome& o) {
+                                  if (o.committed) ++commits;
+                                });
+    net->simulation().RunUntil(net->simulation().now() + sim::Ms(300));
+  }
+  net->simulation().RunUntil(net->simulation().now() + sim::Sec(10));
+  EXPECT_EQ(commits, 10);
+  // Duplicates never double-commit: each org committed each tx at most once.
+  for (std::size_t i = 0; i < net->org_count(); ++i) {
+    EXPECT_LE(net->org(i).ledger().committed_valid(), 10u);
+  }
+}
+
+TEST(Integration, CorruptedCommitsAreRetransmitted) {
+  auto config = FastConfig(4, 2, 1);
+  config.net.corrupt_probability = 0.1;
+  config.client_timing.max_attempts = 5;
+  config.client_timing.endorse_timeout = sim::Ms(600);
+  config.client_timing.commit_timeout = sim::Ms(600);
+  auto net = std::make_unique<harness::OrderlessNet>(config);
+  net->RegisterContract(std::make_shared<contracts::VotingContract>());
+  net->Start();
+
+  int commits = 0;
+  int failures = 0;
+  for (int i = 0; i < 10; ++i) {
+    net->client(0).SubmitModify("voting", "Vote", VoteArgs(i % 4),
+                                [&](const TxOutcome& o) {
+                                  if (o.committed) {
+                                    ++commits;
+                                  } else {
+                                    ++failures;
+                                  }
+                                });
+    net->simulation().RunUntil(net->simulation().now() + sim::Ms(500));
+  }
+  net->simulation().RunUntil(net->simulation().now() + sim::Sec(15));
+  EXPECT_EQ(commits + failures, 10);
+  EXPECT_GT(commits, 6);  // retries beat a 10% corruption rate
+}
+
+TEST(Integration, Table3PhaseInstrumentation) {
+  auto net = MakeVotingNet(4, 2, 1);
+  bool done = false;
+  net->client(0).SubmitModify("voting", "Vote", VoteArgs(1),
+                              [&done](const TxOutcome& o) {
+                                done = o.committed;
+                              });
+  net->simulation().RunUntil(sim::Sec(5));
+  ASSERT_TRUE(done);
+  std::uint64_t endorsements = 0;
+  std::uint64_t commits = 0;
+  for (std::size_t i = 0; i < net->org_count(); ++i) {
+    endorsements += net->org(i).phase_stats().endorse_count;
+    commits += net->org(i).phase_stats().commit_count;
+    if (net->org(i).phase_stats().endorse_count > 0) {
+      EXPECT_GT(net->org(i).phase_stats().AvgEndorseMs(), 0.0);
+    }
+  }
+  EXPECT_EQ(endorsements, 2u);  // q endorsers
+  EXPECT_EQ(commits, 4u);       // everyone commits eventually
+}
+
+}  // namespace
+}  // namespace orderless

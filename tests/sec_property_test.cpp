@@ -1,0 +1,149 @@
+// System-level property test for Theorem 8.2 (SEC of the application world
+// state): a randomized mixed workload over a faulty network (message drops,
+// duplication, Byzantine clients) must leave every honest organization with
+// byte-identical state for every object once the network quiesces.
+#include <gtest/gtest.h>
+
+#include "contracts/auction.h"
+#include "contracts/filestore.h"
+#include "contracts/voting.h"
+#include "harness/orderless_net.h"
+
+namespace orderless {
+namespace {
+
+struct SecParams {
+  std::uint64_t seed;
+  std::uint32_t orgs;
+  std::uint32_t q;
+  double drop;
+  double duplicate;
+  bool byzantine_clients;
+};
+
+std::string SecName(const testing::TestParamInfo<SecParams>& info) {
+  const SecParams& p = info.param;
+  std::string name = "s" + std::to_string(p.seed) + "_n" +
+                     std::to_string(p.orgs) + "_q" + std::to_string(p.q) +
+                     (p.drop > 0 ? "_drop" : "") +
+                     (p.duplicate > 0 ? "_dup" : "") +
+                     (p.byzantine_clients ? "_byz" : "");
+  return name;
+}
+
+class SecProperty : public testing::TestWithParam<SecParams> {};
+
+TEST_P(SecProperty, HonestOrganizationsConverge) {
+  const SecParams& params = GetParam();
+
+  harness::OrderlessNetConfig config;
+  config.num_orgs = params.orgs;
+  config.num_clients = 10;
+  config.policy = core::EndorsementPolicy{params.q, params.orgs};
+  config.net.one_way_latency = sim::Ms(5);
+  config.net.jitter_stddev_ms = 0.5;
+  config.net.drop_probability = params.drop;
+  config.net.duplicate_probability = params.duplicate;
+  config.org_timing.gossip_interval = sim::Ms(250);
+  config.org_timing.gossip_fanout = params.orgs - 1;
+  config.org_timing.gossip_rounds = 4;
+  config.org_timing.antientropy_interval = sim::Sec(1);
+  config.client_timing.max_attempts = 4;
+  config.client_timing.endorse_timeout = sim::Ms(700);
+  config.client_timing.commit_timeout = sim::Ms(700);
+  config.seed = params.seed;
+  harness::OrderlessNet net(config);
+  net.RegisterContract(std::make_shared<contracts::VotingContract>());
+  net.RegisterContract(std::make_shared<contracts::AuctionContract>());
+  net.RegisterContract(std::make_shared<contracts::FileStoreContract>());
+  net.Start();
+
+  if (params.byzantine_clients) {
+    core::ByzantineClientBehavior byz;
+    byz.active = true;
+    byz.partial_commit = true;  // leaves lasting effects only via gossip
+    net.client(0).SetByzantine(byz);
+    core::ByzantineClientBehavior tamper;
+    tamper.active = true;
+    tamper.tamper_writeset = true;
+    net.client(1).SetByzantine(tamper);
+  }
+
+  // Random mixed workload.
+  Rng rng(params.seed * 1000 + 7);
+  int committed = 0;
+  auto count = [&committed](const core::TxOutcome& o) {
+    if (o.committed && !o.read) ++committed;
+  };
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t client = rng.NextBelow(net.client_count());
+    const double dice = rng.NextDouble();
+    if (dice < 0.45) {
+      net.client(client).SubmitModify(
+          "voting", "Vote",
+          {crdt::Value("e" + std::to_string(rng.NextBelow(2))),
+           crdt::Value(rng.NextInRange(0, 3)), crdt::Value(std::int64_t{4})},
+          count);
+    } else if (dice < 0.8) {
+      net.client(client).SubmitModify(
+          "auction", "Bid",
+          {crdt::Value("a" + std::to_string(rng.NextBelow(2))),
+           crdt::Value(rng.NextInRange(1, 9))},
+          count);
+    } else if (dice < 0.9) {
+      net.client(client).SubmitModify(
+          "filestore", "RegisterFile",
+          {crdt::Value("f" + std::to_string(rng.NextBelow(5))),
+           crdt::Value("d" + std::to_string(i))},
+          count);
+    } else {
+      net.client(client).SubmitModify(
+          "filestore", "DeleteFile",
+          {crdt::Value("f" + std::to_string(rng.NextBelow(5)))}, count);
+    }
+    net.simulation().RunUntil(net.simulation().now() + sim::Ms(120));
+  }
+  // Quiesce: gossip + anti-entropy repair everything that got through.
+  net.simulation().RunUntil(net.simulation().now() + sim::Sec(30));
+
+  EXPECT_GT(committed, 30);  // most of the workload made it
+
+  // Strong convergence of every object on every organization.
+  std::vector<std::string> objects;
+  for (int e = 0; e < 2; ++e) {
+    for (int p = 0; p < 4; ++p) {
+      objects.push_back(contracts::VotingContract::PartyObject(
+          "e" + std::to_string(e), p));
+    }
+  }
+  for (int a = 0; a < 2; ++a) {
+    objects.push_back(
+        contracts::AuctionContract::AuctionObject("a" + std::to_string(a)));
+  }
+  objects.push_back(contracts::FileStoreContract::kRegistryObject);
+
+  for (const std::string& object : objects) {
+    EXPECT_TRUE(net.StateConverged(object)) << object;
+  }
+
+  // Eventual delivery: every org committed the same number of transactions.
+  const std::uint64_t reference = net.org(0).ledger().committed_valid();
+  for (std::size_t i = 1; i < net.org_count(); ++i) {
+    EXPECT_EQ(net.org(i).ledger().committed_valid(), reference) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SecProperty,
+    testing::Values(SecParams{1, 4, 2, 0.0, 0.0, false},
+                    SecParams{2, 4, 2, 0.0, 0.3, false},
+                    SecParams{3, 4, 2, 0.05, 0.0, false},
+                    SecParams{4, 8, 4, 0.0, 0.0, false},
+                    SecParams{5, 8, 4, 0.05, 0.2, false},
+                    SecParams{6, 4, 2, 0.0, 0.0, true},
+                    SecParams{7, 8, 4, 0.05, 0.2, true},
+                    SecParams{8, 6, 3, 0.02, 0.1, true}),
+    SecName);
+
+}  // namespace
+}  // namespace orderless

@@ -1,0 +1,199 @@
+// Tests for the RGA sequence CRDT: document ordering, concurrent inserts,
+// removals, convergence under permutation, serialization, and merge.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crdt/object.h"
+#include "crdt/sequence_node.h"
+
+namespace orderless::crdt {
+namespace {
+
+Operation SeqInsert(std::optional<OpId> anchor, Value value,
+                    std::uint64_t client, std::uint64_t counter,
+                    std::uint32_t seq = 0) {
+  Operation op;
+  op.object_id = "doc";
+  op.object_type = CrdtType::kSequence;
+  op.path = {anchor ? SequenceNode::AnchorSegment(*anchor)
+                    : SequenceNode::AnchorRootSegment()};
+  op.kind = OpKind::kInsertValue;
+  op.value_type = CrdtType::kSequence;
+  op.value = std::move(value);
+  op.clock = clk::OpClock{client, counter};
+  op.seq = seq;
+  return op;
+}
+
+Operation SeqRemove(const OpId& element, std::uint64_t client,
+                    std::uint64_t counter) {
+  Operation op;
+  op.object_id = "doc";
+  op.object_type = CrdtType::kSequence;
+  op.path = {SequenceNode::ElementSegment(element)};
+  op.kind = OpKind::kRemoveValue;
+  op.value_type = CrdtType::kSequence;
+  op.clock = clk::OpClock{client, counter};
+  return op;
+}
+
+std::vector<Value> Read(const CrdtObject& obj) { return obj.Read().values; }
+
+TEST(Sequence, AppendByChaining) {
+  CrdtObject doc("doc", CrdtType::kSequence);
+  const Operation h = SeqInsert(std::nullopt, Value("H"), 1, 1);
+  const Operation e = SeqInsert(h.id(), Value("e"), 1, 2);
+  const Operation y = SeqInsert(e.id(), Value("y"), 1, 3);
+  doc.ApplyOperations({h, e, y});
+  EXPECT_EQ(Read(doc), (std::vector<Value>{Value("H"), Value("e"), Value("y")}));
+}
+
+TEST(Sequence, InsertInTheMiddle) {
+  CrdtObject doc("doc", CrdtType::kSequence);
+  const Operation a = SeqInsert(std::nullopt, Value("a"), 1, 1);
+  const Operation c = SeqInsert(a.id(), Value("c"), 1, 2);
+  const Operation b = SeqInsert(a.id(), Value("b"), 1, 3);  // between a and c
+  doc.ApplyOperations({a, c, b});
+  // RGA: the newer insert at the same anchor sits closer to the anchor.
+  EXPECT_EQ(Read(doc), (std::vector<Value>{Value("a"), Value("b"), Value("c")}));
+}
+
+TEST(Sequence, ConcurrentInsertsDeterministicOrder) {
+  const Operation a = SeqInsert(std::nullopt, Value("a"), 1, 1);
+  const Operation x = SeqInsert(a.id(), Value("x"), 2, 1);  // concurrent
+  const Operation y = SeqInsert(a.id(), Value("y"), 3, 1);  // concurrent
+  CrdtObject d1("doc", CrdtType::kSequence);
+  d1.ApplyOperations({a, x, y});
+  CrdtObject d2("doc", CrdtType::kSequence);
+  d2.ApplyOperations({y, x, a});  // reversed delivery
+  EXPECT_EQ(Read(d1), Read(d2));
+  EXPECT_EQ(Read(d1).size(), 3u);
+  EXPECT_EQ(Read(d1)[0], Value("a"));
+}
+
+TEST(Sequence, RemoveTombstonesElement) {
+  CrdtObject doc("doc", CrdtType::kSequence);
+  const Operation a = SeqInsert(std::nullopt, Value("a"), 1, 1);
+  const Operation b = SeqInsert(a.id(), Value("b"), 1, 2);
+  doc.ApplyOperations({a, b, SeqRemove(a.id(), 1, 3)});
+  // 'a' is gone but 'b' (anchored on it) stays in place.
+  EXPECT_EQ(Read(doc), (std::vector<Value>{Value("b")}));
+}
+
+TEST(Sequence, RemoveBeforeInsertArrivesConverges) {
+  const Operation a = SeqInsert(std::nullopt, Value("a"), 1, 1);
+  const Operation rm = SeqRemove(a.id(), 2, 1);
+  CrdtObject d1("doc", CrdtType::kSequence);
+  d1.ApplyOperations({a, rm});
+  CrdtObject d2("doc", CrdtType::kSequence);
+  d2.ApplyOperations({rm, a});  // remove delivered first
+  EXPECT_EQ(d1.EncodeState(), d2.EncodeState());
+  EXPECT_TRUE(Read(d1).empty());
+}
+
+TEST(Sequence, OrphanAppearsOnceAnchorArrives) {
+  const Operation a = SeqInsert(std::nullopt, Value("a"), 1, 1);
+  const Operation b = SeqInsert(a.id(), Value("b"), 1, 2);
+  CrdtObject doc("doc", CrdtType::kSequence);
+  doc.ApplyOperations({b});  // anchor missing: not visible yet
+  EXPECT_TRUE(Read(doc).empty());
+  doc.ApplyOperations({a});
+  EXPECT_EQ(Read(doc), (std::vector<Value>{Value("a"), Value("b")}));
+}
+
+TEST(Sequence, RandomPermutationsConverge) {
+  Rng rng(2024);
+  // Build a random but causally sensible editing history.
+  std::vector<Operation> ops;
+  std::vector<OpId> ids;
+  for (std::uint64_t c = 1; c <= 4; ++c) {
+    for (std::uint64_t n = 1; n <= 12; ++n) {
+      if (!ids.empty() && rng.NextBool(0.2)) {
+        ops.push_back(SeqRemove(ids[rng.NextBelow(ids.size())], c, n));
+      } else {
+        std::optional<OpId> anchor;
+        if (!ids.empty() && rng.NextBool(0.8)) {
+          anchor = ids[rng.NextBelow(ids.size())];
+        }
+        Operation op = SeqInsert(anchor,
+                                 Value("c" + std::to_string(c) + "n" +
+                                       std::to_string(n)),
+                                 c, n);
+        ids.push_back(op.id());
+        ops.push_back(std::move(op));
+      }
+    }
+  }
+  CrdtObject reference("doc", CrdtType::kSequence);
+  reference.ApplyOperations(ops);
+  const Bytes reference_state = reference.EncodeState();
+  const auto reference_read = Read(reference);
+  for (int perm = 0; perm < 8; ++perm) {
+    std::vector<Operation> shuffled = ops;
+    rng.Shuffle(shuffled);
+    shuffled.push_back(shuffled[rng.NextBelow(shuffled.size())]);  // dup
+    CrdtObject replica("doc", CrdtType::kSequence);
+    replica.ApplyOperations(shuffled);
+    ASSERT_EQ(replica.EncodeState(), reference_state) << perm;
+    ASSERT_EQ(Read(replica), reference_read) << perm;
+  }
+}
+
+TEST(Sequence, SerializationRoundtrip) {
+  CrdtObject doc("doc", CrdtType::kSequence);
+  const Operation a = SeqInsert(std::nullopt, Value("a"), 1, 1);
+  const Operation b = SeqInsert(a.id(), Value("b"), 2, 1);
+  doc.ApplyOperations({a, b, SeqRemove(b.id(), 1, 2)});
+  const Bytes state = doc.EncodeState();
+  const auto decoded = CrdtObject::DecodeState("doc", BytesView(state));
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_TRUE(NodesEqual(doc.root(), decoded->root()));
+  EXPECT_EQ(decoded->Read().values, Read(doc));
+}
+
+TEST(Sequence, MergeEqualsUnion) {
+  const Operation a = SeqInsert(std::nullopt, Value("a"), 1, 1);
+  const Operation b = SeqInsert(a.id(), Value("b"), 2, 1);
+  const Operation c = SeqInsert(a.id(), Value("c"), 3, 1);
+  CrdtObject expected("doc", CrdtType::kSequence);
+  expected.ApplyOperations({a, b, c});
+  CrdtObject left("doc", CrdtType::kSequence);
+  left.ApplyOperations({a, b});
+  CrdtObject right("doc", CrdtType::kSequence);
+  right.ApplyOperations({a, c});
+  left.MergeState(right);
+  EXPECT_EQ(left.EncodeState(), expected.EncodeState());
+}
+
+TEST(Sequence, NestedInsideMap) {
+  // A sequence living under a map key ("documents/readme").
+  CrdtObject obj("m", CrdtType::kMap);
+  Operation a = SeqInsert(std::nullopt, Value("hello"), 1, 1);
+  a.object_id = "m";
+  a.object_type = CrdtType::kMap;
+  a.path = {"readme", a.path[0]};
+  Operation b = SeqInsert(a.id(), Value("world"), 1, 2);
+  b.object_id = "m";
+  b.object_type = CrdtType::kMap;
+  b.path = {"readme", b.path[0]};
+  obj.ApplyOperations({a, b});
+  const ReadResult r = obj.Read({"readme"});
+  ASSERT_TRUE(r.exists);
+  EXPECT_EQ(r.values, (std::vector<Value>{Value("hello"), Value("world")}));
+  EXPECT_EQ(obj.Read().keys, (std::vector<std::string>{"readme"}));
+}
+
+TEST(Sequence, MalformedSegmentsIgnored) {
+  CrdtObject doc("doc", CrdtType::kSequence);
+  Operation bad = SeqInsert(std::nullopt, Value("x"), 1, 1);
+  bad.path = {"a:not.a.valid?.id"};
+  EXPECT_FALSE(doc.ApplyOperation(bad));
+  bad.path = {"zz"};
+  EXPECT_FALSE(doc.ApplyOperation(bad));
+  bad.path = {};
+  EXPECT_FALSE(doc.ApplyOperation(bad));
+  EXPECT_TRUE(Read(doc).empty());
+}
+
+}  // namespace
+}  // namespace orderless::crdt
