@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_cache.cpp" "bench/CMakeFiles/ablation_cache.dir/ablation_cache.cpp.o" "gcc" "bench/CMakeFiles/ablation_cache.dir/ablation_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/orderless_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/contracts/CMakeFiles/orderless_contracts.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabriccrdt/CMakeFiles/orderless_fabriccrdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/bidl/CMakeFiles/orderless_bidl.dir/DependInfo.cmake"
+  "/root/repo/build/src/synchotstuff/CMakeFiles/orderless_synchotstuff.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/orderless_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/orderless_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/orderless_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/orderless_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/crdt/CMakeFiles/orderless_crdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/orderless_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/orderless_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/orderless_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/orderless_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

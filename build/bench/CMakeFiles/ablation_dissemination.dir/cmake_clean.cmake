@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dissemination.dir/ablation_dissemination.cpp.o"
+  "CMakeFiles/ablation_dissemination.dir/ablation_dissemination.cpp.o.d"
+  "ablation_dissemination"
+  "ablation_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg11_12_byzantine_clients.dir/cfg11_12_byzantine_clients.cpp.o"
+  "CMakeFiles/cfg11_12_byzantine_clients.dir/cfg11_12_byzantine_clients.cpp.o.d"
+  "cfg11_12_byzantine_clients"
+  "cfg11_12_byzantine_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg11_12_byzantine_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

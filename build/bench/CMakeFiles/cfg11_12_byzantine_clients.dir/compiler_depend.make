@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cfg11_12_byzantine_clients.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for cfg11_12_byzantine_clients.
+# This may be replaced when dependencies are built.

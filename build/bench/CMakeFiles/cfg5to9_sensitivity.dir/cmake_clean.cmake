@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg5to9_sensitivity.dir/cfg5to9_sensitivity.cpp.o"
+  "CMakeFiles/cfg5to9_sensitivity.dir/cfg5to9_sensitivity.cpp.o.d"
+  "cfg5to9_sensitivity"
+  "cfg5to9_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg5to9_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cfg5to9_sensitivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for cfg5to9_sensitivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_vs_bidl_hotstuff.dir/fig10_vs_bidl_hotstuff.cpp.o"
+  "CMakeFiles/fig10_vs_bidl_hotstuff.dir/fig10_vs_bidl_hotstuff.cpp.o.d"
+  "fig10_vs_bidl_hotstuff"
+  "fig10_vs_bidl_hotstuff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vs_bidl_hotstuff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_arrival_rate.dir/fig6a_arrival_rate.cpp.o"
+  "CMakeFiles/fig6a_arrival_rate.dir/fig6a_arrival_rate.cpp.o.d"
+  "fig6a_arrival_rate"
+  "fig6a_arrival_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_arrival_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_num_orgs.dir/fig6b_num_orgs.cpp.o"
+  "CMakeFiles/fig6b_num_orgs.dir/fig6b_num_orgs.cpp.o.d"
+  "fig6b_num_orgs"
+  "fig6b_num_orgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_num_orgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_endorsement_policy.dir/fig6c_endorsement_policy.cpp.o"
+  "CMakeFiles/fig6c_endorsement_policy.dir/fig6c_endorsement_policy.cpp.o.d"
+  "fig6c_endorsement_policy"
+  "fig6c_endorsement_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_endorsement_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6d_num_objects.dir/fig6d_num_objects.cpp.o"
+  "CMakeFiles/fig6d_num_objects.dir/fig6d_num_objects.cpp.o.d"
+  "fig6d_num_objects"
+  "fig6d_num_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6d_num_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

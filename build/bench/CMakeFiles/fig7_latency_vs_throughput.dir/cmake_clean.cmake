@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_latency_vs_throughput.dir/fig7_latency_vs_throughput.cpp.o"
+  "CMakeFiles/fig7_latency_vs_throughput.dir/fig7_latency_vs_throughput.cpp.o.d"
+  "fig7_latency_vs_throughput"
+  "fig7_latency_vs_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_latency_vs_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

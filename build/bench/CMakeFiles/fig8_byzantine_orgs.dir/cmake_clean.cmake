@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_byzantine_orgs.dir/fig8_byzantine_orgs.cpp.o"
+  "CMakeFiles/fig8_byzantine_orgs.dir/fig8_byzantine_orgs.cpp.o.d"
+  "fig8_byzantine_orgs"
+  "fig8_byzantine_orgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_byzantine_orgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_vs_fabric.dir/fig9_vs_fabric.cpp.o"
+  "CMakeFiles/fig9_vs_fabric.dir/fig9_vs_fabric.cpp.o.d"
+  "fig9_vs_fabric"
+  "fig9_vs_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_vs_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_crdt.dir/micro_crdt.cpp.o"
+  "CMakeFiles/micro_crdt.dir/micro_crdt.cpp.o.d"
+  "micro_crdt"
+  "micro_crdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_crdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_minilevel.dir/micro_minilevel.cpp.o"
+  "CMakeFiles/micro_minilevel.dir/micro_minilevel.cpp.o.d"
+  "micro_minilevel"
+  "micro_minilevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_minilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collab_editor.dir/collab_editor.cpp.o"
+  "CMakeFiles/collab_editor.dir/collab_editor.cpp.o.d"
+  "collab_editor"
+  "collab_editor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collab_editor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

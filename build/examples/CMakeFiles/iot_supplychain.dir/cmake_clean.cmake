@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_supplychain.dir/iot_supplychain.cpp.o"
+  "CMakeFiles/iot_supplychain.dir/iot_supplychain.cpp.o.d"
+  "iot_supplychain"
+  "iot_supplychain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_supplychain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voting_election.dir/voting_election.cpp.o"
+  "CMakeFiles/voting_election.dir/voting_election.cpp.o.d"
+  "voting_election"
+  "voting_election.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voting_election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("codec")
+subdirs("crypto")
+subdirs("clock")
+subdirs("crdt")
+subdirs("sim")
+subdirs("ledger")
+subdirs("core")
+subdirs("contracts")
+subdirs("fabric")
+subdirs("fabriccrdt")
+subdirs("bidl")
+subdirs("synchotstuff")
+subdirs("harness")

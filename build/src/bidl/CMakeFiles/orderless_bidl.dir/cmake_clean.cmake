@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderless_bidl.dir/bidl.cpp.o"
+  "CMakeFiles/orderless_bidl.dir/bidl.cpp.o.d"
+  "CMakeFiles/orderless_bidl.dir/net.cpp.o"
+  "CMakeFiles/orderless_bidl.dir/net.cpp.o.d"
+  "liborderless_bidl.a"
+  "liborderless_bidl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderless_bidl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

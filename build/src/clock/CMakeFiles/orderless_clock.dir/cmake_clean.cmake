@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderless_clock.dir/logical_clock.cpp.o"
+  "CMakeFiles/orderless_clock.dir/logical_clock.cpp.o.d"
+  "CMakeFiles/orderless_clock.dir/vector_clock.cpp.o"
+  "CMakeFiles/orderless_clock.dir/vector_clock.cpp.o.d"
+  "liborderless_clock.a"
+  "liborderless_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderless_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

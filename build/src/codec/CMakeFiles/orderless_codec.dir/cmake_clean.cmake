@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderless_codec.dir/codec.cpp.o"
+  "CMakeFiles/orderless_codec.dir/codec.cpp.o.d"
+  "liborderless_codec.a"
+  "liborderless_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderless_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

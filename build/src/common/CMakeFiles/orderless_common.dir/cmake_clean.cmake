@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderless_common.dir/bytes.cpp.o"
+  "CMakeFiles/orderless_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/orderless_common.dir/log.cpp.o"
+  "CMakeFiles/orderless_common.dir/log.cpp.o.d"
+  "CMakeFiles/orderless_common.dir/rng.cpp.o"
+  "CMakeFiles/orderless_common.dir/rng.cpp.o.d"
+  "CMakeFiles/orderless_common.dir/status.cpp.o"
+  "CMakeFiles/orderless_common.dir/status.cpp.o.d"
+  "liborderless_common.a"
+  "liborderless_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderless_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

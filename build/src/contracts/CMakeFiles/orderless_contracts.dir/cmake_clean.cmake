@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderless_contracts.dir/auction.cpp.o"
+  "CMakeFiles/orderless_contracts.dir/auction.cpp.o.d"
+  "CMakeFiles/orderless_contracts.dir/filestore.cpp.o"
+  "CMakeFiles/orderless_contracts.dir/filestore.cpp.o.d"
+  "CMakeFiles/orderless_contracts.dir/supplychain.cpp.o"
+  "CMakeFiles/orderless_contracts.dir/supplychain.cpp.o.d"
+  "CMakeFiles/orderless_contracts.dir/synthetic.cpp.o"
+  "CMakeFiles/orderless_contracts.dir/synthetic.cpp.o.d"
+  "CMakeFiles/orderless_contracts.dir/voting.cpp.o"
+  "CMakeFiles/orderless_contracts.dir/voting.cpp.o.d"
+  "liborderless_contracts.a"
+  "liborderless_contracts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderless_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderless_core.dir/client.cpp.o"
+  "CMakeFiles/orderless_core.dir/client.cpp.o.d"
+  "CMakeFiles/orderless_core.dir/contract.cpp.o"
+  "CMakeFiles/orderless_core.dir/contract.cpp.o.d"
+  "CMakeFiles/orderless_core.dir/org.cpp.o"
+  "CMakeFiles/orderless_core.dir/org.cpp.o.d"
+  "CMakeFiles/orderless_core.dir/transaction.cpp.o"
+  "CMakeFiles/orderless_core.dir/transaction.cpp.o.d"
+  "liborderless_core.a"
+  "liborderless_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderless_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

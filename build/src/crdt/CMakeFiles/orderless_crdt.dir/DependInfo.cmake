@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crdt/leaf_nodes.cpp" "src/crdt/CMakeFiles/orderless_crdt.dir/leaf_nodes.cpp.o" "gcc" "src/crdt/CMakeFiles/orderless_crdt.dir/leaf_nodes.cpp.o.d"
+  "/root/repo/src/crdt/map_node.cpp" "src/crdt/CMakeFiles/orderless_crdt.dir/map_node.cpp.o" "gcc" "src/crdt/CMakeFiles/orderless_crdt.dir/map_node.cpp.o.d"
+  "/root/repo/src/crdt/node.cpp" "src/crdt/CMakeFiles/orderless_crdt.dir/node.cpp.o" "gcc" "src/crdt/CMakeFiles/orderless_crdt.dir/node.cpp.o.d"
+  "/root/repo/src/crdt/object.cpp" "src/crdt/CMakeFiles/orderless_crdt.dir/object.cpp.o" "gcc" "src/crdt/CMakeFiles/orderless_crdt.dir/object.cpp.o.d"
+  "/root/repo/src/crdt/op.cpp" "src/crdt/CMakeFiles/orderless_crdt.dir/op.cpp.o" "gcc" "src/crdt/CMakeFiles/orderless_crdt.dir/op.cpp.o.d"
+  "/root/repo/src/crdt/sequence_node.cpp" "src/crdt/CMakeFiles/orderless_crdt.dir/sequence_node.cpp.o" "gcc" "src/crdt/CMakeFiles/orderless_crdt.dir/sequence_node.cpp.o.d"
+  "/root/repo/src/crdt/value.cpp" "src/crdt/CMakeFiles/orderless_crdt.dir/value.cpp.o" "gcc" "src/crdt/CMakeFiles/orderless_crdt.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/orderless_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/orderless_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/orderless_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/orderless_clock.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderless_crdt.dir/leaf_nodes.cpp.o"
+  "CMakeFiles/orderless_crdt.dir/leaf_nodes.cpp.o.d"
+  "CMakeFiles/orderless_crdt.dir/map_node.cpp.o"
+  "CMakeFiles/orderless_crdt.dir/map_node.cpp.o.d"
+  "CMakeFiles/orderless_crdt.dir/node.cpp.o"
+  "CMakeFiles/orderless_crdt.dir/node.cpp.o.d"
+  "CMakeFiles/orderless_crdt.dir/object.cpp.o"
+  "CMakeFiles/orderless_crdt.dir/object.cpp.o.d"
+  "CMakeFiles/orderless_crdt.dir/op.cpp.o"
+  "CMakeFiles/orderless_crdt.dir/op.cpp.o.d"
+  "CMakeFiles/orderless_crdt.dir/sequence_node.cpp.o"
+  "CMakeFiles/orderless_crdt.dir/sequence_node.cpp.o.d"
+  "CMakeFiles/orderless_crdt.dir/value.cpp.o"
+  "CMakeFiles/orderless_crdt.dir/value.cpp.o.d"
+  "liborderless_crdt.a"
+  "liborderless_crdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderless_crdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

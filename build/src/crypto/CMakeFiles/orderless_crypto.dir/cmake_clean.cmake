@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderless_crypto.dir/pki.cpp.o"
+  "CMakeFiles/orderless_crypto.dir/pki.cpp.o.d"
+  "CMakeFiles/orderless_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/orderless_crypto.dir/sha256.cpp.o.d"
+  "liborderless_crypto.a"
+  "liborderless_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderless_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

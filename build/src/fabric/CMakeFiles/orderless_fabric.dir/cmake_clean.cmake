@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderless_fabric.dir/apps.cpp.o"
+  "CMakeFiles/orderless_fabric.dir/apps.cpp.o.d"
+  "CMakeFiles/orderless_fabric.dir/client.cpp.o"
+  "CMakeFiles/orderless_fabric.dir/client.cpp.o.d"
+  "CMakeFiles/orderless_fabric.dir/net.cpp.o"
+  "CMakeFiles/orderless_fabric.dir/net.cpp.o.d"
+  "CMakeFiles/orderless_fabric.dir/orderer.cpp.o"
+  "CMakeFiles/orderless_fabric.dir/orderer.cpp.o.d"
+  "CMakeFiles/orderless_fabric.dir/peer.cpp.o"
+  "CMakeFiles/orderless_fabric.dir/peer.cpp.o.d"
+  "CMakeFiles/orderless_fabric.dir/state.cpp.o"
+  "CMakeFiles/orderless_fabric.dir/state.cpp.o.d"
+  "liborderless_fabric.a"
+  "liborderless_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderless_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

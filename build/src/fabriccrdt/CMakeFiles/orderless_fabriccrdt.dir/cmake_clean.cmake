@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderless_fabriccrdt.dir/apps.cpp.o"
+  "CMakeFiles/orderless_fabriccrdt.dir/apps.cpp.o.d"
+  "liborderless_fabriccrdt.a"
+  "liborderless_fabriccrdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderless_fabriccrdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderless_harness.dir/experiment.cpp.o"
+  "CMakeFiles/orderless_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/orderless_harness.dir/metrics.cpp.o"
+  "CMakeFiles/orderless_harness.dir/metrics.cpp.o.d"
+  "CMakeFiles/orderless_harness.dir/orderless_net.cpp.o"
+  "CMakeFiles/orderless_harness.dir/orderless_net.cpp.o.d"
+  "CMakeFiles/orderless_harness.dir/table.cpp.o"
+  "CMakeFiles/orderless_harness.dir/table.cpp.o.d"
+  "liborderless_harness.a"
+  "liborderless_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderless_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ledger/bloom.cpp" "src/ledger/CMakeFiles/orderless_ledger.dir/bloom.cpp.o" "gcc" "src/ledger/CMakeFiles/orderless_ledger.dir/bloom.cpp.o.d"
+  "/root/repo/src/ledger/cache.cpp" "src/ledger/CMakeFiles/orderless_ledger.dir/cache.cpp.o" "gcc" "src/ledger/CMakeFiles/orderless_ledger.dir/cache.cpp.o.d"
+  "/root/repo/src/ledger/hashchain.cpp" "src/ledger/CMakeFiles/orderless_ledger.dir/hashchain.cpp.o" "gcc" "src/ledger/CMakeFiles/orderless_ledger.dir/hashchain.cpp.o.d"
+  "/root/repo/src/ledger/kvstore.cpp" "src/ledger/CMakeFiles/orderless_ledger.dir/kvstore.cpp.o" "gcc" "src/ledger/CMakeFiles/orderless_ledger.dir/kvstore.cpp.o.d"
+  "/root/repo/src/ledger/ledger.cpp" "src/ledger/CMakeFiles/orderless_ledger.dir/ledger.cpp.o" "gcc" "src/ledger/CMakeFiles/orderless_ledger.dir/ledger.cpp.o.d"
+  "/root/repo/src/ledger/minilevel.cpp" "src/ledger/CMakeFiles/orderless_ledger.dir/minilevel.cpp.o" "gcc" "src/ledger/CMakeFiles/orderless_ledger.dir/minilevel.cpp.o.d"
+  "/root/repo/src/ledger/sstable.cpp" "src/ledger/CMakeFiles/orderless_ledger.dir/sstable.cpp.o" "gcc" "src/ledger/CMakeFiles/orderless_ledger.dir/sstable.cpp.o.d"
+  "/root/repo/src/ledger/wal.cpp" "src/ledger/CMakeFiles/orderless_ledger.dir/wal.cpp.o" "gcc" "src/ledger/CMakeFiles/orderless_ledger.dir/wal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/orderless_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/orderless_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/orderless_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/crdt/CMakeFiles/orderless_crdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/orderless_clock.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderless_ledger.dir/bloom.cpp.o"
+  "CMakeFiles/orderless_ledger.dir/bloom.cpp.o.d"
+  "CMakeFiles/orderless_ledger.dir/cache.cpp.o"
+  "CMakeFiles/orderless_ledger.dir/cache.cpp.o.d"
+  "CMakeFiles/orderless_ledger.dir/hashchain.cpp.o"
+  "CMakeFiles/orderless_ledger.dir/hashchain.cpp.o.d"
+  "CMakeFiles/orderless_ledger.dir/kvstore.cpp.o"
+  "CMakeFiles/orderless_ledger.dir/kvstore.cpp.o.d"
+  "CMakeFiles/orderless_ledger.dir/ledger.cpp.o"
+  "CMakeFiles/orderless_ledger.dir/ledger.cpp.o.d"
+  "CMakeFiles/orderless_ledger.dir/minilevel.cpp.o"
+  "CMakeFiles/orderless_ledger.dir/minilevel.cpp.o.d"
+  "CMakeFiles/orderless_ledger.dir/sstable.cpp.o"
+  "CMakeFiles/orderless_ledger.dir/sstable.cpp.o.d"
+  "CMakeFiles/orderless_ledger.dir/wal.cpp.o"
+  "CMakeFiles/orderless_ledger.dir/wal.cpp.o.d"
+  "liborderless_ledger.a"
+  "liborderless_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderless_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

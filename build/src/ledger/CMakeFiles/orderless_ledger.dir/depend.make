@@ -1,0 +1,2 @@
+# Empty dependencies file for orderless_ledger.
+# This may be replaced when dependencies are built.

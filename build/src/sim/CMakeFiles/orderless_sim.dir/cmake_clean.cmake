@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderless_sim.dir/network.cpp.o"
+  "CMakeFiles/orderless_sim.dir/network.cpp.o.d"
+  "CMakeFiles/orderless_sim.dir/processor.cpp.o"
+  "CMakeFiles/orderless_sim.dir/processor.cpp.o.d"
+  "CMakeFiles/orderless_sim.dir/simulation.cpp.o"
+  "CMakeFiles/orderless_sim.dir/simulation.cpp.o.d"
+  "liborderless_sim.a"
+  "liborderless_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderless_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liborderless_sim.a"
+)

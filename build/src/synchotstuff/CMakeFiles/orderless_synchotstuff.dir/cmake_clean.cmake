@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderless_synchotstuff.dir/net.cpp.o"
+  "CMakeFiles/orderless_synchotstuff.dir/net.cpp.o.d"
+  "CMakeFiles/orderless_synchotstuff.dir/synchotstuff.cpp.o"
+  "CMakeFiles/orderless_synchotstuff.dir/synchotstuff.cpp.o.d"
+  "liborderless_synchotstuff.a"
+  "liborderless_synchotstuff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderless_synchotstuff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for orderless_synchotstuff.
+# This may be replaced when dependencies are built.

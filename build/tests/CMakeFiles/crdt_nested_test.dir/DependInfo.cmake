@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crdt_nested_test.cpp" "tests/CMakeFiles/crdt_nested_test.dir/crdt_nested_test.cpp.o" "gcc" "tests/CMakeFiles/crdt_nested_test.dir/crdt_nested_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crdt/CMakeFiles/orderless_crdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/orderless_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/orderless_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/orderless_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/orderless_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

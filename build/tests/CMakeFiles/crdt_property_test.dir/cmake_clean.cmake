@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crdt_property_test.dir/crdt_property_test.cpp.o"
+  "CMakeFiles/crdt_property_test.dir/crdt_property_test.cpp.o.d"
+  "crdt_property_test"
+  "crdt_property_test.pdb"
+  "crdt_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crdt_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

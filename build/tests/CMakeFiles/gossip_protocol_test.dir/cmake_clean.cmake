@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_protocol_test.dir/gossip_protocol_test.cpp.o"
+  "CMakeFiles/gossip_protocol_test.dir/gossip_protocol_test.cpp.o.d"
+  "gossip_protocol_test"
+  "gossip_protocol_test.pdb"
+  "gossip_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minilevel_test.dir/minilevel_test.cpp.o"
+  "CMakeFiles/minilevel_test.dir/minilevel_test.cpp.o.d"
+  "minilevel_test"
+  "minilevel_test.pdb"
+  "minilevel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minilevel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

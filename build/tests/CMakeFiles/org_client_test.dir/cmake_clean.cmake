@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/org_client_test.dir/org_client_test.cpp.o"
+  "CMakeFiles/org_client_test.dir/org_client_test.cpp.o.d"
+  "org_client_test"
+  "org_client_test.pdb"
+  "org_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/org_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec_property_test.dir/sec_property_test.cpp.o"
+  "CMakeFiles/sec_property_test.dir/sec_property_test.cpp.o.d"
+  "sec_property_test"
+  "sec_property_test.pdb"
+  "sec_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

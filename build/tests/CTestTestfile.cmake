@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/clock_test[1]_include.cmake")
+include("/root/repo/build/tests/crdt_test[1]_include.cmake")
+include("/root/repo/build/tests/crdt_property_test[1]_include.cmake")
+include("/root/repo/build/tests/ledger_test[1]_include.cmake")
+include("/root/repo/build/tests/minilevel_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/org_client_test[1]_include.cmake")
+include("/root/repo/build/tests/durability_test[1]_include.cmake")
+include("/root/repo/build/tests/sec_property_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_decode_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/crdt_nested_test[1]_include.cmake")
+include("/root/repo/build/tests/sequence_test[1]_include.cmake")
+include("/root/repo/build/tests/gossip_protocol_test[1]_include.cmake")
