@@ -1,0 +1,171 @@
+#include "chaos/invariants.h"
+
+#include <sstream>
+
+namespace orderless::chaos {
+
+namespace {
+constexpr std::size_t kMaxStoredViolations = 32;
+}  // namespace
+
+InvariantChecker::InvariantChecker(harness::OrderlessNet& net,
+                                   const Scenario& scenario)
+    : net_(net), scenario_(scenario) {
+  for (std::size_t i = 0; i < net_.org_count(); ++i) {
+    org_key_set_.insert(net_.org(i).key());
+  }
+}
+
+void InvariantChecker::InstallObservers() {
+  for (std::size_t i = 0; i < net_.org_count(); ++i) {
+    if (!net_.OrgRunning(i)) continue;
+    net_.org(i).SetCommitObserver(
+        [this, i](const core::Transaction& tx, core::TxVerdict verdict) {
+          ObserveCommit(i, tx, verdict);
+        });
+  }
+}
+
+void InvariantChecker::MarkOrgEverByzantine(std::size_t org_index) {
+  ever_byzantine_orgs_.insert(org_index);
+  ever_byzantine_org_keys_.insert(net_.org(org_index).key());
+}
+
+void InvariantChecker::MarkClientEverByzantine(std::size_t client_index) {
+  ever_byzantine_clients_.insert(client_index);
+}
+
+std::vector<std::size_t> InvariantChecker::HonestOrgs() const {
+  std::vector<std::size_t> honest;
+  for (std::size_t i = 0; i < net_.org_count(); ++i) {
+    if (!ever_byzantine_orgs_.contains(i)) honest.push_back(i);
+  }
+  return honest;
+}
+
+void InvariantChecker::AddViolation(std::string invariant, std::string detail) {
+  ++violations_total_;
+  if (violations_.size() < kMaxStoredViolations) {
+    violations_.push_back({std::move(invariant), std::move(detail)});
+  }
+}
+
+void InvariantChecker::ObserveCommit(std::size_t org_index,
+                                     const core::Transaction& tx,
+                                     core::TxVerdict verdict) {
+  ++commits_observed_;
+  const bool valid = verdict == core::TxVerdict::kValid;
+
+  // Commit-side validation is deterministic over the transaction bytes, so
+  // every organization must reach the same verdict for the same id.
+  const auto [it, inserted] = first_verdict_.emplace(tx.id, valid);
+  if (!inserted && it->second != valid) {
+    AddViolation("verdict-divergence",
+                 "tx " + tx.id.Hex().substr(0, 12) + " valid=" +
+                     (valid ? "1" : "0") + " at org " +
+                     std::to_string(org_index) +
+                     " contradicts an earlier commit");
+  }
+
+  if (!valid) return;
+
+  // Independent re-validation: a transaction an organization committed as
+  // valid must really carry q distinct, correctly-signed endorsements over
+  // exactly this write-set (Definition 3.2). Catches any commit that slipped
+  // through with too few endorsements or a tampered write-set.
+  const core::TxVerdict recheck = core::ValidateTransaction(
+      tx, net_.pki(), org_key_set_, net_.config().policy);
+  if (recheck != core::TxVerdict::kValid) {
+    AddViolation("invalid-commit",
+                 "org " + std::to_string(org_index) + " committed tx " +
+                     tx.id.Hex().substr(0, 12) + " as valid but revalidation says " +
+                     std::string(core::TxVerdictName(recheck)));
+  }
+
+  // Safety (Theorem 8.1): with q >= f+1 every valid quorum intersects the
+  // honest organizations, so a commit endorsed exclusively by organizations
+  // that were ever Byzantine means the policy's safety bound was violated.
+  if (!ever_byzantine_org_keys_.empty()) {
+    bool has_honest_endorser = false;
+    for (const core::Endorsement& endorsement : tx.endorsements) {
+      if (!ever_byzantine_org_keys_.contains(endorsement.org)) {
+        has_honest_endorser = true;
+        break;
+      }
+    }
+    if (!has_honest_endorser) {
+      AddViolation("byzantine-quorum",
+                   "tx " + tx.id.Hex().substr(0, 12) + " committed at org " +
+                       std::to_string(org_index) +
+                       " with every endorsement from a Byzantine organization"
+                       " (policy " +
+                       net_.config().policy.ToString() + ")");
+    }
+  }
+}
+
+void InvariantChecker::CheckChains() {
+  for (std::size_t i = 0; i < net_.org_count(); ++i) {
+    if (!net_.OrgRunning(i)) continue;
+    const auto& log = net_.org(i).ledger().log();
+    const std::size_t bad = log.FirstInvalidBlock();
+    if (bad != log.size()) {
+      AddViolation("hash-chain",
+                   "org " + std::to_string(i) + " block " +
+                       std::to_string(bad) + " fails verification");
+    }
+  }
+}
+
+void InvariantChecker::CheckQuiescent(const std::vector<std::string>& objects) {
+  CheckChains();
+  for (std::size_t i = 0; i < net_.org_count(); ++i) {
+    if (!net_.OrgRunning(i)) {
+      AddViolation("org-down-at-quiescence",
+                   "org " + std::to_string(i) +
+                       " not running when quiescent checks fired");
+    }
+  }
+
+  const std::vector<std::size_t> honest = HonestOrgs();
+  if (honest.size() < 2) return;
+
+  // Theorem 8.2: strong eventual consistency — byte-identical object state
+  // at every honest organization.
+  for (const std::string& object : objects) {
+    if (!net_.StateConvergedAmong(object, honest)) {
+      AddViolation("sec-divergence",
+                   "honest organizations disagree on object " + object);
+    }
+  }
+
+  // Eventual delivery: every honest organization committed the same set of
+  // valid transactions (count is a cheap proxy; sec-divergence catches
+  // content differences).
+  const std::uint64_t reference =
+      net_.org(honest[0]).ledger().committed_valid();
+  for (std::size_t k = 1; k < honest.size(); ++k) {
+    const std::uint64_t count = net_.org(honest[k]).ledger().committed_valid();
+    if (count != reference) {
+      AddViolation("commit-count-divergence",
+                   "org " + std::to_string(honest[k]) + " committed " +
+                       std::to_string(count) + " valid txs, org " +
+                       std::to_string(honest[0]) + " committed " +
+                       std::to_string(reference));
+    }
+  }
+}
+
+std::string InvariantChecker::Report() const {
+  std::ostringstream out;
+  for (const Violation& v : violations_) {
+    out << "  VIOLATION [" << v.invariant << "] " << v.detail << "\n";
+  }
+  if (violations_total_ > violations_.size()) {
+    out << "  (+" << violations_total_ - violations_.size()
+        << " further violations suppressed)\n";
+  }
+  return out.str();
+}
+
+}  // namespace orderless::chaos

@@ -1,0 +1,85 @@
+// Invariant checking for chaos runs: the safety and liveness obligations of
+// Theorem 8.1/8.2 expressed as executable checks. The checker observes every
+// commit decision as the simulation runs (via Organization commit observers),
+// periodically re-verifies the hash chains, and at quiescence asserts strong
+// eventual consistency across the honest organizations.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chaos/scenario.h"
+#include "harness/orderless_net.h"
+
+namespace orderless::chaos {
+
+/// One invariant failure: which invariant, and enough detail to debug it.
+struct Violation {
+  std::string invariant;
+  std::string detail;
+};
+
+class InvariantChecker {
+ public:
+  InvariantChecker(harness::OrderlessNet& net, const Scenario& scenario);
+
+  /// Installs the commit observer on every currently-running organization.
+  /// Call once after Start() and again after every restart (the replacement
+  /// organization starts without an observer).
+  void InstallObservers();
+
+  /// Records that an organization / client was Byzantine at any point of the
+  /// run; such nodes are excluded from the invariants they may legitimately
+  /// break (convergence for organizations, liveness for clients).
+  void MarkOrgEverByzantine(std::size_t org_index);
+  void MarkClientEverByzantine(std::size_t client_index);
+  bool IsOrgEverByzantine(std::size_t org_index) const {
+    return ever_byzantine_orgs_.contains(org_index);
+  }
+  bool IsClientEverByzantine(std::size_t client_index) const {
+    return ever_byzantine_clients_.contains(client_index);
+  }
+
+  /// Organization indices never marked Byzantine.
+  std::vector<std::size_t> HonestOrgs() const;
+
+  /// Continuous check (cheap; the runner schedules it every simulated
+  /// second): every organization's hash chain still verifies.
+  void CheckChains();
+
+  /// Quiescent checks: chains verify, honest organizations hold
+  /// byte-identical state for every workload object and agree on the number
+  /// of valid commits.
+  void CheckQuiescent(const std::vector<std::string>& objects);
+
+  /// Runner-side invariants (liveness bookkeeping) report through this too,
+  /// so one list carries every failure.
+  void AddViolation(std::string invariant, std::string detail);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::uint64_t commits_observed() const { return commits_observed_; }
+
+  /// Multi-line human-readable violation report.
+  std::string Report() const;
+
+ private:
+  void ObserveCommit(std::size_t org_index, const core::Transaction& tx,
+                     core::TxVerdict verdict);
+
+  harness::OrderlessNet& net_;
+  const Scenario& scenario_;
+  std::set<crypto::KeyId> org_key_set_;
+  std::set<std::size_t> ever_byzantine_orgs_;
+  std::set<crypto::KeyId> ever_byzantine_org_keys_;
+  std::set<std::size_t> ever_byzantine_clients_;
+  // First verdict each transaction id received anywhere; commit-side
+  // validation is deterministic, so organizations must never disagree.
+  std::unordered_map<crypto::Digest, bool, crypto::DigestHash> first_verdict_;
+  std::uint64_t commits_observed_ = 0;
+  std::uint64_t violations_total_ = 0;
+  std::vector<Violation> violations_;  // capped; violations_total_ counts all
+};
+
+}  // namespace orderless::chaos

@@ -1,0 +1,89 @@
+#include "chaos/minimize.h"
+
+#include <algorithm>
+
+namespace orderless::chaos {
+
+namespace {
+
+/// Same scenario, different fault script. `liveness_checkable` is copied
+/// from the original, never recomputed: dropping a partition event must not
+/// suddenly arm the liveness check the original run never made.
+Scenario WithEvents(const Scenario& base, std::vector<FaultEvent> events) {
+  Scenario variant = base;
+  variant.events = std::move(events);
+  return variant;
+}
+
+}  // namespace
+
+MinimizeResult MinimizeScenario(const Scenario& scenario,
+                                std::uint32_t max_runs) {
+  MinimizeResult out;
+  out.minimized = scenario;
+
+  auto failing_run = [&out, &max_runs](const Scenario& candidate,
+                                       ChaosRunResult& result) {
+    if (out.runs >= max_runs) return false;
+    ++out.runs;
+    result = RunScenario(candidate);
+    return !result.ok();
+  };
+
+  ChaosRunResult result;
+  if (!failing_run(scenario, result)) {
+    out.failing_run = result;
+    return out;  // not reproducible: nothing to minimize
+  }
+  out.reproduced = true;
+  out.failing_run = result;
+
+  // ddmin (Zeller): try removing ever-finer chunks of the event list while
+  // the remainder keeps failing.
+  std::vector<FaultEvent> events = scenario.events;
+  std::size_t granularity = 2;
+  while (events.size() >= 2 && out.runs < max_runs) {
+    const std::size_t chunk =
+        std::max<std::size_t>(1, events.size() / granularity);
+    bool reduced = false;
+    for (std::size_t start = 0; start < events.size() && out.runs < max_runs;
+         start += chunk) {
+      std::vector<FaultEvent> candidate;
+      candidate.reserve(events.size());
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i < start || i >= start + chunk) candidate.push_back(events[i]);
+      }
+      if (candidate.empty()) continue;
+      ChaosRunResult candidate_result;
+      if (failing_run(WithEvents(scenario, candidate), candidate_result)) {
+        events = std::move(candidate);
+        out.failing_run = std::move(candidate_result);
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunk <= 1) break;  // minimal at single-event granularity
+      granularity = std::min(events.size(), granularity * 2);
+    }
+  }
+
+  // Final shrink attempt: can a single event alone reproduce the failure?
+  if (events.size() > 1) {
+    for (const FaultEvent& event : events) {
+      if (out.runs >= max_runs) break;
+      ChaosRunResult single_result;
+      if (failing_run(WithEvents(scenario, {event}), single_result)) {
+        events = {event};
+        out.failing_run = std::move(single_result);
+        break;
+      }
+    }
+  }
+
+  out.minimized = WithEvents(scenario, std::move(events));
+  return out;
+}
+
+}  // namespace orderless::chaos

@@ -1,0 +1,25 @@
+// Fault-script minimization: given a failing scenario, delta-debug (ddmin)
+// the event list down to a smallest sub-script that still violates an
+// invariant. Every candidate replays deterministically from the same seed,
+// so the search needs no flakiness handling.
+#pragma once
+
+#include "chaos/runner.h"
+#include "chaos/scenario.h"
+
+namespace orderless::chaos {
+
+struct MinimizeResult {
+  Scenario minimized;          // smallest still-failing sub-scenario found
+  ChaosRunResult failing_run;  // the failing run of `minimized`
+  std::uint32_t runs = 0;      // scenarios executed during the search
+  bool reproduced = false;     // original scenario failed when re-run
+};
+
+/// Shrinks `scenario`'s fault script with ddmin, bounded by `max_runs`
+/// simulation executions. When the original scenario does not fail,
+/// `reproduced` is false and `minimized` is the input unchanged.
+MinimizeResult MinimizeScenario(const Scenario& scenario,
+                                std::uint32_t max_runs = 48);
+
+}  // namespace orderless::chaos

@@ -1,0 +1,45 @@
+// Executes one chaos scenario: builds an OrderlessNet from the scenario's
+// shape, schedules the fault script and a randomized mixed workload on the
+// simulator, checks invariants continuously and at quiescence, and distills
+// the whole run into an order-sensitive fingerprint so a seed can be checked
+// for bit-identical replay.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chaos/invariants.h"
+#include "chaos/scenario.h"
+
+namespace orderless::chaos {
+
+struct ChaosRunResult {
+  std::uint64_t seed = 0;
+  // Workload accounting (never-Byzantine clients only feed liveness checks,
+  // but all submissions are counted here).
+  std::uint32_t submitted = 0;
+  std::uint32_t committed = 0;
+  std::uint32_t rejected = 0;
+  std::uint32_t failed = 0;
+  std::uint32_t unresolved = 0;  // no outcome by end of quiescence
+  std::uint64_t commits_observed = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t events_processed = 0;
+  /// Digest over event/message totals and every organization's commit
+  /// counters and chain head. Chain heads are order-sensitive, so two runs
+  /// with the same fingerprint executed the same commit sequence.
+  std::uint64_t fingerprint = 0;
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string Summary() const;
+};
+
+/// The object ids the workload touches (what quiescent convergence covers).
+std::vector<std::string> WorkloadObjects();
+
+/// Runs `scenario` to completion on a fresh simulated network.
+ChaosRunResult RunScenario(const Scenario& scenario);
+
+}  // namespace orderless::chaos

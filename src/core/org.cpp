@@ -23,7 +23,7 @@ Organization::Organization(sim::Simulation& simulation, sim::Network& network,
                            const crypto::Pki& pki,
                            const ContractRegistry& contracts,
                            EndorsementPolicy policy, OrgTimingConfig timing,
-                           Rng rng)
+                           Rng rng, std::shared_ptr<ledger::KvStore> store)
     : simulation_(simulation),
       network_(network),
       node_(node),
@@ -35,9 +35,12 @@ Organization::Organization(sim::Simulation& simulation, sim::Network& network,
       rng_(rng),
       cpu_(simulation, timing.cores),
       cache_lock_(simulation, 1),
-      ledger_(std::make_shared<ledger::MemKvStore>(), timing.ledger_options) {}
+      ledger_(store ? std::move(store)
+                    : std::make_shared<ledger::MemKvStore>(),
+              timing.ledger_options) {}
 
 void Organization::Start() {
+  running_ = true;
   network_.Register(node_,
                     [this](const sim::Delivery& d) { OnDelivery(d); });
   // Random phase offset: organizations do not share a clock, so their
@@ -52,6 +55,38 @@ void Organization::Start() {
   }
 }
 
+void Organization::Stop() {
+  running_ = false;
+  network_.Unregister(node_);
+}
+
+bool Organization::RecoverFromLedger() {
+  const bool consistent = ledger_.RecoverFromStore();
+  commit_index_.clear();
+  committed_count_ = 0;
+  committed_xor_ = 0;
+  for (const auto& rec : ledger_.RecoverCommitIndex()) {
+    commit_index_[rec.id] = CommitRecord{rec.valid, rec.block_hash};
+    if (rec.valid) {
+      ++committed_count_;
+      committed_xor_ ^= rec.id.Prefix64();
+    }
+  }
+  // Reload committed bodies so gossip pulls and anti-entropy syncs keep
+  // working for transactions committed before the crash.
+  committed_txs_.clear();
+  if (timing_.antientropy_interval > 0) {
+    ledger_.ScanTransactionBodies([this](BytesView encoded) {
+      codec::Reader r(encoded);
+      auto tx = Transaction::Decode(r);
+      if (tx && commit_index_.contains(tx->id)) {
+        committed_txs_.push_back(std::move(tx));
+      }
+    });
+  }
+  return consistent;
+}
+
 void Organization::SetPeers(std::vector<sim::NodeId> peer_nodes,
                             std::set<crypto::KeyId> org_keys) {
   peers_ = std::move(peer_nodes);
@@ -60,6 +95,7 @@ void Organization::SetPeers(std::vector<sim::NodeId> peer_nodes,
 }
 
 void Organization::OnDelivery(const sim::Delivery& delivery) {
+  if (!running_) return;           // crashed
   if (delivery.corrupted) return;  // undecodable on the wire
   if (const auto* proposal =
           dynamic_cast<const ProposalMsg*>(delivery.message.get())) {
@@ -115,7 +151,7 @@ void Organization::OnDelivery(const sim::Delivery& delivery) {
   if (const auto* summary =
           dynamic_cast<const SummaryMsg*>(delivery.message.get())) {
     if (timing_.antientropy_interval > 0 &&
-        (summary->tx_count != committed_txs_.size() ||
+        (summary->tx_count != committed_count_ ||
          summary->tx_xor != committed_xor_)) {
       network_.Send(node_, delivery.from, std::make_shared<SyncRequestMsg>());
     }
@@ -147,6 +183,7 @@ void Organization::HandleProposal(sim::NodeId from, const ProposalMsg& msg) {
                 timing_.endorse_per_op * proposal.args.size() / 4;
 
   cpu_.Submit(exec_service, [this, from, proposal, arrival] {
+    if (!running_) return;
     auto reply = std::make_shared<EndorseReplyMsg>();
     reply->proposal_digest = proposal.Digest();
 
@@ -219,6 +256,7 @@ void Organization::HandleCommit(sim::NodeId from,
   const sim::SimTime arrival = simulation_.now();
 
   cpu_.Submit(timing_.dedup_check, [this, from, tx, from_gossip, arrival] {
+    if (!running_) return;
     // Already committed: do not commit again; resend the receipt (paper §4).
     const auto done = commit_index_.find(tx->id);
     if (done != commit_index_.end()) {
@@ -243,6 +281,7 @@ void Organization::HandleCommit(sim::NodeId from,
         timing_.commit_per_sig *
             static_cast<sim::SimTime>(tx->endorsements.size() + 1);
     cpu_.Submit(validate_service, [this, from, tx, from_gossip, arrival] {
+      if (!running_) return;
       const TxVerdict verdict =
           ValidateTransaction(*tx, pki_, org_keys_, policy_);
       if (verdict == TxVerdict::kValid) {
@@ -252,6 +291,7 @@ void Organization::HandleCommit(sim::NodeId from,
                 static_cast<sim::SimTime>(tx->ops.size());
         cache_lock_.Submit(apply_service,
                            [this, from, tx, from_gossip, arrival] {
+                             if (!running_) return;
                              FinishCommit(from, tx, from_gossip,
                                           TxVerdict::kValid, arrival);
                            });
@@ -296,12 +336,19 @@ void Organization::FinishCommit(sim::NodeId from,
     recent_txs_[tx->id] = {tx, timing_.gossip_rounds + 4};
     if (timing_.antientropy_interval > 0) {
       committed_txs_.push_back(tx);
+      ++committed_count_;
       committed_xor_ ^= tx->id.Prefix64();
+      // Persist the body so a restart can keep serving syncs for it.
+      codec::Writer w;
+      tx->Encode(w);
+      ledger_.PutTransactionBody(tx->id, BytesView(w.data()));
     }
   }
+  if (commit_observer_) commit_observer_(*tx, verdict);
 }
 
 void Organization::GossipTick() {
+  if (!running_) return;  // crashed: let the timer chain die
   const bool suppressed = byzantine_.active && byzantine_.suppress_gossip;
   if (!advert_queue_.empty() && !peers_.empty() && !suppressed) {
     auto msg = std::make_shared<GossipAdvertMsg>();
@@ -340,9 +387,10 @@ void Organization::GossipTick() {
 }
 
 void Organization::AntiEntropyTick() {
+  if (!running_) return;  // crashed: let the timer chain die
   if (!peers_.empty() && !(byzantine_.active && byzantine_.suppress_gossip)) {
     auto msg = std::make_shared<SummaryMsg>();
-    msg->tx_count = committed_txs_.size();
+    msg->tx_count = committed_count_;
     msg->tx_xor = committed_xor_;
     const std::size_t peer = rng_.NextBelow(peers_.size());
     network_.Send(node_, peers_[peer], msg);

@@ -74,13 +74,38 @@ struct OrgPhaseStats {
 
 class Organization {
  public:
+  /// `store` is the ledger's backing KV store; pass nullptr for a private
+  /// in-memory store. A host that wants to crash and later rebuild the
+  /// organization keeps the shared_ptr and hands it to the replacement.
   Organization(sim::Simulation& simulation, sim::Network& network,
                sim::NodeId node, crypto::PrivateKey key,
                const crypto::Pki& pki, const ContractRegistry& contracts,
-               EndorsementPolicy policy, OrgTimingConfig timing, Rng rng);
+               EndorsementPolicy policy, OrgTimingConfig timing, Rng rng,
+               std::shared_ptr<ledger::KvStore> store = nullptr);
 
   /// Registers the network handler and starts the gossip timer.
   void Start();
+
+  /// Simulated crash: unregisters from the network and halts the endorse /
+  /// commit / gossip pipelines (queued simulator events become no-ops). The
+  /// object must stay alive until the simulation drains; a replacement built
+  /// on the same store takes over after RecoverFromLedger() + Start().
+  void Stop();
+  bool running() const { return running_; }
+
+  /// Restart path: rebuilds the hash chain, commit counters, CRDT cache and
+  /// the commit/dedup index from the ledger's persistent store. Call before
+  /// Start() on an organization constructed over a pre-existing store.
+  /// Returns false when recovered blocks fail the hash-chain cross-check.
+  bool RecoverFromLedger();
+
+  /// Observes every commit decision this organization makes (chaos invariant
+  /// checking); invoked after the block is appended.
+  using CommitObserver =
+      std::function<void(const Transaction& tx, TxVerdict verdict)>;
+  void SetCommitObserver(CommitObserver observer) {
+    commit_observer_ = std::move(observer);
+  }
 
   /// Supplies the full organization directory (node ids + key ids).
   void SetPeers(std::vector<sim::NodeId> peer_nodes,
@@ -144,8 +169,12 @@ class Organization {
   // Ids pulled recently; suppresses duplicate pulls until re-advertised.
   std::unordered_map<crypto::Digest, sim::SimTime, crypto::DigestHash>
       pulled_at_;
-  // Full committed set, retained only when anti-entropy is enabled.
+  // Full committed set, retained only when anti-entropy is enabled. Bodies
+  // are persisted alongside the commit record, so recovery reloads the whole
+  // set; summaries use the separate count / xor accumulators, which recovery
+  // restores from the commit index.
   std::vector<std::shared_ptr<const Transaction>> committed_txs_;
+  std::uint64_t committed_count_ = 0;
   std::uint64_t committed_xor_ = 0;
 
   // Commit index: verdict + block hash per transaction id, for dedup and
@@ -164,6 +193,8 @@ class Organization {
 
   OrgPhaseStats phase_stats_;
   std::uint64_t rejected_ = 0;
+  bool running_ = true;
+  CommitObserver commit_observer_;
 };
 
 }  // namespace orderless::core

@@ -1,5 +1,6 @@
 #include "core/transaction.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 namespace orderless::core {
@@ -84,6 +85,50 @@ std::shared_ptr<Transaction> Transaction::Assemble(
   tx->endorsements = std::move(endorsements);
   tx->id = ComputeId(tx->proposal.Digest(), WriteSetDigest(tx->ops));
   tx->client_signature = client_key.Sign(kTxContext, tx->id);
+  return tx;
+}
+
+void Transaction::Encode(codec::Writer& w) const {
+  proposal.Encode(w);
+  crdt::EncodeOperations(ops, w);
+  w.PutVarint(endorsements.size());
+  for (const Endorsement& endorsement : endorsements) {
+    w.PutU64(endorsement.org);
+    w.PutBytes(endorsement.signature.View());
+  }
+  w.PutBytes(client_signature.View());
+  w.PutBytes(id.View());
+}
+
+namespace {
+bool ReadDigest(codec::Reader& r, crypto::Digest& out) {
+  const auto bytes = r.GetBytes();
+  if (!bytes || bytes->size() != out.bytes.size()) return false;
+  std::copy(bytes->begin(), bytes->end(), out.bytes.begin());
+  return true;
+}
+}  // namespace
+
+std::shared_ptr<Transaction> Transaction::Decode(codec::Reader& r) {
+  auto tx = std::make_shared<Transaction>();
+  auto proposal = Proposal::Decode(r);
+  if (!proposal) return nullptr;
+  tx->proposal = std::move(*proposal);
+  auto ops = crdt::DecodeOperations(r);
+  if (!ops) return nullptr;
+  tx->ops = std::move(*ops);
+  const auto n_endorsements = r.GetVarint();
+  if (!n_endorsements || *n_endorsements > 4096) return nullptr;
+  for (std::uint64_t i = 0; i < *n_endorsements; ++i) {
+    Endorsement endorsement;
+    const auto org = r.GetU64();
+    if (!org || !ReadDigest(r, endorsement.signature)) return nullptr;
+    endorsement.org = *org;
+    tx->endorsements.push_back(endorsement);
+  }
+  if (!ReadDigest(r, tx->client_signature) || !ReadDigest(r, tx->id)) {
+    return nullptr;
+  }
   return tx;
 }
 

@@ -69,6 +69,12 @@ struct Transaction {
   static crypto::Digest ComputeId(const crypto::Digest& proposal_digest,
                                   const crypto::Digest& writeset_digest);
 
+  /// Canonical binary form; used to persist committed transaction bodies so
+  /// a restarted organization can keep serving gossip pulls and anti-entropy
+  /// syncs. Decode performs no validation — run ValidateTransaction.
+  void Encode(codec::Writer& w) const;
+  static std::shared_ptr<Transaction> Decode(codec::Reader& r);
+
   std::size_t WireSize() const;
 
  private:

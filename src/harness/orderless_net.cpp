@@ -7,25 +7,25 @@ OrderlessNet::OrderlessNet(OrderlessNetConfig config)
   network_ = std::make_unique<sim::Network>(simulation_, config_.net,
                                             rng_.Fork());
 
-  std::vector<sim::NodeId> org_nodes;
-  std::set<crypto::KeyId> org_keys;
   for (std::uint32_t i = 0; i < config_.num_orgs; ++i) {
     const sim::NodeId node = org_node(i);
     crypto::PrivateKey key = pki_.Generate("org" + std::to_string(i));
-    org_keys.insert(key.id());
-    org_nodes.push_back(node);
+    org_keys_.insert(key.id());
+    org_nodes_.push_back(node);
+    org_identities_.push_back(key);
+    org_stores_.push_back(std::make_shared<ledger::MemKvStore>());
     orgs_.push_back(std::make_unique<core::Organization>(
         simulation_, *network_, node, key, pki_, contracts_, config_.policy,
-        config_.org_timing, rng_.Fork()));
+        config_.org_timing, rng_.Fork(), org_stores_.back()));
   }
   for (auto& org : orgs_) {
-    org->SetPeers(org_nodes, org_keys);
+    org->SetPeers(org_nodes_, org_keys_);
   }
   for (std::uint32_t i = 0; i < config_.num_clients; ++i) {
-    const sim::NodeId node = static_cast<sim::NodeId>(1001 + i);
+    const sim::NodeId node = client_node(i);
     crypto::PrivateKey key = pki_.Generate("client" + std::to_string(i));
     clients_.push_back(std::make_unique<core::Client>(
-        simulation_, *network_, node, key, pki_, config_.policy, org_nodes,
+        simulation_, *network_, node, key, pki_, config_.policy, org_nodes_,
         config_.client_timing, rng_.Fork()));
   }
 }
@@ -40,12 +40,44 @@ void OrderlessNet::Start() {
   for (auto& client : clients_) client->Start();
 }
 
+void OrderlessNet::CrashOrg(std::size_t i) { orgs_[i]->Stop(); }
+
+bool OrderlessNet::RestartOrg(std::size_t i) {
+  if (orgs_[i]->running()) orgs_[i]->Stop();
+  // The stopped predecessor stays alive in the graveyard: simulator events
+  // queued before the crash still point at it (and no-op when they fire).
+  graveyard_.push_back(std::move(orgs_[i]));
+  orgs_[i] = std::make_unique<core::Organization>(
+      simulation_, *network_, org_node(i), org_identities_[i], pki_,
+      contracts_, config_.policy, config_.org_timing, rng_.Fork(),
+      org_stores_[i]);
+  orgs_[i]->SetPeers(org_nodes_, org_keys_);
+  const bool consistent = orgs_[i]->RecoverFromLedger();
+  orgs_[i]->Start();
+  return consistent;
+}
+
 bool OrderlessNet::StateConverged(const std::string& object_id) const {
   if (orgs_.empty()) return true;
   const Bytes reference =
       orgs_[0]->ledger().cache().EncodeObjectState(object_id);
   for (std::size_t i = 1; i < orgs_.size(); ++i) {
     if (orgs_[i]->ledger().cache().EncodeObjectState(object_id) != reference) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool OrderlessNet::StateConvergedAmong(
+    const std::string& object_id,
+    const std::vector<std::size_t>& org_indices) const {
+  if (org_indices.size() < 2) return true;
+  const Bytes reference =
+      orgs_[org_indices[0]]->ledger().cache().EncodeObjectState(object_id);
+  for (std::size_t k = 1; k < org_indices.size(); ++k) {
+    if (orgs_[org_indices[k]]->ledger().cache().EncodeObjectState(object_id) !=
+        reference) {
       return false;
     }
   }

@@ -47,9 +47,28 @@ class OrderlessNet {
   sim::NodeId org_node(std::size_t i) const {
     return static_cast<sim::NodeId>(1 + i);
   }
+  sim::NodeId client_node(std::size_t i) const {
+    return static_cast<sim::NodeId>(1001 + i);
+  }
+
+  /// Crash fault: halts organization `i` and disconnects it. Its ledger's
+  /// backing store survives for a later RestartOrg.
+  void CrashOrg(std::size_t i);
+
+  /// Rebuilds organization `i` from its persisted ledger store (the paper's
+  /// LevelDB recovery path), re-joins it to gossip and restarts it. Returns
+  /// false when the recovered chain fails the hash cross-check.
+  bool RestartOrg(std::size_t i);
+
+  bool OrgRunning(std::size_t i) const { return orgs_[i]->running(); }
 
   /// True when every organization holds the same state for `object_id`.
   bool StateConverged(const std::string& object_id) const;
+
+  /// Like StateConverged but only over the given organization indices (chaos
+  /// runs exclude Byzantine organizations from the SEC invariant).
+  bool StateConvergedAmong(const std::string& object_id,
+                           const std::vector<std::size_t>& org_indices) const;
 
  private:
   OrderlessNetConfig config_;
@@ -60,6 +79,15 @@ class OrderlessNet {
   std::unique_ptr<sim::Network> network_;
   std::vector<std::unique_ptr<core::Organization>> orgs_;
   std::vector<std::unique_ptr<core::Client>> clients_;
+  // Restart support: per-org persistent store, identity, and the directory
+  // every organization was wired with.
+  std::vector<std::shared_ptr<ledger::KvStore>> org_stores_;
+  std::vector<crypto::PrivateKey> org_identities_;
+  std::vector<sim::NodeId> org_nodes_;
+  std::set<crypto::KeyId> org_keys_;
+  // Crashed predecessors: kept alive until the simulation drains, because
+  // already-queued events still reference them (they no-op once stopped).
+  std::vector<std::unique_ptr<core::Organization>> graveyard_;
 };
 
 }  // namespace orderless::harness

@@ -1,5 +1,7 @@
 #include "ledger/ledger.h"
 
+#include <algorithm>
+
 #include "codec/codec.h"
 
 namespace orderless::ledger {
@@ -11,6 +13,24 @@ Ledger::Ledger(std::shared_ptr<KvStore> store, LedgerOptions options)
 
 std::string Ledger::TxKey(const crypto::Digest& tx_digest) {
   return "tx/" + tx_digest.Hex();
+}
+
+std::string Ledger::BodyKey(const crypto::Digest& tx_digest) {
+  return "body/" + tx_digest.Hex();
+}
+
+void Ledger::PutTransactionBody(const crypto::Digest& tx_digest,
+                                BytesView encoded) {
+  store_->Put(BodyKey(tx_digest), encoded);
+}
+
+void Ledger::ScanTransactionBodies(
+    const std::function<void(BytesView encoded)>& visitor) const {
+  store_->ScanPrefix("body/", [&visitor](std::string_view key, BytesView value) {
+    (void)key;
+    visitor(value);
+    return true;
+  });
 }
 
 std::string Ledger::OpKey(const crdt::Operation& op) {
@@ -25,9 +45,13 @@ const Block& Ledger::Commit(const crypto::Digest& tx_digest, bool valid,
                             const std::vector<crdt::Operation>& ops) {
   const Block& block = log_.Append(tx_digest, valid);
   if (options_.track_tx_keys) {
-    codec::Writer height;
-    height.PutU64(block.height);
-    store_->Put(TxKey(tx_digest), BytesView(height.data()));
+    // height ‖ verdict ‖ block hash: enough to rebuild the commit index and
+    // the hash chain (and to cross-check it) after a crash.
+    codec::Writer record;
+    record.PutU64(block.height);
+    record.PutBool(block.valid);
+    record.PutBytes(block.hash.View());
+    store_->Put(TxKey(tx_digest), BytesView(record.data()));
   }
   if (valid) {
     ++committed_valid_;
@@ -52,6 +76,50 @@ bool Ledger::HasTransaction(const crypto::Digest& tx_digest) const {
 crdt::ReadResult Ledger::Read(const std::string& object_id,
                               const std::vector<std::string>& path) const {
   return cache_.Read(object_id, path);
+}
+
+std::vector<Ledger::RecoveredTx> Ledger::RecoverCommitIndex() const {
+  std::vector<RecoveredTx> records;
+  store_->ScanPrefix("tx/", [&records](std::string_view key, BytesView value) {
+    codec::Reader r(value);
+    RecoveredTx rec;
+    rec.id = crypto::Digest::FromHexOrZero(key.substr(3));
+    const auto height = r.GetU64();
+    const auto valid = r.GetBool();
+    const auto hash = r.GetBytes();
+    if (!height || !valid || !hash || hash->size() != rec.block_hash.bytes.size()) {
+      return true;  // pre-upgrade or torn record: skip it
+    }
+    rec.height = *height;
+    rec.valid = *valid;
+    std::copy(hash->begin(), hash->end(), rec.block_hash.bytes.begin());
+    records.push_back(rec);
+    return true;
+  });
+  std::sort(records.begin(), records.end(),
+            [](const RecoveredTx& a, const RecoveredTx& b) {
+              return a.height < b.height;
+            });
+  return records;
+}
+
+bool Ledger::RecoverFromStore() {
+  log_ = HashChainLog();
+  log_.SetRolling(options_.rolling_log);
+  committed_valid_ = 0;
+  committed_invalid_ = 0;
+  bool consistent = true;
+  for (const RecoveredTx& rec : RecoverCommitIndex()) {
+    const Block& block = log_.Append(rec.id, rec.valid);
+    if (block.hash != rec.block_hash) consistent = false;
+    if (rec.valid) {
+      ++committed_valid_;
+    } else {
+      ++committed_invalid_;
+    }
+  }
+  RebuildCacheFromStore();
+  return consistent;
 }
 
 void Ledger::RebuildCacheFromStore() {

@@ -48,6 +48,32 @@ class Ledger {
   /// the recovery path LevelDB serves in the prototype.
   void RebuildCacheFromStore();
 
+  /// One committed transaction as recovered from the persistent store.
+  struct RecoveredTx {
+    crypto::Digest id;
+    std::uint64_t height = 0;
+    bool valid = false;
+    crypto::Digest block_hash;
+  };
+
+  /// Scans the persisted transaction records in block-height order (requires
+  /// track_tx_keys). Used to rebuild a crashed organization's commit index.
+  std::vector<RecoveredTx> RecoverCommitIndex() const;
+
+  /// Full restart-from-storage path: replays the persisted transaction
+  /// records to rebuild the hash-chain log and commit counters, then rebuilds
+  /// the CRDT cache from the persisted operations. Returns false when any
+  /// recomputed block hash disagrees with the persisted one (tampered or torn
+  /// storage); recovery still proceeds as far as possible.
+  bool RecoverFromStore();
+
+  /// Optional storage of full transaction bodies (canonical encoding), so a
+  /// restarted host can keep serving gossip pulls / anti-entropy syncs for
+  /// transactions committed before the crash.
+  void PutTransactionBody(const crypto::Digest& tx_digest, BytesView encoded);
+  void ScanTransactionBodies(
+      const std::function<void(BytesView encoded)>& visitor) const;
+
   const HashChainLog& log() const { return log_; }
   HashChainLog& mutable_log() { return log_; }
   const CrdtCache& cache() const { return cache_; }
@@ -58,6 +84,7 @@ class Ledger {
 
  private:
   static std::string TxKey(const crypto::Digest& tx_digest);
+  static std::string BodyKey(const crypto::Digest& tx_digest);
   static std::string OpKey(const crdt::Operation& op);
 
   std::shared_ptr<KvStore> store_;

@@ -8,11 +8,29 @@ void Network::Register(NodeId node, Handler handler) {
   handlers_[node] = std::move(handler);
 }
 
+void Network::Unregister(NodeId node) { handlers_.erase(node); }
+
 void Network::SetPartition(NodeId node, std::uint32_t group) {
   partitions_[node] = group;
 }
 
 void Network::HealPartitions() { partitions_.clear(); }
+
+void Network::SetFaultRates(double drop, double duplicate, double corrupt) {
+  config_.drop_probability = drop;
+  config_.duplicate_probability = duplicate;
+  config_.corrupt_probability = corrupt;
+}
+
+void Network::SetLinkFault(NodeId from, NodeId to, LinkFault fault) {
+  link_faults_[LinkKey(from, to)] = fault;
+}
+
+void Network::ClearLinkFault(NodeId from, NodeId to) {
+  link_faults_.erase(LinkKey(from, to));
+}
+
+void Network::ClearLinkFaults() { link_faults_.clear(); }
 
 void Network::Send(NodeId from, NodeId to, MessagePtr message) {
   ++messages_sent_;
@@ -32,7 +50,18 @@ void Network::Send(NodeId from, NodeId to, MessagePtr message) {
     ++messages_dropped_;
     return;
   }
-  if (config_.drop_probability > 0 && rng_.NextBool(config_.drop_probability)) {
+  double drop_probability = config_.drop_probability;
+  double duplicate_probability = config_.duplicate_probability;
+  double corrupt_probability = config_.corrupt_probability;
+  if (!link_faults_.empty()) {
+    const auto it = link_faults_.find(LinkKey(from, to));
+    if (it != link_faults_.end()) {
+      drop_probability = it->second.drop_probability;
+      duplicate_probability = it->second.duplicate_probability;
+      corrupt_probability = it->second.corrupt_probability;
+    }
+  }
+  if (drop_probability > 0 && rng_.NextBool(drop_probability)) {
     ++messages_dropped_;
     return;
   }
@@ -49,14 +78,13 @@ void Network::Send(NodeId from, NodeId to, MessagePtr message) {
   const SimTime arrival = busy_until + config_.one_way_latency +
                           static_cast<SimTime>(jitter_ms * 1000.0);
 
-  const bool corrupted = config_.corrupt_probability > 0 &&
-                         rng_.NextBool(config_.corrupt_probability);
+  const bool corrupted =
+      corrupt_probability > 0 && rng_.NextBool(corrupt_probability);
   simulation_.ScheduleAt(arrival, [this, from, to, message, corrupted] {
     Deliver(from, to, message, corrupted);
   });
 
-  if (config_.duplicate_probability > 0 &&
-      rng_.NextBool(config_.duplicate_probability)) {
+  if (duplicate_probability > 0 && rng_.NextBool(duplicate_probability)) {
     const SimTime dup_arrival = arrival + Ms(1) + rng_.NextBelow(Ms(20));
     simulation_.ScheduleAt(dup_arrival, [this, from, to, message] {
       Deliver(from, to, message, /*corrupted=*/false);

@@ -48,6 +48,14 @@ struct NetworkConfig {
   double corrupt_probability = 0.0;
 };
 
+/// Fault rates for one directed link, overriding the global config while
+/// installed (chaos scenarios flip these mid-run).
+struct LinkFault {
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double corrupt_probability = 0.0;
+};
+
 /// Point-to-point message fabric between registered handlers.
 class Network {
  public:
@@ -59,6 +67,10 @@ class Network {
   /// Registers the receive handler for `node`.
   void Register(NodeId node, Handler handler);
 
+  /// Removes the handler for `node` (a crashed node); in-flight and future
+  /// messages addressed to it vanish until it registers again.
+  void Unregister(NodeId node);
+
   /// Sends `message` from → to with the configured link model. Local sends
   /// (from == to) are delivered with negligible delay.
   void Send(NodeId from, NodeId to, MessagePtr message);
@@ -68,6 +80,15 @@ class Network {
   void SetPartition(NodeId node, std::uint32_t group);
   void HealPartitions();
 
+  /// Changes the global fault rates mid-run (latency/bandwidth untouched, so
+  /// in-flight serialization bookkeeping stays consistent).
+  void SetFaultRates(double drop, double duplicate, double corrupt);
+
+  /// Installs / removes a per-directed-link fault override.
+  void SetLinkFault(NodeId from, NodeId to, LinkFault fault);
+  void ClearLinkFault(NodeId from, NodeId to);
+  void ClearLinkFaults();
+
   const NetworkConfig& config() const { return config_; }
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t messages_dropped() const { return messages_dropped_; }
@@ -76,11 +97,16 @@ class Network {
  private:
   void Deliver(NodeId from, NodeId to, MessagePtr message, bool corrupted);
 
+  static std::uint64_t LinkKey(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+
   Simulation& simulation_;
   NetworkConfig config_;
   Rng rng_;
   std::unordered_map<NodeId, Handler> handlers_;
   std::unordered_map<NodeId, std::uint32_t> partitions_;
+  std::unordered_map<std::uint64_t, LinkFault> link_faults_;
   std::unordered_map<NodeId, SimTime> egress_busy_until_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_dropped_ = 0;

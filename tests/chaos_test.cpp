@@ -1,0 +1,98 @@
+// Tier-2 chaos suite: seed-derived fault scenarios run end to end with the
+// invariant checker armed, replays are bit-identical, and the deliberately
+// unsafe configuration (q <= f) is caught and minimized.
+#include <gtest/gtest.h>
+
+#include "chaos/minimize.h"
+#include "chaos/runner.h"
+#include "chaos/scenario.h"
+
+namespace orderless {
+namespace {
+
+using chaos::ChaosRunResult;
+using chaos::FaultKind;
+using chaos::GenerateScenario;
+using chaos::MakeUnsafeScenario;
+using chaos::MinimizeScenario;
+using chaos::RunScenario;
+using chaos::Scenario;
+
+std::string ViolationText(const ChaosRunResult& result) {
+  std::string text;
+  for (const auto& v : result.violations) {
+    text += "[" + v.invariant + "] " + v.detail + "\n";
+  }
+  return text;
+}
+
+class ChaosSeed : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSeed, InvariantsHold) {
+  const Scenario scenario = GenerateScenario(GetParam());
+  const ChaosRunResult result = RunScenario(scenario);
+  EXPECT_TRUE(result.ok()) << result.Summary() << "\n"
+                           << ViolationText(result) << scenario.Describe();
+  EXPECT_GT(result.submitted, 0u);
+  EXPECT_GT(result.committed, 0u);
+}
+
+// A fixed seed list keeps tier-2 runtime bounded; the broader sweep runs as
+// the chaos_explorer_sweep ctest entry.
+INSTANTIATE_TEST_SUITE_P(FixedSeeds, ChaosSeed,
+                         testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(ChaosReplay, SameSeedSameFingerprint) {
+  const Scenario scenario = GenerateScenario(42);
+  const ChaosRunResult first = RunScenario(scenario);
+  const ChaosRunResult second = RunScenario(scenario);
+  EXPECT_EQ(first.fingerprint, second.fingerprint);
+  EXPECT_EQ(first.events_processed, second.events_processed);
+  EXPECT_EQ(first.messages_sent, second.messages_sent);
+  EXPECT_EQ(first.bytes_sent, second.bytes_sent);
+  EXPECT_EQ(first.committed, second.committed);
+}
+
+TEST(ChaosReplay, ScenarioGenerationIsDeterministic) {
+  const Scenario a = GenerateScenario(7);
+  const Scenario b = GenerateScenario(7);
+  EXPECT_EQ(a.Describe(), b.Describe());
+  EXPECT_EQ(a.events.size(), b.events.size());
+  const Scenario c = GenerateScenario(8);
+  EXPECT_NE(a.Describe(), c.Describe());
+}
+
+TEST(ChaosUnsafe, MisconfiguredPolicyIsDetectedAndMinimized) {
+  // EP:{1 of 4} with one always-wrong endorser violates q >= f+1; the
+  // safety invariant (every valid commit carries an honest endorsement)
+  // must fire, and ddmin must strip the decoy link-fault events, leaving
+  // exactly the Byzantine phase.
+  const Scenario scenario = MakeUnsafeScenario(1);
+  ASSERT_EQ(scenario.events.size(), 3u);
+  const ChaosRunResult result = RunScenario(scenario);
+  ASSERT_FALSE(result.ok()) << "unsafe configuration went undetected";
+  bool saw_safety = false;
+  for (const auto& v : result.violations) {
+    if (v.invariant == "byzantine-quorum") saw_safety = true;
+  }
+  EXPECT_TRUE(saw_safety) << ViolationText(result);
+
+  const auto min = MinimizeScenario(scenario);
+  EXPECT_TRUE(min.reproduced);
+  ASSERT_EQ(min.minimized.events.size(), 1u);
+  EXPECT_EQ(min.minimized.events[0].kind, FaultKind::kOrgByzantineOn);
+  EXPECT_FALSE(min.failing_run.ok());
+}
+
+TEST(ChaosSafe, SafePolicyWithSameByzantineOrgStaysClean) {
+  // Same Byzantine behaviour, but under EP:{2 of 4} (q >= f+1 holds): the
+  // wrong endorsements cannot assemble a quorum, so every invariant holds.
+  Scenario scenario = MakeUnsafeScenario(1);
+  scenario.policy = core::EndorsementPolicy{2, 4};
+  const ChaosRunResult result = RunScenario(scenario);
+  EXPECT_TRUE(result.ok()) << ViolationText(result);
+  EXPECT_GT(result.committed, 0u);
+}
+
+}  // namespace
+}  // namespace orderless

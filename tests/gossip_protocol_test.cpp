@@ -75,6 +75,70 @@ TEST(GossipProtocol, EveryOrgCommitsExactlyOnceAtHighFanout) {
   }
 }
 
+TEST(GossipProtocol, PartitionHealConvergesBothSides) {
+  // Split the network into two halves that each keep >= q organizations,
+  // commit on both sides, then heal: gossip + anti-entropy must spread every
+  // transaction to every organization.
+  auto config = GossipConfig(3);
+  config.org_timing.antientropy_interval = sim::Sec(1);
+  auto net = std::make_unique<harness::OrderlessNet>(config);
+  net->RegisterContract(std::make_shared<contracts::VotingContract>());
+  net->Start();
+
+  // Orgs 0-3 + clients 0,1 on side A; orgs 4-7 + clients 2,3 on side B.
+  for (std::size_t i = 0; i < 8; ++i) {
+    net->network().SetPartition(net->org_node(i), i < 4 ? 1 : 2);
+  }
+  for (std::size_t c = 0; c < 4; ++c) {
+    net->network().SetPartition(net->client_node(c), c < 2 ? 1 : 2);
+  }
+
+  // Clients only reach their own side, so with max_attempts=1 some
+  // submissions die on endorse timeouts; count what commits per side.
+  int committed = 0;
+  auto count = [&committed](const TxOutcome& o) {
+    if (o.committed) ++committed;
+  };
+  for (int i = 0; i < 16; ++i) {
+    net->client(i % 4).SubmitModify(
+        "voting", "Vote",
+        {crdt::Value("e"), crdt::Value(static_cast<std::int64_t>(i % 4)),
+         crdt::Value(std::int64_t{4})},
+        count);
+    net->simulation().RunUntil(net->simulation().now() + sim::Ms(200));
+  }
+  net->simulation().RunUntil(net->simulation().now() + sim::Sec(8));
+  EXPECT_GT(committed, 0) << "some transactions must commit mid-partition";
+
+  // Mid-partition, the two sides must have diverged: at least one side is
+  // missing commits from the other.
+  std::uint64_t side_a = 0, side_b = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    side_a = std::max(side_a, net->org(i).ledger().committed_valid());
+  }
+  for (std::size_t i = 4; i < 8; ++i) {
+    side_b = std::max(side_b, net->org(i).ledger().committed_valid());
+  }
+  const std::uint64_t total_committed = static_cast<std::uint64_t>(committed);
+  EXPECT_LT(side_a, total_committed);
+  EXPECT_LT(side_b, total_committed);
+
+  net->network().HealPartitions();
+  net->simulation().RunUntil(net->simulation().now() + sim::Sec(20));
+
+  // After healing, every organization holds every commit and identical state.
+  for (std::size_t i = 0; i < net->org_count(); ++i) {
+    EXPECT_EQ(net->org(i).ledger().committed_valid(), total_committed)
+        << "org " << i;
+    EXPECT_TRUE(net->org(i).ledger().log().Verify()) << "org " << i;
+  }
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_TRUE(
+        net->StateConverged(contracts::VotingContract::PartyObject("e", p)))
+        << "party " << p;
+  }
+}
+
 TEST(GossipProtocol, SuppressedGossipStillServesClientReceipts) {
   // A Byzantine organization that withholds gossip must still answer the
   // clients that commit directly at it.

@@ -1,0 +1,183 @@
+// Seed-driven chaos exploration of the OrderlessChain simulator
+// (FoundationDB-style deterministic simulation testing).
+//
+//   chaos_explorer --seeds 50              # sweep seeds 1..50
+//   chaos_explorer --seed 1337             # run one scenario, print details
+//   chaos_explorer --seed 1337 --replay-check   # run twice, compare
+//   chaos_explorer --seed 1337 --minimize  # shrink the script on failure
+//   chaos_explorer --unsafe-demo           # q <= f misconfiguration demo
+//
+// Exit code 0 when every expectation held (for --unsafe-demo: the safety
+// checker *did* fire), 1 on an invariant violation or replay divergence,
+// 2 on usage errors.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "chaos/minimize.h"
+#include "chaos/runner.h"
+#include "chaos/scenario.h"
+
+namespace {
+
+using orderless::chaos::ChaosRunResult;
+using orderless::chaos::GenerateScenario;
+using orderless::chaos::MakeUnsafeScenario;
+using orderless::chaos::MinimizeScenario;
+using orderless::chaos::RunScenario;
+using orderless::chaos::Scenario;
+using orderless::chaos::Violation;
+
+void PrintViolations(const ChaosRunResult& result) {
+  for (const Violation& v : result.violations) {
+    std::printf("  VIOLATION [%s] %s\n", v.invariant.c_str(),
+                v.detail.c_str());
+  }
+}
+
+void PrintFailure(const Scenario& scenario, const ChaosRunResult& result,
+                  bool minimize) {
+  std::printf("FAILED %s\n", result.Summary().c_str());
+  PrintViolations(result);
+  std::printf("%s", scenario.Describe().c_str());
+  if (minimize) {
+    std::printf("minimizing fault script (%zu events)...\n",
+                scenario.events.size());
+    const auto min = MinimizeScenario(scenario);
+    std::printf("minimized to %zu events after %u runs:\n",
+                min.minimized.events.size(), min.runs);
+    std::printf("%s", min.minimized.Describe().c_str());
+    PrintViolations(min.failing_run);
+  }
+  std::printf("reproduce with: chaos_explorer --seed %llu\n",
+              static_cast<unsigned long long>(scenario.seed));
+}
+
+int RunOne(std::uint64_t seed, bool replay_check, bool minimize,
+           bool verbose) {
+  const Scenario scenario = GenerateScenario(seed);
+  if (verbose) std::printf("%s", scenario.Describe().c_str());
+  const ChaosRunResult result = RunScenario(scenario);
+  if (!result.ok()) {
+    PrintFailure(scenario, result, minimize);
+    return 1;
+  }
+  std::printf("ok %s\n", result.Summary().c_str());
+  if (replay_check) {
+    const ChaosRunResult replay = RunScenario(scenario);
+    if (replay.fingerprint != result.fingerprint ||
+        replay.events_processed != result.events_processed) {
+      std::printf("REPLAY DIVERGENCE seed=%llu: %016llx/%llu events vs "
+                  "%016llx/%llu events\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(result.fingerprint),
+                  static_cast<unsigned long long>(result.events_processed),
+                  static_cast<unsigned long long>(replay.fingerprint),
+                  static_cast<unsigned long long>(replay.events_processed));
+      return 1;
+    }
+    std::printf("replay ok: fingerprint %016llx reproduced\n",
+                static_cast<unsigned long long>(result.fingerprint));
+  }
+  return 0;
+}
+
+int RunSweep(std::uint64_t count, bool minimize) {
+  std::uint64_t passed = 0;
+  for (std::uint64_t seed = 1; seed <= count; ++seed) {
+    const Scenario scenario = GenerateScenario(seed);
+    const ChaosRunResult result = RunScenario(scenario);
+    if (!result.ok()) {
+      PrintFailure(scenario, result, minimize);
+      std::printf("sweep: %llu/%llu seeds passed before failure\n",
+                  static_cast<unsigned long long>(passed),
+                  static_cast<unsigned long long>(count));
+      return 1;
+    }
+    ++passed;
+    if (seed % 10 == 0 || seed == count) {
+      std::printf("[%llu/%llu] last: %s\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(count),
+                  result.Summary().c_str());
+    }
+  }
+  std::printf("sweep ok: %llu scenarios, all invariants held\n",
+              static_cast<unsigned long long>(passed));
+  return 0;
+}
+
+int RunUnsafeDemo(std::uint64_t seed) {
+  const Scenario scenario = MakeUnsafeScenario(seed);
+  std::printf("running deliberately unsafe configuration: policy %s against "
+              "f=%u (q >= f+1 violated)\n",
+              scenario.policy.ToString().c_str(), scenario.byzantine_budget);
+  std::printf("%s", scenario.Describe().c_str());
+  const ChaosRunResult result = RunScenario(scenario);
+  if (result.ok()) {
+    std::printf("UNEXPECTED: safety checker did not fire (%s)\n",
+                result.Summary().c_str());
+    return 1;
+  }
+  std::printf("safety violation detected, as expected:\n");
+  PrintViolations(result);
+  const auto min = MinimizeScenario(scenario);
+  std::printf("minimized fault script (%u runs):\n%s", min.runs,
+              min.minimized.Describe().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t sweep = 0;
+  std::uint64_t seed = 0;
+  bool have_seed = false;
+  bool replay_check = false;
+  bool minimize = false;
+  bool unsafe_demo = false;
+  bool verbose = false;
+  std::uint64_t unsafe_seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_u64 = [&](std::uint64_t& out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      out = std::strtoull(argv[++i], nullptr, 10);
+    };
+    if (arg == "--seeds") {
+      next_u64(sweep);
+    } else if (arg == "--seed") {
+      next_u64(seed);
+      have_seed = true;
+    } else if (arg == "--replay-check") {
+      replay_check = true;
+    } else if (arg == "--minimize") {
+      minimize = true;
+    } else if (arg == "--unsafe-demo") {
+      unsafe_demo = true;
+    } else if (arg == "--unsafe-seed") {
+      next_u64(unsafe_seed);
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: chaos_explorer [--seeds N] [--seed S] "
+                   "[--replay-check] [--minimize] [--unsafe-demo] "
+                   "[--unsafe-seed S] [--verbose]\n");
+      return 2;
+    }
+  }
+
+  if (unsafe_demo) return RunUnsafeDemo(unsafe_seed);
+  if (have_seed) return RunOne(seed, replay_check, minimize, verbose);
+  if (sweep > 0) return RunSweep(sweep, minimize);
+  std::fprintf(stderr, "nothing to do: pass --seeds, --seed or "
+                       "--unsafe-demo\n");
+  return 2;
+}
