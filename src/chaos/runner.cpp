@@ -171,6 +171,37 @@ void ApplyFault(RunState& state, const FaultEvent& event) {
         state.client_paused[event.target] = false;
       }
       break;
+    case FaultKind::kOverloadBurst:
+      if (event.target < n) {
+        // Flood the organization with proposals from a node nobody
+        // registered: the endorse replies vanish, the pre-planned workload
+        // RNG stream is untouched, and admission control must shed to keep
+        // its queue bounded.
+        const sim::NodeId victim = net.org_node(event.target);
+        const sim::NodeId injector = 1000000 + event.target;
+        const std::uint32_t txs = std::max<std::uint32_t>(1, event.burst_txs);
+        const sim::SimTime window =
+            std::max<sim::SimTime>(txs, event.burst_window);
+        // Proposals land in waves of ~64 so each wave overwhelms the
+        // endorsement backlog ceiling (a uniform spread would be absorbed).
+        const std::uint32_t waves = std::max<std::uint32_t>(1, txs / 64);
+        for (std::uint32_t i = 0; i < txs; ++i) {
+          auto msg = std::make_shared<core::ProposalMsg>();
+          msg->proposal.client = injector;
+          msg->proposal.contract = "voting";
+          msg->proposal.function = "Vote";
+          msg->proposal.args = {crdt::Value("e0"),
+                                crdt::Value(static_cast<std::int64_t>(i % 4)),
+                                crdt::Value(std::int64_t{4})};
+          msg->proposal.clock = {injector, i + 1};  // distinct digests
+          net.simulation().Schedule(
+              window * (i * waves / txs) / waves,
+              [&net, victim, injector, msg] {
+                net.network().Send(injector, victim, msg);
+              });
+        }
+      }
+      break;
   }
 }
 
@@ -228,6 +259,19 @@ ChaosRunResult RunScenario(const Scenario& scenario) {
   config.client_timing.endorse_timeout = sim::Ms(700);
   config.client_timing.commit_timeout = sim::Ms(700);
   config.client_timing.avoid_byzantine = true;
+  // Overload layer on: bursts must shed instead of growing queues without
+  // bound, and clients retry with backoff + breaker instead of hammering.
+  // Ceilings scaled to the small chaos workload (service times are a few
+  // hundred microseconds, so legitimate backlogs stay well under these).
+  config.org_timing.overload.enabled = true;
+  config.org_timing.overload.max_backlog_gossip = sim::Ms(1);
+  config.org_timing.overload.max_backlog_endorse = sim::Ms(2);
+  config.org_timing.overload.max_backlog_commit = sim::Ms(5);
+  config.client_timing.backoff_base = sim::Ms(40);
+  config.client_timing.backoff_cap = sim::Sec(1);
+  config.client_timing.org_retry_budget = 4;
+  config.client_timing.breaker_threshold = 3;
+  config.client_timing.breaker_cooldown = sim::Sec(2);
 
   harness::OrderlessNet net(config);
   net.RegisterContract(std::make_shared<contracts::VotingContract>());
@@ -325,6 +369,12 @@ ChaosRunResult RunScenario(const Scenario& scenario) {
   result.bytes_sent = net.network().bytes_sent();
   result.events_processed = net.simulation().events_processed();
   result.violations = checker.violations();
+  for (std::size_t i = 0; i < net.org_count(); ++i) {
+    const auto& s = net.org(i).phase_stats();
+    result.shed_total +=
+        s.shed_endorse + s.shed_commit + s.shed_gossip + s.shed_deadline;
+    result.busy_sent += s.busy_sent;
+  }
 
   // Order-sensitive run fingerprint: chain heads hash the exact commit
   // sequence at every organization, so equal fingerprints mean the two runs
@@ -338,6 +388,8 @@ ChaosRunResult RunScenario(const Scenario& scenario) {
   w.PutU32(result.committed);
   w.PutU32(result.rejected);
   w.PutU32(result.failed);
+  w.PutU64(result.shed_total);
+  w.PutU64(result.busy_sent);
   for (std::size_t i = 0; i < net.org_count(); ++i) {
     const auto& ledger = net.org(i).ledger();
     w.PutU64(ledger.committed_valid());
@@ -355,6 +407,7 @@ std::string ChaosRunResult::Summary() const {
       << " committed=" << committed << " rejected=" << rejected
       << " failed=" << failed << " unresolved=" << unresolved
       << " commits_observed=" << commits_observed
+      << " shed=" << shed_total << " busy=" << busy_sent
       << " events=" << events_processed << " msgs=" << messages_sent
       << " fingerprint=" << std::hex << fingerprint << std::dec
       << " violations=" << violations.size();

@@ -23,6 +23,8 @@ struct ChaosRunResult {
   std::uint32_t failed = 0;
   std::uint32_t unresolved = 0;  // no outcome by end of quiescence
   std::uint64_t commits_observed = 0;
+  std::uint64_t shed_total = 0;  // admission-control sheds across all orgs
+  std::uint64_t busy_sent = 0;   // Busy backpressure replies across all orgs
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t events_processed = 0;

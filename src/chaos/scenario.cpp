@@ -23,6 +23,7 @@ std::string_view FaultKindName(FaultKind kind) {
     case FaultKind::kClientByzantineOff: return "client-byzantine-off";
     case FaultKind::kClientPause: return "client-pause";
     case FaultKind::kClientResume: return "client-resume";
+    case FaultKind::kOverloadBurst: return "overload-burst";
   }
   return "unknown";
 }
@@ -75,6 +76,10 @@ std::string FaultEvent::Describe() const {
     case FaultKind::kClientPause:
     case FaultKind::kClientResume:
       out << " client=" << target;
+      break;
+    case FaultKind::kOverloadBurst:
+      out << " org=" << target << " txs=" << burst_txs
+          << " window=" << sim::ToMs(burst_window) << "ms";
       break;
     default:
       break;
@@ -322,6 +327,25 @@ Scenario GenerateScenario(std::uint64_t seed, const ScenarioLimits& limits) {
       resume.at = time_in(pause.at + 1, dur + 1);
       scenario.events.push_back(pause);
       scenario.events.push_back(resume);
+    }
+  }
+
+  // Overload bursts: flood one organization with synthetic proposals so its
+  // admission control must shed. New draws live at the END of generation so
+  // every earlier derivation matches what older seeds produced.
+  if (limits.allow_overload_bursts && limits.max_overload_bursts > 0 &&
+      rng.NextBool(0.4)) {
+    const std::uint32_t bursts =
+        1 + static_cast<std::uint32_t>(
+                rng.NextBelow(limits.max_overload_bursts));
+    for (std::uint32_t b = 0; b < bursts; ++b) {
+      FaultEvent burst;
+      burst.kind = FaultKind::kOverloadBurst;
+      burst.target = static_cast<std::uint32_t>(rng.NextBelow(n));
+      burst.at = time_in(0, dur * 3 / 4);
+      burst.burst_txs = 60 + 30 * static_cast<std::uint32_t>(rng.NextBelow(4));
+      burst.burst_window = sim::Ms(200 + 100 * rng.NextBelow(4));
+      scenario.events.push_back(burst);
     }
   }
 

@@ -31,6 +31,8 @@ enum class FaultKind : std::uint8_t {
   kClientByzantineOff,
   kClientPause,        // churn: the client stops submitting
   kClientResume,
+  kOverloadBurst,      // flood one org with synthetic proposals (admission
+                       // control must shed; answers go to a dummy node)
 };
 
 std::string_view FaultKindName(FaultKind kind);
@@ -48,6 +50,8 @@ struct FaultEvent {
   double corrupt = 0.0;
   core::ByzantineOrgBehavior org_behavior;
   core::ByzantineClientBehavior client_behavior;
+  std::uint32_t burst_txs = 0;         // kOverloadBurst: proposals injected
+  sim::SimTime burst_window = 0;       // kOverloadBurst: spread over this span
 
   std::string Describe() const;
 };
@@ -68,6 +72,8 @@ struct ScenarioLimits {
   bool allow_byzantine_orgs = true;
   bool allow_byzantine_clients = true;
   bool allow_client_churn = true;
+  bool allow_overload_bursts = true;
+  std::uint32_t max_overload_bursts = 2;
 };
 
 /// A fully-derived scenario: network shape, policy, and the fault script.

@@ -1,6 +1,7 @@
 #include "core/client.h"
 
 #include <algorithm>
+#include <numeric>
 
 namespace orderless::core {
 
@@ -18,7 +19,8 @@ Client::Client(sim::Simulation& simulation, sim::Network& network,
       org_nodes_(std::move(org_nodes)),
       timing_(timing),
       rng_(rng),
-      clock_(key.id()) {}
+      clock_(key.id()),
+      org_health_(org_nodes_.size()) {}
 
 void Client::Start() {
   network_.Register(node_,
@@ -60,42 +62,188 @@ void Client::Submit(const std::string& contract, const std::string& function,
   StartEndorsePhase(p);
 }
 
-std::vector<std::size_t> Client::PickOrgs() {
-  std::vector<std::size_t> candidates;
-  for (std::size_t i = 0; i < org_nodes_.size(); ++i) {
-    if (timing_.avoid_byzantine && suspected_.contains(i)) continue;
-    candidates.push_back(i);
+// ---------------------------------------------------------------------------
+// Circuit breaker
+
+BreakerState Client::breaker_state(std::size_t org) const {
+  const OrgHealth& h = org_health_[org];
+  if (h.state == BreakerState::kOpen && simulation_.now() >= h.open_until) {
+    return BreakerState::kHalfOpen;  // cooldown expired: probing allowed
   }
-  if (candidates.size() < policy_.q) {
-    // Not enough unsuspected organizations left; fall back to everyone.
-    candidates.clear();
-    for (std::size_t i = 0; i < org_nodes_.size(); ++i) candidates.push_back(i);
-  }
-  std::vector<std::size_t> picked;
-  if (org_weights_.size() == org_nodes_.size()) {
-    // Weighted sampling without replacement (non-uniform org load).
-    std::vector<std::size_t> pool = candidates;
-    while (picked.size() < policy_.q && !pool.empty()) {
-      double total = 0;
-      for (std::size_t idx : pool) total += org_weights_[idx];
-      double r = rng_.NextDouble() * total;
-      std::size_t chosen = pool.size() - 1;
-      for (std::size_t i = 0; i < pool.size(); ++i) {
-        r -= org_weights_[pool[i]];
-        if (r <= 0) {
-          chosen = i;
-          break;
-        }
+  return h.state;
+}
+
+void Client::BreakerFailure(std::size_t org) {
+  if (timing_.breaker_threshold == 0) return;
+  OrgHealth& h = org_health_[org];
+  switch (breaker_state(org)) {
+    case BreakerState::kOpen:
+      return;  // still cooling down; nothing new learned
+    case BreakerState::kHalfOpen:
+      // The probe failed: re-open with a longer cooldown (up to 8x).
+      h.state = BreakerState::kOpen;
+      h.reopen_streak = std::min<std::uint32_t>(h.reopen_streak + 1, 3);
+      h.open_until =
+          simulation_.now() + (timing_.breaker_cooldown << h.reopen_streak);
+      ++retry_stats_.breaker_opens;
+      return;
+    case BreakerState::kClosed:
+      if (++h.consecutive_failures >= timing_.breaker_threshold) {
+        h.state = BreakerState::kOpen;
+        h.open_until = simulation_.now() + timing_.breaker_cooldown;
+        ++retry_stats_.breaker_opens;
       }
-      picked.push_back(pool[chosen]);
-      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(chosen));
+      return;
+  }
+}
+
+void Client::BreakerSuccess(std::size_t org) {
+  if (timing_.breaker_threshold == 0) return;
+  OrgHealth& h = org_health_[org];
+  const bool was_unhealthy = h.state != BreakerState::kClosed;
+  h.state = BreakerState::kClosed;
+  h.consecutive_failures = 0;
+  h.reopen_streak = 0;
+  h.open_until = 0;
+  if (was_unhealthy) ++retry_stats_.breaker_closes;
+}
+
+void Client::ChargeFailure(Pending& p, std::size_t org) {
+  ++p.failure_charges[org];
+}
+
+// ---------------------------------------------------------------------------
+// Organization selection
+
+std::vector<std::size_t> Client::PickOrgs(Pending& p) {
+  const std::size_t n = org_nodes_.size();
+  const bool breaker = timing_.breaker_threshold > 0;
+
+  // Sampling helper honoring the optional per-org weights (configuration 8's
+  // normal-distribution workload): k distinct picks from `pool`.
+  auto sample = [this, n](const std::vector<std::size_t>& pool,
+                          std::size_t k) {
+    k = std::min(k, pool.size());
+    std::vector<std::size_t> picked;
+    if (k == 0) return picked;
+    if (org_weights_.size() == n) {
+      std::vector<std::size_t> remaining = pool;
+      while (picked.size() < k && !remaining.empty()) {
+        double total = 0;
+        for (std::size_t idx : remaining) total += org_weights_[idx];
+        double r = rng_.NextDouble() * total;
+        std::size_t chosen = remaining.size() - 1;
+        for (std::size_t i = 0; i < remaining.size(); ++i) {
+          r -= org_weights_[remaining[i]];
+          if (r <= 0) {
+            chosen = i;
+            break;
+          }
+        }
+        picked.push_back(remaining[chosen]);
+        remaining.erase(remaining.begin() +
+                        static_cast<std::ptrdiff_t>(chosen));
+      }
+      return picked;
+    }
+    for (std::size_t idx : rng_.SampleDistinct(pool.size(), k)) {
+      picked.push_back(pool[idx]);
     }
     return picked;
+  };
+
+  // Tier the organizations: healthy first, half-open (probe candidates)
+  // next, retry-budget-exhausted last. Open breakers are skipped outright.
+  std::vector<std::size_t> healthy, half_open, spent;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (timing_.avoid_byzantine && suspected_.contains(i)) continue;
+    const BreakerState view =
+        breaker ? breaker_state(i) : BreakerState::kClosed;
+    if (view == BreakerState::kOpen) continue;
+    const auto charges = p.failure_charges.find(i);
+    if (timing_.org_retry_budget > 0 && charges != p.failure_charges.end() &&
+        charges->second >= timing_.org_retry_budget) {
+      spent.push_back(i);
+    } else if (view == BreakerState::kHalfOpen) {
+      half_open.push_back(i);
+    } else {
+      healthy.push_back(i);
+    }
   }
-  for (std::size_t idx : rng_.SampleDistinct(candidates.size(), policy_.q)) {
-    picked.push_back(candidates[idx]);
+
+  const std::size_t want = std::min<std::size_t>(n, policy_.q + timing_.hedge);
+  std::vector<std::size_t> picked = sample(healthy, want);
+  if (picked.size() > policy_.q) {
+    retry_stats_.hedged_requests += picked.size() - policy_.q;
+  }
+  for (const std::vector<std::size_t>* tier : {&half_open, &spent}) {
+    if (picked.size() >= want) break;
+    for (std::size_t idx : sample(*tier, want - picked.size())) {
+      picked.push_back(idx);
+    }
+  }
+  if (picked.size() < policy_.q) {
+    // Not enough organizations survive the filters; fall back to everyone
+    // rather than deadlocking the submission.
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    picked = sample(all, policy_.q);
+  } else if (!half_open.empty()) {
+    // A recovered organization can only prove itself by being asked: if no
+    // half-open org made the cut, append one as an extra probe. Its reply
+    // (or failure) drives the breaker; the quorum does not depend on it.
+    const bool has_probe = std::any_of(
+        picked.begin(), picked.end(), [&](std::size_t idx) {
+          return std::find(half_open.begin(), half_open.end(), idx) !=
+                 half_open.end();
+        });
+    if (!has_probe) {
+      picked.push_back(half_open[rng_.NextBelow(half_open.size())]);
+    }
+  }
+  if (breaker) {
+    for (std::size_t idx : picked) {
+      if (breaker_state(idx) == BreakerState::kHalfOpen) {
+        ++retry_stats_.half_open_probes;
+      }
+    }
   }
   return picked;
+}
+
+// ---------------------------------------------------------------------------
+// Retry machinery
+
+sim::SimTime Client::NextBackoff() {
+  if (timing_.backoff_base == 0) return 0;
+  // Decorrelated jitter: next = base + uniform(0, min(cap, prev*3) - base).
+  const sim::SimTime floor = timing_.backoff_base;
+  const sim::SimTime prev = std::max(last_backoff_, floor);
+  const sim::SimTime ceil =
+      std::max(floor, std::min<sim::SimTime>(timing_.backoff_cap, prev * 3));
+  last_backoff_ = floor + (ceil > floor ? rng_.NextBelow(ceil - floor + 1) : 0);
+  return last_backoff_;
+}
+
+void Client::ScheduleRetry(Pending& p) {
+  // A Busy retry-after hint overrides a shorter backoff: the organization
+  // told us how long its queue is.
+  const sim::SimTime delay = std::max(NextBackoff(), p.busy_retry_hint);
+  p.busy_retry_hint = 0;
+  const std::uint64_t generation = ++p.timeout_generation;
+  const std::uint64_t seq = p.seq;
+  const bool endorse = p.phase == Phase::kEndorse;
+  simulation_.Schedule(delay, [this, seq, generation, endorse] {
+    const auto it = pending_.find(seq);
+    if (it == pending_.end()) return;
+    Pending& pending = it->second;
+    if (pending.timeout_generation != generation) return;  // superseded
+    if (endorse) {
+      StartEndorsePhase(pending);
+    } else {
+      ResendCommit(pending);
+    }
+  });
 }
 
 void Client::ArmTimeout(Pending& p, sim::SimTime delay) {
@@ -105,12 +253,17 @@ void Client::ArmTimeout(Pending& p, sim::SimTime delay) {
                        [this, seq, generation] { OnTimeout(seq, generation); });
 }
 
+// ---------------------------------------------------------------------------
+// Phase 1: endorsement
+
 void Client::StartEndorsePhase(Pending& p) {
   p.phase = Phase::kEndorse;
   p.groups.clear();
   p.replied.clear();
-  p.chosen = PickOrgs();
+  p.busy_retry_hint = 0;
+  p.chosen = PickOrgs(p);
 
+  const sim::SimTime deadline = simulation_.now() + timing_.endorse_timeout;
   for (std::size_t i = 0; i < p.chosen.size(); ++i) {
     Proposal proposal = p.proposal;
     if (byzantine_.active && byzantine_.inconsistent_clocks) {
@@ -121,6 +274,7 @@ void Client::StartEndorsePhase(Pending& p) {
     route_[proposal.Digest()] = p.seq;
     auto msg = std::make_shared<ProposalMsg>();
     msg->proposal = std::move(proposal);
+    msg->deadline = deadline;
     network_.Send(node_, org_nodes_[p.chosen[i]], msg);
   }
   ArmTimeout(p, timing_.endorse_timeout);
@@ -136,6 +290,11 @@ void Client::OnDelivery(const sim::Delivery& delivery) {
   if (const auto* commit =
           dynamic_cast<const CommitReplyMsg*>(delivery.message.get())) {
     HandleCommitReply(delivery.from, *commit);
+    return;
+  }
+  if (const auto* busy =
+          dynamic_cast<const BusyMsg*>(delivery.message.get())) {
+    HandleBusy(delivery.from, *busy);
     return;
   }
 }
@@ -160,6 +319,7 @@ void Client::HandleEndorseReply(sim::NodeId from, const EndorseReplyMsg& msg) {
   if (!p.replied.insert(*org_index).second) return;  // duplicate reply
 
   if (msg.ok) {
+    BreakerSuccess(*org_index);
     if (p.proposal.read_only) {
       if (!p.read_value_set) {
         p.read_value = msg.read_value;
@@ -184,11 +344,13 @@ void Client::HandleEndorseReply(sim::NodeId from, const EndorseReplyMsg& msg) {
       if (group.endorsements.size() >= policy_.q) {
         // Identical write-sets from q organizations: assemble and commit.
         p.phase1_done = simulation_.now();
-        if (timing_.avoid_byzantine) {
-          // Any org that answered with a different write-set mis-endorsed.
-          for (const auto& [digest, other] : p.groups) {
-            if (digest == ws) continue;
-            for (std::size_t idx : other.orgs) suspected_.insert(idx);
+        // Any org that answered with a different write-set mis-endorsed.
+        for (const auto& [digest, other] : p.groups) {
+          if (digest == ws) continue;
+          for (std::size_t idx : other.orgs) {
+            if (timing_.avoid_byzantine) suspected_.insert(idx);
+            BreakerFailure(idx);
+            ChargeFailure(p, idx);
           }
         }
         StartCommitPhase(p, std::move(group));
@@ -197,37 +359,48 @@ void Client::HandleEndorseReply(sim::NodeId from, const EndorseReplyMsg& msg) {
     }
   }
 
-  if (p.replied.size() >= p.chosen.size()) {
-    // Everyone answered but no q identical write-sets exist.
-    if (timing_.avoid_byzantine) {
-      // Minority write-set groups are the suspects.
-      std::size_t best = 0;
-      for (const auto& [digest, group] : p.groups) {
-        (void)digest;
-        best = std::max(best, group.endorsements.size());
+  MaybeFinishEndorseRound(p);
+}
+
+void Client::MaybeFinishEndorseRound(Pending& p) {
+  if (p.replied.size() < p.chosen.size()) return;
+  // Everyone answered (endorsement, error, or Busy) but no q identical
+  // write-sets exist: minority write-set groups are the suspects.
+  std::size_t best = 0;
+  for (const auto& [digest, group] : p.groups) {
+    (void)digest;
+    best = std::max(best, group.endorsements.size());
+  }
+  for (const auto& [digest, group] : p.groups) {
+    (void)digest;
+    if (group.endorsements.size() < best) {
+      for (std::size_t idx : group.orgs) {
+        if (timing_.avoid_byzantine) suspected_.insert(idx);
+        BreakerFailure(idx);
+        ChargeFailure(p, idx);
       }
-      for (const auto& [digest, group] : p.groups) {
-        (void)digest;
-        if (group.endorsements.size() < best) {
-          for (std::size_t idx : group.orgs) suspected_.insert(idx);
-        }
-      }
-    }
-    if (p.attempt < timing_.max_attempts) {
-      ++p.attempt;
-      StartEndorsePhase(p);
-    } else {
-      TxOutcome outcome;
-      outcome.failure = "endorsement mismatch";
-      outcome.latency = simulation_.now() - p.start;
-      Finish(p, std::move(outcome));
     }
   }
+  if (p.attempt < timing_.max_attempts) {
+    ++p.attempt;
+    ++retry_stats_.retries;
+    ScheduleRetry(p);
+    return;
+  }
+  TxOutcome outcome;
+  outcome.failure = "endorsement mismatch";
+  outcome.latency = simulation_.now() - p.start;
+  Finish(p, std::move(outcome));
 }
+
+// ---------------------------------------------------------------------------
+// Phase 2: commit
 
 void Client::StartCommitPhase(Pending& p, Pending::WsGroup group) {
   p.phase = Phase::kCommit;
-  p.valid_receipts = 0;
+  p.receipt_orgs.clear();
+  p.commit_busy.clear();
+  p.busy_retry_hint = 0;
 
   std::vector<crdt::Operation> ops = std::move(group.ops);
   if (byzantine_.active && byzantine_.tamper_writeset && !ops.empty()) {
@@ -254,18 +427,65 @@ void Client::StartCommitPhase(Pending& p, Pending::WsGroup group) {
     return;
   }
 
-  std::vector<std::size_t> targets = p.chosen;
+  // Commit to the organizations that endorsed the winning write-set (they
+  // just proved responsive); gossip spreads the transaction to the rest.
+  p.commit_targets = group.orgs;
   if (byzantine_.active && byzantine_.partial_commit) {
     // Byzantine fault (2): commit reaches one organization only; gossip must
     // still spread it everywhere (tested by the SEC integration tests).
-    targets.resize(1);
+    p.commit_targets.resize(1);
   }
-  for (std::size_t idx : targets) {
+  SendCommits(p);
+}
+
+void Client::SendCommits(Pending& p) {
+  for (std::size_t idx : p.commit_targets) {
     auto msg = std::make_shared<CommitMsg>();
-    msg->tx = tx;
+    msg->tx = p.tx;
     network_.Send(node_, org_nodes_[idx], msg);
   }
   ArmTimeout(p, timing_.commit_timeout);
+}
+
+void Client::ResendCommit(Pending& p) {
+  ++retry_stats_.commit_resends;
+  p.commit_busy.clear();
+  p.busy_retry_hint = 0;
+  const std::size_t have = p.receipt_orgs.size();
+  const std::size_t needed = policy_.q > have ? policy_.q - have : 1;
+
+  // Failover: the assembled transaction carries its endorsements, so *any*
+  // organization can validate and commit it — the spare n-q capacity backs
+  // up the original commit targets. Prefer organizations not yet charged
+  // with a failure for this transaction.
+  std::vector<std::size_t> fresh, tried;
+  for (std::size_t i = 0; i < org_nodes_.size(); ++i) {
+    if (p.receipt_orgs.contains(i)) continue;
+    if (timing_.breaker_threshold > 0 &&
+        breaker_state(i) == BreakerState::kOpen) {
+      continue;
+    }
+    (p.failure_charges.contains(i) ? tried : fresh).push_back(i);
+  }
+  std::vector<std::size_t> targets;
+  for (const std::vector<std::size_t>* tier : {&fresh, &tried}) {
+    if (targets.size() >= needed) break;
+    const std::size_t take = std::min(needed - targets.size(), tier->size());
+    for (std::size_t idx : rng_.SampleDistinct(tier->size(), take)) {
+      targets.push_back((*tier)[idx]);
+    }
+  }
+  if (targets.empty()) {
+    // Every candidate is breaker-open: last resort, ask them all anyway.
+    for (std::size_t i = 0; i < org_nodes_.size(); ++i) {
+      if (!p.receipt_orgs.contains(i)) targets.push_back(i);
+    }
+  }
+  if (byzantine_.active && byzantine_.partial_commit && targets.size() > 1) {
+    targets.resize(1);
+  }
+  p.commit_targets = std::move(targets);
+  SendCommits(p);
 }
 
 void Client::HandleCommitReply(sim::NodeId from, const CommitReplyMsg& msg) {
@@ -276,7 +496,6 @@ void Client::HandleCommitReply(sim::NodeId from, const CommitReplyMsg& msg) {
   Pending& p = it->second;
   if (p.phase != Phase::kCommit) return;
   if (!msg.receipt.Verify(pki_)) return;  // forged receipt
-  (void)from;
 
   if (!msg.receipt.valid) {
     // A rejection is deterministic (signature validation): retrying cannot
@@ -288,10 +507,14 @@ void Client::HandleCommitReply(sim::NodeId from, const CommitReplyMsg& msg) {
     Finish(p, std::move(outcome));
     return;
   }
-  ++p.valid_receipts;
-  const std::uint32_t needed =
+  const auto org_index = OrgIndexOfNode(from);
+  if (!org_index) return;
+  BreakerSuccess(*org_index);
+  if (!p.receipt_orgs.insert(*org_index).second) return;  // duplicate receipt
+
+  const std::size_t needed =
       (byzantine_.active && byzantine_.partial_commit) ? 1 : policy_.q;
-  if (p.valid_receipts >= needed) {
+  if (p.receipt_orgs.size() >= needed) {
     TxOutcome outcome;
     outcome.committed = true;
     outcome.latency = simulation_.now() - p.start;
@@ -301,21 +524,73 @@ void Client::HandleCommitReply(sim::NodeId from, const CommitReplyMsg& msg) {
   }
 }
 
+void Client::HandleBusy(sim::NodeId from, const BusyMsg& msg) {
+  const auto route = route_.find(msg.ref);
+  if (route == route_.end()) return;
+  const auto it = pending_.find(route->second);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  const auto org_index = OrgIndexOfNode(from);
+  if (!org_index) return;
+
+  ++retry_stats_.busy_received;
+  p.busy_retry_hint = std::max(p.busy_retry_hint, msg.retry_after);
+  BreakerFailure(*org_index);
+  ChargeFailure(p, *org_index);
+
+  if (msg.endorse_phase) {
+    if (p.phase != Phase::kEndorse) return;
+    if (!p.replied.insert(*org_index).second) return;
+    MaybeFinishEndorseRound(p);
+    return;
+  }
+  if (p.phase != Phase::kCommit) return;
+  p.commit_busy.insert(*org_index);
+  // Once every outstanding commit target has shed the request, retry after
+  // the backoff instead of sitting out the full commit timeout.
+  for (std::size_t idx : p.commit_targets) {
+    if (!p.receipt_orgs.contains(idx) && !p.commit_busy.contains(idx)) {
+      return;  // someone may still answer
+    }
+  }
+  if (p.attempt < timing_.max_attempts) {
+    ++p.attempt;
+    ++retry_stats_.retries;
+    ScheduleRetry(p);
+  }
+  // Out of attempts: the armed commit timeout will fail the transaction.
+}
+
+// ---------------------------------------------------------------------------
+
 void Client::OnTimeout(std::uint64_t seq, std::uint64_t generation) {
   const auto it = pending_.find(seq);
   if (it == pending_.end()) return;
   Pending& p = it->second;
   if (p.timeout_generation != generation) return;  // superseded
 
-  if (timing_.avoid_byzantine && p.phase == Phase::kEndorse) {
+  if (p.phase == Phase::kEndorse) {
     // Whoever did not reply in time is suspect.
     for (std::size_t idx : p.chosen) {
-      if (!p.replied.contains(idx)) suspected_.insert(idx);
+      if (p.replied.contains(idx)) continue;
+      if (timing_.avoid_byzantine) suspected_.insert(idx);
+      BreakerFailure(idx);
+      ChargeFailure(p, idx);
+    }
+  } else {
+    for (std::size_t idx : p.commit_targets) {
+      if (p.receipt_orgs.contains(idx)) continue;
+      BreakerFailure(idx);
+      ChargeFailure(p, idx);
     }
   }
   if (p.attempt < timing_.max_attempts) {
     ++p.attempt;
-    StartEndorsePhase(p);
+    ++retry_stats_.retries;
+    // Endorse-phase retries re-run selection from scratch; commit-phase
+    // retries re-send the assembled transaction (duplicates are answered
+    // from the organizations' commit index, never re-applied).
+    ScheduleRetry(p);
     return;
   }
   TxOutcome outcome;
@@ -330,6 +605,7 @@ void Client::Finish(Pending& p, TxOutcome outcome) {
   std::erase_if(route_, [&p](const auto& entry) {
     return entry.second == p.seq;
   });
+  if (outcome.committed) last_backoff_ = 0;  // healthy again: reset jitter
   TxCallback callback = std::move(p.callback);
   const std::uint64_t seq = p.seq;
   pending_.erase(seq);

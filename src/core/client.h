@@ -24,6 +24,42 @@ struct ClientTimingConfig {
   /// When set, organizations that timed out or mis-endorsed are avoided on
   /// later submissions (Fig. 8(b) behaviour).
   bool avoid_byzantine = false;
+
+  // ---- Overload-era retry policy (all off by default: seed behaviour) ----
+
+  /// Base delay of the decorrelated-jitter exponential backoff between
+  /// attempts: next = base + uniform(0, min(cap, prev*3) - base). 0 retries
+  /// immediately. Busy replies raise the delay to their retry-after hint.
+  sim::SimTime backoff_base = 0;
+  sim::SimTime backoff_cap = sim::Sec(8);
+  /// Per-transaction bound on how many failures (timeout / Busy) one
+  /// organization may accrue before selection prefers untried spare
+  /// organizations over it. 0 = unbounded.
+  std::uint32_t org_retry_budget = 0;
+  /// Circuit breaker per organization: opens after this many consecutive
+  /// failures (0 disables the breaker). Open organizations are skipped at
+  /// selection; after `breaker_cooldown` the breaker half-opens and a probe
+  /// request decides between closing it and re-opening (with the cooldown
+  /// doubling up to 8x).
+  std::uint32_t breaker_threshold = 0;
+  sim::SimTime breaker_cooldown = sim::Sec(10);
+  /// Hedged endorsement: contact q + hedge organizations in phase 1 and use
+  /// the first q matching write-sets (spare-capacity latency insurance).
+  std::uint32_t hedge = 0;
+};
+
+/// Per-organization circuit-breaker state (closed = healthy).
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+/// Robustness counters one client accumulates (aggregated by the harness).
+struct ClientRetryStats {
+  std::uint64_t retries = 0;            // attempts beyond each first try
+  std::uint64_t busy_received = 0;      // BusyMsg backpressure replies seen
+  std::uint64_t commit_resends = 0;     // phase-2 re-sends of an assembled tx
+  std::uint64_t breaker_opens = 0;      // closed/half-open -> open
+  std::uint64_t breaker_closes = 0;     // open/half-open -> closed
+  std::uint64_t half_open_probes = 0;   // probe requests to half-open orgs
+  std::uint64_t hedged_requests = 0;    // extra endorsement fan-out sent
 };
 
 /// Byzantine client faults (paper §8, four types).
@@ -82,6 +118,10 @@ class Client {
   crypto::KeyId key() const { return key_.id(); }
   sim::NodeId node() const { return node_; }
   const std::set<std::size_t>& suspected_orgs() const { return suspected_; }
+  const ClientRetryStats& retry_stats() const { return retry_stats_; }
+  /// The breaker state of `org` as selection would see it now (an expired
+  /// open cooldown reads as half-open).
+  BreakerState breaker_state(std::size_t org) const;
 
  private:
   enum class Phase { kEndorse, kCommit };
@@ -107,9 +147,15 @@ class Client {
     crdt::Value read_value;
     bool read_value_set = false;
     std::uint32_t read_ok = 0;
+    // Retry bookkeeping: per-org failure charges for this transaction (the
+    // retry budget), and the strongest Busy retry-after hint this attempt.
+    std::map<std::size_t, std::uint32_t> failure_charges;
+    sim::SimTime busy_retry_hint = 0;
     // Phase 2.
     std::shared_ptr<const Transaction> tx;
-    std::uint32_t valid_receipts = 0;
+    std::vector<std::size_t> commit_targets;
+    std::set<std::size_t> receipt_orgs;   // distinct orgs with valid receipts
+    std::set<std::size_t> commit_busy;    // commit targets that replied Busy
   };
 
   void Submit(const std::string& contract, const std::string& function,
@@ -117,14 +163,29 @@ class Client {
               TxCallback callback);
   void StartEndorsePhase(Pending& p);
   void StartCommitPhase(Pending& p, Pending::WsGroup group);
+  void SendCommits(Pending& p);
+  void ResendCommit(Pending& p);
   void OnDelivery(const sim::Delivery& delivery);
   void HandleEndorseReply(sim::NodeId from, const EndorseReplyMsg& msg);
   void HandleCommitReply(sim::NodeId from, const CommitReplyMsg& msg);
+  void HandleBusy(sim::NodeId from, const BusyMsg& msg);
   void OnTimeout(std::uint64_t seq, std::uint64_t generation);
+  /// Retries the pending transaction's current phase after the backoff
+  /// delay (immediate when backoff is disabled and no Busy hint arrived).
+  void ScheduleRetry(Pending& p);
+  /// Ends the endorse round early once every contacted org has answered
+  /// (endorsement, error, or Busy) without producing q matching write-sets.
+  void MaybeFinishEndorseRound(Pending& p);
   void Finish(Pending& p, TxOutcome outcome);
-  std::vector<std::size_t> PickOrgs();
+  std::vector<std::size_t> PickOrgs(Pending& p);
   std::optional<std::size_t> OrgIndexOfNode(sim::NodeId node) const;
   void ArmTimeout(Pending& p, sim::SimTime delay);
+  /// Decorrelated-jitter backoff (deterministic given the client's rng).
+  sim::SimTime NextBackoff();
+  // Circuit-breaker transitions; no-ops while breaker_threshold == 0.
+  void BreakerFailure(std::size_t org);
+  void BreakerSuccess(std::size_t org);
+  void ChargeFailure(Pending& p, std::size_t org);
 
   sim::Simulation& simulation_;
   sim::Network& network_;
@@ -145,6 +206,19 @@ class Client {
   std::unordered_map<crypto::Digest, std::uint64_t, crypto::DigestHash>
       route_;
   std::set<std::size_t> suspected_;
+
+  // Circuit breaker per organization. Unlike `suspected_` (a permanent
+  // verdict), the breaker lets a recovered or formerly-overloaded
+  // organization rejoin through a half-open probe.
+  struct OrgHealth {
+    BreakerState state = BreakerState::kClosed;
+    std::uint32_t consecutive_failures = 0;
+    sim::SimTime open_until = 0;
+    std::uint32_t reopen_streak = 0;  // scales the cooldown, capped at 8x
+  };
+  std::vector<OrgHealth> org_health_;
+  ClientRetryStats retry_stats_;
+  sim::SimTime last_backoff_ = 0;
 };
 
 }  // namespace orderless::core

@@ -12,6 +12,10 @@ namespace orderless::core {
 /// Step 1: client → organizations.
 struct ProposalMsg final : sim::Message {
   Proposal proposal;
+  /// Client-side endorsement deadline (absolute sim time, 0 = none). Not
+  /// part of the signed proposal — transport metadata that lets an
+  /// overloaded organization shed work its client has already given up on.
+  sim::SimTime deadline = 0;
   std::string_view TypeName() const override { return "Proposal"; }
   std::size_t WireSize() const override { return proposal.WireSize() + 48; }
 };
@@ -51,6 +55,17 @@ struct CommitReplyMsg final : sim::Message {
   Receipt receipt;
   std::string_view TypeName() const override { return "CommitReply"; }
   std::size_t WireSize() const override { return 144; }
+};
+
+/// Backpressure: the organization shed the request at admission instead of
+/// queueing it. `retry_after` is the sender's backlog estimate — a hint for
+/// the client's backoff, never a promise of capacity.
+struct BusyMsg final : sim::Message {
+  crypto::Digest ref;          // proposal digest (phase 1) or tx id (phase 2)
+  bool endorse_phase = true;
+  sim::SimTime retry_after = 0;
+  std::string_view TypeName() const override { return "Busy"; }
+  std::size_t WireSize() const override { return 64; }
 };
 
 /// Anti-entropy (organization → organization): a compact summary of the

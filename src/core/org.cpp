@@ -117,17 +117,21 @@ void Organization::OnDelivery(const sim::Delivery& delivery) {
   }
   if (const auto* advert =
           dynamic_cast<const GossipAdvertMsg*>(delivery.message.get())) {
-    // Pull whatever we neither committed nor already requested recently.
+    // Gossip is the first work class shed under overload: skipping the pull
+    // is safe because the advertiser keeps re-advertising and anti-entropy
+    // repairs whatever the advert window misses.
+    if (timing_.overload.enabled &&
+        cpu_.Backlog() > timing_.overload.max_backlog_gossip) {
+      ++phase_stats_.shed_gossip;
+      return;
+    }
+    // Pull whatever we neither committed nor already have a pull in flight
+    // for; the pending-pull retry loop in GossipTick() repairs losses.
     auto pull = std::make_shared<GossipPullMsg>();
-    const sim::SimTime repull_after = 2 * timing_.gossip_interval;
     for (const crypto::Digest& id : advert->ids) {
       if (commit_index_.contains(id) || in_flight_.contains(id)) continue;
-      const auto it = pulled_at_.find(id);
-      if (it != pulled_at_.end() &&
-          simulation_.now() < it->second + repull_after) {
-        continue;
-      }
-      pulled_at_[id] = simulation_.now();
+      if (pending_pulls_.contains(id)) continue;
+      pending_pulls_[id] = PendingPull{delivery.from, 0, 0};
       pull->ids.push_back(id);
     }
     if (!pull->ids.empty()) {
@@ -168,12 +172,24 @@ void Organization::OnDelivery(const sim::Delivery& delivery) {
   }
 }
 
+void Organization::SendBusy(sim::NodeId to, const crypto::Digest& ref,
+                            bool endorse_phase) {
+  auto busy = std::make_shared<BusyMsg>();
+  busy->ref = ref;
+  busy->endorse_phase = endorse_phase;
+  busy->retry_after =
+      std::min(cpu_.Backlog(), timing_.overload.max_retry_after);
+  ++phase_stats_.busy_sent;
+  network_.Send(node_, to, busy);
+}
+
 void Organization::HandleProposal(sim::NodeId from, const ProposalMsg& msg) {
   if (byzantine_.active && rng_.NextBool(byzantine_.ignore_proposal_prob)) {
     return;  // Byzantine: silently drop
   }
   const sim::SimTime arrival = simulation_.now();
   const Proposal proposal = msg.proposal;
+  const sim::SimTime deadline = msg.deadline;
 
   // Estimate service before executing: base plus argument-proportional work.
   const sim::SimTime exec_service =
@@ -181,6 +197,22 @@ void Organization::HandleProposal(sim::NodeId from, const ProposalMsg& msg) {
           ? timing_.read_base
           : timing_.endorse_base +
                 timing_.endorse_per_op * proposal.args.size() / 4;
+
+  if (timing_.overload.enabled) {
+    if (timing_.overload.shed_past_deadline && deadline > 0 &&
+        arrival + cpu_.NextStartDelay() + exec_service > deadline) {
+      // By the time a core frees up and executes this, the client's
+      // endorsement timer will have fired: shed instead of burning CPU on a
+      // reply nobody is waiting for.
+      ++phase_stats_.shed_deadline;
+      return;
+    }
+    if (cpu_.Backlog() > timing_.overload.max_backlog_endorse) {
+      ++phase_stats_.shed_endorse;
+      SendBusy(from, proposal.Digest(), /*endorse_phase=*/true);
+      return;
+    }
+  }
 
   cpu_.Submit(exec_service, [this, from, proposal, arrival] {
     if (!running_) return;
@@ -252,6 +284,25 @@ void Organization::HandleCommit(sim::NodeId from,
                                 bool from_gossip) {
   if (byzantine_.active && rng_.NextBool(byzantine_.ignore_commit_prob)) {
     return;
+  }
+  // The transaction body arrived, so any pull for it is satisfied (even if
+  // this copy ends up shed below, a later advert can restart the pull).
+  pending_pulls_.erase(tx->id);
+  if (timing_.overload.enabled) {
+    // Commit validation has the highest admission priority — the cluster
+    // already paid endorsement CPU for this transaction — but it is still
+    // bounded. Gossip copies are shed at the (much lower) gossip ceiling.
+    const sim::SimTime backlog = cpu_.Backlog();
+    if (from_gossip) {
+      if (backlog > timing_.overload.max_backlog_gossip) {
+        ++phase_stats_.shed_gossip;
+        return;
+      }
+    } else if (backlog > timing_.overload.max_backlog_commit) {
+      ++phase_stats_.shed_commit;
+      SendBusy(from, tx->id, /*endorse_phase=*/false);
+      return;
+    }
   }
   const sim::SimTime arrival = simulation_.now();
 
@@ -379,10 +430,32 @@ void Organization::GossipTick() {
       ++it;
     }
   }
-  const sim::SimTime stale = 4 * timing_.gossip_interval;
-  std::erase_if(pulled_at_, [this, stale](const auto& entry) {
-    return simulation_.now() > entry.second + stale;
-  });
+  // Pending-pull repair: a pull (or its reply) that got dropped leaves the
+  // id waiting here; after `pull_retry_ticks` quiet ticks re-ask the
+  // advertiser, then expire so a fresh advert can restart the cycle.
+  if (timing_.pull_retry_ticks > 0) {
+    std::unordered_map<sim::NodeId, std::shared_ptr<GossipPullMsg>> retries;
+    for (auto it = pending_pulls_.begin(); it != pending_pulls_.end();) {
+      PendingPull& pending = it->second;
+      if (++pending.ticks_waiting < timing_.pull_retry_ticks) {
+        ++it;
+        continue;
+      }
+      if (pending.retries >= timing_.pull_retry_limit) {
+        it = pending_pulls_.erase(it);
+        continue;
+      }
+      pending.ticks_waiting = 0;
+      ++pending.retries;
+      auto& msg = retries[pending.advertiser];
+      if (!msg) msg = std::make_shared<GossipPullMsg>();
+      msg->ids.push_back(it->first);
+      ++it;
+    }
+    for (auto& [advertiser, msg] : retries) {
+      network_.Send(node_, advertiser, msg);
+    }
+  }
   simulation_.Schedule(timing_.gossip_interval, [this] { GossipTick(); });
 }
 

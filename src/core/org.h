@@ -18,6 +18,32 @@
 
 namespace orderless::core {
 
+/// Bounded admission + priority load shedding. Past saturation an unbounded
+/// organization queues work without limit and every latency collapses (the
+/// paper's Fig. 6/7 knees); with admission control it degrades gracefully:
+/// low-value work is shed first and clients are told to back off.
+///
+/// Priorities are expressed as per-message-class backlog ceilings on the
+/// shared CPU queue: commit validation (finishing work the cluster already
+/// paid for) is admitted until the largest backlog, endorsement next, and
+/// gossip-driven work is shed first. Shed endorsements and client commits
+/// are answered with an explicit `BusyMsg` carrying a retry-after hint;
+/// gossip work is dropped silently (re-adverts and anti-entropy repair it).
+struct OverloadConfig {
+  bool enabled = false;  // off = the unbounded seed behaviour
+  /// Admission ceilings: new work of a class is shed once the CPU backlog
+  /// (queueing delay ahead of it) exceeds the class's bound.
+  sim::SimTime max_backlog_gossip = sim::Ms(250);
+  sim::SimTime max_backlog_endorse = sim::Ms(600);
+  sim::SimTime max_backlog_commit = sim::Sec(2);
+  /// Deadline-aware shedding: proposals carry the client's endorsement
+  /// deadline; work whose deadline already passed when a core frees up is
+  /// dropped instead of burning CPU on a reply nobody is waiting for.
+  bool shed_past_deadline = true;
+  /// Retry-after hints in Busy replies are the current backlog clamped here.
+  sim::SimTime max_retry_after = sim::Sec(2);
+};
+
 /// CPU / storage cost model, calibrated so a 4-vCPU organization saturates
 /// where the paper's does (Fig. 6/7 knees).
 struct OrgTimingConfig {
@@ -42,6 +68,15 @@ struct OrgTimingConfig {
   /// push gossip missed, e.g. after partitions heal. Requires retaining the
   /// committed transaction set, so large benchmarks leave it off.
   sim::SimTime antientropy_interval = 0;
+  /// How many gossip ticks an unanswered pull waits before it is re-sent to
+  /// the advertiser (a dropped PullRequest/PullReply would otherwise orphan
+  /// the id until anti-entropy). 0 keeps pull loss unrepaired.
+  std::uint32_t pull_retry_ticks = 2;
+  /// Re-sends per orphaned pull before giving up on the advertiser.
+  std::uint32_t pull_retry_limit = 3;
+
+  /// Overload protection (bounded admission + priority shedding).
+  OverloadConfig overload;
 
   /// Ledger retention knobs (benchmarks use lightweight settings).
   ledger::LedgerOptions ledger_options;
@@ -57,12 +92,18 @@ struct ByzantineOrgBehavior {
   bool suppress_gossip = true;
 };
 
-/// Phase-time accumulators backing Table 3.
+/// Phase-time accumulators backing Table 3, plus overload-shedding counters
+/// (harness::Metrics aggregates these across organizations).
 struct OrgPhaseStats {
   std::uint64_t endorse_count = 0;
   std::uint64_t endorse_time_us = 0;   // proposal arrival → endorsement sent
   std::uint64_t commit_count = 0;
   std::uint64_t commit_time_us = 0;    // commit arrival → committed
+  std::uint64_t shed_endorse = 0;      // proposals shed at admission
+  std::uint64_t shed_commit = 0;       // client commits shed at admission
+  std::uint64_t shed_gossip = 0;       // gossip work declined under load
+  std::uint64_t shed_deadline = 0;     // endorsements dropped past deadline
+  std::uint64_t busy_sent = 0;         // BusyMsg backpressure replies
   double AvgEndorseMs() const {
     return endorse_count == 0 ? 0.0
                               : endorse_time_us / 1000.0 / endorse_count;
@@ -120,6 +161,8 @@ class Organization {
   ledger::Ledger& mutable_ledger() { return ledger_; }
   const OrgPhaseStats& phase_stats() const { return phase_stats_; }
   std::uint64_t rejected_transactions() const { return rejected_; }
+  /// Current CPU queueing delay (what admission control keys on).
+  sim::SimTime CpuBacklog() const { return cpu_.Backlog(); }
 
   /// Local read of the application state ST_Oi (used by examples/tests).
   crdt::ReadResult ReadState(const std::string& object_id,
@@ -134,6 +177,8 @@ class Organization {
   void HandleProposal(sim::NodeId from, const ProposalMsg& msg);
   void HandleCommit(sim::NodeId from, std::shared_ptr<const Transaction> tx,
                     bool from_gossip);
+  /// Backpressure reply for work shed at admission.
+  void SendBusy(sim::NodeId to, const crypto::Digest& ref, bool endorse_phase);
   void FinishCommit(sim::NodeId from, std::shared_ptr<const Transaction> tx,
                     bool from_gossip, TxVerdict verdict,
                     sim::SimTime arrival);
@@ -166,9 +211,19 @@ class Organization {
                                std::uint32_t>,
                      crypto::DigestHash>
       recent_txs_;
-  // Ids pulled recently; suppresses duplicate pulls until re-advertised.
-  std::unordered_map<crypto::Digest, sim::SimTime, crypto::DigestHash>
-      pulled_at_;
+  // Pulls awaiting their GossipMsg, keyed by tx id. Suppresses duplicate
+  // pulls while outstanding, and — because a dropped PullRequest/PullReply
+  // would otherwise orphan the id until anti-entropy — re-sends the pull to
+  // the advertiser after `pull_retry_ticks` gossip ticks, up to
+  // `pull_retry_limit` times before the entry expires (a fresh advert then
+  // restarts the cycle).
+  struct PendingPull {
+    sim::NodeId advertiser = 0;
+    std::uint32_t ticks_waiting = 0;
+    std::uint32_t retries = 0;
+  };
+  std::unordered_map<crypto::Digest, PendingPull, crypto::DigestHash>
+      pending_pulls_;
   // Full committed set, retained only when anti-entropy is enabled. Bodies
   // are persisted alongside the commit record, so recovery reloads the whole
   // set; summaries use the separate count / xor accumulators, which recovery

@@ -133,6 +133,8 @@ class Driver {
     (void)behavior;
   }
   virtual PhaseBreakdown Breakdown() const = 0;
+  /// Overload/retry counters; only OrderlessChain implements the layer.
+  virtual RobustnessStats Robustness() const { return {}; }
 };
 
 class OrderlessDriver final : public Driver {
@@ -151,6 +153,25 @@ class OrderlessDriver final : public Driver {
     net.org_timing.ledger_options.track_tx_keys = false;
     net.client_timing.avoid_byzantine = config.client_avoidance;
     net.client_timing.max_attempts = config.client_max_attempts;
+    net.org_timing.overload = config.overload;
+    if (config.org_endorse_base > 0) {
+      net.org_timing.endorse_base = config.org_endorse_base;
+    }
+    if (config.org_commit_base > 0) {
+      net.org_timing.commit_base = config.org_commit_base;
+    }
+    if (config.client_endorse_timeout > 0) {
+      net.client_timing.endorse_timeout = config.client_endorse_timeout;
+    }
+    if (config.client_commit_timeout > 0) {
+      net.client_timing.commit_timeout = config.client_commit_timeout;
+    }
+    net.client_timing.backoff_base = config.client_backoff_base;
+    net.client_timing.backoff_cap = config.client_backoff_cap;
+    net.client_timing.org_retry_budget = config.client_org_retry_budget;
+    net.client_timing.breaker_threshold = config.client_breaker_threshold;
+    net.client_timing.breaker_cooldown = config.client_breaker_cooldown;
+    net.client_timing.hedge = config.client_hedge;
     net_ = std::make_unique<OrderlessNet>(net);
     net_->RegisterContract(std::make_shared<contracts::SyntheticContract>());
     net_->RegisterContract(std::make_shared<contracts::VotingContract>());
@@ -221,6 +242,30 @@ class OrderlessDriver final : public Driver {
       b.phases = {{"P1/Execution", endorse / n}, {"P2/Commit", commit / n}};
     }
     return b;
+  }
+
+  RobustnessStats Robustness() const override {
+    RobustnessStats r;
+    auto& net = const_cast<OrderlessNet&>(*net_);
+    for (std::size_t i = 0; i < net.org_count(); ++i) {
+      const auto& s = net.org(i).phase_stats();
+      r.shed_endorse += s.shed_endorse;
+      r.shed_commit += s.shed_commit;
+      r.shed_gossip += s.shed_gossip;
+      r.shed_deadline += s.shed_deadline;
+      r.busy_sent += s.busy_sent;
+    }
+    for (std::size_t i = 0; i < net.client_count(); ++i) {
+      const auto& s = net.client(i).retry_stats();
+      r.client_retries += s.retries;
+      r.busy_received += s.busy_received;
+      r.commit_resends += s.commit_resends;
+      r.breaker_opens += s.breaker_opens;
+      r.breaker_closes += s.breaker_closes;
+      r.half_open_probes += s.half_open_probes;
+      r.hedged_requests += s.hedged_requests;
+    }
+    return r;
   }
 
  private:
@@ -464,6 +509,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 
   ExperimentResult result;
   result.metrics = std::move(*metrics);
+  result.metrics.robustness = driver->Robustness();
   result.breakdown = driver->Breakdown();
   result.throughput_per_second = result.metrics.per_second.PerSecond(w.duration);
   return result;

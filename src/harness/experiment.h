@@ -70,6 +70,23 @@ struct ExperimentConfig {
   core::ByzantineClientBehavior byzantine_client_behavior;
   bool client_avoidance = false;
   std::uint32_t client_max_attempts = 1;
+
+  // Overload protection (off by default: seed behaviour). Organization-side
+  // admission control plus the client retry policy that pairs with it.
+  core::OverloadConfig overload;
+  // Optional service-time overrides (0 = keep OrgTimingConfig defaults);
+  // the overload bench uses these to place the saturation knee at a scale
+  // the reproduction can sweep past.
+  sim::SimTime org_endorse_base = 0;
+  sim::SimTime org_commit_base = 0;
+  sim::SimTime client_endorse_timeout = 0;
+  sim::SimTime client_commit_timeout = 0;
+  sim::SimTime client_backoff_base = 0;
+  sim::SimTime client_backoff_cap = sim::Sec(8);
+  std::uint32_t client_org_retry_budget = 0;
+  std::uint32_t client_breaker_threshold = 0;
+  sim::SimTime client_breaker_cooldown = sim::Sec(10);
+  std::uint32_t client_hedge = 0;
 };
 
 struct PhaseBreakdown {

@@ -41,6 +41,29 @@ class ThroughputSeries {
   std::vector<std::uint64_t> buckets_;
 };
 
+/// Overload-protection counters aggregated across organizations and clients
+/// (all zero while the overload layer is disabled — the seed behaviour).
+struct RobustnessStats {
+  // Organization side: requests shed at admission.
+  std::uint64_t shed_endorse = 0;
+  std::uint64_t shed_commit = 0;
+  std::uint64_t shed_gossip = 0;
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t busy_sent = 0;
+  // Client side: retry / breaker activity.
+  std::uint64_t client_retries = 0;
+  std::uint64_t busy_received = 0;
+  std::uint64_t commit_resends = 0;
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_closes = 0;
+  std::uint64_t half_open_probes = 0;
+  std::uint64_t hedged_requests = 0;
+
+  std::uint64_t TotalShed() const {
+    return shed_endorse + shed_commit + shed_gossip + shed_deadline;
+  }
+};
+
 /// Everything one experiment reports.
 struct ExperimentMetrics {
   std::uint64_t submitted = 0;
@@ -54,6 +77,7 @@ struct ExperimentMetrics {
   ThroughputSeries per_second;
   sim::SimTime first_commit = 0;
   sim::SimTime last_commit = 0;
+  RobustnessStats robustness;
 
   /// Committed transactions divided by the time they took (paper's
   /// definition of transaction throughput).

@@ -20,4 +20,11 @@ SimTime Processor::Backlog() const {
   return latest > now ? latest - now : 0;
 }
 
+SimTime Processor::NextStartDelay() const {
+  const SimTime earliest =
+      *std::min_element(core_free_.begin(), core_free_.end());
+  const SimTime now = simulation_.now();
+  return earliest > now ? earliest - now : 0;
+}
+
 }  // namespace orderless::sim

@@ -26,6 +26,10 @@ class Processor {
   /// Backlog: how far ahead of `now` the busiest schedule extends.
   SimTime Backlog() const;
 
+  /// How long a work item submitted now would wait before starting (0 when
+  /// a core is idle). Exact, since assignment to cores is FIFO at submit.
+  SimTime NextStartDelay() const;
+
  private:
   Simulation& simulation_;
   std::vector<SimTime> core_free_;

@@ -84,6 +84,65 @@ TEST(ChaosUnsafe, MisconfiguredPolicyIsDetectedAndMinimized) {
   EXPECT_FALSE(min.failing_run.ok());
 }
 
+TEST(ChaosOverload, BurstUnderPartitionShedsAndStillConverges) {
+  // A hand-built script: the network splits, and while one side is cut off
+  // an overload burst hammers an organization on the majority side. The
+  // admission control must shed (bounded queues) yet every invariant —
+  // including convergence after the heal — must still hold.
+  Scenario scenario;
+  scenario.seed = 4242;
+  scenario.num_orgs = 4;
+  scenario.num_clients = 4;
+  scenario.policy = core::EndorsementPolicy{2, 4};
+  scenario.duration = sim::Sec(8);
+  scenario.quiesce = sim::Sec(20);
+  scenario.tx_count = 24;
+  scenario.liveness_checkable = false;  // partitions can defeat retries
+
+  chaos::FaultEvent split;
+  split.kind = FaultKind::kPartitionSplit;
+  split.at = sim::Sec(1);
+  split.groups = {0, 0, 0, 1, 0, 0, 1, 1};  // org 3 + clients 2,3 cut off
+  scenario.events.push_back(split);
+  chaos::FaultEvent burst;
+  burst.kind = FaultKind::kOverloadBurst;
+  burst.target = 0;
+  burst.at = sim::Sec(2);
+  burst.burst_txs = 256;
+  burst.burst_window = sim::Ms(300);
+  scenario.events.push_back(burst);
+  chaos::FaultEvent heal;
+  heal.kind = FaultKind::kPartitionHeal;
+  heal.at = sim::Sec(5);
+  scenario.events.push_back(heal);
+
+  const ChaosRunResult result = RunScenario(scenario);
+  EXPECT_TRUE(result.ok()) << result.Summary() << "\n"
+                           << ViolationText(result);
+  EXPECT_GT(result.shed_total, 0u) << result.Summary();
+  EXPECT_GT(result.busy_sent, 0u) << result.Summary();
+  EXPECT_GT(result.committed, 0u) << result.Summary();
+}
+
+TEST(ChaosOverload, MinimizerStripsBurstDecoys) {
+  // The unsafe configuration plus an overload-burst decoy: ddmin must handle
+  // the new event kind and still reduce the script to the Byzantine phase.
+  Scenario scenario = MakeUnsafeScenario(1);
+  chaos::FaultEvent burst;
+  burst.kind = FaultKind::kOverloadBurst;
+  burst.target = 1;
+  burst.at = sim::Sec(3);
+  burst.burst_txs = 128;
+  burst.burst_window = sim::Ms(200);
+  scenario.events.push_back(burst);
+  ASSERT_EQ(scenario.events.size(), 4u);
+
+  const auto min = MinimizeScenario(scenario);
+  EXPECT_TRUE(min.reproduced);
+  ASSERT_EQ(min.minimized.events.size(), 1u);
+  EXPECT_EQ(min.minimized.events[0].kind, FaultKind::kOrgByzantineOn);
+}
+
 TEST(ChaosSafe, SafePolicyWithSameByzantineOrgStaysClean) {
   // Same Byzantine behaviour, but under EP:{2 of 4} (q >= f+1 holds): the
   // wrong endorsements cannot assemble a quorum, so every invariant holds.

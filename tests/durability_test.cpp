@@ -32,7 +32,11 @@ crypto::Digest D(const std::string& s) { return crypto::Sha256::Hash(s); }
 class DurabilityTest : public testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "orderless_durability_test";
+    // Unique per test case: ctest -j runs each TEST_F as its own process,
+    // and a shared directory makes concurrent cases trample each other.
+    const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("orderless_durability_") + info->name());
     fs::remove_all(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

@@ -171,5 +171,63 @@ TEST(GossipProtocol, SuppressedGossipStillServesClientReceipts) {
   EXPECT_EQ(total, 2u);
 }
 
+TEST(GossipProtocol, DroppedPullIsRetriedToAdvertiser) {
+  // A pull request lost on the wire must not orphan the transaction: the
+  // puller re-sends the pull to the recorded advertiser after a couple of
+  // gossip ticks, even when the id is never re-advertised (gossip_rounds=1)
+  // and anti-entropy is effectively disabled.
+  auto config = GossipConfig(3);
+  config.num_orgs = 4;
+  config.policy = core::EndorsementPolicy{2, 4};
+  config.org_timing.gossip_rounds = 1;
+  config.org_timing.antientropy_interval = sim::Sec(60);
+  auto net = std::make_unique<harness::OrderlessNet>(config);
+  net->RegisterContract(std::make_shared<contracts::VotingContract>());
+  net->Start();
+
+  // A partial-commit Byzantine client leaves the transaction at exactly one
+  // organization; gossip alone must spread it.
+  core::ByzantineClientBehavior partial;
+  partial.active = true;
+  partial.partial_commit = true;
+  net->client(0).SetByzantine(partial);
+  net->client(0).SubmitModify("voting", "Vote",
+                              {crdt::Value("e"), crdt::Value(std::int64_t{1}),
+                               crdt::Value(std::int64_t{4})},
+                              [](const TxOutcome&) {});
+  net->simulation().RunUntil(sim::Ms(150));  // committed; first advert is due
+                                             // at the 200ms gossip tick
+  std::size_t owner = net->org_count();
+  for (std::size_t i = 0; i < net->org_count(); ++i) {
+    if (net->org(i).ledger().committed_valid() == 1) owner = i;
+  }
+  ASSERT_LT(owner, net->org_count());
+
+  // Every pull request towards the owner is dropped until t=900ms. The
+  // adverts (owner -> peer) and the eventual push replies still flow.
+  sim::LinkFault drop_all;
+  drop_all.drop_probability = 1.0;
+  for (std::size_t i = 0; i < net->org_count(); ++i) {
+    if (i != owner) {
+      net->network().SetLinkFault(net->org_node(i), net->org_node(owner),
+                                  drop_all);
+    }
+  }
+  net->simulation().RunUntil(sim::Ms(900));
+  for (std::size_t i = 0; i < net->org_count(); ++i) {
+    if (i != owner) {
+      net->network().ClearLinkFault(net->org_node(i), net->org_node(owner));
+    }
+  }
+
+  // The pending-pull retry (every pull_retry_ticks gossip ticks, up to
+  // pull_retry_limit times) repairs the loss; without it the single advert
+  // round would leave three organizations orphaned forever.
+  net->simulation().RunUntil(sim::Sec(5));
+  for (std::size_t i = 0; i < net->org_count(); ++i) {
+    EXPECT_EQ(net->org(i).ledger().committed_valid(), 1u) << "org " << i;
+  }
+}
+
 }  // namespace
 }  // namespace orderless
