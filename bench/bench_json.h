@@ -1,0 +1,84 @@
+// Machine-readable benchmark output. Every bench that emits numbers for CI
+// writes a BENCH_<name>.json with the same top-level shape:
+//
+//   {
+//     "bench": "<name>",
+//     "<extra scalar fields>": ...,
+//     "points": [ {"name": "...", "<metric>": <value>, ...}, ... ]
+//   }
+//
+// Kept dependency-free (fprintf, no JSON library) and append-order
+// preserving, so diffs between runs stay line-stable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace orderless::bench {
+
+class JsonBench {
+ public:
+  explicit JsonBench(std::string name) : name_(std::move(name)) {}
+
+  /// Top-level scalar next to "points" (e.g. a speedup summary).
+  void Scalar(const std::string& key, double value, int decimals = 3) {
+    scalars_.push_back("\"" + key + "\": " + Fmt(value, decimals));
+  }
+  void Scalar(const std::string& key, const std::string& value) {
+    scalars_.push_back("\"" + key + "\": \"" + value + "\"");
+  }
+
+  /// Starts a new entry in "points"; subsequent Field() calls attach to it.
+  void Point(const std::string& point_name) {
+    points_.emplace_back();
+    Field("name", point_name);
+  }
+  void Field(const std::string& key, const std::string& value) {
+    points_.back().push_back("\"" + key + "\": \"" + value + "\"");
+  }
+  void Field(const std::string& key, double value, int decimals = 3) {
+    points_.back().push_back("\"" + key + "\": " + Fmt(value, decimals));
+  }
+  void Field(const std::string& key, std::uint64_t value) {
+    points_.back().push_back("\"" + key + "\": " + std::to_string(value));
+  }
+
+  /// Writes BENCH_<name>.json in the working directory; returns false when
+  /// the file cannot be opened (benches warn but do not fail on this).
+  bool Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    FILE* out = std::fopen(path.c_str(), "w");
+    if (!out) return false;
+    std::fprintf(out, "{\n  \"bench\": \"%s\",\n", name_.c_str());
+    for (const std::string& scalar : scalars_) {
+      std::fprintf(out, "  %s,\n", scalar.c_str());
+    }
+    std::fprintf(out, "  \"points\": [\n");
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      std::string line = "    {";
+      for (std::size_t j = 0; j < points_[i].size(); ++j) {
+        line += (j ? ", " : "") + points_[i][j];
+      }
+      line += i + 1 < points_.size() ? "}," : "}";
+      std::fprintf(out, "%s\n", line.c_str());
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Fmt(double value, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    return buf;
+  }
+
+  std::string name_;
+  std::vector<std::string> scalars_;
+  std::vector<std::vector<std::string>> points_;
+};
+
+}  // namespace orderless::bench

@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "crdt/object.h"
+#include "micro_json.h"
 
 namespace {
 
@@ -105,4 +106,6 @@ BENCHMARK(BM_StateSerialize)->Arg(1000)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return orderless::bench::RunMicrobenchWithJson(argc, argv, "micro_crdt");
+}

@@ -2,6 +2,7 @@
 #include <benchmark/benchmark.h>
 
 #include "crypto/pki.h"
+#include "micro_json.h"
 
 namespace {
 
@@ -30,4 +31,6 @@ BENCHMARK(BM_SignVerify);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return orderless::bench::RunMicrobenchWithJson(argc, argv, "micro_crypto");
+}

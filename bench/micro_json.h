@@ -1,0 +1,61 @@
+// Bridges the google-benchmark micro benches into the repo-wide machine-
+// readable output convention (see bench_json.h): a reporter that keeps the
+// normal console table but also captures every run as a point in
+// BENCH_<name>.json, so CI can archive micro_crypto/micro_crdt numbers next
+// to BENCH_hotpath.json with one schema.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+
+namespace orderless::bench {
+
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCapturingReporter(std::string bench_name)
+      : json_(std::move(bench_name)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      json_.Point(run.benchmark_name());
+      json_.Field("iterations", static_cast<std::uint64_t>(run.iterations));
+      // Default time unit is ns, so these read as ns per iteration.
+      json_.Field("real_ns_per_iter", run.GetAdjustedRealTime(), 1);
+      json_.Field("cpu_ns_per_iter", run.GetAdjustedCPUTime(), 1);
+      const auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) {
+        json_.Field("bytes_per_second", static_cast<double>(bytes->second), 0);
+      }
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        json_.Field("items_per_second", static_cast<double>(items->second), 0);
+      }
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  bool WriteJson() { return json_.Write(); }
+
+ private:
+  JsonBench json_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN(): runs the registered benchmarks
+/// with console output and writes BENCH_<bench_name>.json on the way out.
+inline int RunMicrobenchWithJson(int argc, char** argv,
+                                 const std::string& bench_name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCapturingReporter reporter(bench_name);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  reporter.WriteJson();
+  return 0;
+}
+
+}  // namespace orderless::bench

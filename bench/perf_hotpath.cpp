@@ -1,0 +1,199 @@
+// Host wall-clock regression harness for the execute–commit–gossip hot path.
+//
+// Runs fig6b/fig7-style workloads twice — encode-once/hash-once caches and
+// validation memoization ON (the default) and OFF (`--no-memo`, the
+// pre-optimization behaviour) — and reports ns of host CPU per committed
+// transaction, simulator events per host second, and the ON/OFF speedup.
+// Before reporting, it cross-checks that both runs produced bit-identical
+// *simulated* results (events processed, commit counts, throughput,
+// latencies): the caches may only change how fast the host gets there.
+// Emits BENCH_hotpath.json. Exit code 1 = the determinism cross-check
+// failed; a low speedup is reported, not fatal (CI boxes are noisy).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_json.h"
+#include "core/perf.h"
+
+namespace {
+
+using namespace orderless;
+using namespace orderless::bench;
+
+struct Workload {
+  std::string name;
+  ExperimentConfig config;
+};
+
+std::vector<Workload> Workloads() {
+  std::vector<Workload> workloads;
+
+  // Fig. 6(b) shape: many organizations, every one of which validates every
+  // gossiped transaction — the n-fold re-hash the caches exist to kill.
+  ExperimentConfig multi_org = SyntheticDefaults(/*seed=*/11);
+  multi_org.num_orgs = 16;
+  multi_org.policy = core::EndorsementPolicy{4, 16};
+  multi_org.workload.duration = BenchSeconds(sim::Sec(4));
+  workloads.push_back({"fig6b_multi_org", multi_org});
+
+  // Fig. 7 shape: smaller cluster pushed to a high arrival rate, so the
+  // per-transaction path dominates over per-org fan-out.
+  ExperimentConfig high_rate = SyntheticDefaults(/*seed=*/13);
+  high_rate.num_orgs = 8;
+  high_rate.policy = core::EndorsementPolicy{2, 8};
+  high_rate.workload.arrival_tps = 6000;
+  high_rate.workload.duration = BenchSeconds(sim::Sec(4));
+  high_rate.workload.num_clients = 1200;
+  workloads.push_back({"fig7_high_rate", high_rate});
+
+  return workloads;
+}
+
+struct TimedRun {
+  double wall_ms = 0;
+  harness::ExperimentResult result;
+};
+
+TimedRun Run(const ExperimentConfig& config, bool memoize) {
+  core::perf::ScopedMemo scope(memoize);
+  const auto start = std::chrono::steady_clock::now();
+  TimedRun run;
+  run.result = harness::RunExperiment(config);
+  run.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  return run;
+}
+
+std::uint64_t Committed(const harness::ExperimentResult& r) {
+  return r.metrics.committed_modify + r.metrics.committed_read;
+}
+
+/// The simulated-outcome fingerprint both modes must agree on exactly.
+bool SimulatedIdentical(const harness::ExperimentResult& a,
+                        const harness::ExperimentResult& b,
+                        const std::string& workload) {
+  struct Check {
+    const char* what;
+    double a, b;
+  };
+  const Check checks[] = {
+      {"events_processed", static_cast<double>(a.events_processed),
+       static_cast<double>(b.events_processed)},
+      {"submitted", static_cast<double>(a.metrics.submitted),
+       static_cast<double>(b.metrics.submitted)},
+      {"committed_modify", static_cast<double>(a.metrics.committed_modify),
+       static_cast<double>(b.metrics.committed_modify)},
+      {"committed_read", static_cast<double>(a.metrics.committed_read),
+       static_cast<double>(b.metrics.committed_read)},
+      {"failed", static_cast<double>(a.metrics.failed),
+       static_cast<double>(b.metrics.failed)},
+      {"rejected", static_cast<double>(a.metrics.rejected),
+       static_cast<double>(b.metrics.rejected)},
+      {"throughput_tps", a.metrics.ThroughputTps(),
+       b.metrics.ThroughputTps()},
+      {"combined_avg_ms", a.metrics.combined_latency.AverageMs(),
+       b.metrics.combined_latency.AverageMs()},
+      {"combined_p99_ms", a.metrics.combined_latency.PercentileMs(99),
+       b.metrics.combined_latency.PercentileMs(99)},
+  };
+  bool ok = true;
+  for (const Check& c : checks) {
+    if (c.a != c.b) {  // exact: the simulation must not notice the caches
+      std::printf("DETERMINISM FAIL [%s] %s: memo=%.6f no-memo=%.6f\n",
+                  workload.c_str(), c.what, c.a, c.b);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool baseline_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-memo") == 0) baseline_only = true;
+  }
+
+  PrintBanner("Hot path — host wall-clock, caches on vs off",
+              "fig6b/fig7-style workloads timed with encode-once + "
+              "validation-memo caches enabled and disabled. Simulated "
+              "results must be bit-identical; only host time may differ.");
+
+  JsonBench json("hotpath");
+  TablePrinter table({"workload", "mode", "wall(ms)", "ns/tx", "events/s",
+                      "tput(tps)", "speedup"});
+  bool deterministic = true;
+  double multi_org_speedup = 0;
+
+  for (const Workload& w : Workloads()) {
+    const TimedRun cached = baseline_only ? TimedRun{} : Run(w.config, true);
+    const TimedRun uncached = Run(w.config, false);
+
+    if (!baseline_only) {
+      deterministic &=
+          SimulatedIdentical(cached.result, uncached.result, w.name);
+    }
+
+    const double speedup =
+        baseline_only || cached.wall_ms <= 0
+            ? 0
+            : uncached.wall_ms / cached.wall_ms;
+    if (w.name == "fig6b_multi_org") multi_org_speedup = speedup;
+
+    struct ModeRow {
+      const char* mode;
+      const TimedRun* run;
+    };
+    std::vector<ModeRow> rows;
+    if (!baseline_only) rows.push_back({"memo", &cached});
+    rows.push_back({"no-memo", &uncached});
+    for (const ModeRow& row : rows) {
+      const std::uint64_t committed = Committed(row.run->result);
+      const double ns_per_tx =
+          committed == 0 ? 0 : row.run->wall_ms * 1e6 / committed;
+      const double events_per_sec =
+          row.run->wall_ms <= 0
+              ? 0
+              : row.run->result.events_processed / (row.run->wall_ms / 1e3);
+      json.Point(w.name);
+      json.Field("mode", std::string(row.mode));
+      json.Field("wall_ms", row.run->wall_ms, 2);
+      json.Field("ns_per_tx", ns_per_tx, 1);
+      json.Field("events_per_sec", events_per_sec, 0);
+      json.Field("events_processed", row.run->result.events_processed);
+      json.Field("committed", committed);
+      json.Field("throughput_tps", row.run->result.metrics.ThroughputTps(),
+                 1);
+      json.Field("speedup", std::strcmp(row.mode, "memo") == 0 ? speedup : 1.0,
+                 3);
+      table.AddRow({w.name, row.mode, TablePrinter::Num(row.run->wall_ms, 1),
+                    TablePrinter::Num(ns_per_tx, 0),
+                    TablePrinter::Num(events_per_sec, 0),
+                    TablePrinter::Num(
+                        row.run->result.metrics.ThroughputTps(), 0),
+                    std::strcmp(row.mode, "memo") == 0
+                        ? TablePrinter::Num(speedup, 2) + "x"
+                        : "-"});
+    }
+  }
+  table.Print();
+
+  json.Scalar("deterministic", deterministic ? "true" : "false");
+  json.Scalar("multi_org_speedup", multi_org_speedup, 3);
+  json.Write();
+
+  if (!baseline_only) {
+    std::printf("\nfig6b-style speedup (no-memo / memo wall time): %.2fx — "
+                "simulated results %s\n",
+                multi_org_speedup,
+                deterministic ? "bit-identical" : "DIVERGED");
+  }
+  return deterministic ? 0 : 1;
+}

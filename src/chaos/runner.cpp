@@ -6,6 +6,7 @@
 
 #include "codec/codec.h"
 #include "contracts/auction.h"
+#include "core/perf.h"
 #include "contracts/filestore.h"
 #include "contracts/voting.h"
 #include "crypto/sha256.h"
@@ -243,6 +244,15 @@ std::vector<std::string> WorkloadObjects() {
 }
 
 ChaosRunResult RunScenario(const Scenario& scenario) {
+  return RunScenario(scenario, RunOptions{});
+}
+
+ChaosRunResult RunScenario(const Scenario& scenario,
+                           const RunOptions& options) {
+  // Host-side caches on or off, the simulated run must be bit-identical;
+  // the scope restores the process-wide switch on every exit path.
+  core::perf::ScopedMemo memo_scope(options.memoize);
+
   harness::OrderlessNetConfig config;
   config.num_orgs = scenario.num_orgs;
   config.num_clients = scenario.num_clients;
@@ -396,6 +406,7 @@ ChaosRunResult RunScenario(const Scenario& scenario) {
     w.PutU64(ledger.committed_invalid());
     w.PutU64(ledger.log().total_appended());
     w.PutBytes(ledger.log().LastHash().View());
+    result.org_chain_heads.push_back(ToHex(ledger.log().LastHash().View()));
   }
   result.fingerprint = crypto::Sha256::Hash(BytesView(w.data())).Prefix64();
   return result;

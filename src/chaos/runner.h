@@ -32,10 +32,22 @@ struct ChaosRunResult {
   /// counters and chain head. Chain heads are order-sensitive, so two runs
   /// with the same fingerprint executed the same commit sequence.
   std::uint64_t fingerprint = 0;
+  /// Hex hash-chain head per organization, in org order — the raw material
+  /// behind `fingerprint`, kept separately so tests can pinpoint *where* two
+  /// runs diverged instead of just that they did.
+  std::vector<std::string> org_chain_heads;
   std::vector<Violation> violations;
 
   bool ok() const { return violations.empty(); }
   std::string Summary() const;
+};
+
+/// Host-side execution knobs that must never change a run's outcome.
+struct RunOptions {
+  /// False disables the encode-once/hash-once caches and validation memo for
+  /// the duration of the run (core::perf::ScopedMemo). The determinism test
+  /// replays the same scenario both ways and asserts equal fingerprints.
+  bool memoize = true;
 };
 
 /// The object ids the workload touches (what quiescent convergence covers).
@@ -43,5 +55,7 @@ std::vector<std::string> WorkloadObjects();
 
 /// Runs `scenario` to completion on a fresh simulated network.
 ChaosRunResult RunScenario(const Scenario& scenario);
+ChaosRunResult RunScenario(const Scenario& scenario,
+                           const RunOptions& options);
 
 }  // namespace orderless::chaos

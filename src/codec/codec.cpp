@@ -13,11 +13,21 @@ void Writer::PutU16(std::uint16_t v) {
 }
 
 void Writer::PutU32(std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) PutU8(static_cast<std::uint8_t>(v >> (8 * i)));
+  const std::size_t at = buffer_.size();
+  buffer_.resize(at + 4);
+  for (int i = 0; i < 4; ++i) {
+    buffer_[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
 }
 
 void Writer::PutU64(std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) PutU8(static_cast<std::uint8_t>(v >> (8 * i)));
+  const std::size_t at = buffer_.size();
+  buffer_.resize(at + 8);
+  for (int i = 0; i < 8; ++i) {
+    buffer_[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
 }
 
 void Writer::PutVarint(std::uint64_t v) {

@@ -16,6 +16,13 @@ class Writer {
  public:
   Writer() = default;
 
+  /// Pre-grows the buffer for `n` more bytes (hot encode paths size their
+  /// output up front instead of reallocating per field).
+  void Reserve(std::size_t n) { buffer_.reserve(buffer_.size() + n); }
+  /// Drops the contents but keeps the capacity, so one Writer can be reused
+  /// across encodes without re-paying the allocation.
+  void Clear() { buffer_.clear(); }
+
   void PutU8(std::uint8_t v);
   void PutU16(std::uint16_t v);
   void PutU32(std::uint32_t v);

@@ -1,5 +1,7 @@
 #include "common/bytes.h"
 
+#include <cstring>
+
 namespace orderless {
 
 namespace {
@@ -53,9 +55,20 @@ void Append(Bytes& dst, BytesView src) {
 
 bool ConstantTimeEqual(BytesView a, BytesView b) {
   if (a.size() != b.size()) return false;
+  // Word-at-a-time accumulation (signature comparison runs once per verified
+  // endorsement — the hottest comparison in the commit path). Still
+  // data-independent: every byte is always folded in.
+  std::size_t i = 0;
+  std::uint64_t acc64 = 0;
+  for (; i + 8 <= a.size(); i += 8) {
+    std::uint64_t wa = 0, wb = 0;
+    std::memcpy(&wa, a.data() + i, 8);
+    std::memcpy(&wb, b.data() + i, 8);
+    acc64 |= wa ^ wb;
+  }
   std::uint8_t acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
-  return acc == 0;
+  for (; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return (acc64 | acc) == 0;
 }
 
 }  // namespace orderless

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/perf.h"
+
 namespace orderless::core {
 
 Client::Client(sim::Simulation& simulation, sim::Network& network,
@@ -259,17 +261,23 @@ void Client::ArmTimeout(Pending& p, sim::SimTime delay) {
 void Client::StartEndorsePhase(Pending& p) {
   p.phase = Phase::kEndorse;
   p.groups.clear();
+  p.last_ops_encoding.clear();
   p.replied.clear();
   p.busy_retry_hint = 0;
   p.chosen = PickOrgs(p);
 
   const sim::SimTime deadline = simulation_.now() + timing_.endorse_timeout;
+  // Hash once here; every per-org copy below inherits the warm digest cache,
+  // so Digest() for routing and WireSize() at Send are both free.
+  (void)p.proposal.Digest();
   for (std::size_t i = 0; i < p.chosen.size(); ++i) {
     Proposal proposal = p.proposal;
     if (byzantine_.active && byzantine_.inconsistent_clocks) {
       // Byzantine fault (3): different logical timestamps per organization;
-      // the endorsements cannot match and no valid transaction forms.
+      // the endorsements cannot match and no valid transaction forms. The
+      // in-place mutation voids the copied digest cache.
       proposal.clock.counter += i;
+      proposal.InvalidateCache();
     }
     route_[proposal.Digest()] = p.seq;
     auto msg = std::make_shared<ProposalMsg>();
@@ -336,7 +344,26 @@ void Client::HandleEndorseReply(sim::NodeId from, const EndorseReplyMsg& msg) {
         return;
       }
     } else {
-      const crypto::Digest ws = WriteSetDigest(msg.ops);
+      // Hash-once per distinct write-set: encode the ops (cheap) and only
+      // re-hash when the bytes differ from the previous reply's. A Byzantine
+      // org's divergent write-set differs in its encoding, so it can never
+      // inherit the honest digest.
+      crypto::Digest ws;
+      if (perf::MemoEnabled()) {
+        codec::Writer w;
+        w.Reserve(16 + msg.ops.size() * 64);
+        crdt::EncodeOperations(msg.ops, w);
+        if (!p.last_ops_encoding.empty() &&
+            w.data() == p.last_ops_encoding) {
+          ws = p.last_ops_digest;
+        } else {
+          ws = crypto::Sha256::Hash(BytesView(w.data()));
+          p.last_ops_encoding = w.Take();
+          p.last_ops_digest = ws;
+        }
+      } else {
+        ws = WriteSetDigest(msg.ops);
+      }
       auto& group = p.groups[ws];
       if (group.ops.empty()) group.ops = msg.ops;
       group.endorsements.push_back(msg.endorsement);

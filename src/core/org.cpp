@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "core/perf.h"
+#include "core/validation_cache.h"
+
 namespace orderless::core {
 
 /// Exposes the organization's cache to executing contracts.
@@ -333,8 +336,20 @@ void Organization::HandleCommit(sim::NodeId from,
             static_cast<sim::SimTime>(tx->endorsements.size() + 1);
     cpu_.Submit(validate_service, [this, from, tx, from_gossip, arrival] {
       if (!running_) return;
-      const TxVerdict verdict =
-          ValidateTransaction(*tx, pki_, org_keys_, policy_);
+      // The simulated validate_service above is charged regardless; the memo
+      // only skips the host-side hashing when another organization already
+      // verified byte-identical content (see validation_cache.h).
+      TxVerdict verdict;
+      ValidationMemo* memo = perf::MemoEnabled() && timing_.validation_memo
+                                 ? timing_.validation_memo.get()
+                                 : nullptr;
+      const auto cached = memo ? memo->Lookup(tx) : std::nullopt;
+      if (cached) {
+        verdict = *cached;
+      } else {
+        verdict = ValidateTransaction(*tx, pki_, org_keys_, policy_);
+        if (memo) memo->Store(tx, verdict);
+      }
       if (verdict == TxVerdict::kValid) {
         const sim::SimTime apply_service =
             timing_.cache_apply_base +
@@ -389,10 +404,17 @@ void Organization::FinishCommit(sim::NodeId from,
       committed_txs_.push_back(tx);
       ++committed_count_;
       committed_xor_ ^= tx->id.Prefix64();
-      // Persist the body so a restart can keep serving syncs for it.
-      codec::Writer w;
-      tx->Encode(w);
-      ledger_.PutTransactionBody(tx->id, BytesView(w.data()));
+      // Persist the body so a restart can keep serving syncs for it. The
+      // canonical encoding is cached on the transaction, so the n
+      // organizations committing the same gossiped tx serialize it once
+      // between them instead of once each.
+      if (perf::MemoEnabled()) {
+        ledger_.PutTransactionBody(tx->id, tx->EncodedBody());
+      } else {
+        codec::Writer w;
+        tx->Encode(w);
+        ledger_.PutTransactionBody(tx->id, BytesView(w.data()));
+      }
     }
   }
   if (commit_observer_) commit_observer_(*tx, verdict);

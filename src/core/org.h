@@ -18,6 +18,8 @@
 
 namespace orderless::core {
 
+class ValidationMemo;
+
 /// Bounded admission + priority load shedding. Past saturation an unbounded
 /// organization queues work without limit and every latency collapses (the
 /// paper's Fig. 6/7 knees); with admission control it degrades gracefully:
@@ -77,6 +79,13 @@ struct OrgTimingConfig {
 
   /// Overload protection (bounded admission + priority shedding).
   OverloadConfig overload;
+
+  /// Shared verified-transaction memo (host-side; see validation_cache.h).
+  /// Organizations handed the same memo share signature-verification work:
+  /// validation is pure in (tx bytes, PKI, key-set, policy), which one
+  /// simulated network holds fixed. Null = every validation runs in full.
+  /// Simulated validate-service time is charged either way.
+  std::shared_ptr<ValidationMemo> validation_memo;
 
   /// Ledger retention knobs (benchmarks use lightweight settings).
   ledger::LedgerOptions ledger_options;

@@ -1,0 +1,12 @@
+#include "core/perf.h"
+
+namespace orderless::core::perf {
+
+namespace {
+bool g_memo_enabled = true;
+}  // namespace
+
+bool MemoEnabled() { return g_memo_enabled; }
+void SetMemoEnabled(bool enabled) { g_memo_enabled = enabled; }
+
+}  // namespace orderless::core::perf

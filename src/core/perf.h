@@ -1,0 +1,37 @@
+// Host-side performance toggles.
+//
+// The encode-once / hash-once transaction caches and the per-organization
+// validation memo only change how fast the *host* executes the simulation;
+// simulated CPU service times, event ordering and every protocol decision
+// are identical with the caches on or off (the determinism tier-1 test and
+// `bench/perf_hotpath` both cross-check this by fingerprint equality).
+//
+// One process-wide switch keeps the escape hatch trivial to reach from a
+// bench (`--no-memo`), a test, or a debugging session without threading a
+// flag through every config struct. The simulation is single-threaded, so a
+// plain bool suffices.
+#pragma once
+
+namespace orderless::core::perf {
+
+/// True (default) = encode-once/hash-once caches and validation memoization
+/// are active. False = every digest, encoding and validation is recomputed
+/// from scratch, byte-for-byte the pre-optimization behaviour.
+bool MemoEnabled();
+void SetMemoEnabled(bool enabled);
+
+/// RAII scope for tests that flip the switch and must restore it.
+class ScopedMemo {
+ public:
+  explicit ScopedMemo(bool enabled) : prev_(MemoEnabled()) {
+    SetMemoEnabled(enabled);
+  }
+  ~ScopedMemo() { SetMemoEnabled(prev_); }
+  ScopedMemo(const ScopedMemo&) = delete;
+  ScopedMemo& operator=(const ScopedMemo&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace orderless::core::perf

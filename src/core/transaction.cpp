@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "core/perf.h"
+
 namespace orderless::core {
 
 void Proposal::Encode(codec::Writer& w) const {
@@ -41,12 +43,24 @@ std::optional<Proposal> Proposal::Decode(codec::Reader& r) {
 }
 
 crypto::Digest Proposal::Digest() const {
+  if (cached_ && perf::MemoEnabled()) return cached_digest_;
   codec::Writer w;
+  w.Reserve(32 + contract.size() + function.size() + args.size() * 16);
   Encode(w);
-  return crypto::Sha256::Hash(BytesView(w.data()));
+  const crypto::Digest d = crypto::Sha256::Hash(BytesView(w.data()));
+  if (perf::MemoEnabled()) {
+    cached_digest_ = d;
+    cached_wire_size_ = w.size();
+    cached_ = true;
+  }
+  return d;
 }
 
 std::size_t Proposal::WireSize() const {
+  if (perf::MemoEnabled()) {
+    if (!cached_) (void)Digest();  // one encode stamps both digest and size
+    return cached_wire_size_;
+  }
   codec::Writer w;
   Encode(w);
   return w.size();
@@ -54,6 +68,7 @@ std::size_t Proposal::WireSize() const {
 
 crypto::Digest WriteSetDigest(const std::vector<crdt::Operation>& ops) {
   codec::Writer w;
+  w.Reserve(16 + ops.size() * 64);
   crdt::EncodeOperations(ops, w);
   return crypto::Sha256::Hash(BytesView(w.data()));
 }
@@ -83,21 +98,56 @@ std::shared_ptr<Transaction> Transaction::Assemble(
   tx->proposal = std::move(proposal);
   tx->ops = std::move(ops);
   tx->endorsements = std::move(endorsements);
-  tx->id = ComputeId(tx->proposal.Digest(), WriteSetDigest(tx->ops));
+  tx->id = ComputeId(tx->ProposalDigest(), tx->OpsDigest());
   tx->client_signature = client_key.Sign(kTxContext, tx->id);
   return tx;
 }
 
-void Transaction::Encode(codec::Writer& w) const {
-  proposal.Encode(w);
-  crdt::EncodeOperations(ops, w);
-  w.PutVarint(endorsements.size());
-  for (const Endorsement& endorsement : endorsements) {
+namespace {
+void EncodeTransactionFields(const Transaction& tx, codec::Writer& w) {
+  tx.proposal.Encode(w);
+  crdt::EncodeOperations(tx.ops, w);
+  w.PutVarint(tx.endorsements.size());
+  for (const Endorsement& endorsement : tx.endorsements) {
     w.PutU64(endorsement.org);
     w.PutBytes(endorsement.signature.View());
   }
-  w.PutBytes(client_signature.View());
-  w.PutBytes(id.View());
+  w.PutBytes(tx.client_signature.View());
+  w.PutBytes(tx.id.View());
+}
+}  // namespace
+
+void Transaction::Encode(codec::Writer& w) const {
+  if (perf::MemoEnabled()) {
+    w.PutRaw(EncodedBody());
+    return;
+  }
+  EncodeTransactionFields(*this, w);
+}
+
+BytesView Transaction::EncodedBody() const {
+  // An encoded transaction is never empty, so empty doubles as "not yet
+  // computed". Populated even with the memo off: callers hold the returned
+  // view past this call, so it must always point at owned storage.
+  if (cached_encoding_.empty()) {
+    codec::Writer w;
+    w.Reserve(WireSize() + endorsements.size() * 16 + 32);
+    EncodeTransactionFields(*this, w);
+    cached_encoding_ = w.Take();
+  }
+  return BytesView(cached_encoding_);
+}
+
+crypto::Digest Transaction::ProposalDigest() const { return proposal.Digest(); }
+
+crypto::Digest Transaction::OpsDigest() const {
+  if (ops_digest_cached_ && perf::MemoEnabled()) return cached_ops_digest_;
+  const crypto::Digest d = WriteSetDigest(ops);
+  if (perf::MemoEnabled()) {
+    cached_ops_digest_ = d;
+    ops_digest_cached_ = true;
+  }
+  return d;
 }
 
 namespace {
@@ -169,8 +219,8 @@ TxVerdict ValidateTransaction(const Transaction& tx, const crypto::Pki& pki,
                               const EndorsementPolicy& policy) {
   // The transaction id must really bind this proposal and write-set; a
   // tampered write-set changes the digest and voids everything below.
-  const crypto::Digest proposal_digest = tx.proposal.Digest();
-  const crypto::Digest ws_digest = WriteSetDigest(tx.ops);
+  const crypto::Digest proposal_digest = tx.ProposalDigest();
+  const crypto::Digest ws_digest = tx.OpsDigest();
   if (Transaction::ComputeId(proposal_digest, ws_digest) != tx.id) {
     return TxVerdict::kIdMismatch;
   }

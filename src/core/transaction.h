@@ -18,6 +18,14 @@
 namespace orderless::core {
 
 /// Phase-1 message content: what the client asks organizations to execute.
+///
+/// Digest() and WireSize() are computed from one canonical encoding and
+/// cached (the cache travels with copies, so the client hashes once and
+/// every organization handling a copy of the proposal reuses it). The cache
+/// is host-side only — see src/core/perf.h. Invariant: a proposal that is
+/// mutated in place *after* Digest()/WireSize() was called must call
+/// InvalidateCache(), or the stale digest will be reused (the Byzantine
+/// inconsistent-clocks path in client.cpp is the one mutation site).
 struct Proposal {
   crypto::KeyId client = 0;
   std::string contract;
@@ -30,6 +38,12 @@ struct Proposal {
   static std::optional<Proposal> Decode(codec::Reader& r);
   crypto::Digest Digest() const;
   std::size_t WireSize() const;
+  void InvalidateCache() const { cached_ = false; }
+
+ private:
+  mutable bool cached_ = false;
+  mutable crypto::Digest cached_digest_{};
+  mutable std::size_t cached_wire_size_ = 0;
 };
 
 /// Digest of a write-set (the thing organizations hash and sign).
@@ -53,6 +67,14 @@ inline constexpr std::string_view kReceiptContext = "orderless.receipt";
 
 /// Phase-2 transaction: proposal + endorsed write-set + endorsements +
 /// client signature.
+///
+/// A transaction is immutable once Assemble()/Decode() returns (it flows
+/// through the system as shared_ptr<const Transaction>), so its canonical
+/// encoding, proposal digest and write-set digest are computed lazily once
+/// and cached. Because the same object is shared zero-copy through
+/// sim::Network by every simulated organization, the first computation
+/// serves the whole cluster — the n-fold re-encode/re-hash the seed paid
+/// per validation disappears. Host-side only; see src/core/perf.h.
 struct Transaction {
   Proposal proposal;
   std::vector<crdt::Operation> ops;
@@ -72,13 +94,37 @@ struct Transaction {
   /// Canonical binary form; used to persist committed transaction bodies so
   /// a restarted organization can keep serving gossip pulls and anti-entropy
   /// syncs. Decode performs no validation — run ValidateTransaction.
+  /// Appends the cached canonical bytes when available (bit-identical to a
+  /// fresh field-by-field encode).
   void Encode(codec::Writer& w) const;
   static std::shared_ptr<Transaction> Decode(codec::Reader& r);
 
+  /// The cached canonical encoding (computed on first use). The view stays
+  /// valid for the life of the transaction object.
+  BytesView EncodedBody() const;
+
+  /// Cached digest of the embedded proposal / write-set — what
+  /// ValidateTransaction recomputed from scratch per organization before.
+  crypto::Digest ProposalDigest() const;
+  crypto::Digest OpsDigest() const;
+
   std::size_t WireSize() const;
+
+  /// Voids every cached derivation (encoding, digests, wire size). Only for
+  /// code that deliberately mutates a transaction in place after assembly —
+  /// i.e. tests modelling tampering; protocol code never mutates one.
+  void InvalidateCache() const {
+    cached_wire_size_ = 0;
+    cached_encoding_.clear();
+    ops_digest_cached_ = false;
+    proposal.InvalidateCache();
+  }
 
  private:
   mutable std::size_t cached_wire_size_ = 0;
+  mutable Bytes cached_encoding_;
+  mutable bool ops_digest_cached_ = false;
+  mutable crypto::Digest cached_ops_digest_{};
 };
 
 /// Why a transaction was accepted or rejected.

@@ -1,0 +1,53 @@
+#include "core/validation_cache.h"
+
+#include <algorithm>
+
+namespace orderless::core {
+
+ValidationMemo::ValidationMemo(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+std::optional<TxVerdict> ValidationMemo::Lookup(
+    const std::shared_ptr<const Transaction>& tx) {
+  const auto it = map_.find(tx->id);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  Entry& entry = *it->second;
+  // Same object (zero-copy delivery) or byte-identical re-encode; anything
+  // else is a different body claiming a verified id — force revalidation.
+  if (entry.tx != tx &&
+      !std::ranges::equal(entry.tx->EncodedBody(), tx->EncodedBody())) {
+    ++stats_.byte_mismatches;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  order_.splice(order_.begin(), order_, it->second);
+  return entry.verdict;
+}
+
+void ValidationMemo::Store(const std::shared_ptr<const Transaction>& tx,
+                           TxVerdict verdict) {
+  const auto it = map_.find(tx->id);
+  if (it != map_.end()) {
+    it->second->tx = tx;
+    it->second->verdict = verdict;
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  if (order_.size() >= capacity_) {
+    map_.erase(order_.back().id);
+    order_.pop_back();
+  }
+  order_.push_front(Entry{tx->id, tx, verdict});
+  map_.emplace(tx->id, order_.begin());
+}
+
+void ValidationMemo::Clear() {
+  order_.clear();
+  map_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace orderless::core

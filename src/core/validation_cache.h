@@ -1,0 +1,70 @@
+// Memoized transaction validation (host-side optimization, see perf.h).
+//
+// ValidateTransaction is a pure function of (transaction bytes, PKI,
+// organization key-set, endorsement policy): for a fixed simulated network
+// those last three never change, so once one organization has verified a
+// transaction's signatures every other organization validating an identical
+// copy can reuse the verdict. The simulated validate-service time is still
+// charged per organization — only the host-side SHA-256 work is skipped —
+// so simulated results are bit-identical with the memo on or off.
+//
+// Byzantine safety: the memo key is the transaction id, but a Byzantine
+// peer could gossip a *different* body under a known-good id (the id is
+// attacker-chosen on a forged transaction). Lookup therefore only returns a
+// hit when the candidate is the same object (the zero-copy shared_ptr case)
+// or its canonical encoding is byte-identical to the bytes that earned the
+// cached verdict. A substituted body misses and takes the full
+// ValidateTransaction path.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "core/transaction.h"
+
+namespace orderless::core {
+
+/// LRU of validation verdicts keyed by transaction id, guarded by
+/// byte-equality of the canonical encoding.
+class ValidationMemo {
+ public:
+  explicit ValidationMemo(std::size_t capacity = 8192);
+
+  /// Returns the cached verdict iff `tx` is provably the same transaction
+  /// that earned it (same object, or byte-identical canonical encoding).
+  std::optional<TxVerdict> Lookup(
+      const std::shared_ptr<const Transaction>& tx);
+
+  /// Records the verdict for `tx`, evicting the least-recently-used entry
+  /// at capacity.
+  void Store(const std::shared_ptr<const Transaction>& tx, TxVerdict verdict);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t byte_mismatches = 0;  // Byzantine body-substitution guard
+  };
+  const Stats& stats() const { return stats_; }
+  std::size_t size() const { return order_.size(); }
+  void Clear();
+
+ private:
+  struct Entry {
+    crypto::Digest id;
+    // Keeps the verified body's bytes reachable for the byte-equality guard
+    // (and pins them: EncodedBody() views stay valid while the entry lives).
+    std::shared_ptr<const Transaction> tx;
+    TxVerdict verdict = TxVerdict::kValid;
+  };
+  using Order = std::list<Entry>;
+
+  std::size_t capacity_;
+  Order order_;  // front = most recently used
+  std::unordered_map<crypto::Digest, Order::iterator, crypto::DigestHash> map_;
+  Stats stats_;
+};
+
+}  // namespace orderless::core

@@ -1,10 +1,34 @@
 #include "crypto/pki.h"
 
+#include <cstring>
+
 namespace orderless::crypto {
 
 namespace {
 Signature KeyedHash(const Digest& secret, std::string_view context,
                     BytesView message) {
+  // Fast path for the protocol's actual signatures: secret (32) + separators
+  // (2) + context (<= 32) + a digest-sized message fits comfortably in a
+  // stack buffer, so the hash runs as one update instead of five (each
+  // incremental Update pays block-boundary bookkeeping). Identical stream,
+  // identical digest.
+  constexpr std::size_t kStackLimit = 160;
+  const std::size_t total = secret.bytes.size() + 2 + context.size() +
+                            message.size();
+  if (total <= kStackLimit) {
+    std::uint8_t buf[kStackLimit];
+    std::uint8_t* p = buf;
+    std::memcpy(p, secret.bytes.data(), secret.bytes.size());
+    p += secret.bytes.size();
+    *p++ = 0x1f;
+    if (!context.empty()) {
+      std::memcpy(p, context.data(), context.size());
+      p += context.size();
+    }
+    *p++ = 0x1f;
+    if (!message.empty()) std::memcpy(p, message.data(), message.size());
+    return Sha256::Hash(BytesView(buf, total));
+  }
   Sha256 h;
   h.Update(secret.View());
   h.Update("\x1f");

@@ -23,12 +23,6 @@ std::uint32_t Rotr(std::uint32_t x, int n) { return (x >> n) | (x << (32 - n)); 
 
 std::string Digest::Hex() const { return ToHex(View()); }
 
-std::uint64_t Digest::Prefix64() const {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
-  return v;
-}
-
 Digest Digest::FromHexOrZero(std::string_view hex) {
   Digest d;
   bool ok = false;

@@ -3,7 +3,9 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 
@@ -17,8 +19,17 @@ struct Digest {
 
   auto operator<=>(const Digest&) const = default;
   std::string Hex() const;
-  /// First 8 bytes as an integer, handy for hash-table sharding and ids.
-  std::uint64_t Prefix64() const;
+  /// First 8 bytes as a little-endian integer, handy for hash-table sharding
+  /// and ids. Inline + single load: this is the hash function for every
+  /// Digest-keyed map in the system, so it runs on each lookup/insert.
+  std::uint64_t Prefix64() const {
+    std::uint64_t v;
+    std::memcpy(&v, bytes.data(), sizeof v);
+    if constexpr (std::endian::native == std::endian::big) {
+      v = __builtin_bswap64(v);
+    }
+    return v;
+  }
   BytesView View() const { return BytesView(bytes.data(), bytes.size()); }
   static Digest FromHexOrZero(std::string_view hex);
 };

@@ -512,6 +512,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   result.metrics.robustness = driver->Robustness();
   result.breakdown = driver->Breakdown();
   result.throughput_per_second = result.metrics.per_second.PerSecond(w.duration);
+  result.events_processed = simulation.events_processed();
   return result;
 }
 

@@ -98,6 +98,10 @@ struct ExperimentResult {
   ExperimentMetrics metrics;
   PhaseBreakdown breakdown;
   std::vector<double> throughput_per_second;  // Fig. 8 timeline
+  /// Simulator events executed — a cheap determinism fingerprint: host-side
+  /// optimizations must leave it bit-identical (bench/perf_hotpath asserts
+  /// this between cached and uncached runs).
+  std::uint64_t events_processed = 0;
 };
 
 ExperimentResult RunExperiment(const ExperimentConfig& config);

@@ -1,11 +1,21 @@
 #include "harness/orderless_net.h"
 
+#include "core/validation_cache.h"
+
 namespace orderless::harness {
 
 OrderlessNet::OrderlessNet(OrderlessNetConfig config)
     : config_(config), rng_(config.seed) {
   network_ = std::make_unique<sim::Network>(simulation_, config_.net,
                                             rng_.Fork());
+
+  // One validation memo per simulated network: the PKI, key-set and policy
+  // are fixed here, which is exactly the precondition for sharing verdicts
+  // across organizations (see validation_cache.h).
+  if (!config_.org_timing.validation_memo) {
+    config_.org_timing.validation_memo =
+        std::make_shared<core::ValidationMemo>();
+  }
 
   for (std::uint32_t i = 0; i < config_.num_orgs; ++i) {
     const sim::NodeId node = org_node(i);

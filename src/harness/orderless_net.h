@@ -37,6 +37,11 @@ class OrderlessNet {
   sim::Network& network() { return *network_; }
   const crypto::Pki& pki() const { return pki_; }
   const OrderlessNetConfig& config() const { return config_; }
+  /// The network-wide verified-transaction memo (never null after
+  /// construction; its stats feed bench/perf_hotpath).
+  const core::ValidationMemo& validation_memo() const {
+    return *config_.org_timing.validation_memo;
+  }
 
   std::size_t org_count() const { return orgs_.size(); }
   std::size_t client_count() const { return clients_.size(); }

@@ -1,5 +1,6 @@
 #include "sim/simulation.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace orderless::sim {
@@ -10,15 +11,15 @@ void Simulation::Schedule(SimTime delay, std::function<void()> fn) {
 
 void Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
   if (when < now_) when = now_;
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  queue_.push_back(Event{when, next_seq_++, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
 }
 
 bool Simulation::Step() {
   if (queue_.empty()) return false;
-  // priority_queue::top is const; move out via const_cast is UB-adjacent, so
-  // copy the function handle instead (cheap: std::function).
-  Event event = queue_.top();
-  queue_.pop();
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Event event = std::move(queue_.back());
+  queue_.pop_back();
   now_ = event.time;
   ++processed_;
   event.fn();
@@ -26,7 +27,7 @@ bool Simulation::Step() {
 }
 
 void Simulation::RunUntil(SimTime until) {
-  while (!queue_.empty() && queue_.top().time <= until) Step();
+  while (!queue_.empty() && queue_.front().time <= until) Step();
   if (now_ < until) now_ = until;
 }
 

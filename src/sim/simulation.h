@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/time.h"
@@ -41,12 +40,18 @@ class Simulation {
   std::size_t events_processed() const { return processed_; }
   std::size_t pending() const { return queue_.size(); }
 
+  /// Hint for bursty schedulers (benchmark harnesses pre-plan the whole
+  /// workload): grows the event heap once instead of amortized doubling.
+  void ReserveEvents(std::size_t n) { queue_.reserve(queue_.size() + n); }
+
  private:
   struct Event {
     SimTime time;
     std::uint64_t seq;
     std::function<void()> fn;
   };
+  // (time, seq) is a total order, so the heap pops in a unique sequence no
+  // matter how siftings tie-break internally — determinism is preserved.
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
@@ -57,7 +62,10 @@ class Simulation {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Hand-rolled binary heap instead of std::priority_queue: top() of a
+  // priority_queue is const, forcing a std::function copy (one heap
+  // allocation) per event; pop_heap + move from the back is allocation-free.
+  std::vector<Event> queue_;
 };
 
 }  // namespace orderless::sim

@@ -141,7 +141,10 @@ TEST_F(TxFixture, TamperedWriteSetRejected) {
       client_key_);
   // The client tampers with the endorsed write-set after signing; the id is
   // recomputed correctly, but the endorsement signatures no longer match.
+  // (In-place mutation models the attacker re-serializing a modified body,
+  // so the cached derivations must be dropped too.)
   tx->ops[0].value = crdt::Value(false);
+  tx->InvalidateCache();
   tx->id = Transaction::ComputeId(tx->proposal.Digest(),
                                   WriteSetDigest(tx->ops));
   tx->client_signature = client_key_.Sign(kTxContext, tx->id);
@@ -156,6 +159,7 @@ TEST_F(TxFixture, TamperedWithoutRecomputingIdRejected) {
       p, ops, {Endorse(org_keys_[0], p, ops), Endorse(org_keys_[1], p, ops)},
       client_key_);
   tx->ops[0].value = crdt::Value(false);  // in-flight corruption
+  tx->InvalidateCache();
   EXPECT_EQ(ValidateTransaction(*tx, pki_, org_key_ids_, policy_),
             TxVerdict::kIdMismatch);
 }

@@ -1,0 +1,257 @@
+// The hot-path caches (encode-once/hash-once transactions, validation
+// memoization) are host-side only: with the memo on or off, a simulated run
+// must be bit-identical — same fingerprint, same event count, same ledger
+// chain head at every organization. These tests pin that contract, plus the
+// Byzantine body-substitution guard on the validation memo.
+#include <gtest/gtest.h>
+
+#include "chaos/runner.h"
+#include "chaos/scenario.h"
+#include "core/perf.h"
+#include "core/transaction.h"
+#include "core/validation_cache.h"
+#include "crypto/pki.h"
+
+namespace orderless {
+namespace {
+
+using core::perf::ScopedMemo;
+
+chaos::Scenario DeterminismScenario(std::uint64_t seed) {
+  chaos::ScenarioLimits limits;
+  limits.min_orgs = 4;
+  limits.max_orgs = 6;
+  limits.num_clients = 4;
+  limits.tx_count = 24;
+  limits.duration = sim::Sec(6);
+  limits.quiesce = sim::Sec(15);
+  return chaos::GenerateScenario(seed, limits);
+}
+
+TEST(PerfDeterminism, ChaosReplayIdenticalWithAndWithoutMemo) {
+  // Two seeds so both a quiet and a fault-heavy script are covered.
+  for (const std::uint64_t seed : {7u, 1234u}) {
+    const chaos::Scenario scenario = DeterminismScenario(seed);
+    const chaos::ChaosRunResult with_memo =
+        chaos::RunScenario(scenario, chaos::RunOptions{.memoize = true});
+    const chaos::ChaosRunResult without_memo =
+        chaos::RunScenario(scenario, chaos::RunOptions{.memoize = false});
+
+    EXPECT_EQ(with_memo.fingerprint, without_memo.fingerprint)
+        << "seed " << seed;
+    EXPECT_EQ(with_memo.events_processed, without_memo.events_processed)
+        << "seed " << seed;
+    EXPECT_EQ(with_memo.messages_sent, without_memo.messages_sent)
+        << "seed " << seed;
+    EXPECT_EQ(with_memo.bytes_sent, without_memo.bytes_sent)
+        << "seed " << seed;
+    EXPECT_EQ(with_memo.committed, without_memo.committed) << "seed " << seed;
+    // Per-org chain heads pinpoint divergence if the fingerprint ever splits.
+    ASSERT_EQ(with_memo.org_chain_heads.size(),
+              without_memo.org_chain_heads.size());
+    for (std::size_t i = 0; i < with_memo.org_chain_heads.size(); ++i) {
+      EXPECT_EQ(with_memo.org_chain_heads[i], without_memo.org_chain_heads[i])
+          << "seed " << seed << " org " << i;
+    }
+  }
+}
+
+core::Proposal MakeProposal() {
+  core::Proposal p;
+  p.client = 42;
+  p.contract = "voting";
+  p.function = "Vote";
+  p.args = {crdt::Value("e"), crdt::Value(std::int64_t{1})};
+  p.clock.client = 42;
+  p.clock.counter = 7;
+  return p;
+}
+
+std::vector<crdt::Operation> MakeOps() {
+  std::vector<crdt::Operation> ops;
+  crdt::Operation op;
+  op.object_id = "obj";
+  op.value = crdt::Value(std::int64_t{5});
+  ops.push_back(op);
+  return ops;
+}
+
+TEST(PerfDeterminism, CachedDigestsMatchUncachedComputation) {
+  const core::Proposal p = MakeProposal();
+  crypto::Digest cached, uncached;
+  std::size_t size_cached, size_uncached;
+  {
+    ScopedMemo on(true);
+    cached = p.Digest();
+    cached = p.Digest();  // second call served from the cache
+    size_cached = p.WireSize();
+  }
+  {
+    ScopedMemo off(false);
+    core::Proposal fresh = MakeProposal();
+    uncached = fresh.Digest();
+    size_uncached = fresh.WireSize();
+  }
+  EXPECT_EQ(cached, uncached);
+  EXPECT_EQ(size_cached, size_uncached);
+}
+
+TEST(PerfDeterminism, InvalidateCacheDropsStaleDigest) {
+  ScopedMemo on(true);
+  core::Proposal p = MakeProposal();
+  const crypto::Digest before = p.Digest();
+  p.clock.counter += 1;  // the Byzantine inconsistent-clocks mutation
+  p.InvalidateCache();
+  const crypto::Digest after = p.Digest();
+  EXPECT_NE(before, after);
+
+  core::Proposal reference = MakeProposal();
+  reference.clock.counter += 1;
+  EXPECT_EQ(after, reference.Digest());
+}
+
+TEST(PerfDeterminism, TransactionEncodingIdenticalWithAndWithoutMemo) {
+  crypto::Pki pki;
+  const crypto::PrivateKey client = pki.Generate("client");
+  const crypto::PrivateKey org = pki.Generate("org");
+  const core::Proposal p = MakeProposal();
+  const auto ops = MakeOps();
+  core::Endorsement e;
+  e.org = org.id();
+  e.signature = org.Sign(core::kEndorseContext,
+                         core::EndorsementMessage(p.Digest(),
+                                                  core::WriteSetDigest(ops)));
+
+  Bytes with_memo, without_memo;
+  std::size_t wire_with, wire_without;
+  {
+    ScopedMemo on(true);
+    auto tx = core::Transaction::Assemble(p, ops, {e}, client);
+    codec::Writer w;
+    tx->Encode(w);
+    tx->Encode(w);  // second append comes from the cached canonical bytes
+    with_memo = w.Take();
+    wire_with = tx->WireSize();
+  }
+  {
+    ScopedMemo off(false);
+    auto tx = core::Transaction::Assemble(p, ops, {e}, client);
+    codec::Writer w;
+    tx->Encode(w);
+    tx->Encode(w);
+    without_memo = w.Take();
+    wire_without = tx->WireSize();
+  }
+  EXPECT_EQ(with_memo, without_memo);
+  EXPECT_EQ(wire_with, wire_without);
+}
+
+class ValidationMemoFixture : public ::testing::Test {
+ protected:
+  ValidationMemoFixture()
+      : client_(pki_.Generate("client")),
+        org0_(pki_.Generate("org0")),
+        org1_(pki_.Generate("org1")),
+        org_keys_({org0_.id(), org1_.id()}),
+        policy_{2, 2} {}
+
+  std::shared_ptr<const core::Transaction> MakeValidTx() {
+    core::Proposal p = MakeProposal();
+    p.client = client_.id();
+    const auto ops = MakeOps();
+    const crypto::Digest msg = core::EndorsementMessage(
+        p.Digest(), core::WriteSetDigest(ops));
+    core::Endorsement e0{org0_.id(), org0_.Sign(core::kEndorseContext, msg)};
+    core::Endorsement e1{org1_.id(), org1_.Sign(core::kEndorseContext, msg)};
+    return core::Transaction::Assemble(p, ops, {e0, e1}, client_);
+  }
+
+  crypto::Pki pki_;
+  crypto::PrivateKey client_;
+  crypto::PrivateKey org0_;
+  crypto::PrivateKey org1_;
+  std::set<crypto::KeyId> org_keys_;
+  core::EndorsementPolicy policy_;
+};
+
+TEST_F(ValidationMemoFixture, SharedPointerAndByteIdenticalCopiesHit) {
+  ScopedMemo on(true);
+  core::ValidationMemo memo(16);
+  const auto tx = MakeValidTx();
+  ASSERT_EQ(core::ValidateTransaction(*tx, pki_, org_keys_, policy_),
+            core::TxVerdict::kValid);
+  memo.Store(tx, core::TxVerdict::kValid);
+
+  // Same object: the zero-copy gossip delivery case.
+  EXPECT_EQ(memo.Lookup(tx), core::TxVerdict::kValid);
+
+  // A decoded copy (anti-entropy / recovery path): different object, byte-
+  // identical canonical form — still a hit.
+  codec::Writer w;
+  tx->Encode(w);
+  codec::Reader r(BytesView(w.data()));
+  std::shared_ptr<const core::Transaction> copy =
+      core::Transaction::Decode(r);
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(memo.Lookup(copy), core::TxVerdict::kValid);
+  EXPECT_EQ(memo.stats().hits, 2u);
+  EXPECT_EQ(memo.stats().byte_mismatches, 0u);
+}
+
+TEST_F(ValidationMemoFixture, ByzantineBodySubstitutionMisses) {
+  ScopedMemo on(true);
+  core::ValidationMemo memo(16);
+  const auto tx = MakeValidTx();
+  memo.Store(tx, core::TxVerdict::kValid);
+
+  // A Byzantine peer gossips a different body under the verified id: the
+  // memo must refuse the cached verdict and full validation must reject.
+  auto forged_mut = std::make_shared<core::Transaction>(*tx);
+  forged_mut->ops[0].value = crdt::Value(std::int64_t{999});
+  forged_mut->InvalidateCache();
+  std::shared_ptr<const core::Transaction> forged = forged_mut;
+  ASSERT_EQ(forged->id, tx->id);  // id claims to be the verified tx
+
+  EXPECT_EQ(memo.Lookup(forged), std::nullopt);
+  EXPECT_EQ(memo.stats().byte_mismatches, 1u);
+  EXPECT_NE(core::ValidateTransaction(*forged, pki_, org_keys_, policy_),
+            core::TxVerdict::kValid);
+}
+
+TEST_F(ValidationMemoFixture, LruEvictsAtCapacity) {
+  ScopedMemo on(true);
+  core::ValidationMemo memo(2);
+  const auto a = MakeValidTx();
+
+  core::Proposal p2 = MakeProposal();
+  p2.clock.counter = 99;
+  const auto ops = MakeOps();
+  const crypto::Digest msg2 =
+      core::EndorsementMessage(p2.Digest(), core::WriteSetDigest(ops));
+  const auto b = core::Transaction::Assemble(
+      p2, ops,
+      {core::Endorsement{org0_.id(), org0_.Sign(core::kEndorseContext, msg2)},
+       core::Endorsement{org1_.id(), org1_.Sign(core::kEndorseContext, msg2)}},
+      client_);
+
+  core::Proposal p3 = MakeProposal();
+  p3.clock.counter = 100;
+  const crypto::Digest msg3 =
+      core::EndorsementMessage(p3.Digest(), core::WriteSetDigest(ops));
+  const auto c = core::Transaction::Assemble(
+      p3, ops,
+      {core::Endorsement{org0_.id(), org0_.Sign(core::kEndorseContext, msg3)},
+       core::Endorsement{org1_.id(), org1_.Sign(core::kEndorseContext, msg3)}},
+      client_);
+
+  memo.Store(a, core::TxVerdict::kValid);
+  memo.Store(b, core::TxVerdict::kValid);
+  memo.Store(c, core::TxVerdict::kValid);  // evicts a (least recently used)
+  EXPECT_EQ(memo.size(), 2u);
+  EXPECT_EQ(memo.Lookup(a), std::nullopt);
+  EXPECT_EQ(memo.Lookup(b), core::TxVerdict::kValid);
+  EXPECT_EQ(memo.Lookup(c), core::TxVerdict::kValid);
+}
+
+}  // namespace
+}  // namespace orderless

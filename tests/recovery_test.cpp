@@ -31,8 +31,10 @@ harness::OrderlessNetConfig RecoveryConfig() {
   return config;
 }
 
-int SubmitBatch(harness::OrderlessNet& net, int txs, int offset) {
-  int committed = 0;
+// `committed` must outlive the whole simulation run: outcome callbacks for
+// retried submissions can fire long after this function returns.
+void SubmitBatch(harness::OrderlessNet& net, int txs, int offset,
+                 int& committed) {
   for (int i = 0; i < txs; ++i) {
     const int v = offset + i;
     if (v % 2 == 0) {
@@ -55,7 +57,6 @@ int SubmitBatch(harness::OrderlessNet& net, int txs, int offset) {
     }
     net.simulation().RunUntil(net.simulation().now() + sim::Ms(150));
   }
-  return committed;
 }
 
 std::vector<std::string> Objects() {
@@ -73,7 +74,8 @@ TEST(Recovery, RestartRebuildsChainAndStateByteForByte) {
   net.RegisterContract(std::make_shared<contracts::AuctionContract>());
   net.Start();
 
-  const int committed = SubmitBatch(net, 12, 0);
+  int committed = 0;
+  SubmitBatch(net, 12, 0, committed);
   net.simulation().RunUntil(net.simulation().now() + sim::Sec(10));
   ASSERT_EQ(committed, 12);
   ASSERT_EQ(net.org(2).ledger().committed_valid(), 12u);
@@ -106,14 +108,15 @@ TEST(Recovery, MissedCommitsRepairedAfterRestart) {
   net.RegisterContract(std::make_shared<contracts::AuctionContract>());
   net.Start();
 
-  int committed = SubmitBatch(net, 8, 0);
+  int committed = 0;
+  SubmitBatch(net, 8, 0, committed);
   net.simulation().RunUntil(net.simulation().now() + sim::Sec(8));
   ASSERT_EQ(committed, 8);
 
   // Crash org 3, keep committing without it (q=2 of the remaining 3 still
   // reachable; clients retry around the dead organization).
   net.CrashOrg(3);
-  committed += SubmitBatch(net, 8, 8);
+  SubmitBatch(net, 8, 8, committed);
   net.simulation().RunUntil(net.simulation().now() + sim::Sec(8));
   EXPECT_GE(committed, 12) << "most submissions commit without org 3";
   EXPECT_LT(net.org(3).ledger().committed_valid(),
@@ -147,7 +150,8 @@ TEST(Recovery, RestartedOrgServesRecoveredBodiesToLaggingPeers) {
   net.RegisterContract(std::make_shared<contracts::AuctionContract>());
   net.Start();
 
-  int committed = SubmitBatch(net, 6, 0);
+  int committed = 0;
+  SubmitBatch(net, 6, 0, committed);
   net.simulation().RunUntil(net.simulation().now() + sim::Sec(8));
   ASSERT_EQ(committed, 6);
 
@@ -157,7 +161,7 @@ TEST(Recovery, RestartedOrgServesRecoveredBodiesToLaggingPeers) {
   // Partition org 0 away, commit a batch it cannot see, then heal: org 0
   // must be able to pull the missing transactions, possibly from org 1.
   net.network().SetPartition(net.org_node(0), 7);
-  committed += SubmitBatch(net, 6, 6);
+  SubmitBatch(net, 6, 6, committed);
   net.simulation().RunUntil(net.simulation().now() + sim::Sec(8));
   net.network().HealPartitions();
   net.simulation().RunUntil(net.simulation().now() + sim::Sec(20));
