@@ -1,5 +1,5 @@
 // Bridges the google-benchmark micro benches into the repo-wide machine-
-// readable output convention (see bench_json.h): a reporter that keeps the
+// readable output convention (see obs/json.h): a reporter that keeps the
 // normal console table but also captures every run as a point in
 // BENCH_<name>.json, so CI can archive micro_crypto/micro_crdt numbers next
 // to BENCH_hotpath.json with one schema.
@@ -10,7 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "bench_json.h"
+#include "obs/json.h"
 
 namespace orderless::bench {
 
@@ -42,7 +42,7 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
   bool WriteJson() { return json_.Write(); }
 
  private:
-  JsonBench json_;
+  obs::JsonBench json_;
 };
 
 /// Drop-in replacement for BENCHMARK_MAIN(): runs the registered benchmarks

@@ -7,23 +7,56 @@
 // Before reporting, it cross-checks that both runs produced bit-identical
 // *simulated* results (events processed, commit counts, throughput,
 // latencies): the caches may only change how fast the host gets there.
-// Emits BENCH_hotpath.json. Exit code 1 = the determinism cross-check
-// failed; a low speedup is reported, not fatal (CI boxes are noisy).
+// A second A/B covers the tracing subsystem: with a global operator-new
+// counter, two untraced runs must allocate *exactly* as often (the disabled
+// tracer hook is one pointer load — zero heap allocations on the hot path),
+// and a traced run must still produce bit-identical simulated results.
+//
+// Emits BENCH_hotpath.json. Exit code 1 = a determinism or allocation
+// cross-check failed; a low speedup is reported, not fatal (CI boxes are
+// noisy).
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
-#include "bench_json.h"
 #include "core/perf.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+// Process-wide allocation counter backing the tracing-off A/B. Counting is
+// unconditional (relaxed atomic increment: noise-free and cheap enough for a
+// bench binary).
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
 using namespace orderless;
 using namespace orderless::bench;
+using orderless::obs::JsonBench;
 
 struct Workload {
   std::string name;
@@ -70,6 +103,19 @@ TimedRun Run(const ExperimentConfig& config, bool memoize) {
   return run;
 }
 
+struct CountedRun {
+  std::uint64_t allocs = 0;
+  harness::ExperimentResult result;
+};
+
+CountedRun RunCountingAllocs(const ExperimentConfig& config) {
+  CountedRun run;
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  run.result = harness::RunExperiment(config);
+  run.allocs = g_alloc_count.load(std::memory_order_relaxed) - before;
+  return run;
+}
+
 std::uint64_t Committed(const harness::ExperimentResult& r) {
   return r.metrics.committed_modify + r.metrics.committed_read;
 }
@@ -77,7 +123,9 @@ std::uint64_t Committed(const harness::ExperimentResult& r) {
 /// The simulated-outcome fingerprint both modes must agree on exactly.
 bool SimulatedIdentical(const harness::ExperimentResult& a,
                         const harness::ExperimentResult& b,
-                        const std::string& workload) {
+                        const std::string& workload,
+                        const char* label_a = "memo",
+                        const char* label_b = "no-memo") {
   struct Check {
     const char* what;
     double a, b;
@@ -105,8 +153,8 @@ bool SimulatedIdentical(const harness::ExperimentResult& a,
   bool ok = true;
   for (const Check& c : checks) {
     if (c.a != c.b) {  // exact: the simulation must not notice the caches
-      std::printf("DETERMINISM FAIL [%s] %s: memo=%.6f no-memo=%.6f\n",
-                  workload.c_str(), c.what, c.a, c.b);
+      std::printf("DETERMINISM FAIL [%s] %s: %s=%.6f %s=%.6f\n",
+                  workload.c_str(), c.what, label_a, c.a, label_b, c.b);
       ok = false;
     }
   }
@@ -185,8 +233,42 @@ int main(int argc, char** argv) {
   }
   table.Print();
 
+  // --- Tracing A/B: disabled must allocate exactly as often as disabled, and
+  // enabling it must not change the simulated outcome. ---
+  ExperimentConfig ab = Workloads()[0].config;
+  ab.workload.duration = BenchSeconds(sim::Sec(2));
+  const CountedRun off_a = RunCountingAllocs(ab);
+  const CountedRun off_b = RunCountingAllocs(ab);
+  obs::Tracer tracer;  // buffer reserved here, outside the counting windows
+  ab.tracer = &tracer;
+  const CountedRun traced = RunCountingAllocs(ab);
+
+  const std::uint64_t disabled_extra_allocs =
+      off_b.allocs > off_a.allocs ? off_b.allocs - off_a.allocs
+                                  : off_a.allocs - off_b.allocs;
+  if (disabled_extra_allocs != 0) {
+    std::printf("ALLOC A/B FAIL: untraced runs allocated %llu vs %llu times\n",
+                static_cast<unsigned long long>(off_a.allocs),
+                static_cast<unsigned long long>(off_b.allocs));
+    deterministic = false;
+  }
+  deterministic &= SimulatedIdentical(off_a.result, traced.result,
+                                      "trace_ab", "untraced", "traced");
+  std::printf("\ntracing A/B: untraced %llu allocs (x2, delta %llu), traced "
+              "%llu allocs, %zu events recorded, simulated results %s\n",
+              static_cast<unsigned long long>(off_a.allocs),
+              static_cast<unsigned long long>(disabled_extra_allocs),
+              static_cast<unsigned long long>(traced.allocs),
+              tracer.events().size(),
+              deterministic ? "identical" : "DIVERGED");
+
   json.Scalar("deterministic", deterministic ? "true" : "false");
   json.Scalar("multi_org_speedup", multi_org_speedup, 3);
+  json.Scalar("trace_disabled_extra_allocs", disabled_extra_allocs);
+  json.Scalar("trace_untraced_allocs", off_a.allocs);
+  json.Scalar("trace_traced_allocs", traced.allocs);
+  json.Scalar("trace_event_count",
+              static_cast<std::uint64_t>(tracer.events().size()));
   json.Write();
 
   if (!baseline_only) {

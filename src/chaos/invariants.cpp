@@ -43,10 +43,11 @@ std::vector<std::size_t> InvariantChecker::HonestOrgs() const {
   return honest;
 }
 
-void InvariantChecker::AddViolation(std::string invariant, std::string detail) {
+void InvariantChecker::AddViolation(std::string invariant, std::string detail,
+                                    std::uint64_t tx) {
   ++violations_total_;
   if (violations_.size() < kMaxStoredViolations) {
-    violations_.push_back({std::move(invariant), std::move(detail)});
+    violations_.push_back({std::move(invariant), std::move(detail), tx});
   }
 }
 
@@ -64,7 +65,8 @@ void InvariantChecker::ObserveCommit(std::size_t org_index,
                  "tx " + tx.id.Hex().substr(0, 12) + " valid=" +
                      (valid ? "1" : "0") + " at org " +
                      std::to_string(org_index) +
-                     " contradicts an earlier commit");
+                     " contradicts an earlier commit",
+                 tx.id.Prefix64());
   }
 
   if (!valid) return;
@@ -79,7 +81,8 @@ void InvariantChecker::ObserveCommit(std::size_t org_index,
     AddViolation("invalid-commit",
                  "org " + std::to_string(org_index) + " committed tx " +
                      tx.id.Hex().substr(0, 12) + " as valid but revalidation says " +
-                     std::string(core::TxVerdictName(recheck)));
+                     std::string(core::TxVerdictName(recheck)),
+                 tx.id.Prefix64());
   }
 
   // Safety (Theorem 8.1): with q >= f+1 every valid quorum intersects the
@@ -99,7 +102,8 @@ void InvariantChecker::ObserveCommit(std::size_t org_index,
                        std::to_string(org_index) +
                        " with every endorsement from a Byzantine organization"
                        " (policy " +
-                       net_.config().policy.ToString() + ")");
+                       net_.config().policy.ToString() + ")",
+                   tx.id.Prefix64());
     }
   }
 }

@@ -18,6 +18,9 @@ namespace orderless::chaos {
 struct Violation {
   std::string invariant;
   std::string detail;
+  /// Prefix64 of the offending transaction id when the invariant is
+  /// tx-scoped (0 otherwise) — the chaos explorer keys its trace dump on it.
+  std::uint64_t tx = 0;
 };
 
 class InvariantChecker {
@@ -54,8 +57,10 @@ class InvariantChecker {
   void CheckQuiescent(const std::vector<std::string>& objects);
 
   /// Runner-side invariants (liveness bookkeeping) report through this too,
-  /// so one list carries every failure.
-  void AddViolation(std::string invariant, std::string detail);
+  /// so one list carries every failure. `tx` is the offending transaction's
+  /// id prefix when known (keys the chaos explorer's trace dump).
+  void AddViolation(std::string invariant, std::string detail,
+                    std::uint64_t tx = 0);
 
   bool ok() const { return violations_.empty(); }
   const std::vector<Violation>& violations() const { return violations_; }

@@ -282,6 +282,7 @@ ChaosRunResult RunScenario(const Scenario& scenario,
   config.client_timing.org_retry_budget = 4;
   config.client_timing.breaker_threshold = 3;
   config.client_timing.breaker_cooldown = sim::Sec(2);
+  config.tracer = options.tracer;
 
   harness::OrderlessNet net(config);
   net.RegisterContract(std::make_shared<contracts::VotingContract>());

@@ -48,6 +48,10 @@ struct RunOptions {
   /// the duration of the run (core::perf::ScopedMemo). The determinism test
   /// replays the same scenario both ways and asserts equal fingerprints.
   bool memoize = true;
+  /// Optional observability hook (not owned). Recording is append-only and
+  /// outcome-neutral: the determinism test replays the same scenario traced
+  /// and untraced and asserts equal fingerprints and chain heads.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// The object ids the workload touches (what quiescent convergence covers).

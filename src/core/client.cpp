@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/perf.h"
+#include "obs/trace.h"
 
 namespace orderless::core {
 
@@ -61,6 +62,12 @@ void Client::Submit(const std::string& contract, const std::string& function,
   p.proposal.clock =
       (byzantine_.active && byzantine_.frozen_clock) ? clock_.Peek()
                                                      : clock_.Tick();
+  if (obs::Tracer* t = simulation_.tracer()) {
+    // Digest() warms the proposal's digest cache; StartEndorsePhase does the
+    // same unconditionally, so tracing changes nothing downstream.
+    t->Instant(obs::EventKind::kTxSubmit, p.start, node_,
+               p.proposal.Digest().Prefix64(), read_only);
+  }
   StartEndorsePhase(p);
 }
 
@@ -280,6 +287,10 @@ void Client::StartEndorsePhase(Pending& p) {
       proposal.InvalidateCache();
     }
     route_[proposal.Digest()] = p.seq;
+    if (obs::Tracer* t = simulation_.tracer()) {
+      t->Instant(obs::EventKind::kProposalSend, simulation_.now(), node_,
+                 proposal.Digest().Prefix64(), org_nodes_[p.chosen[i]]);
+    }
     auto msg = std::make_shared<ProposalMsg>();
     msg->proposal = std::move(proposal);
     msg->deadline = deadline;
@@ -326,6 +337,10 @@ void Client::HandleEndorseReply(sim::NodeId from, const EndorseReplyMsg& msg) {
   if (!org_index) return;
   if (!p.replied.insert(*org_index).second) return;  // duplicate reply
 
+  if (obs::Tracer* t = simulation_.tracer()) {
+    t->Instant(obs::EventKind::kEndorseReply, simulation_.now(), node_,
+               msg.proposal_digest.Prefix64(), from);
+  }
   if (msg.ok) {
     BreakerSuccess(*org_index);
     if (p.proposal.read_only) {
@@ -443,6 +458,12 @@ void Client::StartCommitPhase(Pending& p, Pending::WsGroup group) {
                                   std::move(group.endorsements), key_);
   p.tx = tx;
   route_[tx->id] = p.seq;
+  if (obs::Tracer* t = simulation_.tracer()) {
+    // Links the submit-phase key (proposal digest) to the commit-phase key
+    // (transaction id) — EventsForTx() stitches a tx's timeline through it.
+    t->Instant(obs::EventKind::kWriteSetMatch, simulation_.now(), node_,
+               tx->id.Prefix64(), p.proposal.Digest().Prefix64());
+  }
 
   if (byzantine_.active && byzantine_.no_commit) {
     // Byzantine fault (1): never sends the transaction for commit. No
@@ -467,6 +488,10 @@ void Client::StartCommitPhase(Pending& p, Pending::WsGroup group) {
 
 void Client::SendCommits(Pending& p) {
   for (std::size_t idx : p.commit_targets) {
+    if (obs::Tracer* t = simulation_.tracer()) {
+      t->Instant(obs::EventKind::kCommitSend, simulation_.now(), node_,
+                 p.tx->id.Prefix64(), org_nodes_[idx]);
+    }
     auto msg = std::make_shared<CommitMsg>();
     msg->tx = p.tx;
     network_.Send(node_, org_nodes_[idx], msg);
@@ -539,6 +564,10 @@ void Client::HandleCommitReply(sim::NodeId from, const CommitReplyMsg& msg) {
   BreakerSuccess(*org_index);
   if (!p.receipt_orgs.insert(*org_index).second) return;  // duplicate receipt
 
+  if (obs::Tracer* t = simulation_.tracer()) {
+    t->Instant(obs::EventKind::kReceipt, simulation_.now(), node_,
+               msg.receipt.tx_id.Prefix64(), from);
+  }
   const std::size_t needed =
       (byzantine_.active && byzantine_.partial_commit) ? 1 : policy_.q;
   if (p.receipt_orgs.size() >= needed) {
@@ -628,6 +657,18 @@ void Client::OnTimeout(std::uint64_t seq, std::uint64_t generation) {
 }
 
 void Client::Finish(Pending& p, TxOutcome outcome) {
+  if (obs::Tracer* t = simulation_.tracer()) {
+    obs::TxStatus status = obs::TxStatus::kFailed;
+    if (outcome.committed) {
+      status = outcome.read ? obs::TxStatus::kRead : obs::TxStatus::kCommitted;
+    } else if (outcome.rejected) {
+      status = obs::TxStatus::kRejected;
+    }
+    const std::uint64_t key =
+        p.tx ? p.tx->id.Prefix64() : p.proposal.Digest().Prefix64();
+    t->Span(obs::EventKind::kTxOutcome, p.start, p.start + outcome.latency,
+            node_, key, static_cast<std::uint64_t>(status));
+  }
   // Erase routing entries for this pending transaction.
   std::erase_if(route_, [&p](const auto& entry) {
     return entry.second == p.seq;

@@ -4,6 +4,7 @@
 
 #include "core/perf.h"
 #include "core/validation_cache.h"
+#include "obs/trace.h"
 
 namespace orderless::core {
 
@@ -151,6 +152,12 @@ void Organization::OnDelivery(const sim::Delivery& delivery) {
       if (it != recent_txs_.end()) msg->txs.push_back(it->second.first);
     }
     if (!msg->txs.empty()) {
+      if (obs::Tracer* t = simulation_.tracer()) {
+        for (const auto& tx : msg->txs) {
+          t->Instant(obs::EventKind::kGossipSend, simulation_.now(), node_,
+                     tx->id.Prefix64(), delivery.from);
+        }
+      }
       network_.Send(node_, delivery.from, msg);
     }
     return;
@@ -169,6 +176,12 @@ void Organization::OnDelivery(const sim::Delivery& delivery) {
         !(byzantine_.active && byzantine_.suppress_gossip)) {
       auto msg = std::make_shared<GossipMsg>();
       msg->txs = committed_txs_;
+      if (obs::Tracer* t = simulation_.tracer()) {
+        for (const auto& tx : msg->txs) {
+          t->Instant(obs::EventKind::kGossipSend, simulation_.now(), node_,
+                     tx->id.Prefix64(), delivery.from);
+        }
+      }
       network_.Send(node_, delivery.from, msg);
     }
     return;
@@ -254,6 +267,10 @@ void Organization::HandleProposal(sim::NodeId from, const ProposalMsg& msg) {
         reply->read_value = *value;
         phase_stats_.endorse_count++;
         phase_stats_.endorse_time_us += simulation_.now() - arrival;
+        if (obs::Tracer* t = simulation_.tracer()) {
+          t->Span(obs::EventKind::kEndorseExec, arrival, simulation_.now(),
+                  node_, reply->proposal_digest.Prefix64());
+        }
         network_.Send(node_, from, reply);
       });
       return;
@@ -278,6 +295,10 @@ void Organization::HandleProposal(sim::NodeId from, const ProposalMsg& msg) {
         kEndorseContext, EndorsementMessage(reply->proposal_digest, ws_digest));
     phase_stats_.endorse_count++;
     phase_stats_.endorse_time_us += simulation_.now() - arrival;
+    if (obs::Tracer* t = simulation_.tracer()) {
+      t->Span(obs::EventKind::kEndorseExec, arrival, simulation_.now(), node_,
+              reply->proposal_digest.Prefix64());
+    }
     network_.Send(node_, from, reply);
   });
 }
@@ -287,6 +308,12 @@ void Organization::HandleCommit(sim::NodeId from,
                                 bool from_gossip) {
   if (byzantine_.active && rng_.NextBool(byzantine_.ignore_commit_prob)) {
     return;
+  }
+  if (from_gossip) {
+    if (obs::Tracer* t = simulation_.tracer()) {
+      t->Instant(obs::EventKind::kGossipRecv, simulation_.now(), node_,
+                 tx->id.Prefix64(), from);
+    }
   }
   // The transaction body arrived, so any pull for it is satisfied (even if
   // this copy ends up shed below, a later advert can restart the pull).
@@ -334,7 +361,8 @@ void Organization::HandleCommit(sim::NodeId from,
         timing_.commit_base +
         timing_.commit_per_sig *
             static_cast<sim::SimTime>(tx->endorsements.size() + 1);
-    cpu_.Submit(validate_service, [this, from, tx, from_gossip, arrival] {
+    cpu_.Submit(validate_service,
+                [this, from, tx, from_gossip, arrival, validate_service] {
       if (!running_) return;
       // The simulated validate_service above is charged regardless; the memo
       // only skips the host-side hashing when another organization already
@@ -350,14 +378,28 @@ void Organization::HandleCommit(sim::NodeId from,
         verdict = ValidateTransaction(*tx, pki_, org_keys_, policy_);
         if (memo) memo->Store(tx, verdict);
       }
+      if (obs::Tracer* t = simulation_.tracer()) {
+        // The span covers the charged service slice (the queue wait ahead of
+        // it belongs to the dedup/admission stage, not validation).
+        t->Span(obs::EventKind::kValidate,
+                simulation_.now() - validate_service, simulation_.now(),
+                node_, tx->id.Prefix64(), verdict == TxVerdict::kValid);
+      }
       if (verdict == TxVerdict::kValid) {
         const sim::SimTime apply_service =
             timing_.cache_apply_base +
             timing_.cache_apply_per_op *
                 static_cast<sim::SimTime>(tx->ops.size());
         cache_lock_.Submit(apply_service,
-                           [this, from, tx, from_gossip, arrival] {
+                           [this, from, tx, from_gossip, arrival,
+                            apply_service] {
                              if (!running_) return;
+                             if (obs::Tracer* t = simulation_.tracer()) {
+                               t->Span(obs::EventKind::kCrdtApply,
+                                       simulation_.now() - apply_service,
+                                       simulation_.now(), node_,
+                                       tx->id.Prefix64());
+                             }
                              FinishCommit(from, tx, from_gossip,
                                           TxVerdict::kValid, arrival);
                            });
@@ -381,6 +423,14 @@ void Organization::FinishCommit(sim::NodeId from,
 
   phase_stats_.commit_count++;
   phase_stats_.commit_time_us += simulation_.now() - arrival;
+
+  if (obs::Tracer* t = simulation_.tracer()) {
+    t->Instant(obs::EventKind::kLedgerAppend, simulation_.now(), node_,
+               tx->id.Prefix64(), valid);
+    if (valid) {
+      t->CommitApplied(simulation_.now(), node_, tx->id.Prefix64());
+    }
+  }
 
   std::vector<sim::NodeId> recipients;
   if (!from_gossip) recipients.push_back(from);

@@ -172,6 +172,7 @@ class OrderlessDriver final : public Driver {
     net.client_timing.breaker_threshold = config.client_breaker_threshold;
     net.client_timing.breaker_cooldown = config.client_breaker_cooldown;
     net.client_timing.hedge = config.client_hedge;
+    net.tracer = config.tracer;
     net_ = std::make_unique<OrderlessNet>(net);
     net_->RegisterContract(std::make_shared<contracts::SyntheticContract>());
     net_->RegisterContract(std::make_shared<contracts::VotingContract>());

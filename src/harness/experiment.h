@@ -11,6 +11,10 @@
 #include "core/org.h"
 #include "harness/metrics.h"
 
+namespace orderless::obs {
+class Tracer;
+}
+
 namespace orderless::harness {
 
 enum class SystemKind {
@@ -87,6 +91,10 @@ struct ExperimentConfig {
   std::uint32_t client_breaker_threshold = 0;
   sim::SimTime client_breaker_cooldown = sim::Sec(10);
   std::uint32_t client_hedge = 0;
+
+  /// Optional observability hook (not owned; OrderlessChain only). Wired
+  /// into the simulated network when set; null = tracing disabled.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct PhaseBreakdown {

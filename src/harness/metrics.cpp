@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace orderless::harness {
 
 void LatencyRecorder::EnsureSorted() const {
@@ -48,6 +50,57 @@ double ExperimentMetrics::ThroughputTps() const {
   if (committed == 0 || last_commit <= first_commit) return 0.0;
   return static_cast<double>(committed) /
          sim::ToSec(last_commit - first_commit);
+}
+
+void LatencyRecorder::FillHistogram(obs::Histogram& histogram) const {
+  for (sim::SimTime t : samples_) histogram.Record(t);
+}
+
+void RobustnessStats::FillRegistry(obs::MetricsRegistry& registry) const {
+  const std::pair<const char*, std::uint64_t> counters[] = {
+      {"robustness.shed_endorse", shed_endorse},
+      {"robustness.shed_commit", shed_commit},
+      {"robustness.shed_gossip", shed_gossip},
+      {"robustness.shed_deadline", shed_deadline},
+      {"robustness.busy_sent", busy_sent},
+      {"robustness.client_retries", client_retries},
+      {"robustness.busy_received", busy_received},
+      {"robustness.commit_resends", commit_resends},
+      {"robustness.breaker_opens", breaker_opens},
+      {"robustness.breaker_closes", breaker_closes},
+      {"robustness.half_open_probes", half_open_probes},
+      {"robustness.hedged_requests", hedged_requests},
+  };
+  for (const auto& [name, value] : counters) {
+    registry.counter(name).Add(value);
+  }
+}
+
+void ExperimentMetrics::FillRegistry(obs::MetricsRegistry& registry) const {
+  registry.counter("experiment.submitted").Add(submitted);
+  registry.counter("experiment.committed_modify").Add(committed_modify);
+  registry.counter("experiment.committed_read").Add(committed_read);
+  registry.counter("experiment.failed").Add(failed);
+  registry.counter("experiment.rejected").Add(rejected);
+  registry.gauge("experiment.throughput_tps").Set(ThroughputTps());
+  registry.gauge("experiment.first_commit_ms").Set(sim::ToMs(first_commit));
+  registry.gauge("experiment.last_commit_ms").Set(sim::ToMs(last_commit));
+  const std::pair<const char*, const LatencyRecorder*> recorders[] = {
+      {"experiment.modify_latency", &modify_latency},
+      {"experiment.read_latency", &read_latency},
+      {"experiment.combined_latency", &combined_latency},
+  };
+  for (const auto& [name, recorder] : recorders) {
+    // Exact-sample statistics as gauges (the paper's numbers) next to the
+    // bucketed distribution.
+    registry.gauge(std::string(name) + ".avg_ms").Set(recorder->AverageMs());
+    registry.gauge(std::string(name) + ".p1_ms")
+        .Set(recorder->PercentileMs(1));
+    registry.gauge(std::string(name) + ".p99_ms")
+        .Set(recorder->PercentileMs(99));
+    recorder->FillHistogram(registry.histogram(std::string(name) + "_hist"));
+  }
+  robustness.FillRegistry(registry);
 }
 
 double Mean(const std::vector<double>& values) {

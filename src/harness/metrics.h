@@ -10,16 +10,27 @@
 
 #include "sim/time.h"
 
+namespace orderless::obs {
+class Histogram;
+class MetricsRegistry;
+}
+
 namespace orderless::harness {
 
 /// Collects per-transaction latencies and computes the paper's statistics.
 class LatencyRecorder {
  public:
-  void Record(sim::SimTime latency) { samples_.push_back(latency); }
+  void Record(sim::SimTime latency) {
+    samples_.push_back(latency);
+    sorted_ = false;  // percentiles may have sorted an earlier prefix
+  }
   std::size_t count() const { return samples_.size(); }
   double AverageMs() const;
   /// p in [0, 100]; nearest-rank percentile.
   double PercentileMs(double p) const;
+  /// Replays every sample into a fixed-bucket histogram (the registry's
+  /// exportable form; exact-sample statistics stay here).
+  void FillHistogram(obs::Histogram& histogram) const;
 
  private:
   mutable std::vector<sim::SimTime> samples_;
@@ -62,6 +73,11 @@ struct RobustnessStats {
   std::uint64_t TotalShed() const {
     return shed_endorse + shed_commit + shed_gossip + shed_deadline;
   }
+
+  /// Exports every counter into `registry` under "robustness.*" — the one
+  /// reporting source shared by the experiment CLI, the overload bench and
+  /// the chaos tooling.
+  void FillRegistry(obs::MetricsRegistry& registry) const;
 };
 
 /// Everything one experiment reports.
@@ -82,6 +98,10 @@ struct ExperimentMetrics {
   /// Committed transactions divided by the time they took (paper's
   /// definition of transaction throughput).
   double ThroughputTps() const;
+
+  /// Exports counts, throughput, latency statistics and histograms into
+  /// `registry` under "experiment.*" (plus the robustness counters).
+  void FillRegistry(obs::MetricsRegistry& registry) const;
 };
 
 /// Averages a metric across repetition runs.

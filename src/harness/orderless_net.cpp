@@ -6,6 +6,16 @@ namespace orderless::harness {
 
 OrderlessNet::OrderlessNet(OrderlessNetConfig config)
     : config_(config), rng_(config.seed) {
+  if (config_.tracer) {
+    simulation_.SetTracer(config_.tracer);
+    for (std::uint32_t i = 0; i < config_.num_orgs; ++i) {
+      config_.tracer->SetActorName(org_node(i), "org-" + std::to_string(i));
+    }
+    for (std::uint32_t i = 0; i < config_.num_clients; ++i) {
+      config_.tracer->SetActorName(client_node(i),
+                                   "client-" + std::to_string(i));
+    }
+  }
   network_ = std::make_unique<sim::Network>(simulation_, config_.net,
                                             rng_.Fork());
 

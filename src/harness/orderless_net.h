@@ -9,6 +9,7 @@
 #include "core/client.h"
 #include "core/org.h"
 #include "crypto/pki.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 
 namespace orderless::harness {
@@ -21,6 +22,9 @@ struct OrderlessNetConfig {
   core::OrgTimingConfig org_timing;
   core::ClientTimingConfig client_timing;
   std::uint64_t seed = 1;
+  /// Optional observability hook (not owned). Attached to the simulation and
+  /// given per-actor track names; null = tracing disabled, zero overhead.
+  obs::Tracer* tracer = nullptr;
 };
 
 class OrderlessNet {

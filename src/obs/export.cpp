@@ -1,0 +1,205 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace orderless::obs {
+
+namespace {
+
+/// Track ("tid") layout inside each actor's process: related phases share a
+/// row so the per-org pipeline reads top-to-bottom in Perfetto.
+struct TrackInfo {
+  int tid;
+  const char* name;
+};
+
+TrackInfo TrackOf(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTxSubmit:
+    case EventKind::kProposalSend:
+    case EventKind::kEndorseReply:
+    case EventKind::kWriteSetMatch:
+    case EventKind::kCommitSend:
+    case EventKind::kReceipt:
+    case EventKind::kTxOutcome:
+      return {1, "tx-lifecycle"};
+    case EventKind::kEndorseExec:
+      return {2, "endorse"};
+    case EventKind::kValidate:
+      return {3, "validate"};
+    case EventKind::kLedgerAppend:
+    case EventKind::kCrdtApply:
+    case EventKind::kConverge:
+      return {4, "commit-apply"};
+    case EventKind::kGossipSend:
+    case EventKind::kGossipRecv:
+      return {5, "gossip"};
+    case EventKind::kKindCount:
+      break;
+  }
+  return {9, "other"};
+}
+
+/// Deterministic flow-binding id for one (tx, sender, receiver) transfer;
+/// the sender computes it from (actor, aux) and the receiver from
+/// (aux, actor), so both ends agree.
+std::uint64_t FlowId(std::uint64_t tx, std::uint32_t sender,
+                     std::uint32_t receiver) {
+  std::uint64_t id = tx;
+  id ^= (static_cast<std::uint64_t>(sender) + 1) * 0x9E3779B97F4A7C15ULL;
+  id ^= (static_cast<std::uint64_t>(receiver) + 1) * 0xC2B2AE3D27D4EB4FULL;
+  return id;
+}
+
+void EmitArgs(FILE* out, const TraceEvent& e) {
+  std::fprintf(out, "\"args\":{\"tx\":\"%016" PRIx64 "\",\"aux\":%" PRIu64 "}",
+               e.tx, e.aux);
+}
+
+}  // namespace
+
+bool WriteChromeTrace(const Tracer& tracer, const std::string& path) {
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) return false;
+  std::fprintf(out, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+  bool first = true;
+  auto sep = [&] {
+    if (!first) std::fprintf(out, ",\n");
+    first = false;
+  };
+
+  // Track metadata: process names (one process per actor, sorted by node id
+  // so org tracks come first) and thread names (the per-phase rows).
+  std::map<std::uint32_t, std::vector<bool>> seen_tids;
+  for (const TraceEvent& e : tracer.events()) {
+    auto& tids = seen_tids[e.actor];
+    if (tids.empty()) tids.assign(10, false);
+    tids[static_cast<std::size_t>(TrackOf(e.kind).tid)] = true;
+  }
+  for (const auto& [actor, tids] : seen_tids) {
+    sep();
+    std::fprintf(out,
+                 "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                 "\"args\":{\"name\":\"%s\"}}",
+                 actor, tracer.ActorName(actor).c_str());
+    std::fprintf(out,
+                 ",\n{\"name\":\"process_sort_index\",\"ph\":\"M\","
+                 "\"pid\":%u,\"args\":{\"sort_index\":%u}}",
+                 actor, actor);
+    for (int tid = 0; tid < 10; ++tid) {
+      if (!tids[static_cast<std::size_t>(tid)]) continue;
+      const char* name = "other";
+      for (std::size_t k = 0;
+           k < static_cast<std::size_t>(EventKind::kKindCount); ++k) {
+        const TrackInfo info = TrackOf(static_cast<EventKind>(k));
+        if (info.tid == tid) {
+          name = info.name;
+          break;
+        }
+      }
+      std::fprintf(out,
+                   ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,"
+                   "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                   actor, tid, name);
+    }
+  }
+
+  for (const TraceEvent& e : tracer.events()) {
+    const TrackInfo track = TrackOf(e.kind);
+    const std::string name(EventKindName(e.kind));
+    const bool gossip_send = e.kind == EventKind::kGossipSend;
+    const bool gossip_recv = e.kind == EventKind::kGossipRecv;
+    sep();
+    if (e.dur > 0) {
+      std::fprintf(out,
+                   "{\"name\":\"%s\",\"cat\":\"phase\",\"ph\":\"X\","
+                   "\"ts\":%" PRIu64 ",\"dur\":%" PRIu64
+                   ",\"pid\":%u,\"tid\":%d,",
+                   name.c_str(), e.ts, e.dur, e.actor, track.tid);
+      EmitArgs(out, e);
+      std::fprintf(out, "}");
+    } else if (gossip_send || gossip_recv) {
+      // Unit-duration slice so the flow arrow has something to bind to,
+      // then the flow event itself (start at the sender, end at the
+      // receiver, same deterministic id at both ends).
+      const std::uint64_t id =
+          gossip_send
+              ? FlowId(e.tx, e.actor, static_cast<std::uint32_t>(e.aux))
+              : FlowId(e.tx, static_cast<std::uint32_t>(e.aux), e.actor);
+      std::fprintf(out,
+                   "{\"name\":\"%s\",\"cat\":\"gossip\",\"ph\":\"X\","
+                   "\"ts\":%" PRIu64 ",\"dur\":1,\"pid\":%u,\"tid\":%d,",
+                   name.c_str(), e.ts, e.actor, track.tid);
+      EmitArgs(out, e);
+      std::fprintf(out, "}");
+      std::fprintf(out,
+                   ",\n{\"name\":\"gossip-tx\",\"cat\":\"gossip\","
+                   "\"ph\":\"%s\",%s\"id\":\"%016" PRIx64 "\",\"ts\":%" PRIu64
+                   ",\"pid\":%u,\"tid\":%d}",
+                   gossip_send ? "s" : "f", gossip_send ? "" : "\"bp\":\"e\",",
+                   id, e.ts, e.actor, track.tid);
+    } else {
+      std::fprintf(out,
+                   "{\"name\":\"%s\",\"cat\":\"phase\",\"ph\":\"i\","
+                   "\"s\":\"t\",\"ts\":%" PRIu64 ",\"pid\":%u,\"tid\":%d,",
+                   name.c_str(), e.ts, e.actor, track.tid);
+      EmitArgs(out, e);
+      std::fprintf(out, "}");
+    }
+  }
+  std::fprintf(out, "\n],\"otherData\":{\"dropped_events\":%" PRIu64 "}}\n",
+               tracer.dropped());
+  std::fclose(out);
+  return true;
+}
+
+bool WriteJsonl(const Tracer& tracer, const std::string& path) {
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) return false;
+  for (const TraceEvent& e : tracer.events()) {
+    std::fprintf(out,
+                 "{\"ts\":%" PRIu64 ",\"kind\":\"%s\",\"actor\":\"%s\","
+                 "\"node\":%u,\"tx\":\"%016" PRIx64 "\",\"aux\":%" PRIu64
+                 ",\"dur\":%" PRIu64 "}\n",
+                 e.ts, std::string(EventKindName(e.kind)).c_str(),
+                 tracer.ActorName(e.actor).c_str(), e.actor, e.tx, e.aux,
+                 e.dur);
+  }
+  std::fclose(out);
+  return true;
+}
+
+void FillTraceMetrics(const Tracer& tracer, MetricsRegistry& registry) {
+  registry.counter("trace.events").Add(tracer.events().size());
+  registry.counter("trace.dropped").Add(tracer.dropped());
+  for (const PhaseSummary& phase : tracer.Phases()) {
+    const std::string prefix =
+        "trace.phase." + std::string(EventKindName(phase.kind));
+    registry.counter(prefix + ".count").Add(phase.count);
+    registry.gauge(prefix + ".avg_ms").Set(phase.avg_ms);
+    registry.gauge(prefix + ".max_ms").Set(phase.max_ms);
+  }
+  // Per-actor convergence lag, deterministically ordered by node id.
+  std::map<std::uint32_t, ConvergenceStats> ordered(
+      tracer.convergence().begin(), tracer.convergence().end());
+  for (const auto& [actor, stats] : ordered) {
+    const std::string prefix = "convergence." + tracer.ActorName(actor);
+    registry.counter(prefix + ".applies").Add(stats.applies);
+    registry.gauge(prefix + ".avg_lag_ms").Set(stats.AvgLagMs());
+    registry.gauge(prefix + ".max_lag_ms")
+        .Set(static_cast<double>(stats.lag_max_us) / 1000.0);
+  }
+  if (!ordered.empty()) {
+    Histogram& lag = registry.histogram("convergence.lag_us");
+    for (const TraceEvent& e : tracer.events()) {
+      if (e.kind == EventKind::kConverge) lag.Record(e.aux);
+    }
+  }
+}
+
+}  // namespace orderless::obs

@@ -1,0 +1,32 @@
+// Trace exporters.
+//
+// WriteChromeTrace emits the Chrome trace-event JSON format, so a run opens
+// directly in Perfetto (https://ui.perfetto.dev) or chrome://tracing: one
+// process ("pid") per organization / client with named tracks, lifecycle
+// phases as complete slices, and gossip transfers as flow arrows between
+// organization tracks.
+//
+// WriteJsonl emits one JSON object per line per event — grep/jq-friendly,
+// and the format the chaos triage dump mirrors on stdout.
+//
+// All timestamps are sim::SimTime microseconds straight from the trace
+// buffer: two runs of the same seed produce byte-identical exports.
+#pragma once
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace orderless::obs {
+
+/// Returns false when the file cannot be opened.
+bool WriteChromeTrace(const Tracer& tracer, const std::string& path);
+bool WriteJsonl(const Tracer& tracer, const std::string& path);
+
+/// Fills `registry` with the tracer's aggregate view: per-phase counts and
+/// latencies plus per-actor convergence lag (one metric family per phase /
+/// actor). Shared by the experiment CLI and the chaos explorer.
+class MetricsRegistry;
+void FillTraceMetrics(const Tracer& tracer, MetricsRegistry& registry);
+
+}  // namespace orderless::obs

@@ -1,5 +1,6 @@
-// Machine-readable benchmark output. Every bench that emits numbers for CI
-// writes a BENCH_<name>.json with the same top-level shape:
+// Machine-readable JSON output shared by the whole repo: benchmarks, the
+// metrics exporter and the trace tooling all emit through this one writer,
+// so every artifact CI archives has the same top-level shape:
 //
 //   {
 //     "bench": "<name>",
@@ -8,14 +9,16 @@
 //   }
 //
 // Kept dependency-free (fprintf, no JSON library) and append-order
-// preserving, so diffs between runs stay line-stable.
+// preserving, so diffs between runs stay line-stable. (Consolidates the
+// former bench/bench_json.h and bench/micro_json.h emission schema.)
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
-namespace orderless::bench {
+namespace orderless::obs {
 
 class JsonBench {
  public:
@@ -27,6 +30,9 @@ class JsonBench {
   }
   void Scalar(const std::string& key, const std::string& value) {
     scalars_.push_back("\"" + key + "\": \"" + value + "\"");
+  }
+  void Scalar(const std::string& key, std::uint64_t value) {
+    scalars_.push_back("\"" + key + "\": " + std::to_string(value));
   }
 
   /// Starts a new entry in "points"; subsequent Field() calls attach to it.
@@ -43,11 +49,22 @@ class JsonBench {
   void Field(const std::string& key, std::uint64_t value) {
     points_.back().push_back("\"" + key + "\": " + std::to_string(value));
   }
+  /// Array-of-integers field (histogram buckets, series).
+  void Field(const std::string& key, const std::vector<std::uint64_t>& values) {
+    std::string list = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      list += (i ? ", " : "") + std::to_string(values[i]);
+    }
+    list += "]";
+    points_.back().push_back("\"" + key + "\": " + list);
+  }
 
   /// Writes BENCH_<name>.json in the working directory; returns false when
   /// the file cannot be opened (benches warn but do not fail on this).
-  bool Write() const {
-    const std::string path = "BENCH_" + name_ + ".json";
+  bool Write() const { return WriteTo("BENCH_" + name_ + ".json"); }
+
+  /// Writes the same document to an explicit path (metrics exporter).
+  bool WriteTo(const std::string& path) const {
     FILE* out = std::fopen(path.c_str(), "w");
     if (!out) return false;
     std::fprintf(out, "{\n  \"bench\": \"%s\",\n", name_.c_str());
@@ -81,4 +98,4 @@ class JsonBench {
   std::vector<std::vector<std::string>> points_;
 };
 
-}  // namespace orderless::bench
+}  // namespace orderless::obs

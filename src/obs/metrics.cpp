@@ -1,0 +1,103 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.h"
+
+namespace orderless::obs {
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds_us)
+    : bounds_(std::move(bounds_us)) {
+  if (bounds_.empty()) bounds_ = DefaultLatencyBoundsUs();
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<std::uint64_t> Histogram::DefaultLatencyBoundsUs() {
+  std::vector<std::uint64_t> bounds;
+  for (std::uint64_t b = 1000; b <= 60'000'000; b *= 2) bounds.push_back(b);
+  return bounds;
+}
+
+void Histogram::Record(std::uint64_t value_us) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value_us);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += value_us;
+}
+
+double Histogram::PercentileUpperBoundMs(double p) const {
+  if (count_ == 0) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank over the cumulative bucket counts (1-based rank).
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(clamped / 100.0 * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      const std::size_t bound = std::min(i, bounds_.size() - 1);
+      return static_cast<double>(bounds_[bound]) / 1000.0;
+    }
+  }
+  return static_cast<double>(bounds_.back()) / 1000.0;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  for (auto& c : counters_) {
+    if (c.name == name) return c.metric;
+  }
+  counters_.push_back({name, Counter{}});
+  return counters_.back().metric;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  for (auto& g : gauges_) {
+    if (g.name == name) return g.metric;
+  }
+  gauges_.push_back({name, Gauge{}});
+  return gauges_.back().metric;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<std::uint64_t> bounds_us) {
+  for (auto& h : histograms_) {
+    if (h.name == name) return h.metric;
+  }
+  histograms_.push_back({name, Histogram(std::move(bounds_us))});
+  return histograms_.back().metric;
+}
+
+void MetricsRegistry::Fill(JsonBench& json) const {
+  for (const auto& c : counters_) {
+    json.Point(c.name);
+    json.Field("kind", std::string("counter"));
+    json.Field("value", c.metric.value());
+  }
+  for (const auto& g : gauges_) {
+    json.Point(g.name);
+    json.Field("kind", std::string("gauge"));
+    json.Field("value", g.metric.value(), 6);
+  }
+  for (const auto& h : histograms_) {
+    json.Point(h.name);
+    json.Field("kind", std::string("histogram"));
+    json.Field("count", h.metric.count());
+    json.Field("sum_us", h.metric.sum_us());
+    json.Field("avg_ms", h.metric.AverageMs(), 3);
+    json.Field("p50_ms", h.metric.PercentileUpperBoundMs(50), 3);
+    json.Field("p99_ms", h.metric.PercentileUpperBoundMs(99), 3);
+    json.Field("bounds_us", h.metric.bounds_us());
+    json.Field("buckets", h.metric.buckets());
+  }
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& label,
+                                    const std::string& path) const {
+  JsonBench json(label);
+  Fill(json);
+  return json.WriteTo(path);
+}
+
+}  // namespace orderless::obs

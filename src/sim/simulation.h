@@ -12,6 +12,10 @@
 
 #include "sim/time.h"
 
+namespace orderless::obs {
+class Tracer;
+}
+
 namespace orderless::sim {
 
 class Simulation {
@@ -44,6 +48,13 @@ class Simulation {
   /// workload): grows the event heap once instead of amortized doubling.
   void ReserveEvents(std::size_t n) { queue_.reserve(queue_.size() + n); }
 
+  /// Observability hook. Components record through `tracer()` when it is
+  /// non-null; the tracer never schedules events or influences protocol
+  /// decisions, so attaching one cannot change a run's outcome. The
+  /// simulation does not own the tracer.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   struct Event {
     SimTime time;
@@ -60,6 +71,7 @@ class Simulation {
   };
 
   SimTime now_ = 0;
+  obs::Tracer* tracer_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::size_t processed_ = 0;
   // Hand-rolled binary heap instead of std::priority_queue: top() of a

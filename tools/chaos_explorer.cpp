@@ -6,6 +6,11 @@
 //   chaos_explorer --seed 1337 --replay-check   # run twice, compare
 //   chaos_explorer --seed 1337 --minimize  # shrink the script on failure
 //   chaos_explorer --unsafe-demo           # q <= f misconfiguration demo
+//   chaos_explorer --seed 1337 --trace t.json [--trace-filter kinds]
+//                  [--metrics-json m.json]   # record + export a trace
+//
+// With tracing on, an invariant failure additionally dumps the trace tail
+// and the per-phase timeline of every offending transaction.
 //
 // Exit code 0 when every expectation held (for --unsafe-demo: the safety
 // checker *did* fire), 1 on an invariant violation or replay divergence,
@@ -14,11 +19,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <string>
 
 #include "chaos/minimize.h"
 #include "chaos/runner.h"
 #include "chaos/scenario.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -26,9 +35,13 @@ using orderless::chaos::ChaosRunResult;
 using orderless::chaos::GenerateScenario;
 using orderless::chaos::MakeUnsafeScenario;
 using orderless::chaos::MinimizeScenario;
+using orderless::chaos::RunOptions;
 using orderless::chaos::RunScenario;
 using orderless::chaos::Scenario;
 using orderless::chaos::Violation;
+namespace obs = orderless::obs;
+
+constexpr std::size_t kFailureTailEvents = 40;
 
 void PrintViolations(const ChaosRunResult& result) {
   for (const Violation& v : result.violations) {
@@ -37,11 +50,41 @@ void PrintViolations(const ChaosRunResult& result) {
   }
 }
 
+/// Failure triage (tracing on only): the last events before the violation
+/// plus the full per-phase timeline of every transaction a violation names.
+void PrintTraceTriage(const obs::Tracer& tracer, const ChaosRunResult& result) {
+  std::printf("\ntrace tail (last %zu of %zu events):\n",
+              std::min(kFailureTailEvents, tracer.events().size()),
+              tracer.events().size());
+  for (const obs::TraceEvent& e : tracer.Tail(kFailureTailEvents)) {
+    std::printf("  %s\n", tracer.Render(e).c_str());
+  }
+  std::printf("\nper-phase summary:\n");
+  for (const obs::PhaseSummary& phase : tracer.Phases()) {
+    std::printf("  %-14s count %8llu  avg %8.3f ms  max %8.3f ms\n",
+                std::string(obs::EventKindName(phase.kind)).c_str(),
+                static_cast<unsigned long long>(phase.count), phase.avg_ms,
+                phase.max_ms);
+  }
+  std::set<std::uint64_t> offenders;
+  for (const Violation& v : result.violations) {
+    if (v.tx != 0) offenders.insert(v.tx);
+  }
+  for (std::uint64_t tx : offenders) {
+    std::printf("\ntimeline of offending tx %016llx:\n",
+                static_cast<unsigned long long>(tx));
+    for (const obs::TraceEvent& e : tracer.EventsForTx(tx)) {
+      std::printf("  %s\n", tracer.Render(e).c_str());
+    }
+  }
+}
+
 void PrintFailure(const Scenario& scenario, const ChaosRunResult& result,
-                  bool minimize) {
+                  bool minimize, const obs::Tracer* tracer) {
   std::printf("FAILED %s\n", result.Summary().c_str());
   PrintViolations(result);
   std::printf("%s", scenario.Describe().c_str());
+  if (tracer != nullptr) PrintTraceTriage(*tracer, result);
   if (minimize) {
     std::printf("minimizing fault script (%zu events)...\n",
                 scenario.events.size());
@@ -55,17 +98,21 @@ void PrintFailure(const Scenario& scenario, const ChaosRunResult& result,
               static_cast<unsigned long long>(scenario.seed));
 }
 
-int RunOne(std::uint64_t seed, bool replay_check, bool minimize,
-           bool verbose) {
+int RunOne(std::uint64_t seed, bool replay_check, bool minimize, bool verbose,
+           obs::Tracer* tracer) {
   const Scenario scenario = GenerateScenario(seed);
   if (verbose) std::printf("%s", scenario.Describe().c_str());
-  const ChaosRunResult result = RunScenario(scenario);
+  RunOptions options;
+  options.tracer = tracer;
+  const ChaosRunResult result = RunScenario(scenario, options);
   if (!result.ok()) {
-    PrintFailure(scenario, result, minimize);
+    PrintFailure(scenario, result, minimize, tracer);
     return 1;
   }
   std::printf("ok %s\n", result.Summary().c_str());
   if (replay_check) {
+    // The replay runs untraced: equal fingerprints double as a check that
+    // recording never changes an outcome.
     const ChaosRunResult replay = RunScenario(scenario);
     if (replay.fingerprint != result.fingerprint ||
         replay.events_processed != result.events_processed) {
@@ -84,13 +131,16 @@ int RunOne(std::uint64_t seed, bool replay_check, bool minimize,
   return 0;
 }
 
-int RunSweep(std::uint64_t count, bool minimize) {
+int RunSweep(std::uint64_t count, bool minimize, obs::Tracer* tracer) {
   std::uint64_t passed = 0;
   for (std::uint64_t seed = 1; seed <= count; ++seed) {
     const Scenario scenario = GenerateScenario(seed);
-    const ChaosRunResult result = RunScenario(scenario);
+    if (tracer != nullptr) tracer->Clear();  // one trace buffer per seed
+    RunOptions options;
+    options.tracer = tracer;
+    const ChaosRunResult result = RunScenario(scenario, options);
     if (!result.ok()) {
-      PrintFailure(scenario, result, minimize);
+      PrintFailure(scenario, result, minimize, tracer);
       std::printf("sweep: %llu/%llu seeds passed before failure\n",
                   static_cast<unsigned long long>(passed),
                   static_cast<unsigned long long>(count));
@@ -109,13 +159,15 @@ int RunSweep(std::uint64_t count, bool minimize) {
   return 0;
 }
 
-int RunUnsafeDemo(std::uint64_t seed) {
+int RunUnsafeDemo(std::uint64_t seed, obs::Tracer* tracer) {
   const Scenario scenario = MakeUnsafeScenario(seed);
   std::printf("running deliberately unsafe configuration: policy %s against "
               "f=%u (q >= f+1 violated)\n",
               scenario.policy.ToString().c_str(), scenario.byzantine_budget);
   std::printf("%s", scenario.Describe().c_str());
-  const ChaosRunResult result = RunScenario(scenario);
+  RunOptions options;
+  options.tracer = tracer;
+  const ChaosRunResult result = RunScenario(scenario, options);
   if (result.ok()) {
     std::printf("UNEXPECTED: safety checker did not fire (%s)\n",
                 result.Summary().c_str());
@@ -123,6 +175,7 @@ int RunUnsafeDemo(std::uint64_t seed) {
   }
   std::printf("safety violation detected, as expected:\n");
   PrintViolations(result);
+  if (tracer != nullptr) PrintTraceTriage(*tracer, result);
   const auto min = MinimizeScenario(scenario);
   std::printf("minimized fault script (%u runs):\n%s", min.runs,
               min.minimized.Describe().c_str());
@@ -140,6 +193,7 @@ int main(int argc, char** argv) {
   bool unsafe_demo = false;
   bool verbose = false;
   std::uint64_t unsafe_seed = 1;
+  std::string trace_path, trace_filter, metrics_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -149,6 +203,13 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
       out = std::strtoull(argv[++i], nullptr, 10);
+    };
+    auto next_str = [&](std::string& out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      out = argv[++i];
     };
     if (arg == "--seeds") {
       next_u64(sweep);
@@ -165,19 +226,61 @@ int main(int argc, char** argv) {
       next_u64(unsafe_seed);
     } else if (arg == "--verbose") {
       verbose = true;
+    } else if (arg == "--trace") {
+      next_str(trace_path);
+    } else if (arg == "--trace-filter") {
+      next_str(trace_filter);
+    } else if (arg == "--metrics-json") {
+      next_str(metrics_path);
     } else {
       std::fprintf(stderr,
                    "usage: chaos_explorer [--seeds N] [--seed S] "
                    "[--replay-check] [--minimize] [--unsafe-demo] "
-                   "[--unsafe-seed S] [--verbose]\n");
+                   "[--unsafe-seed S] [--verbose] [--trace PATH] "
+                   "[--trace-filter K,K] [--metrics-json PATH]\n");
       return 2;
     }
   }
 
-  if (unsafe_demo) return RunUnsafeDemo(unsafe_seed);
-  if (have_seed) return RunOne(seed, replay_check, minimize, verbose);
-  if (sweep > 0) return RunSweep(sweep, minimize);
-  std::fprintf(stderr, "nothing to do: pass --seeds, --seed or "
-                       "--unsafe-demo\n");
-  return 2;
+  const bool tracing =
+      !trace_path.empty() || !trace_filter.empty() || !metrics_path.empty();
+  obs::TracerConfig tracer_config;
+  tracer_config.kind_mask = obs::ParseKindMask(trace_filter);
+  obs::Tracer tracer(tracer_config);
+  obs::Tracer* tracer_ptr = tracing ? &tracer : nullptr;
+
+  int rc;
+  if (unsafe_demo) {
+    rc = RunUnsafeDemo(unsafe_seed, tracer_ptr);
+  } else if (have_seed) {
+    rc = RunOne(seed, replay_check, minimize, verbose, tracer_ptr);
+  } else if (sweep > 0) {
+    rc = RunSweep(sweep, minimize, tracer_ptr);
+  } else {
+    std::fprintf(stderr, "nothing to do: pass --seeds, --seed or "
+                         "--unsafe-demo\n");
+    return 2;
+  }
+
+  if (tracing) {
+    // Exported whatever the verdict: a failing run's trace is exactly the
+    // artifact worth keeping.
+    if (!trace_path.empty()) {
+      if (!obs::WriteChromeTrace(tracer, trace_path)) {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        return rc == 0 ? 1 : rc;
+      }
+      std::printf("wrote %s — open at https://ui.perfetto.dev\n",
+                  trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      obs::MetricsRegistry registry;
+      obs::FillTraceMetrics(tracer, registry);
+      if (!registry.WriteJsonFile("chaos_metrics", metrics_path)) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+        return rc == 0 ? 1 : rc;
+      }
+    }
+  }
+  return rc;
 }

@@ -5,12 +5,17 @@
 //                  --rate 3000 --seconds 8 --clients 1000 [--seed 1]
 //                  [--modify-fraction 0.5] [--objs 1] [--ops 1]
 //                  [--crdt g-counter] [--byz-orgs 3] [--avoidance]
+//                  [--trace out.trace.json] [--trace-jsonl out.jsonl]
+//                  [--trace-filter kinds] [--metrics-json out.json]
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "harness/experiment.h"
 #include "harness/table.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace orderless;
 
@@ -25,7 +30,12 @@ void Usage() {
       "  --modify-fraction F   (default 0.5)\n"
       "  --objs N --ops N --crdt TYPE   (synthetic app parameters)\n"
       "  --byz-orgs N   --byz-clients F   --avoidance\n"
-      "  --gossip-fanout N\n");
+      "  --gossip-fanout N\n"
+      "  --trace PATH         write Chrome trace-event JSON (Perfetto)\n"
+      "  --trace-jsonl PATH   write one JSON object per trace event\n"
+      "  --trace-filter K,K   only record the named event kinds\n"
+      "  --metrics-json PATH  write the metrics registry as JSON\n"
+      "  (tracing covers the orderless system only)\n");
 }
 
 bool ParseSystem(const std::string& s, harness::SystemKind& out) {
@@ -54,6 +64,7 @@ int main(int argc, char** argv) {
   config.policy = core::EndorsementPolicy{4, 16};
   config.workload.num_clients = 1000;
   std::uint32_t q = 4;
+  std::string trace_path, trace_jsonl_path, trace_filter, metrics_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -111,6 +122,14 @@ int main(int argc, char** argv) {
       config.client_max_attempts = 3;
     } else if (arg == "--gossip-fanout") {
       config.gossip_fanout = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--trace-jsonl") {
+      trace_jsonl_path = next();
+    } else if (arg == "--trace-filter") {
+      trace_filter = next();
+    } else if (arg == "--metrics-json") {
+      metrics_path = next();
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       Usage();
@@ -118,6 +137,18 @@ int main(int argc, char** argv) {
     }
   }
   config.policy = core::EndorsementPolicy{q, config.num_orgs};
+
+  const bool tracing = !trace_path.empty() || !trace_jsonl_path.empty();
+  obs::TracerConfig tracer_config;
+  tracer_config.kind_mask = obs::ParseKindMask(trace_filter);
+  obs::Tracer tracer(tracer_config);
+  if (tracing) {
+    if (config.system != harness::SystemKind::kOrderless) {
+      std::fprintf(stderr, "tracing covers --system orderless only\n");
+      return 2;
+    }
+    config.tracer = &tracer;
+  }
 
   std::printf("system=%s app=%s orgs=%u EP=%s rate=%.0f tps duration=%.0fs "
               "clients=%u seed=%llu\n",
@@ -150,6 +181,44 @@ int main(int argc, char** argv) {
   std::printf("\nphase breakdown (organization-side):\n");
   for (const auto& [phase, ms] : result.breakdown.phases) {
     std::printf("  %-14s %10.1f ms\n", phase.c_str(), ms);
+  }
+
+  if (tracing) {
+    std::printf("\ntraced phases (%zu events, %llu dropped):\n",
+                tracer.events().size(),
+                static_cast<unsigned long long>(tracer.dropped()));
+    for (const obs::PhaseSummary& phase : tracer.Phases()) {
+      std::printf("  %-14s count %8llu  avg %8.3f ms  max %8.3f ms\n",
+                  std::string(obs::EventKindName(phase.kind)).c_str(),
+                  static_cast<unsigned long long>(phase.count), phase.avg_ms,
+                  phase.max_ms);
+    }
+    if (!trace_path.empty()) {
+      if (!obs::WriteChromeTrace(tracer, trace_path)) {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s — open at https://ui.perfetto.dev\n",
+                  trace_path.c_str());
+    }
+    if (!trace_jsonl_path.empty()) {
+      if (!obs::WriteJsonl(tracer, trace_jsonl_path)) {
+        std::fprintf(stderr, "cannot write %s\n", trace_jsonl_path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", trace_jsonl_path.c_str());
+    }
+  }
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry registry;
+    m.FillRegistry(registry);
+    registry.counter("experiment.events_processed")
+        .Add(result.events_processed);
+    if (tracing) obs::FillTraceMetrics(tracer, registry);
+    if (!registry.WriteJsonFile("experiment_metrics", metrics_path)) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }
