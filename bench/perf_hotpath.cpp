@@ -11,6 +11,10 @@
 // counter, two untraced runs must allocate *exactly* as often (the disabled
 // tracer hook is one pointer load — zero heap allocations on the hot path),
 // and a traced run must still produce bit-identical simulated results.
+// A third A/B isolates the event callback: scheduling lambdas with hot-path
+// capture sizes through sim::SmallFn (64-byte small-buffer optimization)
+// must allocate zero times per event, against a std::function control that
+// heap-allocates every one.
 //
 // Emits BENCH_hotpath.json. Exit code 1 = a determinism or allocation
 // cross-check failed; a low speedup is reported, not fatal (CI boxes are
@@ -25,10 +29,13 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "bench_common.h"
 #include "core/perf.h"
 #include "obs/json.h"
 #include "obs/trace.h"
+#include "sim/simulation.h"
 
 // Process-wide allocation counter backing the tracing-off A/B. Counting is
 // unconditional (relaxed atomic increment: noise-free and cheap enough for a
@@ -262,7 +269,59 @@ int main(int argc, char** argv) {
               tracer.events().size(),
               deterministic ? "identical" : "DIVERGED");
 
+  // --- SmallFn SBO A/B: a hot-path-sized capture (48 bytes: shared_ptr +
+  // a few ids, what network deliveries and timer ticks carry) scheduled
+  // through the event loop must never touch the heap. The std::function
+  // control shows the per-event allocation the SBO removed. ---
+  constexpr int kSboEvents = 100000;
+  struct HotCapture {
+    std::uint64_t a = 1, b = 2, c = 3, d = 4, e = 5, f = 6;  // 48 bytes
+  };
+  std::uint64_t sink = 0;
+  sim::Simulation sbo_sim;
+  sbo_sim.ReserveEvents(kSboEvents);  // heap growth outside the window
+  const std::uint64_t sbo_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < kSboEvents; ++i) {
+    HotCapture capture;
+    capture.a = static_cast<std::uint64_t>(i);
+    sbo_sim.Schedule(static_cast<sim::SimTime>(i),
+                     [capture, &sink] { sink += capture.a + capture.f; });
+  }
+  sbo_sim.RunUntilIdle();
+  const std::uint64_t sbo_allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - sbo_before;
+
+  std::vector<std::function<void()>> control;
+  control.reserve(kSboEvents);
+  const std::uint64_t control_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < kSboEvents; ++i) {
+    HotCapture capture;
+    capture.a = static_cast<std::uint64_t>(i);
+    control.emplace_back([capture, &sink] { sink += capture.a + capture.f; });
+  }
+  for (auto& fn : control) fn();
+  const std::uint64_t control_allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - control_before;
+  if (sink == 0) std::printf("(unreachable sink note)\n");  // keep `sink` live
+
+  if (sbo_allocs != 0) {
+    std::printf("SBO A/B FAIL: %d inline-sized events allocated %llu times\n",
+                kSboEvents, static_cast<unsigned long long>(sbo_allocs));
+    deterministic = false;
+  }
+  std::printf("\ncallback SBO A/B: %d events of 48-byte capture — SmallFn "
+              "%llu allocs, std::function control %llu allocs (%.2f/event "
+              "removed)\n",
+              kSboEvents, static_cast<unsigned long long>(sbo_allocs),
+              static_cast<unsigned long long>(control_allocs),
+              static_cast<double>(control_allocs - sbo_allocs) / kSboEvents);
+
   json.Scalar("deterministic", deterministic ? "true" : "false");
+  json.Scalar("sbo_event_count", static_cast<std::uint64_t>(kSboEvents));
+  json.Scalar("sbo_smallfn_allocs", sbo_allocs);
+  json.Scalar("sbo_stdfunction_allocs", control_allocs);
   json.Scalar("multi_org_speedup", multi_org_speedup, 3);
   json.Scalar("trace_disabled_extra_allocs", disabled_extra_allocs);
   json.Scalar("trace_untraced_allocs", off_a.allocs);

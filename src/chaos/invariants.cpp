@@ -45,6 +45,13 @@ std::vector<std::size_t> InvariantChecker::HonestOrgs() const {
 
 void InvariantChecker::AddViolation(std::string invariant, std::string detail,
                                     std::uint64_t tx) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  AddViolationLocked(std::move(invariant), std::move(detail), tx);
+}
+
+void InvariantChecker::AddViolationLocked(std::string invariant,
+                                          std::string detail,
+                                          std::uint64_t tx) {
   ++violations_total_;
   if (violations_.size() < kMaxStoredViolations) {
     violations_.push_back({std::move(invariant), std::move(detail), tx});
@@ -54,6 +61,10 @@ void InvariantChecker::AddViolation(std::string invariant, std::string detail,
 void InvariantChecker::ObserveCommit(std::size_t org_index,
                                      const core::Transaction& tx,
                                      core::TxVerdict verdict) {
+  // Observers fire on org lanes, concurrently under `--threads N`; hold the
+  // checker's mutex for the whole observation. Revalidation under the lock
+  // is fine — invariants only run inside chaos tests.
+  const std::lock_guard<std::mutex> lock(mutex_);
   ++commits_observed_;
   const bool valid = verdict == core::TxVerdict::kValid;
 
@@ -61,7 +72,7 @@ void InvariantChecker::ObserveCommit(std::size_t org_index,
   // every organization must reach the same verdict for the same id.
   const auto [it, inserted] = first_verdict_.emplace(tx.id, valid);
   if (!inserted && it->second != valid) {
-    AddViolation("verdict-divergence",
+    AddViolationLocked("verdict-divergence",
                  "tx " + tx.id.Hex().substr(0, 12) + " valid=" +
                      (valid ? "1" : "0") + " at org " +
                      std::to_string(org_index) +
@@ -78,7 +89,7 @@ void InvariantChecker::ObserveCommit(std::size_t org_index,
   const core::TxVerdict recheck = core::ValidateTransaction(
       tx, net_.pki(), org_key_set_, net_.config().policy);
   if (recheck != core::TxVerdict::kValid) {
-    AddViolation("invalid-commit",
+    AddViolationLocked("invalid-commit",
                  "org " + std::to_string(org_index) + " committed tx " +
                      tx.id.Hex().substr(0, 12) + " as valid but revalidation says " +
                      std::string(core::TxVerdictName(recheck)),
@@ -97,7 +108,7 @@ void InvariantChecker::ObserveCommit(std::size_t org_index,
       }
     }
     if (!has_honest_endorser) {
-      AddViolation("byzantine-quorum",
+      AddViolationLocked("byzantine-quorum",
                    "tx " + tx.id.Hex().substr(0, 12) + " committed at org " +
                        std::to_string(org_index) +
                        " with every endorsement from a Byzantine organization"

@@ -5,6 +5,7 @@
 // eventual consistency across the honest organizations.
 #pragma once
 
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -72,9 +73,17 @@ class InvariantChecker {
  private:
   void ObserveCommit(std::size_t org_index, const core::Transaction& tx,
                      core::TxVerdict verdict);
+  void AddViolationLocked(std::string invariant, std::string detail,
+                          std::uint64_t tx);
 
   harness::OrderlessNet& net_;
   const Scenario& scenario_;
+  // Commit observers fire on org lanes, which run concurrently under
+  // `--threads N`; every mutation of the maps/counters below goes through
+  // this mutex. Outcomes stay thread-count independent: the counter bumps
+  // commute and the verdict-divergence check is symmetric in insertion
+  // order (a divergent pair trips whichever observation lands second).
+  mutable std::mutex mutex_;
   std::set<crypto::KeyId> org_key_set_;
   std::set<std::size_t> ever_byzantine_orgs_;
   std::set<crypto::KeyId> ever_byzantine_org_keys_;

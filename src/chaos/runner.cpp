@@ -283,6 +283,7 @@ ChaosRunResult RunScenario(const Scenario& scenario,
   config.client_timing.breaker_threshold = 3;
   config.client_timing.breaker_cooldown = sim::Sec(2);
   config.tracer = options.tracer;
+  config.threads = options.threads;
 
   harness::OrderlessNet net(config);
   net.RegisterContract(std::make_shared<contracts::VotingContract>());
@@ -315,7 +316,11 @@ ChaosRunResult RunScenario(const Scenario& scenario,
   std::vector<SubmissionRecord> records(plan.size());
   for (std::size_t i = 0; i < plan.size(); ++i) {
     records[i].client = plan[i].client;
-    net.simulation().ScheduleAt(plan[i].at, [&net, &state, &plan, &records, i] {
+    // Submissions run on the submitting client's lane (their callbacks
+    // mutate that submission's record, so the record has a single writer).
+    net.simulation().ScheduleAtFor(
+        net.client_actor(plan[i].client), plan[i].at,
+        [&net, &state, &plan, &records, i] {
       const PlannedTx& tx = plan[i];
       if (state.client_paused[tx.client]) return;
       records[i].submitted = true;

@@ -52,6 +52,10 @@ struct RunOptions {
   /// outcome-neutral: the determinism test replays the same scenario traced
   /// and untraced and asserts equal fingerprints and chain heads.
   obs::Tracer* tracer = nullptr;
+  /// Simulation worker threads. Any value must yield the same fingerprint:
+  /// the parallel determinism test replays scenarios at 1/2/4 threads and
+  /// asserts identical fingerprints and chain heads.
+  unsigned threads = 1;
 };
 
 /// The object ids the workload touches (what quiescent convergence covers).

@@ -48,11 +48,16 @@ void Organization::Start() {
   network_.Register(node_,
                     [this](const sim::Delivery& d) { OnDelivery(d); });
   // Random phase offset: organizations do not share a clock, so their
-  // periodic gossip is naturally desynchronized.
-  simulation_.Schedule(rng_.NextBelow(timing_.gossip_interval) + 1,
-                       [this] { GossipTick(); });
+  // periodic gossip is naturally desynchronized. Start() runs on the
+  // harness lane, so the first tick must explicitly target this org's
+  // lane; once ticking, the timer chain reschedules from within the tick
+  // and stays on it.
+  const sim::ActorId actor = simulation_.ActorOf(node_);
+  simulation_.ScheduleFor(actor, rng_.NextBelow(timing_.gossip_interval) + 1,
+                          [this] { GossipTick(); });
   if (timing_.antientropy_interval > 0) {
-    simulation_.Schedule(
+    simulation_.ScheduleFor(
+        actor,
         timing_.antientropy_interval +
             rng_.NextBelow(timing_.antientropy_interval),
         [this] { AntiEntropyTick(); });
@@ -371,12 +376,12 @@ void Organization::HandleCommit(sim::NodeId from,
       ValidationMemo* memo = perf::MemoEnabled() && timing_.validation_memo
                                  ? timing_.validation_memo.get()
                                  : nullptr;
-      const auto cached = memo ? memo->Lookup(tx) : std::nullopt;
+      const auto cached = memo ? memo->LookupFor(node_, tx) : std::nullopt;
       if (cached) {
         verdict = *cached;
       } else {
         verdict = ValidateTransaction(*tx, pki_, org_keys_, policy_);
-        if (memo) memo->Store(tx, verdict);
+        if (memo) memo->StoreFor(node_, tx, verdict);
       }
       if (obs::Tracer* t = simulation_.tracer()) {
         // The span covers the charged service slice (the queue wait ahead of

@@ -8,8 +8,10 @@
 //
 // One process-wide switch keeps the escape hatch trivial to reach from a
 // bench (`--no-memo`), a test, or a debugging session without threading a
-// flag through every config struct. The simulation is single-threaded, so a
-// plain bool suffices.
+// flag through every config struct. A plain bool suffices: the switch is
+// only ever flipped between runs (bench A/B phases, test setup), never
+// while the simulation — sequential or parallel — is executing, so worker
+// lanes see a constant value for the whole run.
 #pragma once
 
 namespace orderless::core::perf {

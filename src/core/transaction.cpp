@@ -100,6 +100,17 @@ std::shared_ptr<Transaction> Transaction::Assemble(
   tx->endorsements = std::move(endorsements);
   tx->id = ComputeId(tx->ProposalDigest(), tx->OpsDigest());
   tx->client_signature = client_key.Sign(kTxContext, tx->id);
+  // Seal every lazily-filled cache while the client still holds the only
+  // reference: one Transaction object is shared across the q commit
+  // recipients (and re-shared by gossip), so under parallel execution
+  // several org lanes read these fields concurrently. Sealed here, those
+  // reads are immutable; nothing mutates a Transaction after assembly.
+  tx->EncodedBody();
+  tx->WireSize();
+  if (perf::MemoEnabled()) {
+    tx->ProposalDigest();
+    tx->OpsDigest();
+  }
   return tx;
 }
 

@@ -44,10 +44,94 @@ void ValidationMemo::Store(const std::shared_ptr<const Transaction>& tx,
   map_.emplace(tx->id, order_.begin());
 }
 
+bool ValidationMemo::SameBody(
+    const Entry& entry, const std::shared_ptr<const Transaction>& tx) const {
+  return entry.tx == tx ||
+         std::ranges::equal(entry.tx->EncodedBody(), tx->EncodedBody());
+}
+
+void ValidationMemo::EnableShards(const std::vector<std::uint32_t>& orgs) {
+  sharded_ = true;
+  shard_orgs_ = orgs;
+  for (const std::uint32_t org : orgs) shards_[org];
+}
+
+std::optional<TxVerdict> ValidationMemo::LookupFor(
+    std::uint32_t org, const std::shared_ptr<const Transaction>& tx) {
+  if (!sharded_) return Lookup(tx);
+  const auto shard_it = shards_.find(org);
+  if (shard_it == shards_.end()) return Lookup(tx);
+  Shard& shard = shard_it->second;
+  const auto own = shard.index.find(tx->id);
+  if (own != shard.index.end()) {
+    const Entry& entry = shard.pending[own->second];
+    if (!SameBody(entry, tx)) {
+      ++shard.stats.byte_mismatches;
+      return std::nullopt;
+    }
+    ++shard.stats.hits;
+    return entry.verdict;
+  }
+  // Base lookup is read-only during epochs: no LRU splice, no shared-stats
+  // update — recency and stats land at the next MergeShards.
+  const auto it = map_.find(tx->id);
+  if (it == map_.end()) {
+    ++shard.stats.misses;
+    return std::nullopt;
+  }
+  const Entry& entry = *it->second;
+  if (!SameBody(entry, tx)) {
+    ++shard.stats.byte_mismatches;
+    return std::nullopt;
+  }
+  ++shard.stats.hits;
+  return entry.verdict;
+}
+
+void ValidationMemo::StoreFor(std::uint32_t org,
+                              const std::shared_ptr<const Transaction>& tx,
+                              TxVerdict verdict) {
+  if (!sharded_) {
+    Store(tx, verdict);
+    return;
+  }
+  const auto shard_it = shards_.find(org);
+  if (shard_it == shards_.end()) {
+    Store(tx, verdict);
+    return;
+  }
+  Shard& shard = shard_it->second;
+  const auto own = shard.index.find(tx->id);
+  if (own != shard.index.end()) {
+    shard.pending[own->second].tx = tx;
+    shard.pending[own->second].verdict = verdict;
+    return;
+  }
+  shard.index.emplace(tx->id, shard.pending.size());
+  shard.pending.push_back(Entry{tx->id, tx, verdict});
+}
+
+void ValidationMemo::MergeShards() {
+  if (!sharded_) return;
+  for (const std::uint32_t org : shard_orgs_) {
+    Shard& shard = shards_[org];
+    for (Entry& entry : shard.pending) {
+      Store(entry.tx, entry.verdict);
+    }
+    shard.pending.clear();
+    shard.index.clear();
+    stats_.hits += shard.stats.hits;
+    stats_.misses += shard.stats.misses;
+    stats_.byte_mismatches += shard.stats.byte_mismatches;
+    shard.stats = Stats{};
+  }
+}
+
 void ValidationMemo::Clear() {
   order_.clear();
   map_.clear();
   stats_ = Stats{};
+  for (auto& [org, shard] : shards_) shard = Shard{};
 }
 
 }  // namespace orderless::core

@@ -1,5 +1,6 @@
 #include "harness/experiment.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <memory>
@@ -135,6 +136,12 @@ class Driver {
   virtual PhaseBreakdown Breakdown() const = 0;
   /// Overload/retry counters; only OrderlessChain implements the layer.
   virtual RobustnessStats Robustness() const { return {}; }
+  /// Event lane of `client`'s simulated node; lane 0 (the sequential
+  /// default) for systems without per-actor lanes.
+  virtual sim::ActorId ClientActor(std::size_t client) const {
+    (void)client;
+    return 0;
+  }
 };
 
 class OrderlessDriver final : public Driver {
@@ -173,6 +180,7 @@ class OrderlessDriver final : public Driver {
     net.client_timing.breaker_cooldown = config.client_breaker_cooldown;
     net.client_timing.hedge = config.client_hedge;
     net.tracer = config.tracer;
+    net.threads = config.threads;
     net_ = std::make_unique<OrderlessNet>(net);
     net_->RegisterContract(std::make_shared<contracts::SyntheticContract>());
     net_->RegisterContract(std::make_shared<contracts::VotingContract>());
@@ -243,6 +251,10 @@ class OrderlessDriver final : public Driver {
       b.phases = {{"P1/Execution", endorse / n}, {"P2/Commit", commit / n}};
     }
     return b;
+  }
+
+  sim::ActorId ClientActor(std::size_t client) const override {
+    return net_->client_actor(client);
   }
 
   RobustnessStats Robustness() const override {
@@ -454,11 +466,11 @@ std::unique_ptr<Driver> MakeDriver(const ExperimentConfig& config) {
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
   auto driver = MakeDriver(config);
-  auto metrics = std::make_shared<ExperimentMetrics>();
   sim::Simulation& simulation = driver->simulation();
   Rng rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
 
-  // Byzantine phases (Fig. 8's timeline).
+  // Byzantine phases (Fig. 8's timeline). Run on the harness lane: flipping
+  // org behaviour touches every organization, so it must execute exclusively.
   for (const ByzantinePhase& phase : config.byzantine_phases) {
     const std::uint32_t count = phase.byzantine_orgs;
     Driver* d = driver.get();
@@ -468,48 +480,81 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     });
   }
 
-  // Uniformly distributed submissions at the requested arrival rate.
+  // Uniformly distributed submissions at the requested arrival rate. Drawn
+  // up-front (one fixed RNG sequence), then scheduled onto each submitting
+  // client's lane with one metrics shard per client — shards are merged in
+  // client order after the run, in every mode, so the metrics document does
+  // not depend on the thread count.
   const WorkloadConfig& w = config.workload;
   const std::uint64_t total = static_cast<std::uint64_t>(
       w.arrival_tps * sim::ToSec(w.duration));
+  struct Planned {
+    sim::SimTime at = 0;
+    bool read = false;
+    std::size_t client = 0;
+    AppCall call;
+  };
+  std::vector<Planned> plan;
+  plan.reserve(total);
   for (std::uint64_t i = 0; i < total; ++i) {
-    const sim::SimTime at = static_cast<sim::SimTime>(
+    Planned p;
+    p.at = static_cast<sim::SimTime>(
         (static_cast<double>(i) + rng.NextDouble()) / w.arrival_tps * 1e6);
-    const bool read = rng.NextDouble() >= w.modify_fraction;
-    const std::size_t client = rng.NextBelow(driver->client_count());
-    const AppCall call = DrawCall(config.app, read, w, rng);
-    Driver* d = driver.get();
-    simulation.ScheduleAt(at, [d, client, read, call, metrics, &simulation] {
-      ++metrics->submitted;
-      d->Submit(client, read, call,
-                [metrics, read, &simulation](const core::TxOutcome& o) {
-                  if (o.committed) {
-                    const sim::SimTime now = simulation.now();
-                    if (metrics->first_commit == 0) {
-                      metrics->first_commit = now;
-                    }
-                    metrics->last_commit = now;
-                    metrics->per_second.Record(now);
-                    metrics->combined_latency.Record(o.latency);
-                    if (read) {
-                      ++metrics->committed_read;
-                      metrics->read_latency.Record(o.latency);
-                    } else {
-                      ++metrics->committed_modify;
-                      metrics->modify_latency.Record(o.latency);
-                    }
-                  } else {
-                    ++metrics->failed;
-                    if (o.rejected) ++metrics->rejected;
-                  }
-                });
-    });
+    p.read = rng.NextDouble() >= w.modify_fraction;
+    p.client = rng.NextBelow(driver->client_count());
+    p.call = DrawCall(config.app, p.read, w, rng);
+    plan.push_back(std::move(p));
+  }
+
+  const std::size_t clients = std::max<std::size_t>(driver->client_count(), 1);
+  std::vector<ExperimentMetrics> shards(clients);
+  std::vector<std::size_t> burst(clients, 0);
+  for (const Planned& p : plan) ++burst[p.client];
+  for (std::size_t c = 0; c < clients; ++c) {
+    if (burst[c] > 0) {
+      simulation.ReserveEventsFor(driver->ClientActor(c), burst[c]);
+    }
+  }
+
+  Driver* d = driver.get();
+  for (const Planned& p : plan) {
+    ExperimentMetrics* m = &shards[p.client];
+    simulation.ScheduleAtFor(
+        d->ClientActor(p.client), p.at,
+        [d, m, &simulation, client = p.client, read = p.read,
+         call = p.call] {
+          ++m->submitted;
+          d->Submit(client, read, call,
+                    [m, read, &simulation](const core::TxOutcome& o) {
+                      if (o.committed) {
+                        const sim::SimTime now = simulation.now();
+                        if (m->first_commit == 0) {
+                          m->first_commit = now;
+                        }
+                        m->last_commit = now;
+                        m->per_second.Record(now);
+                        m->combined_latency.Record(o.latency);
+                        if (read) {
+                          ++m->committed_read;
+                          m->read_latency.Record(o.latency);
+                        } else {
+                          ++m->committed_modify;
+                          m->modify_latency.Record(o.latency);
+                        }
+                      } else {
+                        ++m->failed;
+                        if (o.rejected) ++m->rejected;
+                      }
+                    });
+        });
   }
 
   simulation.RunUntil(w.duration + w.drain);
 
   ExperimentResult result;
-  result.metrics = std::move(*metrics);
+  for (const ExperimentMetrics& shard : shards) {
+    result.metrics.MergeFrom(shard);
+  }
   result.metrics.robustness = driver->Robustness();
   result.breakdown = driver->Breakdown();
   result.throughput_per_second = result.metrics.per_second.PerSecond(w.duration);

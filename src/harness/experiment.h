@@ -95,6 +95,11 @@ struct ExperimentConfig {
   /// Optional observability hook (not owned; OrderlessChain only). Wired
   /// into the simulated network when set; null = tracing disabled.
   obs::Tracer* tracer = nullptr;
+
+  /// Simulation worker threads (OrderlessChain only; baselines ignore it
+  /// and stay sequential). Any value produces bit-identical simulated
+  /// results; >1 spreads org/client lanes over a worker pool.
+  unsigned threads = 1;
 };
 
 struct PhaseBreakdown {

@@ -16,6 +16,10 @@ void LatencyRecorder::EnsureSorted() const {
 
 double LatencyRecorder::AverageMs() const {
   if (samples_.empty()) return 0.0;
+  // Sum in sorted order: floating-point addition is order-sensitive in the
+  // low bits, and the lazy sort in PercentileMs would otherwise make the
+  // reported average depend on which accessor ran first.
+  EnsureSorted();
   double sum = 0;
   for (sim::SimTime t : samples_) sum += sim::ToMs(t);
   return sum / static_cast<double>(samples_.size());
@@ -43,6 +47,38 @@ std::vector<double> ThroughputSeries::PerSecond(sim::SimTime until) const {
     out[i] = static_cast<double>(buckets_[i]) * scale;
   }
   return out;
+}
+
+void LatencyRecorder::MergeFrom(const LatencyRecorder& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+void ThroughputSeries::MergeFrom(const ThroughputSeries& other) {
+  if (buckets_.size() < other.buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+void ExperimentMetrics::MergeFrom(const ExperimentMetrics& other) {
+  submitted += other.submitted;
+  committed_modify += other.committed_modify;
+  committed_read += other.committed_read;
+  failed += other.failed;
+  rejected += other.rejected;
+  modify_latency.MergeFrom(other.modify_latency);
+  read_latency.MergeFrom(other.read_latency);
+  combined_latency.MergeFrom(other.combined_latency);
+  per_second.MergeFrom(other.per_second);
+  if (other.first_commit != 0 &&
+      (first_commit == 0 || other.first_commit < first_commit)) {
+    first_commit = other.first_commit;
+  }
+  last_commit = std::max(last_commit, other.last_commit);
 }
 
 double ExperimentMetrics::ThroughputTps() const {

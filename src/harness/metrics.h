@@ -32,6 +32,11 @@ class LatencyRecorder {
   /// exportable form; exact-sample statistics stay here).
   void FillHistogram(obs::Histogram& histogram) const;
 
+  /// Appends `other`'s samples in their recorded order (per-client shard
+  /// merge; callers merge shards in a fixed order so the combined sample
+  /// sequence is deterministic).
+  void MergeFrom(const LatencyRecorder& other);
+
  private:
   mutable std::vector<sim::SimTime> samples_;
   mutable bool sorted_ = false;
@@ -46,6 +51,9 @@ class ThroughputSeries {
   void Record(sim::SimTime commit_time);
   /// Committed tx per second for each bucket up to `until`.
   std::vector<double> PerSecond(sim::SimTime until) const;
+
+  /// Element-wise sum of `other`'s buckets (same bucket width assumed).
+  void MergeFrom(const ThroughputSeries& other);
 
  private:
   sim::SimTime bucket_;
@@ -98,6 +106,14 @@ struct ExperimentMetrics {
   /// Committed transactions divided by the time they took (paper's
   /// definition of transaction throughput).
   double ThroughputTps() const;
+
+  /// Accumulates a per-client shard (counts add, latency samples append,
+  /// commit window widens). Robustness counters are not merged — they are
+  /// collected once from the driver after the run. The experiment runner
+  /// keeps one shard per client in *both* engine modes and merges them in
+  /// client order, so the combined document is byte-identical at any
+  /// thread count.
+  void MergeFrom(const ExperimentMetrics& other);
 
   /// Exports counts, throughput, latency statistics and histograms into
   /// `registry` under "experiment.*" (plus the robustness counters).

@@ -6,6 +6,17 @@ namespace orderless::harness {
 
 OrderlessNet::OrderlessNet(OrderlessNetConfig config)
     : config_(config), rng_(config.seed) {
+  // Every org and client gets its own event lane in both modes — the
+  // canonical event keys (and so every outcome) are a function of the
+  // topology, never of the thread count. Must precede the first scheduled
+  // event; the Network ctor below proposes the lookahead.
+  simulation_.SetThreads(config_.threads);
+  for (std::uint32_t i = 0; i < config_.num_orgs; ++i) {
+    simulation_.RegisterActor(org_node(i));
+  }
+  for (std::uint32_t i = 0; i < config_.num_clients; ++i) {
+    simulation_.RegisterActor(client_node(i));
+  }
   if (config_.tracer) {
     simulation_.SetTracer(config_.tracer);
     for (std::uint32_t i = 0; i < config_.num_orgs; ++i) {
@@ -19,12 +30,38 @@ OrderlessNet::OrderlessNet(OrderlessNetConfig config)
   network_ = std::make_unique<sim::Network>(simulation_, config_.net,
                                             rng_.Fork());
 
+  if (config_.tracer && simulation_.parallel()) {
+    // One shard per lane; the parent absorbs them at every epoch barrier in
+    // lane order, reproducing the sequential append order byte for byte.
+    obs::Tracer* tracer = config_.tracer;
+    const std::size_t lanes = config_.num_orgs + config_.num_clients;
+    for (std::size_t lane = 1; lane <= lanes; ++lane) {
+      tracer_shards_.push_back(tracer->NewShard());
+      tracer_shard_ptrs_.push_back(tracer_shards_.back().get());
+      simulation_.SetLaneTracer(static_cast<sim::ActorId>(lane),
+                                tracer_shards_.back().get());
+    }
+    simulation_.AddEpochHook(
+        [tracer, this] { tracer->AbsorbShards(tracer_shard_ptrs_); });
+  }
+
   // One validation memo per simulated network: the PKI, key-set and policy
   // are fixed here, which is exactly the precondition for sharing verdicts
   // across organizations (see validation_cache.h).
   if (!config_.org_timing.validation_memo) {
     config_.org_timing.validation_memo =
         std::make_shared<core::ValidationMemo>();
+  }
+  if (simulation_.parallel()) {
+    // Freeze the shared memo's LRU during epochs; per-org shards merge at
+    // every barrier (outcome-neutral — see validation_cache.h).
+    std::vector<std::uint32_t> org_ids;
+    for (std::uint32_t i = 0; i < config_.num_orgs; ++i) {
+      org_ids.push_back(org_node(i));
+    }
+    const auto memo = config_.org_timing.validation_memo;
+    memo->EnableShards(org_ids);
+    simulation_.AddEpochHook([memo] { memo->MergeShards(); });
   }
 
   for (std::uint32_t i = 0; i < config_.num_orgs; ++i) {

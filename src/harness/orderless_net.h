@@ -25,6 +25,10 @@ struct OrderlessNetConfig {
   /// Optional observability hook (not owned). Attached to the simulation and
   /// given per-actor track names; null = tracing disabled, zero overhead.
   obs::Tracer* tracer = nullptr;
+  /// Simulation worker threads. 1 = the sequential engine; >1 executes org
+  /// and client lanes in conservative parallel epochs with bit-identical
+  /// results (see sim/simulation.h).
+  unsigned threads = 1;
 };
 
 class OrderlessNet {
@@ -58,6 +62,16 @@ class OrderlessNet {
   }
   sim::NodeId client_node(std::size_t i) const {
     return static_cast<sim::NodeId>(1001 + i);
+  }
+
+  /// Event-lane ids (every org and client gets a lane in both modes, so the
+  /// canonical event keys — and therefore outcomes — do not depend on the
+  /// thread count).
+  sim::ActorId org_actor(std::size_t i) const {
+    return simulation_.ActorOf(org_node(i));
+  }
+  sim::ActorId client_actor(std::size_t i) const {
+    return simulation_.ActorOf(client_node(i));
   }
 
   /// Crash fault: halts organization `i` and disconnects it. Its ledger's
@@ -97,6 +111,10 @@ class OrderlessNet {
   // Crashed predecessors: kept alive until the simulation drains, because
   // already-queued events still reference them (they no-op once stopped).
   std::vector<std::unique_ptr<core::Organization>> graveyard_;
+  // Per-lane trace shards (parallel runs only), in lane order for the
+  // deterministic absorb at each epoch barrier.
+  std::vector<std::unique_ptr<obs::Tracer>> tracer_shards_;
+  std::vector<obs::Tracer*> tracer_shard_ptrs_;
 };
 
 }  // namespace orderless::harness

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <limits>
 
 namespace orderless::obs {
 
@@ -46,6 +47,59 @@ Tracer::Tracer(TracerConfig config) : config_(config) {
   events_.reserve(std::min<std::size_t>(config_.max_events, 1u << 16));
 }
 
+Tracer::Tracer(TracerConfig config, ShardTag) : config_(config), shard_(true) {
+  events_.reserve(1024);
+}
+
+std::unique_ptr<Tracer> Tracer::NewShard() const {
+  TracerConfig config;
+  config.max_events = std::numeric_limits<std::size_t>::max();
+  config.kind_mask = config_.kind_mask |
+                     (1u << static_cast<unsigned>(EventKind::kConverge));
+  return std::unique_ptr<Tracer>(new Tracer(config, ShardTag{}));
+}
+
+void Tracer::AbsorbShards(const std::vector<Tracer*>& shards) {
+  std::size_t total = 0;
+  for (const Tracer* shard : shards) {
+    if (shard) total += shard->events_.size();
+  }
+  if (total == 0) return;
+  std::vector<TraceEvent> merged;
+  merged.reserve(total);
+  for (Tracer* shard : shards) {
+    if (!shard) continue;
+    merged.insert(merged.end(), shard->events_.begin(), shard->events_.end());
+    shard->events_.clear();
+  }
+  // Each shard is internally time-ordered (lane clocks are monotonic), so a
+  // stable sort over the lane-ordered concatenation yields the sequential
+  // append order: creation time, then destination lane, then in-lane order.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts + a.dur < b.ts + b.dur;
+                   });
+  for (TraceEvent& e : merged) {
+    if (e.kind == EventKind::kConverge) {
+      // Shards record raw applies (aux = 0); the lag is computable only
+      // here, where applies from every lane are seen in global time order.
+      const auto [it, first] = first_apply_.emplace(e.tx, e.ts);
+      const sim::SimTime lag = first ? 0 : e.ts - it->second;
+      ConvergenceStats& stats = convergence_[e.actor];
+      ++stats.applies;
+      stats.lag_sum_us += lag;
+      stats.lag_max_us = std::max<std::uint64_t>(stats.lag_max_us, lag);
+      e.aux = lag;
+      if (!WantsKind(EventKind::kConverge)) continue;
+    }
+    if (events_.size() >= config_.max_events) {
+      ++dropped_;
+      continue;
+    }
+    events_.push_back(e);
+  }
+}
+
 void Tracer::Append(EventKind kind, sim::SimTime ts, sim::SimTime dur,
                     std::uint32_t actor, std::uint64_t tx, std::uint64_t aux) {
   if (!WantsKind(kind)) return;
@@ -65,6 +119,12 @@ void Tracer::Append(EventKind kind, sim::SimTime ts, sim::SimTime dur,
 
 void Tracer::CommitApplied(sim::SimTime now, std::uint32_t actor,
                            std::uint64_t tx) {
+  if (shard_) {
+    // Cross-lane first-apply times are unknowable mid-epoch; the parent
+    // fills in the lag during AbsorbShards.
+    Instant(EventKind::kConverge, now, actor, tx, 0);
+    return;
+  }
   const auto [it, first] = first_apply_.emplace(tx, now);
   const sim::SimTime lag = first ? 0 : now - it->second;
   ConvergenceStats& stats = convergence_[actor];

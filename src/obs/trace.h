@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -128,8 +129,27 @@ class Tracer {
 
   /// Convergence-lag bookkeeping: call when `actor` applies committed tx
   /// `tx` at `now`. Records a kConverge event with the lag (0 for the first
-  /// apply anywhere) and feeds the per-actor ConvergenceStats.
+  /// apply anywhere) and feeds the per-actor ConvergenceStats. Shards (see
+  /// NewShard) cannot see other lanes' applies, so they record a raw
+  /// kConverge with aux = 0 and the parent computes the lag at absorb time.
   void CommitApplied(sim::SimTime now, std::uint32_t actor, std::uint64_t tx);
+
+  /// Creates a per-lane shard for the parallel simulation engine: same kind
+  /// mask plus kConverge (always needed to rebuild convergence stats at the
+  /// merge), uncapped (the parent's cap applies at absorb), and a tiny
+  /// initial reservation (one shard per lane; the parent's 64 K reservation
+  /// would multiply across hundreds of lanes).
+  std::unique_ptr<Tracer> NewShard() const;
+
+  /// Merges the shards' buffers into this tracer in the canonical
+  /// deterministic order — record creation time (ts + dur: spans are
+  /// recorded when they end), ties broken by shard index then in-shard
+  /// position, which is exactly the sequential engine's append order —
+  /// recomputing convergence lags chronologically, then clears the shards.
+  /// Called at every epoch barrier, before the harness lane records again,
+  /// so the buffer stays globally ordered and byte-identical to a
+  /// sequential run's (tests/parallel_determinism_test).
+  void AbsorbShards(const std::vector<Tracer*>& shards);
 
   /// Names a track in the exported trace ("org-0", "client-3", ...).
   void SetActorName(std::uint32_t actor, std::string name);
@@ -160,10 +180,14 @@ class Tracer {
   void Clear();
 
  private:
+  struct ShardTag {};
+  Tracer(TracerConfig config, ShardTag);
+
   void Append(EventKind kind, sim::SimTime ts, sim::SimTime dur,
               std::uint32_t actor, std::uint64_t tx, std::uint64_t aux);
 
   TracerConfig config_;
+  bool shard_ = false;
   std::vector<TraceEvent> events_;
   std::uint64_t dropped_ = 0;
   std::unordered_map<std::uint32_t, std::string> actor_names_;

@@ -4,8 +4,34 @@
 
 namespace orderless::sim {
 
+Network::Network(Simulation& simulation, NetworkConfig config, Rng rng)
+    : simulation_(simulation),
+      config_(config),
+      rng_(rng),
+      egress_seed_base_(rng_.Next()) {
+  // Cross-node deliveries always take at least the one-way latency, which is
+  // exactly the guarantee a conservative parallel scheduler needs.
+  simulation_.ProposeLookahead(config_.one_way_latency);
+}
+
+Network::Egress& Network::EgressFor(NodeId from) {
+  const auto it = egress_.find(from);
+  if (it != egress_.end()) return *it->second;
+  // First send from a node that never registered (fault injectors). This
+  // only happens on the exclusive harness lane, so the insert cannot race
+  // with concurrent lookups. The seed depends on the node id alone, never
+  // on registration or send order.
+  return *egress_
+              .emplace(from, std::make_unique<Egress>(
+                                 egress_seed_base_ ^
+                                 (static_cast<std::uint64_t>(from) *
+                                  0x9E3779B97F4A7C15ULL)))
+              .first->second;
+}
+
 void Network::Register(NodeId node, Handler handler) {
   handlers_[node] = std::move(handler);
+  EgressFor(node);
 }
 
 void Network::Unregister(NodeId node) { handlers_.erase(node); }
@@ -33,9 +59,9 @@ void Network::ClearLinkFault(NodeId from, NodeId to) {
 void Network::ClearLinkFaults() { link_faults_.clear(); }
 
 void Network::Send(NodeId from, NodeId to, MessagePtr message) {
-  ++messages_sent_;
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t size = message->WireSize();
-  bytes_sent_ += size;
+  bytes_sent_.fetch_add(size, std::memory_order_relaxed);
 
   if (from == to) {
     Deliver(from, to, std::move(message), /*corrupted=*/false);
@@ -47,7 +73,7 @@ void Network::Send(NodeId from, NodeId to, MessagePtr message) {
     return it == partitions_.end() ? 0u : it->second;
   };
   if (group_of(from) != group_of(to)) {
-    ++messages_dropped_;
+    messages_dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   double drop_probability = config_.drop_probability;
@@ -61,34 +87,38 @@ void Network::Send(NodeId from, NodeId to, MessagePtr message) {
       corrupt_probability = it->second.corrupt_probability;
     }
   }
-  if (drop_probability > 0 && rng_.NextBool(drop_probability)) {
-    ++messages_dropped_;
+  Egress& egress = EgressFor(from);
+  if (drop_probability > 0 && egress.rng.NextBool(drop_probability)) {
+    messages_dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
 
   // Egress serialization: a node's uplink transmits one message at a time.
   const SimTime serialization = static_cast<SimTime>(
       static_cast<double>(size) * 8.0 / config_.bandwidth_bps * 1e6);
-  SimTime& busy_until = egress_busy_until_[from];
-  const SimTime start = std::max(simulation_.now(), busy_until);
-  busy_until = start + serialization;
+  const SimTime start = std::max(simulation_.now(), egress.busy_until);
+  egress.busy_until = start + serialization;
 
-  double jitter_ms = rng_.NextGaussian(0.0, config_.jitter_stddev_ms);
+  double jitter_ms = egress.rng.NextGaussian(0.0, config_.jitter_stddev_ms);
   if (jitter_ms < 0) jitter_ms = -jitter_ms;
-  const SimTime arrival = busy_until + config_.one_way_latency +
+  const SimTime arrival = egress.busy_until + config_.one_way_latency +
                           static_cast<SimTime>(jitter_ms * 1000.0);
 
   const bool corrupted =
-      corrupt_probability > 0 && rng_.NextBool(corrupt_probability);
-  simulation_.ScheduleAt(arrival, [this, from, to, message, corrupted] {
-    Deliver(from, to, message, corrupted);
-  });
+      corrupt_probability > 0 && egress.rng.NextBool(corrupt_probability);
+  simulation_.ScheduleAtFor(simulation_.ActorOf(to), arrival,
+                            [this, from, to, message, corrupted] {
+                              Deliver(from, to, message, corrupted);
+                            });
 
-  if (duplicate_probability > 0 && rng_.NextBool(duplicate_probability)) {
-    const SimTime dup_arrival = arrival + Ms(1) + rng_.NextBelow(Ms(20));
-    simulation_.ScheduleAt(dup_arrival, [this, from, to, message] {
-      Deliver(from, to, message, /*corrupted=*/false);
-    });
+  if (duplicate_probability > 0 &&
+      egress.rng.NextBool(duplicate_probability)) {
+    const SimTime dup_arrival = arrival + Ms(1) + egress.rng.NextBelow(Ms(20));
+    simulation_.ScheduleAtFor(simulation_.ActorOf(to), dup_arrival,
+                              [this, from, to, message] {
+                                Deliver(from, to, message,
+                                        /*corrupted=*/false);
+                              });
   }
 }
 

@@ -2,8 +2,21 @@
 // (100 ms ping → 50 ms one-way), Gaussian jitter (4 ms), per-node egress
 // serialization at 100 Mbit/s, plus fault injection (drop / duplicate /
 // corrupt) and network partitions.
+//
+// Parallel-execution contract: the one-way latency is the simulation's
+// conservative lookahead (the ctor proposes it), so every cross-node
+// delivery lands at least one lookahead after the send and can be scheduled
+// onto the receiver's lane without violating epoch boundaries. All per-send
+// mutable state (egress busy-until, the RNG behind drop / jitter /
+// duplicate / corrupt draws) is sharded per source node, created when the
+// node registers, so concurrent sends from different lanes never share a
+// generator — and draw the same values the sequential engine draws.
+// Topology mutations (Register / Unregister / SetPartition / link faults)
+// must happen outside parallel epochs: at setup or on the exclusive harness
+// lane (chaos fault scripts), where no other lane is running.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -15,8 +28,6 @@
 #include "sim/simulation.h"
 
 namespace orderless::sim {
-
-using NodeId = std::uint32_t;
 
 /// Base class of every simulated wire message. Concrete messages report
 /// their encoded size so the bandwidth model is faithful without paying for
@@ -59,16 +70,17 @@ struct LinkFault {
 /// Point-to-point message fabric between registered handlers.
 class Network {
  public:
-  Network(Simulation& simulation, NetworkConfig config, Rng rng)
-      : simulation_(simulation), config_(config), rng_(rng) {}
+  Network(Simulation& simulation, NetworkConfig config, Rng rng);
 
   using Handler = std::function<void(const Delivery&)>;
 
-  /// Registers the receive handler for `node`.
+  /// Registers the receive handler for `node` and creates its egress lane
+  /// (serialization clock + per-source RNG stream).
   void Register(NodeId node, Handler handler);
 
   /// Removes the handler for `node` (a crashed node); in-flight and future
-  /// messages addressed to it vanish until it registers again.
+  /// messages addressed to it vanish until it registers again. The egress
+  /// lane survives so a restarted node resumes its RNG stream.
   void Unregister(NodeId node);
 
   /// Sends `message` from → to with the configured link model. Local sends
@@ -90,11 +102,27 @@ class Network {
   void ClearLinkFaults();
 
   const NetworkConfig& config() const { return config_; }
-  std::uint64_t messages_sent() const { return messages_sent_; }
-  std::uint64_t messages_dropped() const { return messages_dropped_; }
-  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_sent() const {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t messages_dropped() const {
+    return messages_dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// Per-source-node send state. Sharding it keeps concurrent lanes off a
+  /// shared generator AND makes the draw sequence a function of the sending
+  /// node alone — the property that makes threads=N replay threads=1.
+  struct Egress {
+    SimTime busy_until = 0;
+    Rng rng;
+    explicit Egress(std::uint64_t seed) : rng(seed) {}
+  };
+
+  Egress& EgressFor(NodeId from);
   void Deliver(NodeId from, NodeId to, MessagePtr message, bool corrupted);
 
   static std::uint64_t LinkKey(NodeId from, NodeId to) {
@@ -103,14 +131,15 @@ class Network {
 
   Simulation& simulation_;
   NetworkConfig config_;
-  Rng rng_;
+  Rng rng_;  // seeds egress streams; never drawn from during a run
+  std::uint64_t egress_seed_base_;
   std::unordered_map<NodeId, Handler> handlers_;
   std::unordered_map<NodeId, std::uint32_t> partitions_;
   std::unordered_map<std::uint64_t, LinkFault> link_faults_;
-  std::unordered_map<NodeId, SimTime> egress_busy_until_;
-  std::uint64_t messages_sent_ = 0;
-  std::uint64_t messages_dropped_ = 0;
-  std::uint64_t bytes_sent_ = 0;
+  std::unordered_map<NodeId, std::unique_ptr<Egress>> egress_;
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> messages_dropped_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
 };
 
 }  // namespace orderless::sim

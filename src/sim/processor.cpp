@@ -4,7 +4,7 @@
 
 namespace orderless::sim {
 
-SimTime Processor::Submit(SimTime service_time, std::function<void()> fn) {
+SimTime Processor::Submit(SimTime service_time, SmallFn fn) {
   auto earliest = std::min_element(core_free_.begin(), core_free_.end());
   const SimTime start = std::max(simulation_.now(), *earliest);
   const SimTime done = start + service_time;

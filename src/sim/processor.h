@@ -3,7 +3,6 @@
 // saturation produces the same queueing-delay knees the paper measures.
 #pragma once
 
-#include <functional>
 #include <vector>
 
 #include "sim/simulation.h"
@@ -16,8 +15,9 @@ class Processor {
       : simulation_(simulation), core_free_(cores == 0 ? 1 : cores, 0) {}
 
   /// Runs `fn` after the work item spent `service_time` on a core; returns
-  /// the completion time.
-  SimTime Submit(SimTime service_time, std::function<void()> fn);
+  /// the completion time. Completion runs on the submitting lane (a node's
+  /// cores are local to it).
+  SimTime Submit(SimTime service_time, SmallFn fn);
 
   /// Instantaneous utilization proxy: busy core-microseconds accumulated.
   std::uint64_t busy_time() const { return busy_time_; }

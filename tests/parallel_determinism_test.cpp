@@ -1,0 +1,154 @@
+// Tier-1 gate for the parallel simulation engine: running the same workload
+// at --threads 1/2/4 must be *bit-identical* — same chaos fingerprints and
+// chain heads, same event counts, same metrics documents, same exported
+// trace bytes. Any divergence means an event executed outside the canonical
+// (time, dst, src, seq) order.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/runner.h"
+#include "chaos/scenario.h"
+#include "harness/experiment.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace orderless {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string TempPath(const std::string& stem) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + stem;
+}
+
+class ChaosThreads : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosThreads, FingerprintIdenticalAcrossThreadCounts) {
+  const chaos::Scenario scenario = chaos::GenerateScenario(GetParam());
+  chaos::RunOptions options;
+  options.threads = 1;
+  const chaos::ChaosRunResult baseline = chaos::RunScenario(scenario, options);
+  EXPECT_TRUE(baseline.ok()) << baseline.Summary();
+  for (unsigned threads : {2u, 4u}) {
+    options.threads = threads;
+    const chaos::ChaosRunResult run = chaos::RunScenario(scenario, options);
+    EXPECT_EQ(run.fingerprint, baseline.fingerprint)
+        << "seed=" << GetParam() << " threads=" << threads;
+    EXPECT_EQ(run.org_chain_heads, baseline.org_chain_heads)
+        << "seed=" << GetParam() << " threads=" << threads;
+    EXPECT_EQ(run.events_processed, baseline.events_processed)
+        << "seed=" << GetParam() << " threads=" << threads;
+    EXPECT_EQ(run.committed, baseline.committed);
+    EXPECT_EQ(run.commits_observed, baseline.commits_observed);
+    EXPECT_EQ(run.messages_sent, baseline.messages_sent);
+    EXPECT_EQ(run.bytes_sent, baseline.bytes_sent);
+  }
+}
+
+// A handful of generated scenarios covering crashes, partitions, Byzantine
+// organizations and overload bursts (whatever the seeds draw).
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosThreads,
+                         ::testing::Values(1u, 7u, 42u, 1337u));
+
+struct ExperimentArtifacts {
+  std::uint64_t events_processed = 0;
+  std::string metrics_json;
+  std::string chrome_trace;
+  std::string jsonl_trace;
+};
+
+ExperimentArtifacts RunTracedExperiment(unsigned threads) {
+  obs::Tracer tracer{obs::TracerConfig{}};
+
+  harness::ExperimentConfig config;
+  config.system = harness::SystemKind::kOrderless;
+  config.num_orgs = 8;
+  config.policy = core::EndorsementPolicy{3, 8};
+  config.workload.arrival_tps = 400;
+  config.workload.duration = sim::Sec(2);
+  config.workload.num_clients = 40;
+  config.seed = 11;
+  config.tracer = &tracer;
+  config.threads = threads;
+
+  const harness::ExperimentResult result = harness::RunExperiment(config);
+
+  ExperimentArtifacts artifacts;
+  artifacts.events_processed = result.events_processed;
+
+  obs::MetricsRegistry registry;
+  result.metrics.FillRegistry(registry);
+  obs::FillTraceMetrics(tracer, registry);
+  const std::string tag = "t" + std::to_string(threads);
+  const std::string metrics_path = TempPath("pdt_metrics_" + tag + ".json");
+  const std::string trace_path = TempPath("pdt_trace_" + tag + ".json");
+  const std::string jsonl_path = TempPath("pdt_trace_" + tag + ".jsonl");
+  EXPECT_TRUE(registry.WriteJsonFile("experiment_metrics", metrics_path));
+  EXPECT_TRUE(obs::WriteChromeTrace(tracer, trace_path));
+  EXPECT_TRUE(obs::WriteJsonl(tracer, jsonl_path));
+  artifacts.metrics_json = ReadFile(metrics_path);
+  artifacts.chrome_trace = ReadFile(trace_path);
+  artifacts.jsonl_trace = ReadFile(jsonl_path);
+  std::remove(metrics_path.c_str());
+  std::remove(trace_path.c_str());
+  std::remove(jsonl_path.c_str());
+  return artifacts;
+}
+
+TEST(ParallelExperiment, TracedRunBitIdenticalAcrossThreadCounts) {
+  const ExperimentArtifacts baseline = RunTracedExperiment(1);
+  ASSERT_FALSE(baseline.jsonl_trace.empty());
+  for (unsigned threads : {2u, 4u}) {
+    const ExperimentArtifacts run = RunTracedExperiment(threads);
+    EXPECT_EQ(run.events_processed, baseline.events_processed)
+        << "threads=" << threads;
+    // Full documents, compared as bytes: the metrics registry covers every
+    // latency sample and counter, the trace exports cover every recorded
+    // event in order.
+    EXPECT_EQ(run.metrics_json, baseline.metrics_json)
+        << "threads=" << threads;
+    EXPECT_EQ(run.chrome_trace, baseline.chrome_trace)
+        << "threads=" << threads;
+    EXPECT_EQ(run.jsonl_trace, baseline.jsonl_trace) << "threads=" << threads;
+  }
+}
+
+// Memoization on/off and tracing on/off must stay outcome-neutral under the
+// worker pool too, not just sequentially (obs_determinism_test covers
+// threads=1).
+TEST(ParallelExperiment, MemoAndTracingStayOutcomeNeutralAt4Threads) {
+  const chaos::Scenario scenario = chaos::GenerateScenario(23);
+  chaos::RunOptions plain;
+  plain.threads = 4;
+  const chaos::ChaosRunResult baseline = chaos::RunScenario(scenario, plain);
+
+  chaos::RunOptions unmemoized = plain;
+  unmemoized.memoize = false;
+  const chaos::ChaosRunResult uncached =
+      chaos::RunScenario(scenario, unmemoized);
+  EXPECT_EQ(uncached.fingerprint, baseline.fingerprint);
+  EXPECT_EQ(uncached.org_chain_heads, baseline.org_chain_heads);
+
+  obs::Tracer tracer{obs::TracerConfig{}};
+  chaos::RunOptions traced = plain;
+  traced.tracer = &tracer;
+  const chaos::ChaosRunResult observed = chaos::RunScenario(scenario, traced);
+  EXPECT_EQ(observed.fingerprint, baseline.fingerprint);
+  EXPECT_EQ(observed.org_chain_heads, baseline.org_chain_heads);
+  EXPECT_GT(tracer.events().size(), 0u);
+}
+
+}  // namespace
+}  // namespace orderless

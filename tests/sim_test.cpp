@@ -218,6 +218,104 @@ TEST(Processor, MultiCoreRunsInParallel) {
   EXPECT_EQ(cpu.busy_time(), Ms(40));
 }
 
+TEST(Simulation, ReserveEventsForAccumulatesInSequentialMode) {
+  Simulation simulation;
+  const ActorId a = simulation.RegisterActor(1);
+  const ActorId b = simulation.RegisterActor(2);
+  // Both reservations land on the one global heap; the second must add to
+  // the first, not overwrite it (the regression this test pins down).
+  simulation.ReserveEventsFor(a, 100);
+  simulation.ReserveEventsFor(b, 100);
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    simulation.ScheduleAtFor(a, Ms(10), [&order, i] { order.push_back(2 * i); });
+    simulation.ScheduleAtFor(b, Ms(10),
+                             [&order, i] { order.push_back(2 * i + 1); });
+  }
+  simulation.RunUntilIdle();
+  ASSERT_EQ(order.size(), 200u);
+  // Canonical order (time, dst, src, seq): at equal times every event bound
+  // for lane a precedes every event bound for lane b, each in schedule
+  // order.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], 2 * i);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[100 + i], 2 * i + 1);
+}
+
+namespace {
+
+// Self-rescheduling tick on one lane that also pings a peer lane at
+// cross-lane distance >= the lookahead. Appends happen only from events on
+// the owning lane, so parallel epochs never race on the vectors.
+struct Ticker {
+  Simulation& simulation;
+  ActorId peer = 0;
+  std::vector<SimTime>* ticks = nullptr;
+  std::vector<SimTime>* peer_inbox = nullptr;
+  int remaining = 0;
+
+  void Tick() {
+    ticks->push_back(simulation.now());
+    simulation.ScheduleFor(peer, Ms(10),
+                           [inbox = peer_inbox, sim = &simulation] {
+                             inbox->push_back(sim->now());
+                           });
+    if (--remaining > 0) {
+      simulation.Schedule(Ms(3), [this] { Tick(); });
+    }
+  }
+};
+
+struct ParallelRunResult {
+  std::vector<SimTime> ticks_a, ticks_b, inbox_a, inbox_b;
+  std::size_t processed_mid = 0, processed_end = 0;
+  SimTime now_mid = 0, now_end = 0;
+};
+
+ParallelRunResult RunTickers(unsigned threads) {
+  Simulation simulation;
+  simulation.SetThreads(threads);
+  const ActorId a = simulation.RegisterActor(1);
+  const ActorId b = simulation.RegisterActor(2);
+  simulation.ProposeLookahead(Ms(10));
+  ParallelRunResult r;
+  Ticker ta{simulation, b, &r.ticks_a, &r.inbox_b, 30};
+  Ticker tb{simulation, a, &r.ticks_b, &r.inbox_a, 30};
+  simulation.ReserveEventsFor(a, 32);
+  simulation.ReserveEventsFor(b, 32);
+  simulation.ScheduleAtFor(a, Ms(1), [&ta] { ta.Tick(); });
+  simulation.ScheduleAtFor(b, Ms(2), [&tb] { tb.Tick(); });
+  // Stop mid-run at a time that is not an epoch boundary: RunUntil must
+  // process exactly the events with time <= until and leave now() == until,
+  // then resume seamlessly.
+  simulation.RunUntil(Ms(37));
+  r.processed_mid = simulation.events_processed();
+  r.now_mid = simulation.now();
+  simulation.RunUntilIdle();
+  r.processed_end = simulation.events_processed();
+  r.now_end = simulation.now();
+  return r;
+}
+
+}  // namespace
+
+TEST(Simulation, ParallelRunMatchesSequentialAcrossEpochBoundaries) {
+  const ParallelRunResult seq = RunTickers(1);
+  EXPECT_EQ(seq.now_mid, Ms(37));
+  EXPECT_EQ(seq.ticks_a.size(), 30u);
+  EXPECT_EQ(seq.inbox_a.size(), 30u);
+  for (unsigned threads : {2u, 4u}) {
+    const ParallelRunResult par = RunTickers(threads);
+    EXPECT_EQ(par.ticks_a, seq.ticks_a) << "threads=" << threads;
+    EXPECT_EQ(par.ticks_b, seq.ticks_b) << "threads=" << threads;
+    EXPECT_EQ(par.inbox_a, seq.inbox_a) << "threads=" << threads;
+    EXPECT_EQ(par.inbox_b, seq.inbox_b) << "threads=" << threads;
+    EXPECT_EQ(par.processed_mid, seq.processed_mid) << "threads=" << threads;
+    EXPECT_EQ(par.processed_end, seq.processed_end) << "threads=" << threads;
+    EXPECT_EQ(par.now_mid, seq.now_mid) << "threads=" << threads;
+    EXPECT_EQ(par.now_end, seq.now_end) << "threads=" << threads;
+  }
+}
+
 TEST(Processor, BacklogReflectsQueue) {
   Simulation simulation;
   Processor cpu(simulation, 1);

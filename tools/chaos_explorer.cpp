@@ -99,11 +99,12 @@ void PrintFailure(const Scenario& scenario, const ChaosRunResult& result,
 }
 
 int RunOne(std::uint64_t seed, bool replay_check, bool minimize, bool verbose,
-           obs::Tracer* tracer) {
+           obs::Tracer* tracer, unsigned threads) {
   const Scenario scenario = GenerateScenario(seed);
   if (verbose) std::printf("%s", scenario.Describe().c_str());
   RunOptions options;
   options.tracer = tracer;
+  options.threads = threads;
   const ChaosRunResult result = RunScenario(scenario, options);
   if (!result.ok()) {
     PrintFailure(scenario, result, minimize, tracer);
@@ -111,8 +112,9 @@ int RunOne(std::uint64_t seed, bool replay_check, bool minimize, bool verbose,
   }
   std::printf("ok %s\n", result.Summary().c_str());
   if (replay_check) {
-    // The replay runs untraced: equal fingerprints double as a check that
-    // recording never changes an outcome.
+    // The replay runs untraced and single-threaded: equal fingerprints
+    // double as a check that neither recording nor the worker pool changes
+    // an outcome.
     const ChaosRunResult replay = RunScenario(scenario);
     if (replay.fingerprint != result.fingerprint ||
         replay.events_processed != result.events_processed) {
@@ -131,13 +133,15 @@ int RunOne(std::uint64_t seed, bool replay_check, bool minimize, bool verbose,
   return 0;
 }
 
-int RunSweep(std::uint64_t count, bool minimize, obs::Tracer* tracer) {
+int RunSweep(std::uint64_t count, bool minimize, obs::Tracer* tracer,
+             unsigned threads) {
   std::uint64_t passed = 0;
   for (std::uint64_t seed = 1; seed <= count; ++seed) {
     const Scenario scenario = GenerateScenario(seed);
     if (tracer != nullptr) tracer->Clear();  // one trace buffer per seed
     RunOptions options;
     options.tracer = tracer;
+    options.threads = threads;
     const ChaosRunResult result = RunScenario(scenario, options);
     if (!result.ok()) {
       PrintFailure(scenario, result, minimize, tracer);
@@ -159,7 +163,7 @@ int RunSweep(std::uint64_t count, bool minimize, obs::Tracer* tracer) {
   return 0;
 }
 
-int RunUnsafeDemo(std::uint64_t seed, obs::Tracer* tracer) {
+int RunUnsafeDemo(std::uint64_t seed, obs::Tracer* tracer, unsigned threads) {
   const Scenario scenario = MakeUnsafeScenario(seed);
   std::printf("running deliberately unsafe configuration: policy %s against "
               "f=%u (q >= f+1 violated)\n",
@@ -167,6 +171,7 @@ int RunUnsafeDemo(std::uint64_t seed, obs::Tracer* tracer) {
   std::printf("%s", scenario.Describe().c_str());
   RunOptions options;
   options.tracer = tracer;
+  options.threads = threads;
   const ChaosRunResult result = RunScenario(scenario, options);
   if (result.ok()) {
     std::printf("UNEXPECTED: safety checker did not fire (%s)\n",
@@ -193,6 +198,7 @@ int main(int argc, char** argv) {
   bool unsafe_demo = false;
   bool verbose = false;
   std::uint64_t unsafe_seed = 1;
+  std::uint64_t threads = 1;
   std::string trace_path, trace_filter, metrics_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -226,6 +232,8 @@ int main(int argc, char** argv) {
       next_u64(unsafe_seed);
     } else if (arg == "--verbose") {
       verbose = true;
+    } else if (arg == "--threads") {
+      next_u64(threads);
     } else if (arg == "--trace") {
       next_str(trace_path);
     } else if (arg == "--trace-filter") {
@@ -236,7 +244,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: chaos_explorer [--seeds N] [--seed S] "
                    "[--replay-check] [--minimize] [--unsafe-demo] "
-                   "[--unsafe-seed S] [--verbose] [--trace PATH] "
+                   "[--unsafe-seed S] [--verbose] [--threads N] "
+                   "[--trace PATH] "
                    "[--trace-filter K,K] [--metrics-json PATH]\n");
       return 2;
     }
@@ -249,13 +258,16 @@ int main(int argc, char** argv) {
   obs::Tracer tracer(tracer_config);
   obs::Tracer* tracer_ptr = tracing ? &tracer : nullptr;
 
+  const unsigned worker_threads =
+      static_cast<unsigned>(threads == 0 ? 1 : threads);
   int rc;
   if (unsafe_demo) {
-    rc = RunUnsafeDemo(unsafe_seed, tracer_ptr);
+    rc = RunUnsafeDemo(unsafe_seed, tracer_ptr, worker_threads);
   } else if (have_seed) {
-    rc = RunOne(seed, replay_check, minimize, verbose, tracer_ptr);
+    rc = RunOne(seed, replay_check, minimize, verbose, tracer_ptr,
+                worker_threads);
   } else if (sweep > 0) {
-    rc = RunSweep(sweep, minimize, tracer_ptr);
+    rc = RunSweep(sweep, minimize, tracer_ptr, worker_threads);
   } else {
     std::fprintf(stderr, "nothing to do: pass --seeds, --seed or "
                          "--unsafe-demo\n");

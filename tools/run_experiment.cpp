@@ -31,6 +31,8 @@ void Usage() {
       "  --objs N --ops N --crdt TYPE   (synthetic app parameters)\n"
       "  --byz-orgs N   --byz-clients F   --avoidance\n"
       "  --gossip-fanout N\n"
+      "  --threads N          simulation worker threads (orderless only;\n"
+      "                       results are bit-identical at any N)\n"
       "  --trace PATH         write Chrome trace-event JSON (Perfetto)\n"
       "  --trace-jsonl PATH   write one JSON object per trace event\n"
       "  --trace-filter K,K   only record the named event kinds\n"
@@ -122,6 +124,8 @@ int main(int argc, char** argv) {
       config.client_max_attempts = 3;
     } else if (arg == "--gossip-fanout") {
       config.gossip_fanout = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--threads") {
+      config.threads = static_cast<unsigned>(std::atoi(next()));
     } else if (arg == "--trace") {
       trace_path = next();
     } else if (arg == "--trace-jsonl") {
