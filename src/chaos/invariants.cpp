@@ -156,17 +156,42 @@ void InvariantChecker::CheckQuiescent(const std::vector<std::string>& objects) {
 
   // Eventual delivery: every honest organization committed the same set of
   // valid transactions (count is a cheap proxy; sec-divergence catches
-  // content differences).
+  // content differences). Checkpoint catch-up counts valid txs adopted from
+  // snapshot coverage, whose bodies were never locally committed, so the
+  // comparison uses the effective count (ledger + checkpoint coverage).
   const std::uint64_t reference =
-      net_.org(honest[0]).ledger().committed_valid();
+      net_.org(honest[0]).effective_committed_valid();
   for (std::size_t k = 1; k < honest.size(); ++k) {
-    const std::uint64_t count = net_.org(honest[k]).ledger().committed_valid();
+    const std::uint64_t count =
+        net_.org(honest[k]).effective_committed_valid();
     if (count != reference) {
       AddViolation("commit-count-divergence",
                    "org " + std::to_string(honest[k]) + " committed " +
                        std::to_string(count) + " valid txs, org " +
                        std::to_string(honest[0]) + " committed " +
                        std::to_string(reference));
+    }
+  }
+
+  // Checkpoint integrity: every sealed or installed checkpoint held at
+  // quiescence must still verify — canonical re-encode reproduces the
+  // digest, the signature checks out against the origin's key, and the
+  // origin is a known organization.
+  if (scenario_.checkpoints) {
+    for (std::size_t i = 0; i < net_.org_count(); ++i) {
+      if (!net_.OrgRunning(i)) continue;
+      for (const auto& [slot, ckpt] :
+           {std::pair<const char*, std::shared_ptr<const core::Checkpoint>>{
+                "sealed", net_.org(i).sealed_checkpoint()},
+            {"installed", net_.org(i).installed_checkpoint()}}) {
+        if (ckpt == nullptr) continue;
+        if (!ckpt->Verify(net_.pki(), org_key_set_)) {
+          AddViolation("checkpoint-integrity",
+                       "org " + std::to_string(i) + " holds a " + slot +
+                           " checkpoint that fails digest/signature "
+                           "verification");
+        }
+      }
     }
   }
 }

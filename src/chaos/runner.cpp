@@ -265,6 +265,10 @@ ChaosRunResult RunScenario(const Scenario& scenario,
       std::min<std::uint32_t>(3, scenario.num_orgs - 1);
   config.org_timing.gossip_rounds = 4;
   config.org_timing.antientropy_interval = sim::Ms(500);
+  if (scenario.checkpoints) {
+    config.org_timing.checkpoint.enabled = true;
+    config.org_timing.checkpoint.interval = scenario.checkpoint_interval;
+  }
   config.client_timing.max_attempts = 8;
   config.client_timing.endorse_timeout = sim::Ms(700);
   config.client_timing.commit_timeout = sim::Ms(700);
@@ -390,6 +394,12 @@ ChaosRunResult RunScenario(const Scenario& scenario,
     result.shed_total +=
         s.shed_endorse + s.shed_commit + s.shed_gossip + s.shed_deadline;
     result.busy_sent += s.busy_sent;
+    const core::CatchupStats& cu = net.org(i).catchup_stats();
+    result.org_catchup.push_back(cu);
+    result.ckpt_sealed_total += cu.ckpt_sealed;
+    result.ckpt_installed_total += cu.ckpt_installed;
+    result.sync_txs_received_total += cu.sync_txs_received;
+    result.pruned_records_total += cu.pruned_records;
   }
 
   // Order-sensitive run fingerprint: chain heads hash the exact commit
@@ -413,6 +423,19 @@ ChaosRunResult RunScenario(const Scenario& scenario,
     w.PutU64(ledger.log().total_appended());
     w.PutBytes(ledger.log().LastHash().View());
     result.org_chain_heads.push_back(ToHex(ledger.log().LastHash().View()));
+    // Checkpoint activity is part of the run's identity too: two replays
+    // must seal, install, sync and prune identically (all-zero without
+    // checkpoints, so old fingerprints keep their meaning within a binary).
+    const core::CatchupStats& cu = result.org_catchup[i];
+    w.PutU64(cu.ckpt_sealed);
+    w.PutU64(cu.ckpt_sent);
+    w.PutU64(cu.ckpt_installed);
+    w.PutU64(cu.ckpt_rejected);
+    w.PutU64(cu.ckpt_txs_covered);
+    w.PutU64(cu.sync_txs_sent);
+    w.PutU64(cu.sync_txs_received);
+    w.PutU64(cu.pruned_records);
+    w.PutU64(cu.recovered_records);
   }
   result.fingerprint = crypto::Sha256::Hash(BytesView(w.data())).Prefix64();
   return result;
@@ -425,6 +448,10 @@ std::string ChaosRunResult::Summary() const {
       << " failed=" << failed << " unresolved=" << unresolved
       << " commits_observed=" << commits_observed
       << " shed=" << shed_total << " busy=" << busy_sent
+      << " ckpt_sealed=" << ckpt_sealed_total
+      << " ckpt_installed=" << ckpt_installed_total
+      << " sync_rx=" << sync_txs_received_total
+      << " pruned=" << pruned_records_total
       << " events=" << events_processed << " msgs=" << messages_sent
       << " fingerprint=" << std::hex << fingerprint << std::dec
       << " violations=" << violations.size();

@@ -36,6 +36,14 @@ struct ChaosRunResult {
   /// behind `fingerprint`, kept separately so tests can pinpoint *where* two
   /// runs diverged instead of just that they did.
   std::vector<std::string> org_chain_heads;
+  /// Checkpoint / catch-up counters per organization (empty mirrors of zeros
+  /// when the scenario runs without checkpoints). The O(delta) assertions
+  /// compare these across checkpoint-on and checkpoint-off replays.
+  std::vector<core::CatchupStats> org_catchup;
+  std::uint64_t ckpt_sealed_total = 0;
+  std::uint64_t ckpt_installed_total = 0;
+  std::uint64_t sync_txs_received_total = 0;
+  std::uint64_t pruned_records_total = 0;
   std::vector<Violation> violations;
 
   bool ok() const { return violations.empty(); }

@@ -94,6 +94,7 @@ std::string Scenario::Describe() const {
       << " f_budget=" << byzantine_budget << " txs=" << tx_count
       << " duration=" << sim::ToSec(duration) << "s"
       << " quiesce=" << sim::ToSec(quiesce) << "s"
+      << (checkpoints ? " [checkpoints]" : "")
       << (liveness_checkable ? " [liveness-checked]" : "") << "\n";
   if (events.empty()) {
     out << "  (no fault events)\n";
@@ -386,6 +387,64 @@ Scenario MakeUnsafeScenario(std::uint64_t seed) {
   decoy_clear.kind = FaultKind::kLinkFaultsClear;
   decoy_clear.at = sim::Sec(4);
   scenario.events.push_back(decoy_clear);
+  return scenario;
+}
+
+Scenario MakeLongPartitionScenario(std::uint64_t seed) {
+  Scenario scenario;
+  scenario.seed = seed;
+  scenario.num_orgs = 5;
+  scenario.num_clients = 6;
+  scenario.policy = core::EndorsementPolicy{2, 5};
+  scenario.duration = sim::Sec(12);
+  scenario.quiesce = sim::Sec(25);
+  scenario.tx_count = 96;
+  scenario.checkpoints = true;
+  // The isolated org cannot endorse during the partition, so some proposals
+  // legitimately exhaust their retries — liveness is not checkable here.
+  scenario.liveness_checkable = false;
+
+  // Org 4 alone on the minority side for most of the run; every client stays
+  // with the majority so the full workload commits there and the healed org
+  // has the maximum history to catch up on.
+  FaultEvent split;
+  split.kind = FaultKind::kPartitionSplit;
+  split.at = sim::Sec(1);
+  split.groups.assign(scenario.num_orgs + scenario.num_clients, 0);
+  split.groups[4] = 1;
+  scenario.events.push_back(split);
+  FaultEvent heal;
+  heal.kind = FaultKind::kPartitionHeal;
+  heal.at = sim::Ms(10500);
+  scenario.events.push_back(heal);
+  return scenario;
+}
+
+Scenario MakeCrashRestartScenario(std::uint64_t seed) {
+  Scenario scenario;
+  scenario.seed = seed;
+  scenario.num_orgs = 4;
+  scenario.num_clients = 5;
+  scenario.policy = core::EndorsementPolicy{2, 4};
+  scenario.duration = sim::Sec(12);
+  scenario.quiesce = sim::Sec(25);
+  scenario.tx_count = 96;
+  scenario.checkpoints = true;
+  scenario.liveness_checkable = false;
+
+  // Org 3 is down through the bulk of the submission window and restarts
+  // while clients are still committing — recovery from its (pruned) ledger
+  // plus checkpoint catch-up happen under load.
+  FaultEvent crash;
+  crash.kind = FaultKind::kOrgCrash;
+  crash.target = 3;
+  crash.at = sim::Ms(1200);
+  scenario.events.push_back(crash);
+  FaultEvent restart;
+  restart.kind = FaultKind::kOrgRestart;
+  restart.target = 3;
+  restart.at = sim::Sec(9);
+  scenario.events.push_back(restart);
   return scenario;
 }
 

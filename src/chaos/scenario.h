@@ -88,6 +88,13 @@ struct Scenario {
   sim::SimTime duration = sim::Sec(12);
   sim::SimTime quiesce = sim::Sec(30);
   std::uint32_t tx_count = 48;
+  /// Enable signed CRDT checkpoints + O(delta) catch-up on every org.
+  /// Uniform per network: delta-only sync replies assume the requester can
+  /// verify and install the checkpoint. Off for generated scenarios (the
+  /// generator may draw Byzantine orgs, and checkpoint trust is 1-of-n);
+  /// the checkpoint presets below turn it on.
+  bool checkpoints = false;
+  sim::SimTime checkpoint_interval = sim::Ms(1500);
   std::vector<FaultEvent> events;  // sorted by `at`
   /// Set when the script contains no disruption that can legitimately defeat
   /// a bounded-retry client (partitions, crashes, link faults, churn): then
@@ -105,5 +112,17 @@ Scenario GenerateScenario(std::uint64_t seed, const ScenarioLimits& limits = {})
 /// organization that endorses incorrectly, violating q >= f+1. The safety
 /// invariant checker must detect the resulting Byzantine-only commits.
 Scenario MakeUnsafeScenario(std::uint64_t seed);
+
+/// Checkpoint preset: one org spends most of the run partitioned away while
+/// the rest commit the whole workload, then the partition heals late. With
+/// checkpoints on, the isolated org must catch up via snapshot transfer +
+/// delta replay — the O(delta) assertion compares its sync traffic against a
+/// checkpoint-free run of the same scenario.
+Scenario MakeLongPartitionScenario(std::uint64_t seed);
+
+/// Checkpoint preset: one org crashes early and restarts late while clients
+/// keep submitting. The restarted org recovers from its pruned ledger
+/// (checkpoint-seeded, O(delta) replay) and then catches up over gossip.
+Scenario MakeCrashRestartScenario(std::uint64_t seed);
 
 }  // namespace orderless::chaos

@@ -1,0 +1,97 @@
+// Signed CRDT-state checkpoints (ROADMAP item 3).
+//
+// Because the application state ST_Oi is a join of CRDT objects (a
+// join-semilattice), a checkpoint is nothing more than a digest-stamped
+// snapshot of the database at a gossip frontier: the canonically-encoded
+// state of every object, the set of transaction ids it covers, and the
+// sealing organization's hash-chain head at that point. Installing a
+// checkpoint is a state *merge* — idempotent and monotone — so a lagging or
+// restarted organization can adopt one wholesale and then replay only the
+// delta committed after the frontier, instead of re-pulling the entire
+// transaction history (O(delta) catch-up instead of O(history)).
+//
+// The digest is deterministic: it covers the canonical encoding of every
+// field below except the digest and signature themselves, with the covered
+// set sorted by transaction id and the object snapshots sorted by object id.
+// The signature binds the digest to the sealing organization under a
+// dedicated domain-separation context, so a tampered snapshot — or one
+// forged under another identity — fails verification before any state is
+// merged.
+//
+// Trust note: a checkpoint is vouched for by a *single* organization, unlike
+// transaction bodies which carry q endorsements. See DESIGN.md §12 for the
+// safety argument and the implied deployment constraint (checkpoints should
+// only be installed from organizations inside the trust domain, or
+// corroborated across q digests in a Byzantine deployment).
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "codec/codec.h"
+#include "crypto/pki.h"
+
+namespace orderless::core {
+
+/// Domain separation for checkpoint signatures.
+inline constexpr std::string_view kCheckpointContext = "orderless.ckpt";
+
+struct Checkpoint {
+  /// Monotone per-origin seal counter (first seal = 1).
+  std::uint64_t seq = 0;
+  /// The sealing organization's key id.
+  crypto::KeyId origin = 0;
+  /// The origin's hash-chain frontier at seal time: `chain_height` blocks
+  /// are covered and `chain_head` is the hash of the last one. Meaningful
+  /// only to the origin itself (commit orders — and therefore chains —
+  /// legitimately differ across organizations); used to seed the chain base
+  /// after the origin prunes and later restarts.
+  std::uint64_t chain_height = 0;
+  crypto::Digest chain_head;
+  /// Valid-commit accumulators at the frontier (what anti-entropy summaries
+  /// compare): count and XOR of id prefixes over the valid covered ids.
+  std::uint64_t valid_count = 0;
+  std::uint64_t valid_xor = 0;
+
+  /// Every transaction id the checkpoint covers, with its commit verdict,
+  /// sorted by id bytes. An installer adopts these into its commit/dedup
+  /// index so covered transactions are never re-validated or re-committed.
+  struct CoveredTx {
+    crypto::Digest id;
+    bool valid = false;
+  };
+  std::vector<CoveredTx> covered;
+
+  /// Canonical encoded state per CRDT object, sorted by object id. The
+  /// encoding is crdt::CrdtObject::EncodeState(): equal byte strings iff the
+  /// objects absorbed the same operation set, so installs merge cleanly.
+  std::vector<std::pair<std::string, Bytes>> objects;
+
+  /// SHA-256 over the canonical encoding of every field above.
+  crypto::Digest digest;
+  /// origin's signature over `digest` under kCheckpointContext.
+  crypto::Signature signature;
+
+  /// Canonical encoding (all fields, digest and signature included).
+  void Encode(codec::Writer& w) const;
+  static std::shared_ptr<Checkpoint> Decode(codec::Reader& r);
+
+  /// Recomputes the digest from the current field values.
+  crypto::Digest ComputeDigest() const;
+
+  /// Stamps the digest and signs it. `key` must be the origin's.
+  void Seal(const crypto::PrivateKey& key);
+
+  /// Full verification: recomputed digest matches the stamped one, the
+  /// origin is a known organization, and its signature checks out.
+  bool Verify(const crypto::Pki& pki,
+              const std::set<crypto::KeyId>& organization_keys) const;
+
+  /// Simulated wire size (bytes) for the network cost model.
+  std::size_t WireSizeBytes() const;
+};
+
+}  // namespace orderless::core

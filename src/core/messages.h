@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/transaction.h"
 #include "sim/network.h"
 
@@ -79,10 +80,27 @@ struct SummaryMsg final : sim::Message {
   std::size_t WireSize() const override { return 64; }
 };
 
-/// Anti-entropy: asks the peer to push its full committed set.
+/// Anti-entropy: asks the peer to push what the requester is missing. When
+/// checkpointing is enabled the peer answers with its latest sealed
+/// checkpoint (unless `have_ckpt` says the requester holds it already) plus
+/// only the transactions committed after that frontier — O(delta) instead of
+/// its full committed set.
 struct SyncRequestMsg final : sim::Message {
+  /// Digest of the best checkpoint the requester already holds (zero =
+  /// none); lets the responder skip re-shipping a snapshot the requester
+  /// has.
+  crypto::Digest have_ckpt;
   std::string_view TypeName() const override { return "SyncRequest"; }
-  std::size_t WireSize() const override { return 48; }
+  std::size_t WireSize() const override { return 80; }
+};
+
+/// Snapshot transfer: the responder's latest sealed checkpoint. The receiver
+/// verifies digest + signature, CRDT-merges the object states, and adopts
+/// the covered-transaction index; the delta arrives as a normal GossipMsg.
+struct CheckpointMsg final : sim::Message {
+  std::shared_ptr<const Checkpoint> ckpt;
+  std::string_view TypeName() const override { return "Checkpoint"; }
+  std::size_t WireSize() const override { return 16 + ckpt->WireSizeBytes(); }
 };
 
 /// Step 5a: organization → organization. Lazy-push gossip: advertise the

@@ -62,6 +62,15 @@ void Organization::Start() {
             rng_.NextBelow(timing_.antientropy_interval),
         [this] { AntiEntropyTick(); });
   }
+  // Gated behind `enabled` so checkpoint-off runs draw exactly the same rng
+  // stream as before this subsystem existed (bit-identical replays).
+  if (timing_.checkpoint.enabled && timing_.checkpoint.interval > 0) {
+    simulation_.ScheduleFor(
+        actor,
+        timing_.checkpoint.interval +
+            rng_.NextBelow(timing_.checkpoint.interval),
+        [this] { CheckpointTick(); });
+  }
 }
 
 void Organization::Stop() {
@@ -70,10 +79,35 @@ void Organization::Stop() {
 }
 
 bool Organization::RecoverFromLedger() {
-  const bool consistent = ledger_.RecoverFromStore();
+  // Load the persisted checkpoints first: an own seal seeds the chain base
+  // (the prefix behind it was pruned) and supplies the snapshot states the
+  // op replay builds on — O(delta) recovery instead of O(history).
+  std::shared_ptr<const Checkpoint> sealed;
+  std::shared_ptr<const Checkpoint> installed;
+  if (timing_.checkpoint.enabled) {
+    if (const auto blob = ledger_.GetCheckpointBlob("sealed")) {
+      codec::Reader r{BytesView(*blob)};
+      sealed = Checkpoint::Decode(r);
+    }
+    if (const auto blob = ledger_.GetCheckpointBlob("installed")) {
+      codec::Reader r{BytesView(*blob)};
+      installed = Checkpoint::Decode(r);
+    }
+  }
+  ledger::Ledger::RecoveryBase base;
+  if (sealed && sealed->origin == key_.id()) {
+    base.chain_height = sealed->chain_height;
+    base.chain_head = sealed->chain_head;
+    base.object_states = &sealed->objects;
+  } else {
+    sealed = nullptr;  // never seed a chain base from someone else's seal
+  }
+  const bool consistent = ledger_.RecoverFromStore(base);
+  catchup_stats_.recovered_records += ledger_.last_recovered_records();
   commit_index_.clear();
   committed_count_ = 0;
   committed_xor_ = 0;
+  ckpt_external_valid_ = 0;
   for (const auto& rec : ledger_.RecoverCommitIndex()) {
     commit_index_[rec.id] = CommitRecord{rec.valid, rec.block_hash};
     if (rec.valid) {
@@ -81,8 +115,29 @@ bool Organization::RecoverFromLedger() {
       committed_xor_ ^= rec.id.Prefix64();
     }
   }
+  // Coverage the pruned prefix no longer has records for comes back from
+  // the checkpoints; the installed one also re-merges its object states
+  // (the sealed one's went in as the recovery base above).
+  if (sealed) {
+    AdoptCheckpointCoverage(*sealed);
+    sealed_ckpt_ = sealed;
+    ckpt_seq_ = sealed->seq;
+  }
+  if (installed) {
+    for (const auto& [object_id, state] : installed->objects) {
+      ledger_.MergeObjectState(object_id, BytesView(state));
+    }
+    AdoptCheckpointCoverage(*installed);
+    installed_ckpt_ = installed;
+  }
+  // A crash between sealing and pruning can leave records below the frontier
+  // that the base-seeded replay skipped but the scan above still indexed;
+  // derive the external count exactly instead of trusting the adoption sum.
+  ckpt_external_valid_ = committed_count_ - ledger_.committed_valid();
+  commits_at_last_seal_ = committed_count_;
   // Reload committed bodies so gossip pulls and anti-entropy syncs keep
-  // working for transactions committed before the crash.
+  // working for transactions committed before the crash. Behind a sealed
+  // frontier the bodies were pruned, so this reloads exactly the delta.
   committed_txs_.clear();
   if (timing_.antientropy_interval > 0) {
     ledger_.ScanTransactionBodies([this](BytesView encoded) {
@@ -119,6 +174,7 @@ void Organization::OnDelivery(const sim::Delivery& delivery) {
   }
   if (const auto* gossip =
           dynamic_cast<const GossipMsg*>(delivery.message.get())) {
+    catchup_stats_.sync_txs_received += gossip->txs.size();
     for (const auto& tx : gossip->txs) {
       HandleCommit(delivery.from, tx, /*from_gossip=*/true);
     }
@@ -172,15 +228,35 @@ void Organization::OnDelivery(const sim::Delivery& delivery) {
     if (timing_.antientropy_interval > 0 &&
         (summary->tx_count != committed_count_ ||
          summary->tx_xor != committed_xor_)) {
-      network_.Send(node_, delivery.from, std::make_shared<SyncRequestMsg>());
+      auto req = std::make_shared<SyncRequestMsg>();
+      req->have_ckpt = BestCheckpointDigest();
+      network_.Send(node_, delivery.from, req);
     }
     return;
   }
-  if (dynamic_cast<const SyncRequestMsg*>(delivery.message.get()) != nullptr) {
-    if (!committed_txs_.empty() &&
-        !(byzantine_.active && byzantine_.suppress_gossip)) {
+  if (const auto* sync_req =
+          dynamic_cast<const SyncRequestMsg*>(delivery.message.get())) {
+    if (byzantine_.active && byzantine_.suppress_gossip) return;
+    // With a sealed checkpoint, the reply is snapshot + delta: the covered
+    // prefix travels as one verified state merge and only the transactions
+    // committed after the frontier go as full bodies (`committed_txs_` is
+    // cleared at each seal, so it *is* the delta). Without one, the legacy
+    // full-set push.
+    if (timing_.checkpoint.enabled && sealed_ckpt_ != nullptr &&
+        sealed_ckpt_->digest != sync_req->have_ckpt) {
+      auto ckpt_msg = std::make_shared<CheckpointMsg>();
+      ckpt_msg->ckpt = sealed_ckpt_;
+      ++catchup_stats_.ckpt_sent;
+      if (obs::Tracer* t = simulation_.tracer()) {
+        t->Instant(obs::EventKind::kCkptSend, simulation_.now(), node_,
+                   sealed_ckpt_->digest.Prefix64(), delivery.from);
+      }
+      network_.Send(node_, delivery.from, ckpt_msg);
+    }
+    if (!committed_txs_.empty()) {
       auto msg = std::make_shared<GossipMsg>();
       msg->txs = committed_txs_;
+      catchup_stats_.sync_txs_sent += msg->txs.size();
       if (obs::Tracer* t = simulation_.tracer()) {
         for (const auto& tx : msg->txs) {
           t->Instant(obs::EventKind::kGossipSend, simulation_.now(), node_,
@@ -189,6 +265,36 @@ void Organization::OnDelivery(const sim::Delivery& delivery) {
       }
       network_.Send(node_, delivery.from, msg);
     }
+    return;
+  }
+  if (const auto* ckpt_msg =
+          dynamic_cast<const CheckpointMsg*>(delivery.message.get())) {
+    if (!timing_.checkpoint.enabled || ckpt_msg->ckpt == nullptr) return;
+    const auto ckpt = ckpt_msg->ckpt;
+    // Already holding it (or our own seal): nothing to merge.
+    if ((sealed_ckpt_ && sealed_ckpt_->digest == ckpt->digest) ||
+        (installed_ckpt_ && installed_ckpt_->digest == ckpt->digest)) {
+      return;
+    }
+    const sim::SimTime verify_service =
+        timing_.checkpoint.install_base +
+        timing_.checkpoint.install_per_object *
+            static_cast<sim::SimTime>(ckpt->objects.size());
+    cpu_.Submit(verify_service, [this, ckpt] {
+      if (!running_) return;
+      if (!ckpt->Verify(pki_, org_keys_)) {
+        ++catchup_stats_.ckpt_rejected;
+        return;
+      }
+      const sim::SimTime merge_service =
+          timing_.cache_apply_base +
+          timing_.cache_apply_per_op *
+              static_cast<sim::SimTime>(ckpt->objects.size());
+      cache_lock_.Submit(merge_service, [this, ckpt] {
+        if (!running_) return;
+        InstallCheckpoint(ckpt);
+      });
+    });
     return;
   }
 }
@@ -419,6 +525,26 @@ void Organization::FinishCommit(sim::NodeId from,
                                 std::shared_ptr<const Transaction> tx,
                                 bool from_gossip, TxVerdict verdict,
                                 sim::SimTime arrival) {
+  // A checkpoint install can cover a transaction while it is in the
+  // validate/commit pipeline; committing it again would double-append the
+  // block and double-count it. Serve the receipt from the adopted record.
+  if (const auto done = commit_index_.find(tx->id);
+      done != commit_index_.end()) {
+    std::vector<sim::NodeId> recipients;
+    if (!from_gossip) recipients.push_back(from);
+    if (const auto inflight = in_flight_.find(tx->id);
+        inflight != in_flight_.end()) {
+      for (sim::NodeId extra : inflight->second) recipients.push_back(extra);
+      in_flight_.erase(inflight);
+    }
+    for (sim::NodeId recipient : recipients) {
+      auto reply = std::make_shared<CommitReplyMsg>();
+      reply->receipt = Receipt::Make(tx->id, done->second.valid,
+                                     done->second.block_hash, key_);
+      network_.Send(node_, recipient, reply);
+    }
+    return;
+  }
   const bool valid = verdict == TxVerdict::kValid;
   const ledger::Block& block =
       ledger_.Commit(tx->id, valid, valid ? tx->ops
@@ -547,6 +673,139 @@ void Organization::AntiEntropyTick() {
   }
   simulation_.Schedule(timing_.antientropy_interval,
                        [this] { AntiEntropyTick(); });
+}
+
+void Organization::CheckpointTick() {
+  if (!running_) return;  // crashed: let the timer chain die
+  const bool worthwhile =
+      committed_count_ - commits_at_last_seal_ >=
+      timing_.checkpoint.min_new_commits;
+  if (worthwhile && !seal_in_flight_) {
+    seal_in_flight_ = true;
+    // Sealing reads the whole cache, so it runs behind the cache lock like
+    // any other state access; the service charge models the snapshot encode
+    // and signature.
+    const sim::SimTime service =
+        timing_.checkpoint.seal_base +
+        timing_.checkpoint.seal_per_tx *
+            static_cast<sim::SimTime>(commit_index_.size());
+    cache_lock_.Submit(service, [this] {
+      if (!running_) return;
+      seal_in_flight_ = false;
+      SealCheckpoint();
+    });
+  }
+  simulation_.Schedule(timing_.checkpoint.interval, [this] {
+    CheckpointTick();
+  });
+}
+
+void Organization::SealCheckpoint() {
+  auto ckpt = std::make_shared<Checkpoint>();
+  ckpt->seq = ++ckpt_seq_;
+  ckpt->origin = key_.id();
+  ckpt->chain_height = ledger_.log().total_appended();
+  ckpt->chain_head = ledger_.log().LastHash();
+  ckpt->valid_count = committed_count_;
+  ckpt->valid_xor = committed_xor_;
+  ckpt->covered.reserve(commit_index_.size());
+  for (const auto& [id, record] : commit_index_) {
+    ckpt->covered.push_back(Checkpoint::CoveredTx{id, record.valid});
+  }
+  // The commit index is an unordered map: sort so the digest is canonical.
+  std::sort(ckpt->covered.begin(), ckpt->covered.end(),
+            [](const Checkpoint::CoveredTx& a, const Checkpoint::CoveredTx& b) {
+              return a.id.bytes < b.id.bytes;
+            });
+  ckpt->objects = ledger_.cache().SnapshotStates();
+  ckpt->Seal(key_);
+
+  codec::Writer encoded;
+  ckpt->Encode(encoded);
+  ledger_.PutCheckpointBlob("sealed", BytesView(encoded.data()));
+  sealed_ckpt_ = ckpt;
+  commits_at_last_seal_ = committed_count_;
+  ++catchup_stats_.ckpt_sealed;
+  // From here on, `committed_txs_` accumulates the delta after this frontier
+  // (what a sync reply ships alongside the checkpoint).
+  committed_txs_.clear();
+
+  if (obs::Tracer* t = simulation_.tracer()) {
+    t->Instant(obs::EventKind::kCkptSeal, simulation_.now(), node_,
+               ckpt->digest.Prefix64(), ckpt->covered.size());
+  }
+
+  if (timing_.checkpoint.prune) {
+    std::vector<crypto::Digest> covered_ids;
+    covered_ids.reserve(ckpt->covered.size());
+    for (const auto& tx : ckpt->covered) covered_ids.push_back(tx.id);
+    const std::size_t pruned = ledger_.PruneBehindCheckpoint(
+        ckpt->chain_height, ckpt->chain_head, covered_ids);
+    catchup_stats_.pruned_records += pruned;
+    ledger_.store().CompactRange();
+    if (obs::Tracer* t = simulation_.tracer()) {
+      t->Instant(obs::EventKind::kCkptPrune, simulation_.now(), node_,
+                 ckpt->digest.Prefix64(), pruned);
+    }
+  }
+}
+
+std::size_t Organization::AdoptCheckpointCoverage(const Checkpoint& ckpt) {
+  std::size_t adopted_valid = 0;
+  for (const Checkpoint::CoveredTx& covered : ckpt.covered) {
+    const auto [it, inserted] = commit_index_.emplace(
+        covered.id, CommitRecord{covered.valid, crypto::Digest{}});
+    if (!inserted) continue;
+    ++catchup_stats_.ckpt_txs_covered;
+    pending_pulls_.erase(covered.id);
+    if (covered.valid) {
+      ++adopted_valid;
+      ++committed_count_;
+      committed_xor_ ^= covered.id.Prefix64();
+    }
+  }
+  return adopted_valid;
+}
+
+void Organization::InstallCheckpoint(std::shared_ptr<const Checkpoint> ckpt) {
+  for (const auto& [object_id, state] : ckpt->objects) {
+    ledger_.MergeObjectState(object_id, BytesView(state));
+  }
+  ckpt_external_valid_ += AdoptCheckpointCoverage(*ckpt);
+  ++catchup_stats_.ckpt_installed;
+  // Keep the better of the current and new external checkpoints persisted,
+  // with a deterministic tie-break, so a restart re-installs the best
+  // coverage seen so far.
+  const bool better =
+      installed_ckpt_ == nullptr ||
+      ckpt->valid_count > installed_ckpt_->valid_count ||
+      (ckpt->valid_count == installed_ckpt_->valid_count &&
+       ckpt->digest.bytes > installed_ckpt_->digest.bytes);
+  if (better) {
+    installed_ckpt_ = ckpt;
+    codec::Writer encoded;
+    ckpt->Encode(encoded);
+    ledger_.PutCheckpointBlob("installed", BytesView(encoded.data()));
+  }
+  if (obs::Tracer* t = simulation_.tracer()) {
+    t->Instant(obs::EventKind::kCkptInstall, simulation_.now(), node_,
+               ckpt->digest.Prefix64(), ckpt->origin);
+  }
+}
+
+crypto::Digest Organization::BestCheckpointDigest() const {
+  // Prefer the checkpoint covering more valid commits (digest tie-break so
+  // the choice is deterministic). Zero digest = nothing held yet.
+  const Checkpoint* best = nullptr;
+  for (const auto& candidate : {sealed_ckpt_, installed_ckpt_}) {
+    if (candidate == nullptr) continue;
+    if (best == nullptr || candidate->valid_count > best->valid_count ||
+        (candidate->valid_count == best->valid_count &&
+         candidate->digest.bytes > best->digest.bytes)) {
+      best = candidate.get();
+    }
+  }
+  return best == nullptr ? crypto::Digest{} : best->digest;
 }
 
 }  // namespace orderless::core

@@ -46,6 +46,50 @@ struct OverloadConfig {
   sim::SimTime max_retry_after = sim::Sec(2);
 };
 
+/// Periodic signed-checkpoint sealing + snapshot-transfer catch-up (see
+/// core/checkpoint.h and DESIGN.md §12). Requires anti-entropy: catch-up
+/// rides the Summary → SyncRequest exchange, which now answers with
+/// checkpoint + delta instead of the full committed set. Every organization
+/// in one network must agree on `enabled` (a delta-only sync reply assumes
+/// the requester can install the accompanying checkpoint).
+struct CheckpointConfig {
+  bool enabled = false;
+  /// Seal period. Like gossip, each organization ticks with a random phase
+  /// offset drawn at Start().
+  sim::SimTime interval = sim::Sec(2);
+  /// Skip the seal when fewer new commits accumulated since the last one
+  /// (a checkpoint that moves the frontier by almost nothing isn't worth
+  /// its snapshot bytes).
+  std::uint64_t min_new_commits = 4;
+  /// Reclaim storage behind the sealed frontier: drop commit records, op
+  /// rows and covered bodies, prune the in-memory chain segment (the
+  /// boundary digest is retained), and compact the store.
+  bool prune = true;
+  /// Service-time model for sealing (snapshot encode + sign) and installing
+  /// (verify + merge), charged on the CPU / cache-lock queues.
+  sim::SimTime seal_base = sim::Us(200);
+  sim::SimTime seal_per_tx = sim::Us(2);
+  sim::SimTime install_base = sim::Us(120);
+  sim::SimTime install_per_object = sim::Us(25);
+};
+
+/// Checkpoint / catch-up counters. The chaos O(delta) heal assertions key on
+/// these: a healed or restarted organization must converge with re-pulled
+/// bodies and replayed records proportional to the missed *delta*, with the
+/// bulk of history arriving as checkpoint coverage.
+struct CatchupStats {
+  std::uint64_t ckpt_sealed = 0;      // checkpoints this org sealed
+  std::uint64_t ckpt_sent = 0;        // checkpoint messages pushed to peers
+  std::uint64_t ckpt_installed = 0;   // external checkpoints merged in
+  std::uint64_t ckpt_rejected = 0;    // failed digest/signature verification
+  std::uint64_t ckpt_txs_covered = 0; // commit-index entries adopted from
+                                      // checkpoints instead of re-pulled
+  std::uint64_t sync_txs_sent = 0;    // bodies pushed in anti-entropy syncs
+  std::uint64_t sync_txs_received = 0;// bodies received via gossip/sync
+  std::uint64_t pruned_records = 0;   // store rows reclaimed behind frontiers
+  std::uint64_t recovered_records = 0;// commit records replayed at restart
+};
+
 /// CPU / storage cost model, calibrated so a 4-vCPU organization saturates
 /// where the paper's does (Fig. 6/7 knees).
 struct OrgTimingConfig {
@@ -79,6 +123,10 @@ struct OrgTimingConfig {
 
   /// Overload protection (bounded admission + priority shedding).
   OverloadConfig overload;
+
+  /// Signed checkpoints + O(delta) catch-up (off = the pre-checkpoint
+  /// behaviour, bit-identical to it).
+  CheckpointConfig checkpoint;
 
   /// Shared verified-transaction memo (host-side; see validation_cache.h).
   /// Organizations handed the same memo share signature-verification work:
@@ -169,6 +217,22 @@ class Organization {
   const ledger::Ledger& ledger() const { return ledger_; }
   ledger::Ledger& mutable_ledger() { return ledger_; }
   const OrgPhaseStats& phase_stats() const { return phase_stats_; }
+  const CatchupStats& catchup_stats() const { return catchup_stats_; }
+  /// Latest checkpoint this organization sealed (null before the first).
+  const std::shared_ptr<const Checkpoint>& sealed_checkpoint() const {
+    return sealed_ckpt_;
+  }
+  /// Best external checkpoint installed so far (null before the first).
+  const std::shared_ptr<const Checkpoint>& installed_checkpoint() const {
+    return installed_ckpt_;
+  }
+  /// Valid transactions this organization knows of: locally committed blocks
+  /// plus those adopted purely as checkpoint coverage. Honest organizations
+  /// must agree on this at quiescence even when some of them never replayed
+  /// the covered prefix (the commit-count-divergence invariant).
+  std::uint64_t effective_committed_valid() const {
+    return ledger_.committed_valid() + ckpt_external_valid_;
+  }
   std::uint64_t rejected_transactions() const { return rejected_; }
   /// Current CPU queueing delay (what admission control keys on).
   sim::SimTime CpuBacklog() const { return cpu_.Backlog(); }
@@ -193,6 +257,21 @@ class Organization {
                     sim::SimTime arrival);
   void GossipTick();
   void AntiEntropyTick();
+  void CheckpointTick();
+  /// Builds, signs, persists and (optionally) prunes behind a checkpoint of
+  /// the current committed state. Runs on the cache-lock queue.
+  void SealCheckpoint();
+  /// Verified-checkpoint install: CRDT-merge the object states and adopt the
+  /// covered-transaction index. Runs on the cache-lock queue.
+  void InstallCheckpoint(std::shared_ptr<const Checkpoint> ckpt);
+  /// Adopts covered ids into the commit/dedup index and the valid-commit
+  /// accumulators without touching object state (recovery re-installs
+  /// coverage from persisted checkpoints after the snapshot states were
+  /// already merged). Returns how many entries were new.
+  std::size_t AdoptCheckpointCoverage(const Checkpoint& ckpt);
+  /// Digest of the best checkpoint already held (zero when none) — what a
+  /// SyncRequest advertises so the responder can skip re-shipping it.
+  crypto::Digest BestCheckpointDigest() const;
 
   sim::Simulation& simulation_;
   sim::Network& network_;
@@ -254,6 +333,21 @@ class Organization {
   std::unordered_map<crypto::Digest, std::vector<sim::NodeId>,
                      crypto::DigestHash>
       in_flight_;
+
+  // Checkpoint state. `sealed_ckpt_` is this organization's own latest seal:
+  // the only checkpoint whose chain fields may seed the chain base, the only
+  // frontier pruning is allowed behind, and the one sync replies ship (its
+  // delta is exactly `committed_txs_`, cleared at each seal).
+  // `installed_ckpt_` is the best external checkpoint merged in — state and
+  // coverage only, never a chain base (its chain belongs to its origin).
+  std::shared_ptr<const Checkpoint> sealed_ckpt_;
+  std::shared_ptr<const Checkpoint> installed_ckpt_;
+  std::uint64_t ckpt_seq_ = 0;
+  std::uint64_t commits_at_last_seal_ = 0;
+  bool seal_in_flight_ = false;
+  // Valid commits known only as checkpoint coverage (no local block).
+  std::uint64_t ckpt_external_valid_ = 0;
+  CatchupStats catchup_stats_;
 
   OrgPhaseStats phase_stats_;
   std::uint64_t rejected_ = 0;

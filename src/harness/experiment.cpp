@@ -160,6 +160,14 @@ class OrderlessDriver final : public Driver {
     net.org_timing.ledger_options.track_tx_keys = false;
     net.client_timing.avoid_byzantine = config.client_avoidance;
     net.client_timing.max_attempts = config.client_max_attempts;
+    if (config.checkpoint_interval > 0) {
+      net.org_timing.checkpoint.enabled = true;
+      net.org_timing.checkpoint.interval = config.checkpoint_interval;
+      // Checkpoints ride the anti-entropy summary/sync path.
+      if (net.org_timing.antientropy_interval == 0) {
+        net.org_timing.antientropy_interval = sim::Ms(500);
+      }
+    }
     net.org_timing.overload = config.overload;
     if (config.org_endorse_base > 0) {
       net.org_timing.endorse_base = config.org_endorse_base;
@@ -277,6 +285,15 @@ class OrderlessDriver final : public Driver {
       r.breaker_closes += s.breaker_closes;
       r.half_open_probes += s.half_open_probes;
       r.hedged_requests += s.hedged_requests;
+    }
+    for (std::size_t i = 0; i < net.org_count(); ++i) {
+      const auto& cu = net.org(i).catchup_stats();
+      r.ckpt_sealed += cu.ckpt_sealed;
+      r.ckpt_installed += cu.ckpt_installed;
+      r.ckpt_txs_covered += cu.ckpt_txs_covered;
+      r.sync_txs_sent += cu.sync_txs_sent;
+      r.sync_txs_received += cu.sync_txs_received;
+      r.pruned_records += cu.pruned_records;
     }
     return r;
   }

@@ -66,6 +66,10 @@ struct ExperimentConfig {
   std::uint32_t gossip_fanout = 1;
   sim::SimTime gossip_interval = sim::Sec(1);
   bool normal_org_load = false;
+  /// Signed CRDT checkpoints + O(delta) catch-up (OrderlessChain only).
+  /// 0 = disabled (seed behaviour). Enabling also turns on anti-entropy
+  /// (checkpoints ride the summary/sync path) if the interval is unset.
+  sim::SimTime checkpoint_interval = 0;
 
   // Byzantine configuration (control variables 10-12, Fig. 8).
   std::vector<ByzantinePhase> byzantine_phases;

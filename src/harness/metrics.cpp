@@ -106,6 +106,12 @@ void RobustnessStats::FillRegistry(obs::MetricsRegistry& registry) const {
       {"robustness.breaker_closes", breaker_closes},
       {"robustness.half_open_probes", half_open_probes},
       {"robustness.hedged_requests", hedged_requests},
+      {"catchup.ckpt_sealed", ckpt_sealed},
+      {"catchup.ckpt_installed", ckpt_installed},
+      {"catchup.ckpt_txs_covered", ckpt_txs_covered},
+      {"catchup.sync_txs_sent", sync_txs_sent},
+      {"catchup.sync_txs_received", sync_txs_received},
+      {"catchup.pruned_records", pruned_records},
   };
   for (const auto& [name, value] : counters) {
     registry.counter(name).Add(value);

@@ -77,14 +77,22 @@ struct RobustnessStats {
   std::uint64_t breaker_closes = 0;
   std::uint64_t half_open_probes = 0;
   std::uint64_t hedged_requests = 0;
+  // Checkpoint / catch-up activity aggregated across organizations (all
+  // zero while checkpointing is disabled).
+  std::uint64_t ckpt_sealed = 0;
+  std::uint64_t ckpt_installed = 0;
+  std::uint64_t ckpt_txs_covered = 0;
+  std::uint64_t sync_txs_sent = 0;
+  std::uint64_t sync_txs_received = 0;
+  std::uint64_t pruned_records = 0;
 
   std::uint64_t TotalShed() const {
     return shed_endorse + shed_commit + shed_gossip + shed_deadline;
   }
 
-  /// Exports every counter into `registry` under "robustness.*" — the one
-  /// reporting source shared by the experiment CLI, the overload bench and
-  /// the chaos tooling.
+  /// Exports every counter into `registry` under "robustness.*" (catch-up
+  /// activity under "catchup.*") — the one reporting source shared by the
+  /// experiment CLI, the overload bench and the chaos tooling.
   void FillRegistry(obs::MetricsRegistry& registry) const;
 };
 

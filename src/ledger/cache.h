@@ -12,6 +12,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "crdt/object.h"
@@ -31,6 +32,16 @@ class CrdtCache {
 
   /// Canonical state of one object (empty when absent).
   Bytes EncodeObjectState(const std::string& object_id) const;
+
+  /// Canonical state of every object, sorted by object id — the raw material
+  /// of a checkpoint snapshot. Deterministic: two caches that absorbed the
+  /// same operation set return byte-identical snapshots.
+  std::vector<std::pair<std::string, Bytes>> SnapshotStates() const;
+
+  /// Merges an encoded object state (crdt::CrdtObject::EncodeState bytes)
+  /// into the cache: CRDT-joins with the existing object, or installs it
+  /// outright when the object is new. Returns false on undecodable bytes.
+  bool MergeEncodedState(const std::string& object_id, BytesView state);
 
   std::size_t object_count() const;
   std::size_t total_ops() const { return total_ops_; }

@@ -29,17 +29,35 @@ const Block& HashChainLog::Append(const crypto::Digest& tx_digest, bool valid) {
 }
 
 crypto::Digest HashChainLog::LastHash() const {
-  return blocks_.empty() ? crypto::Digest{} : blocks_.back().hash;
+  return blocks_.empty() ? base_hash_ : blocks_.back().hash;
+}
+
+void HashChainLog::SeedBase(std::uint64_t base_height,
+                            const crypto::Digest& base_hash) {
+  base_height_ = base_height;
+  base_hash_ = base_hash;
+  total_appended_ = base_height;
+}
+
+void HashChainLog::PruneBelow(std::uint64_t frontier_height,
+                              const crypto::Digest& boundary_hash) {
+  if (frontier_height <= base_height_) return;
+  std::erase_if(blocks_, [frontier_height](const Block& b) {
+    return b.height < frontier_height;
+  });
+  base_height_ = frontier_height;
+  base_hash_ = boundary_hash;
 }
 
 std::size_t HashChainLog::FirstInvalidBlock() const {
-  crypto::Digest prev{};
+  crypto::Digest prev = base_hash_;
   for (std::size_t i = 0; i < blocks_.size(); ++i) {
     const Block& b = blocks_[i];
     if (i == 0) {
-      // In rolling mode the retained suffix may start past genesis, where
-      // the predecessor hash is no longer available to check.
-      if (b.height == 0 && b.prev_hash != prev) return i;
+      // The first retained block links to the checkpoint boundary (genesis
+      // when nothing was pruned). In rolling mode the retained suffix may
+      // start past that, where the predecessor hash is no longer available.
+      if (b.height == base_height_ && b.prev_hash != prev) return i;
     } else {
       if (b.height != blocks_[i - 1].height + 1 || b.prev_hash != prev) {
         return i;

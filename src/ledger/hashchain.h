@@ -19,6 +19,22 @@ class HashChainLog {
   void SetRolling(bool rolling) { rolling_ = rolling; }
   std::uint64_t total_appended() const { return total_appended_; }
 
+  /// Seeds an empty log with a checkpoint boundary: the next Append produces
+  /// height `base_height` linked to `base_hash` (the retained
+  /// segment-boundary digest of the pruned prefix). Recovery from a pruned
+  /// store starts here instead of genesis.
+  void SeedBase(std::uint64_t base_height, const crypto::Digest& base_hash);
+
+  /// Drops every in-memory block below `frontier_height`, retaining
+  /// `boundary_hash` — the hash of block `frontier_height - 1` — as the new
+  /// base so FirstInvalidBlock() still verifies the surviving segment's link
+  /// into the pruned prefix. No-op when nothing is below the frontier.
+  void PruneBelow(std::uint64_t frontier_height,
+                  const crypto::Digest& boundary_hash);
+
+  std::uint64_t base_height() const { return base_height_; }
+  const crypto::Digest& base_hash() const { return base_hash_; }
+
   std::size_t size() const { return blocks_.size(); }
   const Block& at(std::size_t i) const { return blocks_[i]; }
   const std::vector<Block>& blocks() const { return blocks_; }
@@ -37,6 +53,10 @@ class HashChainLog {
  private:
   bool rolling_ = false;
   std::uint64_t total_appended_ = 0;
+  // Checkpoint boundary: heights below base_height_ were pruned; base_hash_
+  // is the retained digest of block base_height_ - 1 (zero at genesis).
+  std::uint64_t base_height_ = 0;
+  crypto::Digest base_hash_{};
   std::vector<Block> blocks_;
 };
 

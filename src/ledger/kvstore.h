@@ -30,6 +30,11 @@ class KvStore {
           visitor) const = 0;
 
   virtual std::size_t ApproximateCount() const = 0;
+
+  /// Hint that a large keyspace range was just deleted (checkpoint pruning
+  /// behind the frontier): durable stores fold the tombstones into their
+  /// on-disk structures and reclaim the space. Default: no-op.
+  virtual Status CompactRange() { return Status::Ok(); }
 };
 
 /// std::map-backed store used inside simulations.

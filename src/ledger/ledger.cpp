@@ -103,27 +103,89 @@ std::vector<Ledger::RecoveredTx> Ledger::RecoverCommitIndex() const {
   return records;
 }
 
-bool Ledger::RecoverFromStore() {
+bool Ledger::RecoverFromStore() { return RecoverFromStore(RecoveryBase{}); }
+
+bool Ledger::RecoverFromStore(const RecoveryBase& base) {
   log_ = HashChainLog();
   log_.SetRolling(options_.rolling_log);
+  if (base.chain_height > 0) {
+    log_.SeedBase(base.chain_height, base.chain_head);
+  }
   committed_valid_ = 0;
   committed_invalid_ = 0;
+  last_recovered_records_ = 0;
   bool consistent = true;
   for (const RecoveredTx& rec : RecoverCommitIndex()) {
+    // Records below the checkpoint boundary are covered by the snapshot;
+    // they normally no longer exist (pruned at seal), but a crash between
+    // sealing and pruning can leave some behind — skip, don't double-count.
+    if (rec.height < base.chain_height) continue;
     const Block& block = log_.Append(rec.id, rec.valid);
     if (block.hash != rec.block_hash) consistent = false;
+    ++last_recovered_records_;
     if (rec.valid) {
       ++committed_valid_;
     } else {
       ++committed_invalid_;
     }
   }
-  RebuildCacheFromStore();
+  cache_.Clear();
+  if (base.object_states != nullptr) {
+    for (const auto& [object_id, state] : *base.object_states) {
+      cache_.MergeEncodedState(object_id, BytesView(state));
+    }
+  }
+  ReplayOpsFromStore();
   return consistent;
+}
+
+void Ledger::PutCheckpointBlob(std::string_view slot, BytesView encoded) {
+  store_->Put(std::string("ckpt/") + std::string(slot), encoded);
+}
+
+std::optional<Bytes> Ledger::GetCheckpointBlob(std::string_view slot) const {
+  return store_->Get(std::string("ckpt/") + std::string(slot));
+}
+
+std::size_t Ledger::PruneBehindCheckpoint(
+    std::uint64_t chain_height, const crypto::Digest& chain_head,
+    const std::vector<crypto::Digest>& covered_ids) {
+  std::vector<std::string> doomed;
+  // Commit records strictly below the frontier: the checkpoint's covered set
+  // replaces them as the dedup/commit index for that prefix.
+  store_->ScanPrefix(
+      "tx/", [&doomed, chain_height](std::string_view key, BytesView value) {
+        codec::Reader r(value);
+        const auto height = r.GetU64();
+        if (height && *height < chain_height) doomed.emplace_back(key);
+        return true;
+      });
+  // Every persisted operation: the sealed snapshot is their join, and ops
+  // committed after this call start accumulating again for the next delta.
+  store_->ScanPrefix("op/", [&doomed](std::string_view key, BytesView value) {
+    (void)value;
+    doomed.emplace_back(key);
+    return true;
+  });
+  const std::size_t rows_before_bodies = doomed.size();
+  for (const crypto::Digest& id : covered_ids) {
+    doomed.push_back(BodyKey(id));
+  }
+  std::size_t pruned = rows_before_bodies;
+  for (std::size_t i = rows_before_bodies; i < doomed.size(); ++i) {
+    if (store_->Get(doomed[i]).has_value()) ++pruned;
+  }
+  for (const std::string& key : doomed) store_->Delete(key);
+  log_.PruneBelow(chain_height, chain_head);
+  return pruned;
 }
 
 void Ledger::RebuildCacheFromStore() {
   cache_.Clear();
+  ReplayOpsFromStore();
+}
+
+void Ledger::ReplayOpsFromStore() {
   std::vector<crdt::Operation> ops;
   store_->ScanPrefix("op/", [&ops](std::string_view key, BytesView value) {
     (void)key;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,46 @@ class Ledger {
   /// storage); recovery still proceeds as far as possible.
   bool RecoverFromStore();
 
+  /// Checkpoint-seeded recovery: the hash chain restarts at the checkpoint
+  /// boundary, records below it (normally pruned already) are skipped, and
+  /// the cache is rebuilt by installing the snapshot object states and then
+  /// replaying only the operations persisted after the frontier — O(delta)
+  /// work instead of O(history).
+  struct RecoveryBase {
+    std::uint64_t chain_height = 0;
+    crypto::Digest chain_head;
+    /// Canonical object states to install before op replay (may be null).
+    const std::vector<std::pair<std::string, Bytes>>* object_states = nullptr;
+  };
+  bool RecoverFromStore(const RecoveryBase& base);
+
+  /// Commit records actually replayed by the last RecoverFromStore call —
+  /// the O(delta) catch-up assertions key on this.
+  std::size_t last_recovered_records() const {
+    return last_recovered_records_;
+  }
+
+  /// CRDT-merges an encoded object state into the cache (checkpoint
+  /// install). Returns false on undecodable bytes.
+  bool MergeObjectState(const std::string& object_id, BytesView state) {
+    return cache_.MergeEncodedState(object_id, state);
+  }
+
+  /// Durable checkpoint slots ("ckpt/<slot>"), outside every scan prefix the
+  /// recovery paths use. The ledger stores the blob verbatim; en/decoding is
+  /// the caller's (core::Checkpoint's) business.
+  void PutCheckpointBlob(std::string_view slot, BytesView encoded);
+  std::optional<Bytes> GetCheckpointBlob(std::string_view slot) const;
+
+  /// Storage reclamation behind a sealed checkpoint frontier: deletes commit
+  /// records below `chain_height`, the persisted bodies of `covered_ids`,
+  /// and every persisted operation (the snapshot the caller just sealed
+  /// supersedes them), then prunes the in-memory hash chain to the boundary.
+  /// Returns the number of rows deleted.
+  std::size_t PruneBehindCheckpoint(
+      std::uint64_t chain_height, const crypto::Digest& chain_head,
+      const std::vector<crypto::Digest>& covered_ids);
+
   /// Optional storage of full transaction bodies (canonical encoding), so a
   /// restarted host can keep serving gossip pulls / anti-entropy syncs for
   /// transactions committed before the crash.
@@ -87,12 +128,17 @@ class Ledger {
   static std::string BodyKey(const crypto::Digest& tx_digest);
   static std::string OpKey(const crdt::Operation& op);
 
+  /// Applies every persisted operation to the cache (no Clear — recovery
+  /// installs checkpoint snapshot states first, then replays the delta).
+  void ReplayOpsFromStore();
+
   std::shared_ptr<KvStore> store_;
   LedgerOptions options_;
   HashChainLog log_;
   CrdtCache cache_;
   std::uint64_t committed_valid_ = 0;
   std::uint64_t committed_invalid_ = 0;
+  std::size_t last_recovered_records_ = 0;
 };
 
 }  // namespace orderless::ledger

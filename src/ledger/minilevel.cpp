@@ -175,6 +175,12 @@ Status MiniLevel::Compact() {
   if (!s.ok()) return s;
   auto reader = SstableReader::Open(TablePath(seq));
   if (!reader.ok()) return Status::Error(reader.message());
+  if (options_.compact_crash_point ==
+      MiniLevelOptions::CompactCrashPoint::kAfterTableWrite) {
+    // The merged table exists on disk but the manifest still lists the old
+    // ones; a reopen must come up on the old tables and ignore the orphan.
+    return Status::Error("crash-point: after-table-write");
+  }
 
   const std::vector<std::uint64_t> old_seqs = table_seqs_;
   tables_.clear();
@@ -183,11 +189,24 @@ Status MiniLevel::Compact() {
   table_seqs_.push_back(seq);
   s = StoreManifest();
   if (!s.ok()) return s;
+  if (options_.compact_crash_point ==
+      MiniLevelOptions::CompactCrashPoint::kAfterManifest) {
+    // The manifest already points at the merged table; the undeleted old
+    // tables are dead files a reopen must simply not load.
+    return Status::Error("crash-point: after-manifest");
+  }
   for (std::uint64_t old : old_seqs) {
     std::error_code ec;
     fs::remove(TablePath(old), ec);
   }
   return Status::Ok();
+}
+
+Status MiniLevel::CompactRange() {
+  Status s = Flush();
+  if (!s.ok()) return s;
+  if (tables_.size() < 2) return Status::Ok();
+  return Compact();
 }
 
 std::optional<Bytes> MiniLevel::Get(std::string_view key) const {

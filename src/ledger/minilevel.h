@@ -20,6 +20,16 @@ struct MiniLevelOptions {
   std::size_t memtable_flush_bytes = 1 << 20;  // flush threshold
   std::size_t compaction_trigger = 4;          // tables before compaction
   bool sync_every_write = false;
+
+  /// Test-only crash injection: abort Compact() at the chosen point, leaving
+  /// the directory exactly as a process death there would. Recovery tests
+  /// reopen the store and assert the manifest kept it consistent.
+  enum class CompactCrashPoint {
+    kNone,
+    kAfterTableWrite,  // merged SSTable written, manifest not yet updated
+    kAfterManifest,    // manifest updated, old tables not yet deleted
+  };
+  CompactCrashPoint compact_crash_point = CompactCrashPoint::kNone;
 };
 
 class MiniLevel final : public KvStore {
@@ -44,6 +54,11 @@ class MiniLevel final : public KvStore {
   /// Merges every SSTable into one, dropping shadowed entries and
   /// tombstones.
   Status Compact();
+
+  /// Checkpoint-prune reclamation: flush the memtable (folding pending
+  /// tombstones into a table) and run a full-merge compaction so deleted
+  /// rows stop occupying disk.
+  Status CompactRange() override;
 
   std::size_t sstable_count() const { return tables_.size(); }
   std::size_t memtable_entries() const { return memtable_.size(); }

@@ -39,6 +39,11 @@ TrackInfo TrackOf(EventKind kind) {
     case EventKind::kGossipSend:
     case EventKind::kGossipRecv:
       return {5, "gossip"};
+    case EventKind::kCkptSeal:
+    case EventKind::kCkptSend:
+    case EventKind::kCkptInstall:
+    case EventKind::kCkptPrune:
+      return {6, "checkpoint"};
     case EventKind::kKindCount:
       break;
   }

@@ -15,7 +15,8 @@ constexpr std::array<std::string_view,
         "tx_submit",     "proposal_send", "endorse_exec", "endorse_reply",
         "writeset_match", "commit_send",   "validate",     "ledger_append",
         "crdt_apply",    "gossip_send",   "gossip_recv",  "receipt",
-        "tx_outcome",    "converge",
+        "tx_outcome",    "converge",      "ckpt_seal",    "ckpt_send",
+        "ckpt_install",  "ckpt_prune",
 };
 
 const std::string kUnknownActor = "?";

@@ -48,6 +48,14 @@ enum class EventKind : std::uint8_t {
                      // aux = TxStatus                      (span)
   kConverge,         // org: local apply of a tx first committed elsewhere,
                      // aux = lag in µs since the first apply anywhere
+  kCkptSeal,         // org: checkpoint sealed; tx = digest prefix,
+                     // aux = covered-tx count               (instant)
+  kCkptSend,         // org → peer snapshot transfer; tx = digest prefix,
+                     // aux = recipient node                 (instant)
+  kCkptInstall,      // org: external checkpoint merged; tx = digest prefix,
+                     // aux = origin key id                  (instant)
+  kCkptPrune,        // org: storage reclaimed behind the frontier;
+                     // tx = digest prefix, aux = rows pruned (instant)
   kKindCount,
 };
 

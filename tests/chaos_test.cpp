@@ -143,6 +143,38 @@ TEST(ChaosOverload, MinimizerStripsBurstDecoys) {
   EXPECT_EQ(min.minimized.events[0].kind, FaultKind::kOrgByzantineOn);
 }
 
+TEST(ChaosCheckpoint, PresetSeedSweepHoldsInvariants) {
+  // The two checkpoint presets over a small seed list: the invariant
+  // checker (including checkpoint-integrity and the effective-commit-count
+  // convergence check over pruned ledgers) must stay clean, and the
+  // catch-up machinery must actually engage in every run.
+  for (std::uint64_t seed : {1u, 2u, 3u, 5u, 8u}) {
+    for (const Scenario& scenario : {chaos::MakeLongPartitionScenario(seed),
+                                     chaos::MakeCrashRestartScenario(seed)}) {
+      const ChaosRunResult result = RunScenario(scenario);
+      EXPECT_TRUE(result.ok()) << result.Summary() << "\n"
+                               << ViolationText(result) << scenario.Describe();
+      EXPECT_GT(result.committed, 0u) << scenario.Describe();
+      EXPECT_GT(result.ckpt_sealed_total, 0u) << scenario.Describe();
+      EXPECT_GT(result.ckpt_installed_total, 0u) << scenario.Describe();
+      EXPECT_GT(result.pruned_records_total, 0u) << scenario.Describe();
+    }
+  }
+}
+
+TEST(ChaosCheckpoint, PresetReplaysBitIdentically) {
+  for (const Scenario& scenario : {chaos::MakeLongPartitionScenario(7),
+                                   chaos::MakeCrashRestartScenario(7)}) {
+    const ChaosRunResult first = RunScenario(scenario);
+    const ChaosRunResult second = RunScenario(scenario);
+    EXPECT_EQ(first.fingerprint, second.fingerprint) << scenario.Describe();
+    EXPECT_EQ(first.org_chain_heads, second.org_chain_heads);
+    EXPECT_EQ(first.events_processed, second.events_processed);
+    EXPECT_EQ(first.ckpt_installed_total, second.ckpt_installed_total);
+    EXPECT_EQ(first.pruned_records_total, second.pruned_records_total);
+  }
+}
+
 TEST(ChaosSafe, SafePolicyWithSameByzantineOrgStaysClean) {
   // Same Byzantine behaviour, but under EP:{2 of 4} (q >= f+1 holds): the
   // wrong endorsements cannot assemble a quorum, so every invariant holds.

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "ledger/ledger.h"
 #include "ledger/minilevel.h"
@@ -87,6 +88,135 @@ TEST_F(DurabilityTest, RebuiltCacheMatchesLiveCache) {
   const Bytes before = live.cache().EncodeObjectState("m");
   live.RebuildCacheFromStore();
   EXPECT_EQ(live.cache().EncodeObjectState("m"), before);
+}
+
+// --- Restart-from-storage under damaged WALs and interrupted compactions.
+//
+// The WAL tail is the only part of the store a crash can tear: records are
+// checksummed, replay stops at the first bad one, and RecoverFromStore must
+// come up consistent on the surviving prefix.
+
+TEST_F(DurabilityTest, RecoverFromStoreSurvivesTornWalTail) {
+  {
+    auto store = MiniLevel::Open(dir_.string());
+    ASSERT_TRUE(store.ok()) << store.message();
+    Ledger ledger(std::shared_ptr<KvStore>(std::move(store.value())));
+    for (int i = 0; i < 24; ++i) {
+      ledger.Commit(D("t" + std::to_string(i)), true,
+                    {VoteOp("party1", "voter" + std::to_string(i % 8),
+                            i % 2 == 0, 1 + i % 4, 1 + i / 4)});
+    }
+  }
+  // Torn write: a record header promising more bytes than the file holds.
+  {
+    std::ofstream wal(dir_.string() + "/wal.log",
+                      std::ios::binary | std::ios::app);
+    wal.write("\x40\x00\x00\x00partial", 11);
+  }
+  auto store = MiniLevel::Open(dir_.string());
+  ASSERT_TRUE(store.ok()) << store.message();
+  Ledger ledger(std::shared_ptr<KvStore>(std::move(store.value())));
+  EXPECT_TRUE(ledger.RecoverFromStore());
+  EXPECT_EQ(ledger.committed_valid(), 24u);
+  EXPECT_EQ(ledger.last_recovered_records(), 24u);
+  EXPECT_EQ(ledger.Read("party1").keys.size(), 8u);
+}
+
+TEST_F(DurabilityTest, RecoverFromStoreTruncatedWalRecoversPrefix) {
+  {
+    auto store = MiniLevel::Open(dir_.string());
+    ASSERT_TRUE(store.ok()) << store.message();
+    Ledger ledger(std::shared_ptr<KvStore>(std::move(store.value())));
+    for (int i = 0; i < 40; ++i) {
+      ledger.Commit(D("t" + std::to_string(i)), true,
+                    {VoteOp("party1", "voter" + std::to_string(i % 8),
+                            i % 2 == 0, 1 + i % 4, 1 + i / 4)});
+    }
+  }
+  // Lose the last ~40% of the log, cutting mid-record.
+  const fs::path wal_path = dir_ / "wal.log";
+  fs::resize_file(wal_path, fs::file_size(wal_path) * 3 / 5);
+  auto store = MiniLevel::Open(dir_.string());
+  ASSERT_TRUE(store.ok()) << store.message();
+  Ledger ledger(std::shared_ptr<KvStore>(std::move(store.value())));
+  // The surviving records are intact, so the rebuilt chain is consistent —
+  // just shorter.
+  EXPECT_TRUE(ledger.RecoverFromStore());
+  EXPECT_GT(ledger.committed_valid(), 0u);
+  EXPECT_LT(ledger.committed_valid(), 40u);
+  EXPECT_EQ(ledger.last_recovered_records(), ledger.committed_valid());
+  EXPECT_EQ(ledger.log().total_appended(), ledger.committed_valid());
+  EXPECT_TRUE(ledger.HasTransaction(D("t0")));
+  EXPECT_FALSE(ledger.HasTransaction(D("t39")));
+  EXPECT_TRUE(ledger.Read("party1").exists);
+}
+
+TEST_F(DurabilityTest, RecoverFromStoreCorruptWalByteStopsAtPrefix) {
+  {
+    auto store = MiniLevel::Open(dir_.string());
+    ASSERT_TRUE(store.ok()) << store.message();
+    Ledger ledger(std::shared_ptr<KvStore>(std::move(store.value())));
+    for (int i = 0; i < 30; ++i) {
+      ledger.Commit(D("t" + std::to_string(i)), true,
+                    {VoteOp("party1", "voter" + std::to_string(i % 6),
+                            i % 2 == 0, 1 + i % 3, 1 + i / 3)});
+    }
+  }
+  // Flip one byte halfway in: the checksum of that record fails and replay
+  // stops there, discarding everything after the flip as well.
+  const fs::path wal_path = dir_ / "wal.log";
+  const auto size = fs::file_size(wal_path);
+  {
+    std::fstream wal(wal_path, std::ios::binary | std::ios::in | std::ios::out);
+    wal.seekg(static_cast<std::streamoff>(size / 2));
+    char byte = 0;
+    wal.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    wal.seekp(static_cast<std::streamoff>(size / 2));
+    wal.write(&byte, 1);
+  }
+  auto store = MiniLevel::Open(dir_.string());
+  ASSERT_TRUE(store.ok()) << store.message();
+  Ledger ledger(std::shared_ptr<KvStore>(std::move(store.value())));
+  EXPECT_TRUE(ledger.RecoverFromStore());
+  EXPECT_GT(ledger.committed_valid(), 0u);
+  EXPECT_LT(ledger.committed_valid(), 30u);
+  EXPECT_TRUE(ledger.HasTransaction(D("t0")));
+  EXPECT_TRUE(ledger.Read("party1").exists);
+}
+
+TEST_F(DurabilityTest, RecoverFromStoreSpansMidCompactionCrash) {
+  MiniLevelOptions options;
+  options.memtable_flush_bytes = 512;   // many small tables
+  options.compaction_trigger = 100;     // no auto-compaction mid-commit
+  options.compact_crash_point =
+      MiniLevelOptions::CompactCrashPoint::kAfterManifest;
+  Bytes state_before;
+  {
+    auto store = MiniLevel::Open(dir_.string(), options);
+    ASSERT_TRUE(store.ok()) << store.message();
+    auto shared = std::shared_ptr<KvStore>(std::move(store.value()));
+    Ledger ledger(shared);
+    for (int i = 0; i < 50; ++i) {
+      ledger.Commit(D("t" + std::to_string(i)), true,
+                    {VoteOp("party1", "voter" + std::to_string(i % 10),
+                            i % 2 == 0, 1 + i % 5, 1 + i / 5)});
+    }
+    state_before = ledger.cache().EncodeObjectState("party1");
+    // The checkpoint-prune reclamation path dies mid-compaction.
+    const Status crashed = shared->CompactRange();
+    ASSERT_FALSE(crashed.ok());
+    EXPECT_NE(crashed.message().find("after-manifest"), std::string::npos);
+  }
+  // Restart without the crash point: full recovery over the merged table.
+  MiniLevelOptions clean;
+  clean.memtable_flush_bytes = 512;
+  auto store = MiniLevel::Open(dir_.string(), clean);
+  ASSERT_TRUE(store.ok()) << store.message();
+  Ledger ledger(std::shared_ptr<KvStore>(std::move(store.value())));
+  EXPECT_TRUE(ledger.RecoverFromStore());
+  EXPECT_EQ(ledger.committed_valid(), 50u);
+  EXPECT_EQ(ledger.cache().EncodeObjectState("party1"), state_before);
 }
 
 }  // namespace

@@ -160,6 +160,91 @@ TEST_F(MiniLevelTest, TornWalTailIsIgnored) {
   EXPECT_EQ(db.value()->Get("good"), ToBytes("1"));
 }
 
+// Mid-compaction crash injection: Compact() aborts exactly where a process
+// death would, and a reopen must come up consistent either way.
+TEST_F(MiniLevelTest, CompactCrashAfterTableWriteReopensOnOldTables) {
+  MiniLevelOptions crashy;
+  crashy.compact_crash_point =
+      MiniLevelOptions::CompactCrashPoint::kAfterTableWrite;
+  std::size_t tables_before = 0;
+  {
+    auto db = MiniLevel::Open(dir(), crashy);
+    ASSERT_TRUE(db.ok()) << db.message();
+    auto& kv = *db.value();
+    for (int round = 0; round < 3; ++round) {
+      for (int i = 0; i < 40; ++i) {
+        ASSERT_TRUE(kv.Put("k" + std::to_string(i),
+                           ToBytes("r" + std::to_string(round)))
+                        .ok());
+      }
+      ASSERT_TRUE(kv.Delete("k39").ok());
+      ASSERT_TRUE(kv.Flush().ok());
+    }
+    tables_before = kv.sstable_count();
+    ASSERT_GE(tables_before, 3u);
+    // Memtable-only row at crash time: must ride the WAL across the crash.
+    ASSERT_TRUE(kv.Put("fresh", ToBytes("wal")).ok());
+    const Status crashed = kv.Compact();
+    ASSERT_FALSE(crashed.ok());
+    EXPECT_NE(crashed.message().find("after-table-write"), std::string::npos);
+  }
+  // Reopen: the manifest still lists the old tables; the orphan merged table
+  // must be ignored and every row read back from the old tables + WAL.
+  auto db = MiniLevel::Open(dir());
+  ASSERT_TRUE(db.ok()) << db.message();
+  auto& kv = *db.value();
+  EXPECT_EQ(kv.sstable_count(), tables_before);
+  for (int i = 0; i < 39; ++i) {
+    EXPECT_EQ(kv.Get("k" + std::to_string(i)), ToBytes("r2")) << i;
+  }
+  EXPECT_FALSE(kv.Get("k39").has_value());
+  EXPECT_EQ(kv.Get("fresh"), ToBytes("wal"));
+  // A clean compaction still succeeds after the aborted one.
+  ASSERT_TRUE(kv.Compact().ok());
+  EXPECT_EQ(kv.sstable_count(), 1u);
+  EXPECT_EQ(kv.Get("k0"), ToBytes("r2"));
+}
+
+TEST_F(MiniLevelTest, CompactCrashAfterManifestLoadsMergedTable) {
+  MiniLevelOptions crashy;
+  crashy.compact_crash_point =
+      MiniLevelOptions::CompactCrashPoint::kAfterManifest;
+  {
+    auto db = MiniLevel::Open(dir(), crashy);
+    ASSERT_TRUE(db.ok()) << db.message();
+    auto& kv = *db.value();
+    for (int round = 0; round < 3; ++round) {
+      for (int i = 0; i < 40; ++i) {
+        ASSERT_TRUE(kv.Put("k" + std::to_string(i),
+                           ToBytes("r" + std::to_string(round)))
+                        .ok());
+      }
+      ASSERT_TRUE(kv.Delete("k39").ok());
+      ASSERT_TRUE(kv.Flush().ok());
+    }
+    ASSERT_GE(kv.sstable_count(), 3u);
+    const Status crashed = kv.Compact();
+    ASSERT_FALSE(crashed.ok());
+    EXPECT_NE(crashed.message().find("after-manifest"), std::string::npos);
+  }
+  // The old tables were never deleted, but the manifest already points at the
+  // merged table: a reopen loads only it and simply never touches the dead
+  // files.
+  std::size_t files_on_disk = 0;
+  for (const auto& entry : fs::directory_iterator(dir())) {
+    if (entry.path().extension() == ".mlt") ++files_on_disk;
+  }
+  EXPECT_GE(files_on_disk, 2u);  // merged + dead old tables
+  auto db = MiniLevel::Open(dir());
+  ASSERT_TRUE(db.ok()) << db.message();
+  auto& kv = *db.value();
+  EXPECT_EQ(kv.sstable_count(), 1u);
+  for (int i = 0; i < 39; ++i) {
+    EXPECT_EQ(kv.Get("k" + std::to_string(i)), ToBytes("r2")) << i;
+  }
+  EXPECT_FALSE(kv.Get("k39").has_value());  // tombstone folded by the merge
+}
+
 TEST_F(MiniLevelTest, RandomizedModelCheck) {
   MiniLevelOptions options;
   options.memtable_flush_bytes = 2048;  // force frequent flushes

@@ -60,6 +60,33 @@ TEST_P(TracedChaosSeed, TracingIsOutcomeNeutral) {
 INSTANTIATE_TEST_SUITE_P(FaultScenarios, TracedChaosSeed,
                          testing::Values(1, 13, 42));
 
+// Checkpoint-enabled scenarios add seal/install/prune work to the pipeline;
+// recording those new event kinds must be just as outcome-neutral.
+TEST(TracingDeterminismTest, CheckpointRunsAreOutcomeNeutral) {
+  for (const Scenario& scenario :
+       {chaos::MakeLongPartitionScenario(3), chaos::MakeCrashRestartScenario(3)}) {
+    const ChaosRunResult untraced = RunScenario(scenario);
+
+    obs::Tracer tracer;
+    RunOptions options;
+    options.tracer = &tracer;
+    const ChaosRunResult traced = RunScenario(scenario, options);
+
+    ExpectIdenticalOutcome(untraced, traced);
+    EXPECT_EQ(untraced.ckpt_sealed_total, traced.ckpt_sealed_total);
+    EXPECT_EQ(untraced.ckpt_installed_total, traced.ckpt_installed_total);
+    EXPECT_EQ(untraced.pruned_records_total, traced.pruned_records_total);
+    // The checkpoint lifecycle must actually appear in the recorded stream.
+    bool saw_seal = false, saw_install = false;
+    for (const obs::TraceEvent& e : tracer.events()) {
+      saw_seal |= e.kind == obs::EventKind::kCkptSeal;
+      saw_install |= e.kind == obs::EventKind::kCkptInstall;
+    }
+    EXPECT_TRUE(saw_seal) << scenario.Describe();
+    EXPECT_TRUE(saw_install) << scenario.Describe();
+  }
+}
+
 TEST(TracingDeterminismTest, KindFilteringIsAlsoOutcomeNeutral) {
   // A filtered tracer takes different branches in the recording hooks; the
   // simulated outcome still must not move.

@@ -62,6 +62,35 @@ TEST_P(ChaosThreads, FingerprintIdenticalAcrossThreadCounts) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosThreads,
                          ::testing::Values(1u, 7u, 42u, 1337u));
 
+// Checkpoint sealing, snapshot install and storage pruning all run on the
+// simulation hot path; they too must be bit-identical at any thread count.
+TEST(ParallelCheckpoint, PresetScenariosIdenticalAcrossThreadCounts) {
+  for (const chaos::Scenario& scenario :
+       {chaos::MakeLongPartitionScenario(5),
+        chaos::MakeCrashRestartScenario(5)}) {
+    chaos::RunOptions options;
+    options.threads = 1;
+    const chaos::ChaosRunResult baseline =
+        chaos::RunScenario(scenario, options);
+    EXPECT_TRUE(baseline.ok()) << baseline.Summary();
+    // Vacuity guard: the run must actually have exercised the catch-up path.
+    EXPECT_GT(baseline.ckpt_sealed_total, 0u) << scenario.Describe();
+    EXPECT_GT(baseline.ckpt_installed_total, 0u) << scenario.Describe();
+    for (unsigned threads : {2u, 4u}) {
+      options.threads = threads;
+      const chaos::ChaosRunResult run = chaos::RunScenario(scenario, options);
+      EXPECT_EQ(run.fingerprint, baseline.fingerprint)
+          << scenario.Describe() << " threads=" << threads;
+      EXPECT_EQ(run.org_chain_heads, baseline.org_chain_heads)
+          << scenario.Describe() << " threads=" << threads;
+      EXPECT_EQ(run.events_processed, baseline.events_processed)
+          << scenario.Describe() << " threads=" << threads;
+      EXPECT_EQ(run.ckpt_installed_total, baseline.ckpt_installed_total);
+      EXPECT_EQ(run.pruned_records_total, baseline.pruned_records_total);
+    }
+  }
+}
+
 struct ExperimentArtifacts {
   std::uint64_t events_processed = 0;
   std::string metrics_json;
@@ -69,7 +98,8 @@ struct ExperimentArtifacts {
   std::string jsonl_trace;
 };
 
-ExperimentArtifacts RunTracedExperiment(unsigned threads) {
+ExperimentArtifacts RunTracedExperiment(unsigned threads,
+                                        bool checkpoints = false) {
   obs::Tracer tracer{obs::TracerConfig{}};
 
   harness::ExperimentConfig config;
@@ -82,6 +112,7 @@ ExperimentArtifacts RunTracedExperiment(unsigned threads) {
   config.seed = 11;
   config.tracer = &tracer;
   config.threads = threads;
+  if (checkpoints) config.checkpoint_interval = sim::Ms(400);
 
   const harness::ExperimentResult result = harness::RunExperiment(config);
 
@@ -91,7 +122,8 @@ ExperimentArtifacts RunTracedExperiment(unsigned threads) {
   obs::MetricsRegistry registry;
   result.metrics.FillRegistry(registry);
   obs::FillTraceMetrics(tracer, registry);
-  const std::string tag = "t" + std::to_string(threads);
+  const std::string tag =
+      (checkpoints ? "ckpt_t" : "t") + std::to_string(threads);
   const std::string metrics_path = TempPath("pdt_metrics_" + tag + ".json");
   const std::string trace_path = TempPath("pdt_trace_" + tag + ".json");
   const std::string jsonl_path = TempPath("pdt_trace_" + tag + ".jsonl");
@@ -117,6 +149,30 @@ TEST(ParallelExperiment, TracedRunBitIdenticalAcrossThreadCounts) {
     // Full documents, compared as bytes: the metrics registry covers every
     // latency sample and counter, the trace exports cover every recorded
     // event in order.
+    EXPECT_EQ(run.metrics_json, baseline.metrics_json)
+        << "threads=" << threads;
+    EXPECT_EQ(run.chrome_trace, baseline.chrome_trace)
+        << "threads=" << threads;
+    EXPECT_EQ(run.jsonl_trace, baseline.jsonl_trace) << "threads=" << threads;
+  }
+}
+
+// Same gate with checkpoints enabled on the experiment path: the sealed
+// digests, catchup metrics and ckpt_* trace events must all come out
+// byte-identical regardless of worker count.
+TEST(ParallelExperiment, CheckpointTracedRunBitIdenticalAcrossThreadCounts) {
+  const ExperimentArtifacts baseline =
+      RunTracedExperiment(1, /*checkpoints=*/true);
+  ASSERT_FALSE(baseline.jsonl_trace.empty());
+  // Vacuity guard: seals must show up in the exported trace and metrics.
+  EXPECT_NE(baseline.jsonl_trace.find("ckpt_seal"), std::string::npos);
+  EXPECT_NE(baseline.metrics_json.find("catchup.ckpt_sealed"),
+            std::string::npos);
+  for (unsigned threads : {2u, 4u}) {
+    const ExperimentArtifacts run =
+        RunTracedExperiment(threads, /*checkpoints=*/true);
+    EXPECT_EQ(run.events_processed, baseline.events_processed)
+        << "threads=" << threads;
     EXPECT_EQ(run.metrics_json, baseline.metrics_json)
         << "threads=" << threads;
     EXPECT_EQ(run.chrome_trace, baseline.chrome_trace)

@@ -6,6 +6,8 @@
 //   chaos_explorer --seed 1337 --replay-check   # run twice, compare
 //   chaos_explorer --seed 1337 --minimize  # shrink the script on failure
 //   chaos_explorer --unsafe-demo           # q <= f misconfiguration demo
+//   chaos_explorer --preset long-partition # checkpoint catch-up presets
+//   chaos_explorer --preset crash-restart  #   (--preset-seed S to vary)
 //   chaos_explorer --seed 1337 --trace t.json [--trace-filter kinds]
 //                  [--metrics-json m.json]   # record + export a trace
 //
@@ -163,6 +165,47 @@ int RunSweep(std::uint64_t count, bool minimize, obs::Tracer* tracer,
   return 0;
 }
 
+int RunPreset(const Scenario& scenario, const char* name, bool replay_check,
+              obs::Tracer* tracer, unsigned threads) {
+  std::printf("running %s preset (checkpoints %s)\n", name,
+              scenario.checkpoints ? "on" : "off");
+  std::printf("%s", scenario.Describe().c_str());
+  RunOptions options;
+  options.tracer = tracer;
+  options.threads = threads;
+  const ChaosRunResult result = RunScenario(scenario, options);
+  if (!result.ok()) {
+    PrintFailure(scenario, result, /*minimize=*/false, tracer);
+    return 1;
+  }
+  std::printf("ok %s\n", result.Summary().c_str());
+  for (std::size_t i = 0; i < result.org_catchup.size(); ++i) {
+    const auto& cu = result.org_catchup[i];
+    std::printf(
+        "  org %zu: sealed=%llu sent=%llu installed=%llu covered=%llu "
+        "sync_rx=%llu pruned=%llu recovered=%llu\n",
+        i, static_cast<unsigned long long>(cu.ckpt_sealed),
+        static_cast<unsigned long long>(cu.ckpt_sent),
+        static_cast<unsigned long long>(cu.ckpt_installed),
+        static_cast<unsigned long long>(cu.ckpt_txs_covered),
+        static_cast<unsigned long long>(cu.sync_txs_received),
+        static_cast<unsigned long long>(cu.pruned_records),
+        static_cast<unsigned long long>(cu.recovered_records));
+  }
+  if (replay_check) {
+    const ChaosRunResult replay = RunScenario(scenario);
+    if (replay.fingerprint != result.fingerprint) {
+      std::printf("REPLAY DIVERGENCE: %016llx vs %016llx\n",
+                  static_cast<unsigned long long>(result.fingerprint),
+                  static_cast<unsigned long long>(replay.fingerprint));
+      return 1;
+    }
+    std::printf("replay ok: fingerprint %016llx reproduced\n",
+                static_cast<unsigned long long>(result.fingerprint));
+  }
+  return 0;
+}
+
 int RunUnsafeDemo(std::uint64_t seed, obs::Tracer* tracer, unsigned threads) {
   const Scenario scenario = MakeUnsafeScenario(seed);
   std::printf("running deliberately unsafe configuration: policy %s against "
@@ -197,6 +240,8 @@ int main(int argc, char** argv) {
   bool minimize = false;
   bool unsafe_demo = false;
   bool verbose = false;
+  std::string preset;
+  std::uint64_t preset_seed = 1;
   std::uint64_t unsafe_seed = 1;
   std::uint64_t threads = 1;
   std::string trace_path, trace_filter, metrics_path;
@@ -230,6 +275,10 @@ int main(int argc, char** argv) {
       unsafe_demo = true;
     } else if (arg == "--unsafe-seed") {
       next_u64(unsafe_seed);
+    } else if (arg == "--preset") {
+      next_str(preset);
+    } else if (arg == "--preset-seed") {
+      next_u64(preset_seed);
     } else if (arg == "--verbose") {
       verbose = true;
     } else if (arg == "--threads") {
@@ -244,7 +293,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: chaos_explorer [--seeds N] [--seed S] "
                    "[--replay-check] [--minimize] [--unsafe-demo] "
-                   "[--unsafe-seed S] [--verbose] [--threads N] "
+                   "[--unsafe-seed S] "
+                   "[--preset long-partition|crash-restart] "
+                   "[--preset-seed S] [--verbose] [--threads N] "
                    "[--trace PATH] "
                    "[--trace-filter K,K] [--metrics-json PATH]\n");
       return 2;
@@ -263,6 +314,19 @@ int main(int argc, char** argv) {
   int rc;
   if (unsafe_demo) {
     rc = RunUnsafeDemo(unsafe_seed, tracer_ptr, worker_threads);
+  } else if (!preset.empty()) {
+    if (preset == "long-partition") {
+      rc = RunPreset(orderless::chaos::MakeLongPartitionScenario(preset_seed),
+                     "long-partition", replay_check, tracer_ptr,
+                     worker_threads);
+    } else if (preset == "crash-restart") {
+      rc = RunPreset(orderless::chaos::MakeCrashRestartScenario(preset_seed),
+                     "crash-restart", replay_check, tracer_ptr,
+                     worker_threads);
+    } else {
+      std::fprintf(stderr, "unknown preset: %s\n", preset.c_str());
+      return 2;
+    }
   } else if (have_seed) {
     rc = RunOne(seed, replay_check, minimize, verbose, tracer_ptr,
                 worker_threads);

@@ -31,6 +31,8 @@ void Usage() {
       "  --objs N --ops N --crdt TYPE   (synthetic app parameters)\n"
       "  --byz-orgs N   --byz-clients F   --avoidance\n"
       "  --gossip-fanout N\n"
+      "  --checkpoint-interval-ms N   signed CRDT checkpoints + O(delta)\n"
+      "                       catch-up every N ms (orderless only; 0 = off)\n"
       "  --threads N          simulation worker threads (orderless only;\n"
       "                       results are bit-identical at any N)\n"
       "  --trace PATH         write Chrome trace-event JSON (Perfetto)\n"
@@ -124,6 +126,9 @@ int main(int argc, char** argv) {
       config.client_max_attempts = 3;
     } else if (arg == "--gossip-fanout") {
       config.gossip_fanout = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--checkpoint-interval-ms") {
+      config.checkpoint_interval =
+          sim::Ms(static_cast<std::uint64_t>(std::atoi(next())));
     } else if (arg == "--threads") {
       config.threads = static_cast<unsigned>(std::atoi(next()));
     } else if (arg == "--trace") {
