@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "crdt/object.h"
+
 namespace orderless::chaos {
 
 namespace {
@@ -190,6 +192,67 @@ void InvariantChecker::CheckQuiescent(const std::vector<std::string>& objects) {
                        "org " + std::to_string(i) + " holds a " + slot +
                            " checkpoint that fails digest/signature "
                            "verification");
+        }
+      }
+    }
+  }
+
+  // Quorum attestation (q-of-n install trust): every checkpoint an honest
+  // organization promoted or installed must carry q valid attestations from
+  // distinct organization keys over exactly its digest — a forged or
+  // equivocated digest can gather at most f < q signatures, so surviving
+  // evidence proves no honest org ever trusted one. The installed snapshot
+  // must also be dominated by the org's own converged state (merging it in
+  // changes nothing): an installed forgery that somehow carried quorum
+  // would surface here as a state delta.
+  if (scenario_.checkpoints && scenario_.attest) {
+    const std::uint32_t q = net_.config().policy.q;
+    for (std::size_t i : honest) {
+      if (!net_.OrgRunning(i)) continue;
+      const auto& org = net_.org(i);
+      for (const auto& [slot, ckpt, set] :
+           {std::tuple<const char*, std::shared_ptr<const core::Checkpoint>,
+                       const core::AttestationSet*>{
+                "attested", org.attested_checkpoint(), &org.attested_set()},
+            {"installed", org.installed_checkpoint(), &org.installed_set()}}) {
+        if (ckpt == nullptr) continue;
+        if (set->ckpt_digest != ckpt->digest) {
+          AddViolation("checkpoint-attestation",
+                       "org " + std::to_string(i) + " holds a " + slot +
+                           " checkpoint whose attestation set covers a "
+                           "different digest");
+          continue;
+        }
+        if (!set->HasQuorum(net_.pki(), org_key_set_, q)) {
+          AddViolation(
+              "checkpoint-attestation",
+              "org " + std::to_string(i) + " holds a " + slot +
+                  " checkpoint with only " +
+                  std::to_string(set->CountValid(net_.pki(), org_key_set_)) +
+                  " valid attestations (quorum " + std::to_string(q) + ")");
+        }
+      }
+      const auto& installed = org.installed_checkpoint();
+      if (installed == nullptr) continue;
+      for (const auto& [object_id, state] : installed->objects) {
+        const Bytes ours = org.ledger().cache().EncodeObjectState(object_id);
+        auto mine =
+            ours.empty() ? nullptr
+                         : crdt::CrdtObject::DecodeState(object_id,
+                                                         BytesView(ours));
+        auto theirs = crdt::CrdtObject::DecodeState(object_id,
+                                                    BytesView(state));
+        bool dominated = mine != nullptr && theirs != nullptr;
+        if (dominated) {
+          mine->MergeState(*theirs);
+          dominated = mine->EncodeState() == ours;
+        }
+        if (!dominated) {
+          AddViolation("checkpoint-attestation",
+                       "org " + std::to_string(i) +
+                           "'s installed checkpoint carries object " +
+                           object_id +
+                           " state not dominated by the org's own state");
         }
       }
     }

@@ -268,6 +268,7 @@ ChaosRunResult RunScenario(const Scenario& scenario,
   if (scenario.checkpoints) {
     config.org_timing.checkpoint.enabled = true;
     config.org_timing.checkpoint.interval = scenario.checkpoint_interval;
+    config.org_timing.checkpoint.attest = scenario.attest;
   }
   config.client_timing.max_attempts = 8;
   config.client_timing.endorse_timeout = sim::Ms(700);
@@ -398,8 +399,11 @@ ChaosRunResult RunScenario(const Scenario& scenario,
     result.org_catchup.push_back(cu);
     result.ckpt_sealed_total += cu.ckpt_sealed;
     result.ckpt_installed_total += cu.ckpt_installed;
+    result.ckpt_rejected_total += cu.ckpt_rejected;
     result.sync_txs_received_total += cu.sync_txs_received;
     result.pruned_records_total += cu.pruned_records;
+    result.ckpt_attested_total += cu.ckpt_attested;
+    result.ckpt_refused_total += cu.ckpt_refused;
   }
 
   // Order-sensitive run fingerprint: chain heads hash the exact commit
@@ -436,6 +440,12 @@ ChaosRunResult RunScenario(const Scenario& scenario,
     w.PutU64(cu.sync_txs_received);
     w.PutU64(cu.pruned_records);
     w.PutU64(cu.recovered_records);
+    // Attestation activity, all-zero without attest (same rationale).
+    w.PutU64(cu.ckpt_announced);
+    w.PutU64(cu.ckpt_attest_sent);
+    w.PutU64(cu.ckpt_attest_received);
+    w.PutU64(cu.ckpt_attested);
+    w.PutU64(cu.ckpt_refused);
   }
   result.fingerprint = crypto::Sha256::Hash(BytesView(w.data())).Prefix64();
   return result;
@@ -450,6 +460,9 @@ std::string ChaosRunResult::Summary() const {
       << " shed=" << shed_total << " busy=" << busy_sent
       << " ckpt_sealed=" << ckpt_sealed_total
       << " ckpt_installed=" << ckpt_installed_total
+      << " ckpt_rejected=" << ckpt_rejected_total
+      << " ckpt_attested=" << ckpt_attested_total
+      << " ckpt_refused=" << ckpt_refused_total
       << " sync_rx=" << sync_txs_received_total
       << " pruned=" << pruned_records_total
       << " events=" << events_processed << " msgs=" << messages_sent

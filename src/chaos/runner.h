@@ -42,8 +42,12 @@ struct ChaosRunResult {
   std::vector<core::CatchupStats> org_catchup;
   std::uint64_t ckpt_sealed_total = 0;
   std::uint64_t ckpt_installed_total = 0;
+  std::uint64_t ckpt_rejected_total = 0;
   std::uint64_t sync_txs_received_total = 0;
   std::uint64_t pruned_records_total = 0;
+  // Attestation activity (all zero when the scenario runs without attest).
+  std::uint64_t ckpt_attested_total = 0;
+  std::uint64_t ckpt_refused_total = 0;
   std::vector<Violation> violations;
 
   bool ok() const { return violations.empty(); }

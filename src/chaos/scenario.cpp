@@ -59,7 +59,13 @@ std::string FaultEvent::Describe() const {
           << " ignore_proposal=" << org_behavior.ignore_proposal_prob
           << " wrong_endorse=" << org_behavior.wrong_endorse_prob
           << " ignore_commit=" << org_behavior.ignore_commit_prob
-          << " suppress_gossip=" << (org_behavior.suppress_gossip ? 1 : 0);
+          << " suppress_gossip=" << (org_behavior.suppress_gossip ? 1 : 0)
+          << (org_behavior.forge_checkpoint ? " forge_ckpt" : "")
+          << (org_behavior.equivocate_checkpoint ? " equivocate_ckpt" : "")
+          << (org_behavior.dishonest_attest ? " dishonest_attest" : "")
+          << (org_behavior.withhold_attest ? " withhold_attest" : "")
+          << (org_behavior.replay_stale_checkpoint ? " replay_stale" : "")
+          << (org_behavior.corrupt_delta ? " corrupt_delta" : "");
       break;
     case FaultKind::kOrgByzantineOff:
       out << " org=" << target;
@@ -94,7 +100,8 @@ std::string Scenario::Describe() const {
       << " f_budget=" << byzantine_budget << " txs=" << tx_count
       << " duration=" << sim::ToSec(duration) << "s"
       << " quiesce=" << sim::ToSec(quiesce) << "s"
-      << (checkpoints ? " [checkpoints]" : "")
+      << (checkpoints ? (attest ? " [checkpoints+attest]" : " [checkpoints]")
+                      : "")
       << (liveness_checkable ? " [liveness-checked]" : "") << "\n";
   if (events.empty()) {
     out << "  (no fault events)\n";
@@ -350,6 +357,30 @@ Scenario GenerateScenario(std::uint64_t seed, const ScenarioLimits& limits) {
     }
   }
 
+  // Byzantine scenarios run with checkpoints + quorum attestation enabled:
+  // q-of-n install trust keeps snapshot transport safe at the generator's
+  // budget (f <= min(q-1, n-q)), so the checkpoint layer gets adversarial
+  // coverage instead of being switched off. Each Byzantine organization
+  // also draws a checkpoint-layer attack. New draws live at the END of
+  // generation so every earlier derivation matches what older seeds
+  // produced.
+  if (scenario.byzantine_budget > 0) {
+    scenario.checkpoints = true;
+    scenario.attest = true;
+    for (FaultEvent& event : scenario.events) {
+      if (event.kind != FaultKind::kOrgByzantineOn) continue;
+      core::ByzantineOrgBehavior& b = event.org_behavior;
+      switch (rng.NextBelow(6)) {
+        case 0: b.forge_checkpoint = true; break;
+        case 1: b.equivocate_checkpoint = true; break;
+        case 2: b.dishonest_attest = true; break;
+        case 3: b.withhold_attest = true; break;
+        case 4: b.replay_stale_checkpoint = true; break;
+        default: b.corrupt_delta = true; break;
+      }
+    }
+  }
+
   SortEvents(scenario.events);
   scenario.liveness_checkable = ComputeLivenessCheckable(scenario.events);
   return scenario;
@@ -445,6 +476,73 @@ Scenario MakeCrashRestartScenario(std::uint64_t seed) {
   restart.target = 3;
   restart.at = sim::Sec(9);
   scenario.events.push_back(restart);
+  return scenario;
+}
+
+Scenario MakeByzantineCatchupScenario(std::uint64_t seed) {
+  Scenario scenario;
+  scenario.seed = seed;
+  scenario.num_orgs = 6;
+  scenario.num_clients = 6;
+  scenario.policy = core::EndorsementPolicy{3, 6};
+  scenario.byzantine_budget = 2;  // f = n-q = q-1 = 2: both bounds tight
+  scenario.duration = sim::Sec(12);
+  scenario.quiesce = sim::Sec(25);
+  scenario.tx_count = 96;
+  scenario.checkpoints = true;
+  scenario.attest = true;
+  // The lagging org cannot endorse during the partition, so some proposals
+  // legitimately exhaust their retries — liveness is not checkable here.
+  scenario.liveness_checkable = false;
+
+  // Orgs 2 and 3 attack the checkpoint layer for the whole run (they still
+  // endorse and commit honestly — probabilities 0 — so the endorsement-side
+  // safety bound is not what is under test here). Org 2 forges and
+  // equivocates its own digests and blind-attests anything it hears; org 3
+  // withholds attestations, replays the first quorum-backed checkpoint it
+  // saw forever, and corrupts its sync deltas.
+  FaultEvent forger;
+  forger.kind = FaultKind::kOrgByzantineOn;
+  forger.target = 2;
+  forger.at = sim::Ms(1);
+  forger.org_behavior.active = true;
+  forger.org_behavior.ignore_proposal_prob = 0.0;
+  forger.org_behavior.wrong_endorse_prob = 0.0;
+  forger.org_behavior.ignore_commit_prob = 0.0;
+  forger.org_behavior.suppress_gossip = false;
+  forger.org_behavior.forge_checkpoint = true;
+  forger.org_behavior.equivocate_checkpoint = true;
+  forger.org_behavior.dishonest_attest = true;
+  scenario.events.push_back(forger);
+  FaultEvent withholder;
+  withholder.kind = FaultKind::kOrgByzantineOn;
+  withholder.target = 3;
+  withholder.at = sim::Ms(1);
+  withholder.org_behavior.active = true;
+  withholder.org_behavior.ignore_proposal_prob = 0.0;
+  withholder.org_behavior.wrong_endorse_prob = 0.0;
+  withholder.org_behavior.ignore_commit_prob = 0.0;
+  withholder.org_behavior.suppress_gossip = false;
+  withholder.org_behavior.withhold_attest = true;
+  withholder.org_behavior.replay_stale_checkpoint = true;
+  withholder.org_behavior.corrupt_delta = true;
+  scenario.events.push_back(withholder);
+
+  // Honest org 5 alone on the minority side for most of the run; every
+  // client stays with the majority (3 honest orgs = exactly q) so the full
+  // workload commits there, and the healed org must catch up through a
+  // checkpoint the honest quorum attested — while both adversaries feed it
+  // forgeries, stale replays and corrupted deltas.
+  FaultEvent split;
+  split.kind = FaultKind::kPartitionSplit;
+  split.at = sim::Sec(1);
+  split.groups.assign(scenario.num_orgs + scenario.num_clients, 0);
+  split.groups[5] = 1;
+  scenario.events.push_back(split);
+  FaultEvent heal;
+  heal.kind = FaultKind::kPartitionHeal;
+  heal.at = sim::Ms(10500);
+  scenario.events.push_back(heal);
   return scenario;
 }
 

@@ -90,10 +90,14 @@ struct Scenario {
   std::uint32_t tx_count = 48;
   /// Enable signed CRDT checkpoints + O(delta) catch-up on every org.
   /// Uniform per network: delta-only sync replies assume the requester can
-  /// verify and install the checkpoint. Off for generated scenarios (the
-  /// generator may draw Byzantine orgs, and checkpoint trust is 1-of-n);
-  /// the checkpoint presets below turn it on.
+  /// verify and install the checkpoint.
   bool checkpoints = false;
+  /// Quorum attestation on top of checkpoints: install requires q-of-n
+  /// signed attestations from distinct organization keys, which keeps
+  /// installs safe with up to f = n-q Byzantine organizations — so the
+  /// generator can (and does) enable checkpoints in Byzantine-drawing
+  /// scenarios. Only meaningful when `checkpoints` is set.
+  bool attest = true;
   sim::SimTime checkpoint_interval = sim::Ms(1500);
   std::vector<FaultEvent> events;  // sorted by `at`
   /// Set when the script contains no disruption that can legitimately defeat
@@ -124,5 +128,14 @@ Scenario MakeLongPartitionScenario(std::uint64_t seed);
 /// keep submitting. The restarted org recovers from its pruned ledger
 /// (checkpoint-seeded, O(delta) replay) and then catches up over gossip.
 Scenario MakeCrashRestartScenario(std::uint64_t seed);
+
+/// Byzantine-catch-up preset: EP{3 of 6} with f = n-q = 2 actively hostile
+/// organizations attacking the checkpoint layer (forged/equivocating
+/// digests, dishonest attestation, stale-checkpoint replay, withheld
+/// attestations, corrupted deltas) while one honest org spends most of the
+/// run partitioned away. With quorum attestation on, the healed org must
+/// still catch up in O(delta) via an honestly-attested checkpoint and no
+/// honest org may ever install a forgery.
+Scenario MakeByzantineCatchupScenario(std::uint64_t seed);
 
 }  // namespace orderless::chaos

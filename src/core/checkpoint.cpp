@@ -61,7 +61,11 @@ std::shared_ptr<Checkpoint> Checkpoint::Decode(codec::Reader& r) {
   if (!valid_count || !valid_xor || !covered_count) return nullptr;
   ckpt->valid_count = *valid_count;
   ckpt->valid_xor = *valid_xor;
-  ckpt->covered.reserve(*covered_count);
+  // Reserve guard: a flipped count byte must not drive a huge allocation.
+  // Each covered entry occupies at least 33 wire bytes (digest + verdict),
+  // so the remaining buffer bounds any honest count.
+  ckpt->covered.reserve(
+      std::min<std::size_t>(*covered_count, r.remaining() / 33));
   for (std::uint32_t i = 0; i < *covered_count; ++i) {
     CoveredTx tx;
     if (!GetDigest(r, tx.id)) return nullptr;
@@ -72,7 +76,10 @@ std::shared_ptr<Checkpoint> Checkpoint::Decode(codec::Reader& r) {
   }
   const auto object_count = r.GetU32();
   if (!object_count) return nullptr;
-  ckpt->objects.reserve(*object_count);
+  // Same guard: an object entry is at least 2 wire bytes (two varint
+  // lengths), so cap the reservation by what the buffer could even hold.
+  ckpt->objects.reserve(
+      std::min<std::size_t>(*object_count, r.remaining() / 2));
   for (std::uint32_t i = 0; i < *object_count; ++i) {
     auto object_id = r.GetString();
     auto state = r.GetBytes();
@@ -111,6 +118,60 @@ std::size_t Checkpoint::WireSizeBytes() const {
     size += 8 + object_id.size() + state.size();
   }
   return size;
+}
+
+void CheckpointAttestation::Encode(codec::Writer& w) const {
+  w.PutU64(attester);
+  w.PutRaw(signature.View());
+}
+
+bool CheckpointAttestation::Decode(codec::Reader& r,
+                                   CheckpointAttestation& out) {
+  const auto attester = r.GetU64();
+  if (!attester) return false;
+  out.attester = *attester;
+  return GetDigest(r, out.signature);
+}
+
+bool CheckpointAttestation::Verify(const crypto::Pki& pki,
+                                   const crypto::Digest& digest) const {
+  return pki.Verify(attester, kCheckpointAttestContext, digest, signature);
+}
+
+void AttestationSet::Encode(codec::Writer& w) const {
+  w.PutRaw(ckpt_digest.View());
+  w.PutU32(static_cast<std::uint32_t>(attestations.size()));
+  for (const CheckpointAttestation& a : attestations) a.Encode(w);
+}
+
+bool AttestationSet::Decode(codec::Reader& r, AttestationSet& out) {
+  if (!GetDigest(r, out.ckpt_digest)) return false;
+  const auto count = r.GetU32();
+  if (!count) return false;
+  // Reserve guard: each attestation is 40 wire bytes, so the remaining
+  // buffer bounds any honest count (flipped count bytes cannot force a
+  // multi-gigabyte allocation).
+  out.attestations.clear();
+  out.attestations.reserve(
+      std::min<std::size_t>(*count, r.remaining() / 40));
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    CheckpointAttestation a;
+    if (!CheckpointAttestation::Decode(r, a)) return false;
+    out.attestations.push_back(a);
+  }
+  return true;
+}
+
+std::size_t AttestationSet::CountValid(
+    const crypto::Pki& pki,
+    const std::set<crypto::KeyId>& organization_keys) const {
+  std::vector<std::pair<crypto::KeyId, crypto::Signature>> sigs;
+  sigs.reserve(attestations.size());
+  for (const CheckpointAttestation& a : attestations) {
+    sigs.emplace_back(a.attester, a.signature);
+  }
+  return pki.CountValidDistinct(kCheckpointAttestContext, ckpt_digest, sigs,
+                                organization_keys);
 }
 
 }  // namespace orderless::core

@@ -18,11 +18,15 @@
 // forged under another identity — fails verification before any state is
 // merged.
 //
-// Trust note: a checkpoint is vouched for by a *single* organization, unlike
-// transaction bodies which carry q endorsements. See DESIGN.md §12 for the
-// safety argument and the implied deployment constraint (checkpoints should
-// only be installed from organizations inside the trust domain, or
-// corroborated across q digests in a Byzantine deployment).
+// Trust: the seal alone is 1-of-n — only the origin vouches for it. Quorum
+// attestation (AttestationSet below) closes that gap: after sealing, the
+// origin broadcasts the checkpoint and peers that can reproduce the digest
+// against their own converged CRDT state return a signature over it under a
+// second domain context. A checkpoint accompanied by q valid attestations
+// from distinct organization keys is q-of-n trusted — exactly the
+// endorsement-policy bound the transaction layer already uses — so install
+// is safe with up to f = n − q Byzantine organizations. See DESIGN.md §12
+// (format, seal/install) and §13 (attestation + adversary model).
 #pragma once
 
 #include <memory>
@@ -38,6 +42,12 @@ namespace orderless::core {
 
 /// Domain separation for checkpoint signatures.
 inline constexpr std::string_view kCheckpointContext = "orderless.ckpt";
+
+/// Domain separation for checkpoint *attestation* signatures. A different
+/// context than the seal so an attestation can never be replayed as a seal
+/// (or vice versa) even over the same digest.
+inline constexpr std::string_view kCheckpointAttestContext =
+    "orderless.ckpt.attest";
 
 struct Checkpoint {
   /// Monotone per-origin seal counter (first seal = 1).
@@ -92,6 +102,49 @@ struct Checkpoint {
 
   /// Simulated wire size (bytes) for the network cost model.
   std::size_t WireSizeBytes() const;
+};
+
+/// One organization's signature over a checkpoint digest under
+/// kCheckpointAttestContext: "I reproduced this digest against my own
+/// converged CRDT state".
+struct CheckpointAttestation {
+  crypto::KeyId attester = 0;
+  crypto::Signature signature;
+
+  void Encode(codec::Writer& w) const;
+  static bool Decode(codec::Reader& r, CheckpointAttestation& out);
+  bool Verify(const crypto::Pki& pki, const crypto::Digest& digest) const;
+
+  bool operator==(const CheckpointAttestation&) const = default;
+};
+
+/// The q-of-n evidence that travels with a checkpoint in anti-entropy
+/// replies. Install requires CountValid(...) >= policy.q; duplicate
+/// attesters, keys outside the organization set and invalid signatures all
+/// count zero, so f = n − q Byzantine organizations can never promote a
+/// forged digest past an honest installer.
+struct AttestationSet {
+  /// The checkpoint digest every attestation signs.
+  crypto::Digest ckpt_digest;
+  std::vector<CheckpointAttestation> attestations;
+
+  void Encode(codec::Writer& w) const;
+  static bool Decode(codec::Reader& r, AttestationSet& out);
+
+  /// Distinct organization keys in `organization_keys` whose attestation
+  /// over `ckpt_digest` verifies.
+  std::size_t CountValid(const crypto::Pki& pki,
+                         const std::set<crypto::KeyId>& organization_keys) const;
+  bool HasQuorum(const crypto::Pki& pki,
+                 const std::set<crypto::KeyId>& organization_keys,
+                 std::uint32_t q) const {
+    return CountValid(pki, organization_keys) >= q;
+  }
+
+  /// Simulated wire size (bytes) for the network cost model.
+  std::size_t WireSizeBytes() const { return 36 + attestations.size() * 40; }
+
+  bool operator==(const AttestationSet&) const = default;
 };
 
 }  // namespace orderless::core

@@ -97,10 +97,38 @@ struct SyncRequestMsg final : sim::Message {
 /// Snapshot transfer: the responder's latest sealed checkpoint. The receiver
 /// verifies digest + signature, CRDT-merges the object states, and adopts
 /// the covered-transaction index; the delta arrives as a normal GossipMsg.
+/// With attestation enabled the message also carries the q-of-n attestation
+/// set over the checkpoint digest, and installers reject any checkpoint
+/// whose set lacks a quorum of valid distinct organization signatures.
 struct CheckpointMsg final : sim::Message {
   std::shared_ptr<const Checkpoint> ckpt;
+  /// Empty when attestation is disabled (the pre-attestation wire shape).
+  AttestationSet attestations;
   std::string_view TypeName() const override { return "Checkpoint"; }
+  std::size_t WireSize() const override {
+    return 16 + ckpt->WireSizeBytes() +
+           (attestations.attestations.empty() ? 0
+                                              : attestations.WireSizeBytes());
+  }
+};
+
+/// Attestation round-trip, request half: after sealing (and until a quorum
+/// forms) the origin broadcasts the full checkpoint to every peer. A peer
+/// that can verify the seal AND reproduce the digest's claims against its
+/// own converged CRDT state replies with a CheckpointAttestMsg.
+struct CheckpointAnnounceMsg final : sim::Message {
+  std::shared_ptr<const Checkpoint> ckpt;
+  std::string_view TypeName() const override { return "CheckpointAnnounce"; }
   std::size_t WireSize() const override { return 16 + ckpt->WireSizeBytes(); }
+};
+
+/// Attestation round-trip, reply half: one organization's signature over the
+/// announced checkpoint's digest under kCheckpointAttestContext.
+struct CheckpointAttestMsg final : sim::Message {
+  crypto::Digest ckpt_digest;
+  CheckpointAttestation attestation;
+  std::string_view TypeName() const override { return "CheckpointAttest"; }
+  std::size_t WireSize() const override { return 16 + 32 + 40; }
 };
 
 /// Step 5a: organization → organization. Lazy-push gossip: advertise the

@@ -1,9 +1,11 @@
 #include "core/org.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "core/perf.h"
 #include "core/validation_cache.h"
+#include "crdt/object.h"
 #include "obs/trace.h"
 
 namespace orderless::core {
@@ -84,6 +86,9 @@ bool Organization::RecoverFromLedger() {
   // op replay builds on — O(delta) recovery instead of O(history).
   std::shared_ptr<const Checkpoint> sealed;
   std::shared_ptr<const Checkpoint> installed;
+  std::shared_ptr<const Checkpoint> attested;
+  AttestationSet attested_set;
+  AttestationSet installed_set;
   if (timing_.checkpoint.enabled) {
     if (const auto blob = ledger_.GetCheckpointBlob("sealed")) {
       codec::Reader r{BytesView(*blob)};
@@ -92,6 +97,40 @@ bool Organization::RecoverFromLedger() {
     if (const auto blob = ledger_.GetCheckpointBlob("installed")) {
       codec::Reader r{BytesView(*blob)};
       installed = Checkpoint::Decode(r);
+    }
+    // Quorum-attestation blobs: the promoted own seal, its attestation set,
+    // and the evidence that admitted the installed checkpoint. These were
+    // only ever persisted after a quorum check, so a decode suffices here —
+    // the digest cross-checks below guard against torn/mismatched slots.
+    if (timing_.checkpoint.attest) {
+      if (const auto blob = ledger_.GetCheckpointBlob("attested")) {
+        codec::Reader r{BytesView(*blob)};
+        attested = Checkpoint::Decode(r);
+      }
+      if (const auto blob = ledger_.GetCheckpointBlob("attested_attest")) {
+        codec::Reader r{BytesView(*blob)};
+        AttestationSet set;
+        if (AttestationSet::Decode(r, set) && attested != nullptr &&
+            set.ckpt_digest == attested->digest) {
+          attested_set = std::move(set);
+        } else {
+          attested = nullptr;  // evidence missing or torn: not promoted
+        }
+      } else {
+        attested = nullptr;
+      }
+      if (const auto blob = ledger_.GetCheckpointBlob("installed_attest")) {
+        codec::Reader r{BytesView(*blob)};
+        AttestationSet set;
+        if (AttestationSet::Decode(r, set) && installed != nullptr &&
+            set.ckpt_digest == installed->digest) {
+          installed_set = std::move(set);
+        } else {
+          installed = nullptr;
+        }
+      } else {
+        installed = nullptr;  // with attestation on, no evidence = no install
+      }
     }
   }
   ledger::Ledger::RecoveryBase base;
@@ -123,12 +162,25 @@ bool Organization::RecoverFromLedger() {
     sealed_ckpt_ = sealed;
     ckpt_seq_ = sealed->seq;
   }
+  if (attested) {
+    attested_ckpt_ = attested;
+    attested_set_ = std::move(attested_set);
+    AdoptCheckpointCoverage(*attested_ckpt_);  // idempotent vs the seal's
+    // If the promoted seal is still the current one, rebuild the collected
+    // signatures so a late attestation cannot re-promote it.
+    if (sealed_ckpt_ && attested_ckpt_->digest == sealed_ckpt_->digest) {
+      for (const CheckpointAttestation& a : attested_set_.attestations) {
+        seal_attest_.emplace(a.attester, a.signature);
+      }
+    }
+  }
   if (installed) {
     for (const auto& [object_id, state] : installed->objects) {
       ledger_.MergeObjectState(object_id, BytesView(state));
     }
     AdoptCheckpointCoverage(*installed);
     installed_ckpt_ = installed;
+    installed_set_ = std::move(installed_set);
   }
   // A crash between sealing and pruning can leave records below the frontier
   // that the base-seeded replay skipped but the scan above still indexed;
@@ -240,18 +292,62 @@ void Organization::OnDelivery(const sim::Delivery& delivery) {
     // With a sealed checkpoint, the reply is snapshot + delta: the covered
     // prefix travels as one verified state merge and only the transactions
     // committed after the frontier go as full bodies (`committed_txs_` is
-    // cleared at each seal, so it *is* the delta). Without one, the legacy
-    // full-set push.
-    if (timing_.checkpoint.enabled && sealed_ckpt_ != nullptr &&
-        sealed_ckpt_->digest != sync_req->have_ckpt) {
+    // cleared at each seal — or, with attestation, of the covered prefix at
+    // each promotion — so it *is* the delta). Without one, the legacy
+    // full-set push. Under attestation only *promoted* checkpoints ship:
+    // an unattested seal is 1-of-n trust the receiver would reject anyway.
+    std::shared_ptr<const Checkpoint> ship;
+    AttestationSet ship_set;
+    if (timing_.checkpoint.enabled && !timing_.checkpoint.attest) {
+      ship = sealed_ckpt_;
+    } else if (timing_.checkpoint.enabled) {
+      if (byzantine_.active && byzantine_.forge_checkpoint &&
+          sealed_ckpt_ != nullptr) {
+        // The strongest forgery available: tampered content validly signed
+        // under its own key, padded with fabricated peer attestations. The
+        // quorum check at the installer must count exactly one valid vote.
+        ship = MakeForgedCheckpoint(
+            byzantine_.equivocate_checkpoint ? delivery.from : 0);
+        ship_set.ckpt_digest = ship->digest;
+        for (crypto::KeyId id : org_keys_) {
+          ship_set.attestations.push_back(CheckpointAttestation{
+              id, id == key_.id()
+                      ? key_.Sign(kCheckpointAttestContext, ship->digest)
+                      : crypto::Signature{}});
+        }
+      } else if (byzantine_.active && byzantine_.replay_stale_checkpoint &&
+                 stale_ckpt_ != nullptr) {
+        // Stale replay: a validly attested but outdated snapshot. Installs
+        // stay safe (CRDT merge is monotone) — the attack wastes bytes.
+        ship = stale_ckpt_;
+        ship_set = stale_set_;
+      } else {
+        ship = attested_ckpt_;
+        ship_set = attested_set_;
+        if (installed_ckpt_ != nullptr &&
+            (ship == nullptr ||
+             installed_ckpt_->valid_count > ship->valid_count ||
+             (installed_ckpt_->valid_count == ship->valid_count &&
+              installed_ckpt_->digest.bytes > ship->digest.bytes))) {
+          ship = installed_ckpt_;
+          ship_set = installed_set_;
+        }
+      }
+    }
+    if (ship != nullptr && ship->digest != sync_req->have_ckpt) {
       auto ckpt_msg = std::make_shared<CheckpointMsg>();
-      ckpt_msg->ckpt = sealed_ckpt_;
+      ckpt_msg->ckpt = ship;
+      ckpt_msg->attestations = std::move(ship_set);
       ++catchup_stats_.ckpt_sent;
       if (obs::Tracer* t = simulation_.tracer()) {
         t->Instant(obs::EventKind::kCkptSend, simulation_.now(), node_,
-                   sealed_ckpt_->digest.Prefix64(), delivery.from);
+                   ship->digest.Prefix64(), delivery.from);
       }
       network_.Send(node_, delivery.from, ckpt_msg);
+    }
+    if (byzantine_.active && byzantine_.corrupt_delta) {
+      return;  // snapshot shipped, delta withheld: the requester must heal
+               // through other peers (anti-entropy keeps retrying)
     }
     if (!committed_txs_.empty()) {
       auto msg = std::make_shared<GossipMsg>();
@@ -276,25 +372,58 @@ void Organization::OnDelivery(const sim::Delivery& delivery) {
         (installed_ckpt_ && installed_ckpt_->digest == ckpt->digest)) {
       return;
     }
+    auto evidence = std::make_shared<AttestationSet>(ckpt_msg->attestations);
     const sim::SimTime verify_service =
         timing_.checkpoint.install_base +
         timing_.checkpoint.install_per_object *
-            static_cast<sim::SimTime>(ckpt->objects.size());
-    cpu_.Submit(verify_service, [this, ckpt] {
+            static_cast<sim::SimTime>(ckpt->objects.size()) +
+        (timing_.checkpoint.attest
+             ? timing_.checkpoint.attest_accept *
+                   static_cast<sim::SimTime>(evidence->attestations.size())
+             : 0);
+    cpu_.Submit(verify_service, [this, ckpt, evidence] {
       if (!running_) return;
-      if (!ckpt->Verify(pki_, org_keys_)) {
+      // The install gate. With attestation on, a valid seal is not enough:
+      // the digest needs q valid attestations from distinct organization
+      // keys, so a forgery backed by at most f = n − q Byzantine votes can
+      // never get past here.
+      bool admissible = ckpt->Verify(pki_, org_keys_);
+      if (admissible && timing_.checkpoint.attest) {
+        admissible = evidence->ckpt_digest == ckpt->digest &&
+                     evidence->HasQuorum(pki_, org_keys_, policy_.q);
+      }
+      if (!admissible) {
         ++catchup_stats_.ckpt_rejected;
+        if (obs::Tracer* t = simulation_.tracer()) {
+          t->Instant(obs::EventKind::kCkptReject, simulation_.now(), node_,
+                     ckpt->digest.Prefix64(), 1);
+        }
         return;
       }
       const sim::SimTime merge_service =
           timing_.cache_apply_base +
           timing_.cache_apply_per_op *
               static_cast<sim::SimTime>(ckpt->objects.size());
-      cache_lock_.Submit(merge_service, [this, ckpt] {
+      cache_lock_.Submit(merge_service, [this, ckpt, evidence] {
         if (!running_) return;
-        InstallCheckpoint(ckpt);
+        InstallCheckpoint(ckpt, std::move(*evidence));
       });
     });
+    return;
+  }
+  if (const auto* announce =
+          dynamic_cast<const CheckpointAnnounceMsg*>(delivery.message.get())) {
+    if (!timing_.checkpoint.enabled || !timing_.checkpoint.attest ||
+        announce->ckpt == nullptr) {
+      return;
+    }
+    HandleCheckpointAnnounce(delivery.from, announce->ckpt);
+    return;
+  }
+  if (const auto* attest_msg =
+          dynamic_cast<const CheckpointAttestMsg*>(delivery.message.get())) {
+    if (!timing_.checkpoint.enabled || !timing_.checkpoint.attest) return;
+    HandleCheckpointAttest(*attest_msg);
     return;
   }
 }
@@ -677,6 +806,15 @@ void Organization::AntiEntropyTick() {
 
 void Organization::CheckpointTick() {
   if (!running_) return;  // crashed: let the timer chain die
+  // Re-announce an unpromoted seal: announces or attestation replies lost
+  // to the network (or a quorum unreachable across a partition) are retried
+  // every tick until the quorum forms or a newer seal supersedes it.
+  if (timing_.checkpoint.attest && sealed_ckpt_ != nullptr &&
+      !seal_in_flight_ &&
+      (attested_ckpt_ == nullptr ||
+       attested_ckpt_->digest != sealed_ckpt_->digest)) {
+    AnnounceCheckpoint();
+  }
   const bool worthwhile =
       committed_count_ - commits_at_last_seal_ >=
       timing_.checkpoint.min_new_commits;
@@ -726,14 +864,30 @@ void Organization::SealCheckpoint() {
   sealed_ckpt_ = ckpt;
   commits_at_last_seal_ = committed_count_;
   ++catchup_stats_.ckpt_sealed;
-  // From here on, `committed_txs_` accumulates the delta after this frontier
-  // (what a sync reply ships alongside the checkpoint).
-  committed_txs_.clear();
 
   if (obs::Tracer* t = simulation_.tracer()) {
     t->Instant(obs::EventKind::kCkptSeal, simulation_.now(), node_,
                ckpt->digest.Prefix64(), ckpt->covered.size());
   }
+
+  if (timing_.checkpoint.attest) {
+    // Delta trimming and pruning are deferred to the quorum (see
+    // PromoteAttestedCheckpoint): until then sync replies must keep the
+    // full history available, because peers reject unattested snapshots.
+    seal_attest_.clear();
+    seal_attest_.emplace(
+        key_.id(), key_.Sign(kCheckpointAttestContext, ckpt->digest));
+    if (seal_attest_.size() >= policy_.q) {
+      PromoteAttestedCheckpoint();  // degenerate q = 1: self-quorum
+    } else {
+      AnnounceCheckpoint();
+    }
+    return;
+  }
+
+  // From here on, `committed_txs_` accumulates the delta after this frontier
+  // (what a sync reply ships alongside the checkpoint).
+  committed_txs_.clear();
 
   if (timing_.checkpoint.prune) {
     std::vector<crypto::Digest> covered_ids;
@@ -767,12 +921,34 @@ std::size_t Organization::AdoptCheckpointCoverage(const Checkpoint& ckpt) {
   return adopted_valid;
 }
 
-void Organization::InstallCheckpoint(std::shared_ptr<const Checkpoint> ckpt) {
+void Organization::InstallCheckpoint(std::shared_ptr<const Checkpoint> ckpt,
+                                     AttestationSet attestations) {
   for (const auto& [object_id, state] : ckpt->objects) {
     ledger_.MergeObjectState(object_id, BytesView(state));
   }
   ckpt_external_valid_ += AdoptCheckpointCoverage(*ckpt);
   ++catchup_stats_.ckpt_installed;
+  // A quorum-attested install gives the covered prefix snapshot transport,
+  // exactly like a promotion of our own seal: drop those bodies from the
+  // delta buffer so our sync replies stay O(delta). Without this, an org
+  // whose own seals never reach quorum would keep serving the full history
+  // as bodies — O(history) traffic the checkpoint exists to avoid.
+  if (timing_.checkpoint.attest && !committed_txs_.empty()) {
+    std::unordered_set<crypto::Digest, crypto::DigestHash> covered;
+    covered.reserve(ckpt->covered.size());
+    for (const Checkpoint::CoveredTx& tx : ckpt->covered) {
+      covered.insert(tx.id);
+    }
+    std::erase_if(committed_txs_, [&covered](const auto& tx) {
+      return covered.contains(tx->id);
+    });
+  }
+  // Pin the first quorum-backed checkpoint seen for the replay-stale
+  // adversary (a Byzantine serving peer replays it forever).
+  if (timing_.checkpoint.attest && stale_ckpt_ == nullptr) {
+    stale_ckpt_ = ckpt;
+    stale_set_ = attestations;
+  }
   // Keep the better of the current and new external checkpoints persisted,
   // with a deterministic tie-break, so a restart re-installs the best
   // coverage seen so far.
@@ -783,14 +959,214 @@ void Organization::InstallCheckpoint(std::shared_ptr<const Checkpoint> ckpt) {
        ckpt->digest.bytes > installed_ckpt_->digest.bytes);
   if (better) {
     installed_ckpt_ = ckpt;
+    installed_set_ = std::move(attestations);
     codec::Writer encoded;
     ckpt->Encode(encoded);
     ledger_.PutCheckpointBlob("installed", BytesView(encoded.data()));
+    if (timing_.checkpoint.attest) {
+      codec::Writer set_encoded;
+      installed_set_.Encode(set_encoded);
+      ledger_.PutCheckpointBlob("installed_attest",
+                                BytesView(set_encoded.data()));
+    }
   }
   if (obs::Tracer* t = simulation_.tracer()) {
     t->Instant(obs::EventKind::kCkptInstall, simulation_.now(), node_,
                ckpt->digest.Prefix64(), ckpt->origin);
   }
+}
+
+void Organization::AnnounceCheckpoint() {
+  if (sealed_ckpt_ == nullptr || peers_.empty()) return;
+  ++catchup_stats_.ckpt_announced;
+  const bool forge =
+      byzantine_.active &&
+      (byzantine_.forge_checkpoint || byzantine_.equivocate_checkpoint);
+  std::shared_ptr<const Checkpoint> shared_forgery;
+  if (forge && !byzantine_.equivocate_checkpoint) {
+    shared_forgery = MakeForgedCheckpoint(0);
+  }
+  for (sim::NodeId peer : peers_) {
+    auto msg = std::make_shared<CheckpointAnnounceMsg>();
+    if (forge) {
+      // Equivocation derives a *different* forged variant per recipient;
+      // plain forging shows everyone the same tampered snapshot.
+      msg->ckpt = byzantine_.equivocate_checkpoint ? MakeForgedCheckpoint(peer)
+                                                   : shared_forgery;
+    } else {
+      msg->ckpt = sealed_ckpt_;
+    }
+    network_.Send(node_, peer, msg);
+  }
+}
+
+void Organization::HandleCheckpointAnnounce(
+    sim::NodeId from, std::shared_ptr<const Checkpoint> ckpt) {
+  if (byzantine_.active && byzantine_.withhold_attest) return;
+  if (ckpt->origin == key_.id()) return;  // own digests self-attest at seal
+  const sim::SimTime service =
+      timing_.checkpoint.attest_verify_base +
+      timing_.checkpoint.attest_verify_per_object *
+          static_cast<sim::SimTime>(ckpt->objects.size());
+  cpu_.Submit(service, [this, from, ckpt] {
+    if (!running_) return;
+    const bool blind = byzantine_.active && byzantine_.dishonest_attest;
+    if (!blind && !CanAttest(*ckpt)) {
+      ++catchup_stats_.ckpt_refused;
+      if (obs::Tracer* t = simulation_.tracer()) {
+        t->Instant(obs::EventKind::kCkptReject, simulation_.now(), node_,
+                   ckpt->digest.Prefix64(), 2);
+      }
+      return;
+    }
+    auto reply = std::make_shared<CheckpointAttestMsg>();
+    reply->ckpt_digest = ckpt->digest;
+    reply->attestation.attester = key_.id();
+    reply->attestation.signature =
+        key_.Sign(kCheckpointAttestContext, ckpt->digest);
+    ++catchup_stats_.ckpt_attest_sent;
+    if (obs::Tracer* t = simulation_.tracer()) {
+      t->Instant(obs::EventKind::kCkptAttest, simulation_.now(), node_,
+                 ckpt->digest.Prefix64(), ckpt->origin);
+    }
+    network_.Send(node_, from, reply);
+  });
+}
+
+void Organization::HandleCheckpointAttest(const CheckpointAttestMsg& msg) {
+  // Only attestations over the *current* seal matter; stragglers for an
+  // already-promoted or superseded digest are dropped unverified.
+  if (sealed_ckpt_ == nullptr || msg.ckpt_digest != sealed_ckpt_->digest) {
+    return;
+  }
+  if (attested_ckpt_ != nullptr &&
+      attested_ckpt_->digest == sealed_ckpt_->digest) {
+    return;  // quorum already formed
+  }
+  const CheckpointAttestation attestation = msg.attestation;
+  const crypto::Digest digest = msg.ckpt_digest;
+  cpu_.Submit(timing_.checkpoint.attest_accept, [this, attestation, digest] {
+    if (!running_) return;
+    if (sealed_ckpt_ == nullptr || sealed_ckpt_->digest != digest) return;
+    if (attested_ckpt_ != nullptr && attested_ckpt_->digest == digest) return;
+    // Distinct organization keys only: duplicates, outsiders and bad
+    // signatures never advance the quorum (a dishonest attester is worth at
+    // most its own single vote).
+    if (!org_keys_.contains(attestation.attester)) return;
+    if (seal_attest_.contains(attestation.attester)) return;
+    if (!attestation.Verify(pki_, digest)) return;
+    seal_attest_.emplace(attestation.attester, attestation.signature);
+    ++catchup_stats_.ckpt_attest_received;
+    if (seal_attest_.size() >= policy_.q) PromoteAttestedCheckpoint();
+  });
+}
+
+bool Organization::CanAttest(const Checkpoint& ckpt) const {
+  // The seal itself must verify (known origin, digest, signature).
+  if (!ckpt.Verify(pki_, org_keys_)) return false;
+  // The claimed accumulators must be exactly what the covered list implies —
+  // an inflated valid_count cannot hide behind a valid self-signature.
+  std::uint64_t count = 0;
+  std::uint64_t xr = 0;
+  for (const Checkpoint::CoveredTx& tx : ckpt.covered) {
+    if (tx.valid) {
+      ++count;
+      xr ^= tx.id.Prefix64();
+    }
+  }
+  if (count != ckpt.valid_count || xr != ckpt.valid_xor) return false;
+  // First-hand coverage: every covered transaction must be in our own
+  // commit index with the same verdict. Anything we never saw — or judged
+  // differently — is something we cannot vouch for, so we refuse rather
+  // than endorse an unverifiable claim.
+  for (const Checkpoint::CoveredTx& tx : ckpt.covered) {
+    const auto it = commit_index_.find(tx.id);
+    if (it == commit_index_.end() || it->second.valid != tx.valid) {
+      return false;
+    }
+  }
+  // State dominance: merging the checkpoint's copy of each object into ours
+  // must change nothing, i.e. the snapshot claims no operation we have not
+  // already absorbed ourselves (⊑ in the join-semilattice; our state may be
+  // strictly ahead). A single tampered operation breaks this.
+  for (const auto& [object_id, state] : ckpt.objects) {
+    const Bytes ours = ledger_.cache().EncodeObjectState(object_id);
+    if (ours.empty()) return false;
+    auto mine = crdt::CrdtObject::DecodeState(object_id, BytesView(ours));
+    auto theirs = crdt::CrdtObject::DecodeState(object_id, BytesView(state));
+    if (!mine || !theirs) return false;
+    mine->MergeState(*theirs);
+    if (mine->EncodeState() != ours) return false;
+  }
+  return true;
+}
+
+void Organization::PromoteAttestedCheckpoint() {
+  attested_ckpt_ = sealed_ckpt_;
+  attested_set_ = AttestationSet{};
+  attested_set_.ckpt_digest = attested_ckpt_->digest;
+  for (const auto& [attester, signature] : seal_attest_) {
+    attested_set_.attestations.push_back(
+        CheckpointAttestation{attester, signature});
+  }
+  ++catchup_stats_.ckpt_attested;
+  if (stale_ckpt_ == nullptr) {
+    stale_ckpt_ = attested_ckpt_;
+    stale_set_ = attested_set_;
+  }
+  codec::Writer ckpt_encoded;
+  attested_ckpt_->Encode(ckpt_encoded);
+  ledger_.PutCheckpointBlob("attested", BytesView(ckpt_encoded.data()));
+  codec::Writer set_encoded;
+  attested_set_.Encode(set_encoded);
+  ledger_.PutCheckpointBlob("attested_attest", BytesView(set_encoded.data()));
+
+  // The covered prefix now has quorum-backed snapshot transport: drop it
+  // from the delta buffer and reclaim the storage behind the frontier (what
+  // the attestation-free path did at seal time).
+  if (!committed_txs_.empty()) {
+    std::unordered_set<crypto::Digest, crypto::DigestHash> covered;
+    covered.reserve(attested_ckpt_->covered.size());
+    for (const Checkpoint::CoveredTx& tx : attested_ckpt_->covered) {
+      covered.insert(tx.id);
+    }
+    std::erase_if(committed_txs_, [&covered](const auto& tx) {
+      return covered.contains(tx->id);
+    });
+  }
+  if (timing_.checkpoint.prune) {
+    std::vector<crypto::Digest> covered_ids;
+    covered_ids.reserve(attested_ckpt_->covered.size());
+    for (const auto& tx : attested_ckpt_->covered) {
+      covered_ids.push_back(tx.id);
+    }
+    const std::size_t pruned = ledger_.PruneBehindCheckpoint(
+        attested_ckpt_->chain_height, attested_ckpt_->chain_head, covered_ids);
+    catchup_stats_.pruned_records += pruned;
+    ledger_.store().CompactRange();
+    if (obs::Tracer* t = simulation_.tracer()) {
+      t->Instant(obs::EventKind::kCkptPrune, simulation_.now(), node_,
+                 attested_ckpt_->digest.Prefix64(), pruned);
+    }
+  }
+}
+
+std::shared_ptr<const Checkpoint> Organization::MakeForgedCheckpoint(
+    std::uint64_t nonce) const {
+  // The strongest forgery a Byzantine origin can construct: arbitrary
+  // content under a *valid* self-signature (it holds only its own key, so
+  // it cannot sign as anyone else — the PKI's unforgeability assumption).
+  auto forged = std::make_shared<Checkpoint>(*sealed_ckpt_);
+  forged->valid_count += 1000 + nonce;
+  forged->valid_xor ^= 0xdeadbeefULL + nonce;
+  if (!forged->covered.empty()) {
+    forged->covered[0].valid = !forged->covered[0].valid;
+  }
+  if (!forged->objects.empty() && !forged->objects[0].second.empty()) {
+    forged->objects[0].second[0] ^= 0x5a;
+  }
+  forged->Seal(key_);
+  return forged;
 }
 
 crypto::Digest Organization::BestCheckpointDigest() const {

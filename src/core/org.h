@@ -3,6 +3,7 @@
 // its peers (paper §4).
 #pragma once
 
+#include <map>
 #include <memory>
 #include <set>
 #include <unordered_map>
@@ -54,6 +55,15 @@ struct OverloadConfig {
 /// the requester can install the accompanying checkpoint).
 struct CheckpointConfig {
   bool enabled = false;
+  /// Quorum attestation (q-of-n install trust; see checkpoint.h and
+  /// DESIGN.md §13). When set, a sealed checkpoint is broadcast to every
+  /// peer; peers that can reproduce its claims against their own state
+  /// return a signed attestation, and only a checkpoint carrying q valid
+  /// attestations from distinct organization keys is ever shipped in sync
+  /// replies or installed. Pruning is deferred from seal to promotion so
+  /// full-history sync stays available while a seal lacks its quorum. Off =
+  /// the PR 6 single-signer behaviour, bit-identical to it.
+  bool attest = false;
   /// Seal period. Like gossip, each organization ticks with a random phase
   /// offset drawn at Start().
   sim::SimTime interval = sim::Sec(2);
@@ -71,6 +81,12 @@ struct CheckpointConfig {
   sim::SimTime seal_per_tx = sim::Us(2);
   sim::SimTime install_base = sim::Us(120);
   sim::SimTime install_per_object = sim::Us(25);
+  /// Attestation service times: verifying an announced checkpoint against
+  /// local state (seal check + per-object dominance merge) and checking one
+  /// incoming attestation signature on the sealer side.
+  sim::SimTime attest_verify_base = sim::Us(150);
+  sim::SimTime attest_verify_per_object = sim::Us(20);
+  sim::SimTime attest_accept = sim::Us(20);
 };
 
 /// Checkpoint / catch-up counters. The chaos O(delta) heal assertions key on
@@ -88,6 +104,13 @@ struct CatchupStats {
   std::uint64_t sync_txs_received = 0;// bodies received via gossip/sync
   std::uint64_t pruned_records = 0;   // store rows reclaimed behind frontiers
   std::uint64_t recovered_records = 0;// commit records replayed at restart
+  // ---- Quorum attestation (all zero when CheckpointConfig::attest off) ----
+  std::uint64_t ckpt_announced = 0;       // announce broadcasts sent
+  std::uint64_t ckpt_attest_sent = 0;     // attestations signed for peers
+  std::uint64_t ckpt_attest_received = 0; // valid attestations accepted
+  std::uint64_t ckpt_attested = 0;        // own seals promoted to quorum
+  std::uint64_t ckpt_refused = 0;         // announces refused (claims did not
+                                          // reproduce against local state)
 };
 
 /// CPU / storage cost model, calibrated so a 4-vCPU organization saturates
@@ -140,13 +163,34 @@ struct OrgTimingConfig {
 };
 
 /// How a Byzantine organization misbehaves while `active` (paper §9 Fig. 8:
-/// randomly not responding, endorsing incorrectly, not forwarding gossip).
+/// randomly not responding, endorsing incorrectly, not forwarding gossip),
+/// plus the checkpoint-layer attacks quorum attestation defends against.
 struct ByzantineOrgBehavior {
   bool active = false;
   double ignore_proposal_prob = 0.5;
   double wrong_endorse_prob = 0.5;   // of the proposals it does answer
   double ignore_commit_prob = 0.5;
   bool suppress_gossip = true;
+
+  // ---- Checkpoint-layer attacks (need CheckpointConfig::attest to matter;
+  // without attestation a forged seal is already caught by Verify, and with
+  // it a forgery can never gather q honest attestations) ----
+  /// Announce and ship a self-signed checkpoint with forged content
+  /// (inflated counters, flipped verdicts, tampered object state) instead of
+  /// the honestly sealed one, padded with fabricated peer attestations.
+  bool forge_checkpoint = false;
+  /// Equivocate: derive a *different* forged variant per recipient.
+  bool equivocate_checkpoint = false;
+  /// Attest every announced digest without verifying anything.
+  bool dishonest_attest = false;
+  /// Never answer announces (starves quorums of this org's vote).
+  bool withhold_attest = false;
+  /// Serve sync requests with the first checkpoint ever promoted instead of
+  /// the best one held (stale-but-validly-attested replay).
+  bool replay_stale_checkpoint = false;
+  /// Ship the snapshot in sync replies but withhold the delta bodies that
+  /// should follow it.
+  bool corrupt_delta = false;
 };
 
 /// Phase-time accumulators backing Table 3, plus overload-shedding counters
@@ -226,6 +270,14 @@ class Organization {
   const std::shared_ptr<const Checkpoint>& installed_checkpoint() const {
     return installed_ckpt_;
   }
+  /// Latest own seal that gathered a q-of-n attestation quorum (null before
+  /// the first promotion; always null with attestation disabled).
+  const std::shared_ptr<const Checkpoint>& attested_checkpoint() const {
+    return attested_ckpt_;
+  }
+  /// The quorum evidence for attested_checkpoint() / installed_checkpoint().
+  const AttestationSet& attested_set() const { return attested_set_; }
+  const AttestationSet& installed_set() const { return installed_set_; }
   /// Valid transactions this organization knows of: locally committed blocks
   /// plus those adopted purely as checkpoint coverage. Honest organizations
   /// must agree on this at quiescence even when some of them never replayed
@@ -259,11 +311,39 @@ class Organization {
   void AntiEntropyTick();
   void CheckpointTick();
   /// Builds, signs, persists and (optionally) prunes behind a checkpoint of
-  /// the current committed state. Runs on the cache-lock queue.
+  /// the current committed state. Runs on the cache-lock queue. With
+  /// attestation enabled, pruning waits for the quorum (see
+  /// PromoteAttestedCheckpoint) and the seal is announced to every peer.
   void SealCheckpoint();
   /// Verified-checkpoint install: CRDT-merge the object states and adopt the
-  /// covered-transaction index. Runs on the cache-lock queue.
-  void InstallCheckpoint(std::shared_ptr<const Checkpoint> ckpt);
+  /// covered-transaction index. Runs on the cache-lock queue. `attestations`
+  /// is the quorum evidence that admitted the checkpoint (empty with
+  /// attestation off); it is persisted alongside so a restart can re-verify.
+  void InstallCheckpoint(std::shared_ptr<const Checkpoint> ckpt,
+                         AttestationSet attestations);
+  /// Broadcasts the current seal (or, for a forging adversary, per-peer
+  /// forged variants) to every peer for attestation.
+  void AnnounceCheckpoint();
+  void HandleCheckpointAnnounce(sim::NodeId from,
+                                std::shared_ptr<const Checkpoint> ckpt);
+  void HandleCheckpointAttest(const CheckpointAttestMsg& msg);
+  /// The honest attestation predicate: the seal verifies, its counters are
+  /// consistent with its covered list, every covered transaction is in the
+  /// local commit index with the same verdict, and the local CRDT state
+  /// dominates every snapshotted object state (merging the checkpoint's copy
+  /// into ours changes nothing). Anything this organization cannot vouch for
+  /// first-hand is refused.
+  bool CanAttest(const Checkpoint& ckpt) const;
+  /// Runs when the current seal reaches q distinct valid attestations:
+  /// freezes the attestation set, persists both, drops the covered prefix
+  /// from the delta buffer and (optionally) prunes behind the frontier.
+  void PromoteAttestedCheckpoint();
+  /// The forgery a Byzantine organization announces/ships: content tampered
+  /// from the honest seal (inflated counters, flipped verdict, corrupted
+  /// object state), validly re-signed under its own key, varied by `nonce`
+  /// when equivocating.
+  std::shared_ptr<const Checkpoint> MakeForgedCheckpoint(
+      std::uint64_t nonce) const;
   /// Adopts covered ids into the commit/dedup index and the valid-commit
   /// accumulators without touching object state (recovery re-installs
   /// coverage from persisted checkpoints after the snapshot states were
@@ -345,6 +425,19 @@ class Organization {
   std::uint64_t ckpt_seq_ = 0;
   std::uint64_t commits_at_last_seal_ = 0;
   bool seal_in_flight_ = false;
+  // Quorum-attestation state (meaningful only with checkpoint.attest).
+  // `seal_attest_` collects signatures over the *current* seal's digest — a
+  // std::map so promotion freezes them in deterministic (key id) order.
+  // `attested_ckpt_` + `attested_set_` is the latest own seal that reached
+  // its quorum (what sync replies ship); `installed_set_` is the evidence
+  // that admitted `installed_ckpt_`. `stale_ckpt_` pins the *first* promoted
+  // checkpoint for the replay-stale adversary.
+  std::map<crypto::KeyId, crypto::Signature> seal_attest_;
+  std::shared_ptr<const Checkpoint> attested_ckpt_;
+  AttestationSet attested_set_;
+  AttestationSet installed_set_;
+  std::shared_ptr<const Checkpoint> stale_ckpt_;
+  AttestationSet stale_set_;
   // Valid commits known only as checkpoint coverage (no local block).
   std::uint64_t ckpt_external_valid_ = 0;
   CatchupStats catchup_stats_;

@@ -76,6 +76,20 @@ bool Pki::Verify(KeyId signer, std::string_view context, const Digest& digest,
   return Verify(signer, context, digest.View(), signature);
 }
 
+std::size_t Pki::CountValidDistinct(
+    std::string_view context, const Digest& digest,
+    const std::vector<std::pair<KeyId, Signature>>& signatures,
+    const std::set<KeyId>& allowed) const {
+  std::set<KeyId> counted;
+  for (const auto& [signer, signature] : signatures) {
+    if (!allowed.contains(signer)) continue;
+    if (counted.contains(signer)) continue;
+    if (!Verify(signer, context, digest, signature)) continue;
+    counted.insert(signer);
+  }
+  return counted.size();
+}
+
 const std::string& Pki::NameOf(KeyId id) const {
   static const std::string kUnknown = "<unknown>";
   const auto it = keys_.find(id);

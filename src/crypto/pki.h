@@ -15,8 +15,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/bytes.h"
 #include "crypto/sha256.h"
@@ -62,6 +65,15 @@ class Pki {
               const Signature& signature) const;
   bool Verify(KeyId signer, std::string_view context, const Digest& digest,
               const Signature& signature) const;
+
+  /// Counts how many (signer, signature) pairs verify over (context, digest)
+  /// with signers drawn from `allowed`, each distinct signer counted once.
+  /// The q-of-n primitive behind quorum attestation: duplicate signers,
+  /// unknown keys and invalid signatures all contribute zero.
+  std::size_t CountValidDistinct(
+      std::string_view context, const Digest& digest,
+      const std::vector<std::pair<KeyId, Signature>>& signatures,
+      const std::set<KeyId>& allowed) const;
 
   const std::string& NameOf(KeyId id) const;
   std::size_t size() const { return keys_.size(); }

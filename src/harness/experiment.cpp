@@ -163,6 +163,7 @@ class OrderlessDriver final : public Driver {
     if (config.checkpoint_interval > 0) {
       net.org_timing.checkpoint.enabled = true;
       net.org_timing.checkpoint.interval = config.checkpoint_interval;
+      net.org_timing.checkpoint.attest = config.checkpoint_attest;
       // Checkpoints ride the anti-entropy summary/sync path.
       if (net.org_timing.antientropy_interval == 0) {
         net.org_timing.antientropy_interval = sim::Ms(500);
@@ -294,6 +295,11 @@ class OrderlessDriver final : public Driver {
       r.sync_txs_sent += cu.sync_txs_sent;
       r.sync_txs_received += cu.sync_txs_received;
       r.pruned_records += cu.pruned_records;
+      r.ckpt_announced += cu.ckpt_announced;
+      r.ckpt_attest_sent += cu.ckpt_attest_sent;
+      r.ckpt_attest_received += cu.ckpt_attest_received;
+      r.ckpt_attested += cu.ckpt_attested;
+      r.ckpt_refused += cu.ckpt_refused;
     }
     return r;
   }

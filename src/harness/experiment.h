@@ -70,6 +70,10 @@ struct ExperimentConfig {
   /// 0 = disabled (seed behaviour). Enabling also turns on anti-entropy
   /// (checkpoints ride the summary/sync path) if the interval is unset.
   sim::SimTime checkpoint_interval = 0;
+  /// Quorum attestation on top of checkpoints: installs require q-of-n
+  /// signed attestations (see DESIGN.md §13). No effect while
+  /// checkpoint_interval is 0.
+  bool checkpoint_attest = false;
 
   // Byzantine configuration (control variables 10-12, Fig. 8).
   std::vector<ByzantinePhase> byzantine_phases;

@@ -112,6 +112,11 @@ void RobustnessStats::FillRegistry(obs::MetricsRegistry& registry) const {
       {"catchup.sync_txs_sent", sync_txs_sent},
       {"catchup.sync_txs_received", sync_txs_received},
       {"catchup.pruned_records", pruned_records},
+      {"catchup.attest.announced", ckpt_announced},
+      {"catchup.attest.sent", ckpt_attest_sent},
+      {"catchup.attest.received", ckpt_attest_received},
+      {"catchup.attest.promoted", ckpt_attested},
+      {"catchup.attest.refused", ckpt_refused},
   };
   for (const auto& [name, value] : counters) {
     registry.counter(name).Add(value);

@@ -85,6 +85,12 @@ struct RobustnessStats {
   std::uint64_t sync_txs_sent = 0;
   std::uint64_t sync_txs_received = 0;
   std::uint64_t pruned_records = 0;
+  // Quorum-attestation activity (all zero while attestation is disabled).
+  std::uint64_t ckpt_announced = 0;
+  std::uint64_t ckpt_attest_sent = 0;
+  std::uint64_t ckpt_attest_received = 0;
+  std::uint64_t ckpt_attested = 0;
+  std::uint64_t ckpt_refused = 0;
 
   std::uint64_t TotalShed() const {
     return shed_endorse + shed_commit + shed_gossip + shed_deadline;

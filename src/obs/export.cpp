@@ -43,6 +43,8 @@ TrackInfo TrackOf(EventKind kind) {
     case EventKind::kCkptSend:
     case EventKind::kCkptInstall:
     case EventKind::kCkptPrune:
+    case EventKind::kCkptAttest:
+    case EventKind::kCkptReject:
       return {6, "checkpoint"};
     case EventKind::kKindCount:
       break;

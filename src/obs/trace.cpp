@@ -16,7 +16,7 @@ constexpr std::array<std::string_view,
         "writeset_match", "commit_send",   "validate",     "ledger_append",
         "crdt_apply",    "gossip_send",   "gossip_recv",  "receipt",
         "tx_outcome",    "converge",      "ckpt_seal",    "ckpt_send",
-        "ckpt_install",  "ckpt_prune",
+        "ckpt_install",  "ckpt_prune",    "ckpt_attest",  "ckpt_reject",
 };
 
 const std::string kUnknownActor = "?";

@@ -56,6 +56,12 @@ enum class EventKind : std::uint8_t {
                      // aux = origin key id                  (instant)
   kCkptPrune,        // org: storage reclaimed behind the frontier;
                      // tx = digest prefix, aux = rows pruned (instant)
+  kCkptAttest,       // org: attestation signed for an announced checkpoint;
+                     // tx = digest prefix, aux = origin key id (instant)
+  kCkptReject,       // org: checkpoint refused; tx = digest prefix,
+                     // aux = reason (1 = bad seal / missing attestation
+                     // quorum at install, 2 = announce claims did not
+                     // reproduce against local state)     (instant)
   kKindCount,
 };
 

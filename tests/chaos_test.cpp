@@ -175,6 +175,80 @@ TEST(ChaosCheckpoint, PresetReplaysBitIdentically) {
   }
 }
 
+TEST(ChaosByzantine, GeneratedByzantineScenariosEnableAttestedCheckpoints) {
+  // The generator must arm the checkpoint layer whenever it draws a
+  // Byzantine budget: those scenarios exist to exercise the q-of-n install
+  // gate, and every Byzantine org must carry at least one checkpoint-layer
+  // attack flag.
+  std::size_t byzantine_seen = 0;
+  for (std::uint64_t seed = 1; seed <= 64 && byzantine_seen < 8; ++seed) {
+    const Scenario scenario = GenerateScenario(seed);
+    if (scenario.byzantine_budget == 0) continue;
+    ++byzantine_seen;
+    EXPECT_TRUE(scenario.checkpoints) << scenario.Describe();
+    EXPECT_TRUE(scenario.attest) << scenario.Describe();
+    EXPECT_LE(scenario.byzantine_budget,
+              scenario.num_orgs - scenario.policy.q)
+        << "budget exceeds attestation-liveness bound f <= n - q\n"
+        << scenario.Describe();
+    for (const chaos::FaultEvent& event : scenario.events) {
+      if (event.kind != FaultKind::kOrgByzantineOn) continue;
+      const core::ByzantineOrgBehavior& b = event.org_behavior;
+      EXPECT_TRUE(b.forge_checkpoint || b.equivocate_checkpoint ||
+                  b.dishonest_attest || b.withhold_attest ||
+                  b.replay_stale_checkpoint || b.corrupt_delta)
+          << scenario.Describe();
+    }
+  }
+  EXPECT_GE(byzantine_seen, 8u) << "seed range drew too few Byzantine runs";
+}
+
+TEST(ChaosByzantine, SeededByzantineSweepHoldsInvariants) {
+  // Generated Byzantine scenarios now run with quorum-attested checkpoints
+  // on: the invariant checker (convergence, byzantine-quorum, and the
+  // checkpoint-attestation install gate) must stay clean across a seed
+  // sweep, and replays must stay bit-identical.
+  std::size_t byzantine_run = 0;
+  for (std::uint64_t seed = 1; seed <= 64 && byzantine_run < 6; ++seed) {
+    const Scenario scenario = GenerateScenario(seed);
+    if (scenario.byzantine_budget == 0) continue;
+    ++byzantine_run;
+    const ChaosRunResult result = RunScenario(scenario);
+    EXPECT_TRUE(result.ok()) << result.Summary() << "\n"
+                             << ViolationText(result) << scenario.Describe();
+    EXPECT_GT(result.committed, 0u) << scenario.Describe();
+    const ChaosRunResult replay = RunScenario(scenario);
+    EXPECT_EQ(result.fingerprint, replay.fingerprint) << scenario.Describe();
+  }
+  EXPECT_GE(byzantine_run, 6u);
+}
+
+TEST(ChaosByzantine, ByzantineCatchupPresetMinimizerHandlesCheckpointAttacks) {
+  // ddmin over a failing scenario that also contains a checkpoint-attack
+  // event: the unsafe EP:{1 of 4} wrong-endorser still causes the failure,
+  // and the minimizer must treat the forging org as a strippable decoy
+  // while running with the attested checkpoint layer armed.
+  Scenario scenario = MakeUnsafeScenario(1);
+  chaos::FaultEvent ckpt_attack;
+  ckpt_attack.kind = FaultKind::kOrgByzantineOn;
+  ckpt_attack.at = sim::Ms(2);
+  ckpt_attack.target = 2;
+  ckpt_attack.org_behavior.active = true;
+  ckpt_attack.org_behavior.ignore_proposal_prob = 0.0;
+  ckpt_attack.org_behavior.wrong_endorse_prob = 0.0;
+  ckpt_attack.org_behavior.ignore_commit_prob = 0.0;
+  ckpt_attack.org_behavior.suppress_gossip = false;
+  ckpt_attack.org_behavior.forge_checkpoint = true;
+  scenario.events.push_back(ckpt_attack);
+  scenario.checkpoints = true;
+  scenario.attest = true;
+
+  const auto min = MinimizeScenario(scenario);
+  EXPECT_TRUE(min.reproduced);
+  EXPECT_LT(min.minimized.events.size(), scenario.events.size());
+  EXPECT_FALSE(min.failing_run.ok());
+}
+
 TEST(ChaosSafe, SafePolicyWithSameByzantineOrgStaysClean) {
   // Same Byzantine behaviour, but under EP:{2 of 4} (q >= f+1 holds): the
   // wrong endorsements cannot assemble a quorum, so every invariant holds.

@@ -251,6 +251,178 @@ TEST(CheckpointProperty, SnapshotInstallIsIdempotentAndMonotone) {
 }
 
 // ---------------------------------------------------------------------------
+// Quorum attestation: codec, counting rules, and decode robustness.
+
+using core::AttestationSet;
+using core::CheckpointAttestation;
+
+AttestationSet MakeAttested(const crypto::Digest& digest,
+                            const std::vector<crypto::PrivateKey>& keys) {
+  AttestationSet set;
+  set.ckpt_digest = digest;
+  for (const crypto::PrivateKey& key : keys) {
+    set.attestations.push_back(CheckpointAttestation{
+        key.id(), key.Sign(core::kCheckpointAttestContext, digest)});
+  }
+  return set;
+}
+
+TEST(CheckpointAttest, SetRoundtripAndQuorumCounting) {
+  crypto::Pki pki;
+  std::vector<crypto::PrivateKey> keys;
+  std::set<crypto::KeyId> orgs;
+  for (int i = 0; i < 4; ++i) {
+    keys.push_back(pki.Generate("org-" + std::to_string(i)));
+    orgs.insert(keys.back().id());
+  }
+  const crypto::Digest digest = D("ckpt");
+  const AttestationSet set = MakeAttested(digest, keys);
+
+  codec::Writer w;
+  set.Encode(w);
+  codec::Reader r{BytesView(w.data())};
+  AttestationSet decoded;
+  ASSERT_TRUE(AttestationSet::Decode(r, decoded));
+  EXPECT_EQ(decoded, set);
+  EXPECT_EQ(decoded.CountValid(pki, orgs), 4u);
+  EXPECT_TRUE(decoded.HasQuorum(pki, orgs, 4));
+  EXPECT_FALSE(decoded.HasQuorum(pki, orgs, 5));
+}
+
+TEST(CheckpointAttest, QuorumCountsDistinctValidOrgKeysOnly) {
+  crypto::Pki pki;
+  std::vector<crypto::PrivateKey> keys;
+  std::set<crypto::KeyId> orgs;
+  for (int i = 0; i < 3; ++i) {
+    keys.push_back(pki.Generate("org-" + std::to_string(i)));
+    orgs.insert(keys.back().id());
+  }
+  const crypto::PrivateKey outsider = pki.Generate("outsider");
+  const crypto::Digest digest = D("ckpt");
+
+  {
+    // A duplicated attester counts once — one Byzantine org cannot vote
+    // itself into a quorum by repeating its own signature.
+    AttestationSet set = MakeAttested(digest, {keys[0], keys[0], keys[0]});
+    EXPECT_EQ(set.CountValid(pki, orgs), 1u);
+    EXPECT_FALSE(set.HasQuorum(pki, orgs, 2));
+  }
+  {
+    // A key outside the organization set counts zero even with a valid
+    // signature (a Sybil identity the PKI knows but the channel does not).
+    AttestationSet set = MakeAttested(digest, {keys[0], outsider});
+    EXPECT_EQ(set.CountValid(pki, orgs), 1u);
+  }
+  {
+    // A seal-context signature cannot be replayed as an attestation.
+    AttestationSet set = MakeAttested(digest, {keys[0]});
+    set.attestations.push_back(CheckpointAttestation{
+        keys[1].id(), keys[1].Sign(core::kCheckpointContext, digest)});
+    EXPECT_EQ(set.CountValid(pki, orgs), 1u);
+  }
+  {
+    // A signature over a different digest counts zero.
+    AttestationSet set = MakeAttested(digest, {keys[0]});
+    set.attestations.push_back(CheckpointAttestation{
+        keys[1].id(),
+        keys[1].Sign(core::kCheckpointAttestContext, D("other"))});
+    EXPECT_EQ(set.CountValid(pki, orgs), 1u);
+  }
+  {
+    // A tampered signature byte counts zero.
+    AttestationSet set = MakeAttested(digest, {keys[0], keys[1]});
+    set.attestations[1].signature.bytes[0] ^= 0x01;
+    EXPECT_EQ(set.CountValid(pki, orgs), 1u);
+  }
+  EXPECT_EQ(AttestationSet{}.CountValid(pki, orgs), 0u);
+}
+
+// Satellite battery: every checkpoint-layer wire message must cleanly
+// reject *all* byte-prefixes and survive *all* single-byte flips — a flip
+// either fails to decode, fails verification, or is semantically inert
+// (e.g. a nonzero bool byte); it must never yield an accepted forgery.
+TEST(CheckpointAttest, CheckpointRejectsEveryPrefixAndByteFlip) {
+  crypto::Pki pki;
+  const crypto::PrivateKey key = pki.Generate("org-0");
+  const std::set<crypto::KeyId> orgs = {key.id()};
+  const Checkpoint ckpt = MakeSealed(key);
+  codec::Writer w;
+  ckpt.Encode(w);
+  const Bytes& encoded = w.data();
+
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    codec::Reader r{BytesView(encoded.data(), cut)};
+    EXPECT_EQ(Checkpoint::Decode(r), nullptr) << "prefix of " << cut;
+  }
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    Bytes flipped = encoded;
+    flipped[i] ^= 0x01;
+    codec::Reader r{BytesView(flipped)};
+    const auto decoded = Checkpoint::Decode(r);
+    if (decoded == nullptr) continue;
+    if (!decoded->Verify(pki, orgs)) continue;
+    // Decoded *and* verified: the flip must have been semantically inert —
+    // the content still hashes to the original sealed digest.
+    EXPECT_EQ(decoded->ComputeDigest(), ckpt.digest) << "flip at " << i;
+  }
+}
+
+TEST(CheckpointAttest, AttestationSetRejectsEveryPrefixAndByteFlip) {
+  crypto::Pki pki;
+  std::vector<crypto::PrivateKey> keys;
+  std::set<crypto::KeyId> orgs;
+  for (int i = 0; i < 3; ++i) {
+    keys.push_back(pki.Generate("org-" + std::to_string(i)));
+    orgs.insert(keys.back().id());
+  }
+  const AttestationSet set = MakeAttested(D("ckpt"), keys);
+  codec::Writer w;
+  set.Encode(w);
+  const Bytes& encoded = w.data();
+
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    codec::Reader r{BytesView(encoded.data(), cut)};
+    AttestationSet out;
+    EXPECT_FALSE(AttestationSet::Decode(r, out)) << "prefix of " << cut;
+  }
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    Bytes flipped = encoded;
+    flipped[i] ^= 0x01;
+    codec::Reader r{BytesView(flipped)};
+    AttestationSet out;
+    if (!AttestationSet::Decode(r, out)) continue;
+    // Any decodable flip must cost quorum weight, never add it.
+    EXPECT_LT(out.CountValid(pki, orgs), 3u) << "flip at " << i;
+  }
+}
+
+TEST(CheckpointAttest, AttestationRejectsEveryPrefixAndByteFlip) {
+  crypto::Pki pki;
+  const crypto::PrivateKey key = pki.Generate("org-0");
+  const crypto::Digest digest = D("ckpt");
+  const CheckpointAttestation attestation{
+      key.id(), key.Sign(core::kCheckpointAttestContext, digest)};
+  ASSERT_TRUE(attestation.Verify(pki, digest));
+  codec::Writer w;
+  attestation.Encode(w);
+  const Bytes& encoded = w.data();
+
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    codec::Reader r{BytesView(encoded.data(), cut)};
+    CheckpointAttestation out;
+    EXPECT_FALSE(CheckpointAttestation::Decode(r, out)) << "prefix of " << cut;
+  }
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    Bytes flipped = encoded;
+    flipped[i] ^= 0x01;
+    codec::Reader r{BytesView(flipped)};
+    CheckpointAttestation out;
+    ASSERT_TRUE(CheckpointAttestation::Decode(r, out)) << "flip at " << i;
+    EXPECT_FALSE(out.Verify(pki, digest)) << "flip at " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end O(delta) catch-up through the chaos presets.
 
 TEST(CheckpointCatchup, LongPartitionHealsInODelta) {
@@ -316,6 +488,60 @@ TEST(CheckpointCatchup, PresetsReplayBitIdentically) {
     EXPECT_EQ(a.org_chain_heads, b.org_chain_heads);
     EXPECT_EQ(a.events_processed, b.events_processed);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Quorum-attested catch-up under active checkpoint-layer adversaries: the
+// byzantine-catchup preset runs f = n − q organizations forging,
+// equivocating, dishonestly attesting, withholding, replaying stale
+// snapshots and corrupting deltas — and the lagging honest org must still
+// heal in O(delta) through a q-of-n attested install.
+
+TEST(CheckpointCatchup, ByzantineCatchupHealsInODeltaUnderAttack) {
+  const chaos::Scenario with = chaos::MakeByzantineCatchupScenario(1);
+  chaos::Scenario without = with;
+  without.checkpoints = false;
+
+  const chaos::ChaosRunResult on = chaos::RunScenario(with);
+  const chaos::ChaosRunResult off = chaos::RunScenario(without);
+  // ok() covers convergence, safety, and the checkpoint-attestation
+  // invariant: every installed checkpoint at an honest org carries a valid
+  // q-of-n attestation set and its state is dominated by local state.
+  ASSERT_TRUE(on.ok()) << on.Summary();
+  ASSERT_TRUE(off.ok()) << off.Summary();
+  EXPECT_EQ(on.committed, with.tx_count);
+
+  // The partitioned honest org (index 5 by construction) healed through an
+  // attested snapshot, not by re-pulling history.
+  const core::CatchupStats& healed = on.org_catchup[5];
+  EXPECT_GE(healed.ckpt_installed, 1u);
+  EXPECT_GT(healed.ckpt_txs_covered, 0u);
+  EXPECT_LT(healed.sync_txs_received, off.org_catchup[5].sync_txs_received)
+      << "attested on: " << healed.sync_txs_received
+      << " bodies, baseline: " << off.org_catchup[5].sync_txs_received;
+
+  // The adversaries engaged and were contained: honest orgs refused
+  // unreproducible announcements and rejected unattested/forged snapshots,
+  // and the network still promoted honest checkpoints to quorum.
+  std::uint64_t honest_pushback = 0;
+  for (const std::size_t org : {0uz, 1uz, 4uz, 5uz}) {
+    honest_pushback += on.org_catchup[org].ckpt_refused +
+                       on.org_catchup[org].ckpt_rejected;
+  }
+  EXPECT_GT(honest_pushback, 0u);
+  EXPECT_GT(on.ckpt_attested_total, 0u);
+  // The dishonest attester (org 2) never got its forged seals promoted.
+  EXPECT_EQ(on.org_catchup[2].ckpt_attested, 0u);
+}
+
+TEST(CheckpointCatchup, ByzantineCatchupReplaysBitIdentically) {
+  const chaos::Scenario scenario = chaos::MakeByzantineCatchupScenario(1);
+  const chaos::ChaosRunResult a = chaos::RunScenario(scenario);
+  const chaos::ChaosRunResult b = chaos::RunScenario(scenario);
+  ASSERT_TRUE(a.ok()) << a.Summary();
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.org_chain_heads, b.org_chain_heads);
+  EXPECT_EQ(a.events_processed, b.events_processed);
 }
 
 // ---------------------------------------------------------------------------

@@ -91,6 +91,33 @@ TEST(ParallelCheckpoint, PresetScenariosIdenticalAcrossThreadCounts) {
   }
 }
 
+// Quorum attestation adds an announce/attest/promote round-trip and active
+// checkpoint-layer adversaries (forged digests, per-peer equivocation,
+// dishonest attestation, stale replay) to the hot path; the byzantine-catchup
+// preset must still be bit-identical at any thread count.
+TEST(ParallelCheckpoint, ByzantineCatchupIdenticalAcrossThreadCounts) {
+  const chaos::Scenario scenario = chaos::MakeByzantineCatchupScenario(1);
+  chaos::RunOptions options;
+  options.threads = 1;
+  const chaos::ChaosRunResult baseline = chaos::RunScenario(scenario, options);
+  EXPECT_TRUE(baseline.ok()) << baseline.Summary();
+  EXPECT_GT(baseline.ckpt_attested_total, 0u) << scenario.Describe();
+  EXPECT_GT(baseline.ckpt_refused_total, 0u) << scenario.Describe();
+  for (unsigned threads : {2u, 4u}) {
+    options.threads = threads;
+    const chaos::ChaosRunResult run = chaos::RunScenario(scenario, options);
+    EXPECT_EQ(run.fingerprint, baseline.fingerprint)
+        << scenario.Describe() << " threads=" << threads;
+    EXPECT_EQ(run.org_chain_heads, baseline.org_chain_heads)
+        << scenario.Describe() << " threads=" << threads;
+    EXPECT_EQ(run.events_processed, baseline.events_processed)
+        << scenario.Describe() << " threads=" << threads;
+    EXPECT_EQ(run.ckpt_attested_total, baseline.ckpt_attested_total);
+    EXPECT_EQ(run.ckpt_refused_total, baseline.ckpt_refused_total);
+    EXPECT_EQ(run.ckpt_rejected_total, baseline.ckpt_rejected_total);
+  }
+}
+
 struct ExperimentArtifacts {
   std::uint64_t events_processed = 0;
   std::string metrics_json;

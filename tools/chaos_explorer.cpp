@@ -8,8 +8,16 @@
 //   chaos_explorer --unsafe-demo           # q <= f misconfiguration demo
 //   chaos_explorer --preset long-partition # checkpoint catch-up presets
 //   chaos_explorer --preset crash-restart  #   (--preset-seed S to vary)
+//   chaos_explorer --preset byzantine-catchup  # f=n-q checkpoint adversaries
+//   chaos_explorer --byzantine-seeds 16    # sweep the first 16 generated
+//                                          # scenarios with Byzantine orgs
+//                                          # (checkpoints + attestation on)
 //   chaos_explorer --seed 1337 --trace t.json [--trace-filter kinds]
 //                  [--metrics-json m.json]   # record + export a trace
+//
+// On an invariant failure, --minimized-out PATH additionally ddmin-shrinks
+// the fault script and writes the minimized scenario description to PATH
+// (the CI sweep uploads it as the repro artifact).
 //
 // With tracing on, an invariant failure additionally dumps the trace tail
 // and the per-phase timeline of every offending transaction.
@@ -32,6 +40,9 @@
 #include "obs/trace.h"
 
 namespace {
+
+constexpr const char* kPresetNames[] = {"long-partition", "crash-restart",
+                                        "byzantine-catchup"};
 
 using orderless::chaos::ChaosRunResult;
 using orderless::chaos::GenerateScenario;
@@ -81,8 +92,33 @@ void PrintTraceTriage(const obs::Tracer& tracer, const ChaosRunResult& result) {
   }
 }
 
+/// Shared failure artifact: ddmin the script and write the minimized
+/// description (plus the violations it still trips) to `path`.
+void WriteMinimizedArtifact(const Scenario& scenario,
+                            const std::string& path) {
+  std::printf("minimizing fault script (%zu events) for %s...\n",
+              scenario.events.size(), path.c_str());
+  const auto min = MinimizeScenario(scenario);
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "%s", min.minimized.Describe().c_str());
+  for (const Violation& v : min.failing_run.violations) {
+    std::fprintf(out, "  VIOLATION [%s] %s\n", v.invariant.c_str(),
+                 v.detail.c_str());
+  }
+  std::fprintf(out, "reproduce with: chaos_explorer --seed %llu\n",
+               static_cast<unsigned long long>(min.minimized.seed));
+  std::fclose(out);
+  std::printf("wrote minimized scenario (%zu events, %u runs) to %s\n",
+              min.minimized.events.size(), min.runs, path.c_str());
+}
+
 void PrintFailure(const Scenario& scenario, const ChaosRunResult& result,
-                  bool minimize, const obs::Tracer* tracer) {
+                  bool minimize, const obs::Tracer* tracer,
+                  const std::string& minimized_out = {}) {
   std::printf("FAILED %s\n", result.Summary().c_str());
   PrintViolations(result);
   std::printf("%s", scenario.Describe().c_str());
@@ -96,6 +132,7 @@ void PrintFailure(const Scenario& scenario, const ChaosRunResult& result,
     std::printf("%s", min.minimized.Describe().c_str());
     PrintViolations(min.failing_run);
   }
+  if (!minimized_out.empty()) WriteMinimizedArtifact(scenario, minimized_out);
   std::printf("reproduce with: chaos_explorer --seed %llu\n",
               static_cast<unsigned long long>(scenario.seed));
 }
@@ -136,7 +173,7 @@ int RunOne(std::uint64_t seed, bool replay_check, bool minimize, bool verbose,
 }
 
 int RunSweep(std::uint64_t count, bool minimize, obs::Tracer* tracer,
-             unsigned threads) {
+             unsigned threads, const std::string& minimized_out) {
   std::uint64_t passed = 0;
   for (std::uint64_t seed = 1; seed <= count; ++seed) {
     const Scenario scenario = GenerateScenario(seed);
@@ -146,7 +183,7 @@ int RunSweep(std::uint64_t count, bool minimize, obs::Tracer* tracer,
     options.threads = threads;
     const ChaosRunResult result = RunScenario(scenario, options);
     if (!result.ok()) {
-      PrintFailure(scenario, result, minimize, tracer);
+      PrintFailure(scenario, result, minimize, tracer, minimized_out);
       std::printf("sweep: %llu/%llu seeds passed before failure\n",
                   static_cast<unsigned long long>(passed),
                   static_cast<unsigned long long>(count));
@@ -161,6 +198,49 @@ int RunSweep(std::uint64_t count, bool minimize, obs::Tracer* tracer,
     }
   }
   std::printf("sweep ok: %llu scenarios, all invariants held\n",
+              static_cast<unsigned long long>(passed));
+  return 0;
+}
+
+/// Sweeps the first `count` generated scenarios that actually draw Byzantine
+/// organizations — those run with checkpoints + quorum attestation enabled,
+/// so the active checkpoint adversaries get coverage on every run. Seeds are
+/// scanned in order, so the selection is deterministic.
+int RunByzantineSweep(std::uint64_t count, bool minimize, obs::Tracer* tracer,
+                      unsigned threads, const std::string& minimized_out) {
+  std::uint64_t passed = 0;
+  std::uint64_t seed = 0;
+  while (passed < count) {
+    ++seed;
+    const Scenario scenario = GenerateScenario(seed);
+    if (scenario.byzantine_budget == 0) continue;
+    if (!scenario.checkpoints || !scenario.attest) {
+      std::printf("GENERATOR BUG seed=%llu: Byzantine scenario without "
+                  "checkpoints+attest\n",
+                  static_cast<unsigned long long>(seed));
+      return 1;
+    }
+    if (tracer != nullptr) tracer->Clear();
+    RunOptions options;
+    options.tracer = tracer;
+    options.threads = threads;
+    const ChaosRunResult result = RunScenario(scenario, options);
+    if (!result.ok()) {
+      PrintFailure(scenario, result, minimize, tracer, minimized_out);
+      std::printf("byzantine sweep: %llu/%llu scenarios passed before "
+                  "failure\n",
+                  static_cast<unsigned long long>(passed),
+                  static_cast<unsigned long long>(count));
+      return 1;
+    }
+    ++passed;
+    std::printf("[%llu/%llu] seed %llu f=%u: %s\n",
+                static_cast<unsigned long long>(passed),
+                static_cast<unsigned long long>(count),
+                static_cast<unsigned long long>(seed),
+                scenario.byzantine_budget, result.Summary().c_str());
+  }
+  std::printf("byzantine sweep ok: %llu scenarios, all invariants held\n",
               static_cast<unsigned long long>(passed));
   return 0;
 }
@@ -182,15 +262,19 @@ int RunPreset(const Scenario& scenario, const char* name, bool replay_check,
   for (std::size_t i = 0; i < result.org_catchup.size(); ++i) {
     const auto& cu = result.org_catchup[i];
     std::printf(
-        "  org %zu: sealed=%llu sent=%llu installed=%llu covered=%llu "
-        "sync_rx=%llu pruned=%llu recovered=%llu\n",
+        "  org %zu: sealed=%llu sent=%llu installed=%llu rejected=%llu "
+        "covered=%llu sync_rx=%llu pruned=%llu recovered=%llu "
+        "attested=%llu refused=%llu\n",
         i, static_cast<unsigned long long>(cu.ckpt_sealed),
         static_cast<unsigned long long>(cu.ckpt_sent),
         static_cast<unsigned long long>(cu.ckpt_installed),
+        static_cast<unsigned long long>(cu.ckpt_rejected),
         static_cast<unsigned long long>(cu.ckpt_txs_covered),
         static_cast<unsigned long long>(cu.sync_txs_received),
         static_cast<unsigned long long>(cu.pruned_records),
-        static_cast<unsigned long long>(cu.recovered_records));
+        static_cast<unsigned long long>(cu.recovered_records),
+        static_cast<unsigned long long>(cu.ckpt_attested),
+        static_cast<unsigned long long>(cu.ckpt_refused));
   }
   if (replay_check) {
     const ChaosRunResult replay = RunScenario(scenario);
@@ -243,8 +327,10 @@ int main(int argc, char** argv) {
   std::string preset;
   std::uint64_t preset_seed = 1;
   std::uint64_t unsafe_seed = 1;
+  std::uint64_t byzantine_seeds = 0;
+  std::uint64_t preset_txs = 0;
   std::uint64_t threads = 1;
-  std::string trace_path, trace_filter, metrics_path;
+  std::string trace_path, trace_filter, metrics_path, minimized_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -279,6 +365,12 @@ int main(int argc, char** argv) {
       next_str(preset);
     } else if (arg == "--preset-seed") {
       next_u64(preset_seed);
+    } else if (arg == "--preset-txs") {
+      next_u64(preset_txs);
+    } else if (arg == "--byzantine-seeds") {
+      next_u64(byzantine_seeds);
+    } else if (arg == "--minimized-out") {
+      next_str(minimized_out);
     } else if (arg == "--verbose") {
       verbose = true;
     } else if (arg == "--threads") {
@@ -290,14 +382,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--metrics-json") {
       next_str(metrics_path);
     } else {
-      std::fprintf(stderr,
-                   "usage: chaos_explorer [--seeds N] [--seed S] "
-                   "[--replay-check] [--minimize] [--unsafe-demo] "
-                   "[--unsafe-seed S] "
-                   "[--preset long-partition|crash-restart] "
-                   "[--preset-seed S] [--verbose] [--threads N] "
-                   "[--trace PATH] "
-                   "[--trace-filter K,K] [--metrics-json PATH]\n");
+      std::fprintf(
+          stderr,
+          "usage: chaos_explorer [--seeds N] [--seed S] "
+          "[--replay-check] [--minimize] [--unsafe-demo] "
+          "[--unsafe-seed S] "
+          "[--preset long-partition|crash-restart|byzantine-catchup] "
+          "[--preset-seed S] [--preset-txs N] [--byzantine-seeds N] "
+          "[--minimized-out PATH] [--verbose] [--threads N] "
+          "[--trace PATH] "
+          "[--trace-filter K,K] [--metrics-json PATH]\n");
       return 2;
     }
   }
@@ -311,30 +405,45 @@ int main(int argc, char** argv) {
 
   const unsigned worker_threads =
       static_cast<unsigned>(threads == 0 ? 1 : threads);
+  auto with_txs = [&](Scenario s) {
+    if (preset_txs > 0) s.tx_count = static_cast<std::uint32_t>(preset_txs);
+    return s;
+  };
   int rc;
   if (unsafe_demo) {
     rc = RunUnsafeDemo(unsafe_seed, tracer_ptr, worker_threads);
   } else if (!preset.empty()) {
     if (preset == "long-partition") {
-      rc = RunPreset(orderless::chaos::MakeLongPartitionScenario(preset_seed),
+      rc = RunPreset(with_txs(orderless::chaos::MakeLongPartitionScenario(preset_seed)),
                      "long-partition", replay_check, tracer_ptr,
                      worker_threads);
     } else if (preset == "crash-restart") {
-      rc = RunPreset(orderless::chaos::MakeCrashRestartScenario(preset_seed),
+      rc = RunPreset(with_txs(orderless::chaos::MakeCrashRestartScenario(preset_seed)),
                      "crash-restart", replay_check, tracer_ptr,
                      worker_threads);
+    } else if (preset == "byzantine-catchup") {
+      rc = RunPreset(
+          with_txs(orderless::chaos::MakeByzantineCatchupScenario(preset_seed)),
+          "byzantine-catchup", replay_check, tracer_ptr, worker_threads);
     } else {
-      std::fprintf(stderr, "unknown preset: %s\n", preset.c_str());
+      std::fprintf(stderr, "unknown preset: %s\navailable presets:\n",
+                   preset.c_str());
+      for (const char* name : kPresetNames) {
+        std::fprintf(stderr, "  %s\n", name);
+      }
       return 2;
     }
+  } else if (byzantine_seeds > 0) {
+    rc = RunByzantineSweep(byzantine_seeds, minimize, tracer_ptr,
+                           worker_threads, minimized_out);
   } else if (have_seed) {
     rc = RunOne(seed, replay_check, minimize, verbose, tracer_ptr,
                 worker_threads);
   } else if (sweep > 0) {
-    rc = RunSweep(sweep, minimize, tracer_ptr, worker_threads);
+    rc = RunSweep(sweep, minimize, tracer_ptr, worker_threads, minimized_out);
   } else {
-    std::fprintf(stderr, "nothing to do: pass --seeds, --seed or "
-                         "--unsafe-demo\n");
+    std::fprintf(stderr, "nothing to do: pass --seeds, --seed, "
+                         "--byzantine-seeds, --preset or --unsafe-demo\n");
     return 2;
   }
 

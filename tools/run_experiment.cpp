@@ -33,6 +33,8 @@ void Usage() {
       "  --gossip-fanout N\n"
       "  --checkpoint-interval-ms N   signed CRDT checkpoints + O(delta)\n"
       "                       catch-up every N ms (orderless only; 0 = off)\n"
+      "  --checkpoint-attest  require q-of-n attestations before a\n"
+      "                       checkpoint installs (orderless only)\n"
       "  --threads N          simulation worker threads (orderless only;\n"
       "                       results are bit-identical at any N)\n"
       "  --trace PATH         write Chrome trace-event JSON (Perfetto)\n"
@@ -129,6 +131,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--checkpoint-interval-ms") {
       config.checkpoint_interval =
           sim::Ms(static_cast<std::uint64_t>(std::atoi(next())));
+    } else if (arg == "--checkpoint-attest") {
+      config.checkpoint_attest = true;
     } else if (arg == "--threads") {
       config.threads = static_cast<unsigned>(std::atoi(next()));
     } else if (arg == "--trace") {
