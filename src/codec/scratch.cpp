@@ -1,0 +1,46 @@
+#include "codec/scratch.h"
+
+#include <memory>
+#include <vector>
+
+#include "common/perf.h"
+
+namespace orderless::codec {
+
+namespace {
+// Thread-local: parallel lanes draw from their executing worker's pool, so
+// no synchronization and no cross-thread sharing (TSan-clean by
+// construction). Capacity is host-side state only — which pool a Writer
+// came from can never influence encoded bytes.
+thread_local std::vector<std::unique_ptr<Writer>> t_pool;
+// Nested ScratchWriters deeper than this return their Writer to the heap
+// instead of growing the pool without bound.
+constexpr std::size_t kMaxPooled = 8;
+}  // namespace
+
+ScratchWriter::ScratchWriter() : pooled_(orderless::perf::ArenaEnabled()) {
+  if (!pooled_) {
+    writer_ = &local_;
+    return;
+  }
+  if (t_pool.empty()) {
+    writer_ = new Writer();
+    return;
+  }
+  writer_ = t_pool.back().release();
+  t_pool.pop_back();
+  writer_->Clear();
+}
+
+ScratchWriter::~ScratchWriter() {
+  if (!pooled_) return;
+  if (t_pool.size() < kMaxPooled) {
+    t_pool.emplace_back(writer_);
+  } else {
+    delete writer_;
+  }
+}
+
+std::size_t ScratchWriterPoolSize() { return t_pool.size(); }
+
+}  // namespace orderless::codec

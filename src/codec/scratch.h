@@ -1,0 +1,39 @@
+// Pooled scratch Writers for within-event encode work.
+//
+// Hot paths (write-set digests, ledger record encodes, reply comparisons)
+// each used to construct a fresh Writer, paying one heap allocation per
+// use. A ScratchWriter borrows from a thread-local pool instead: released
+// Writers keep their buffer capacity (Writer::Clear()), so steady-state
+// encodes run malloc-free. With the arena perf toggle off it degrades to an
+// owned local Writer, restoring the legacy allocation profile exactly —
+// encoded bytes are identical either way.
+//
+// Scope rule mirrors the epoch arena: never hold a ScratchWriter (or a view
+// of its buffer) across an event boundary; copy bytes out before returning.
+#pragma once
+
+#include "codec/codec.h"
+
+namespace orderless::codec {
+
+class ScratchWriter {
+ public:
+  ScratchWriter();
+  ~ScratchWriter();
+  ScratchWriter(const ScratchWriter&) = delete;
+  ScratchWriter& operator=(const ScratchWriter&) = delete;
+
+  Writer& operator*() { return *writer_; }
+  Writer* operator->() { return writer_; }
+  Writer* get() { return writer_; }
+
+ private:
+  Writer* writer_;
+  Writer local_;  // used when pooling is toggled off
+  bool pooled_;
+};
+
+/// Pool occupancy for the current thread (tests/diagnostics).
+std::size_t ScratchWriterPoolSize();
+
+}  // namespace orderless::codec

@@ -1,0 +1,20 @@
+#include "common/perf.h"
+
+namespace orderless::perf {
+
+namespace {
+bool g_memo_enabled = true;
+bool g_arena_enabled = true;
+bool g_batch_crypto_enabled = true;
+}  // namespace
+
+bool MemoEnabled() { return g_memo_enabled; }
+void SetMemoEnabled(bool enabled) { g_memo_enabled = enabled; }
+
+bool ArenaEnabled() { return g_arena_enabled; }
+void SetArenaEnabled(bool enabled) { g_arena_enabled = enabled; }
+
+bool BatchCryptoEnabled() { return g_batch_crypto_enabled; }
+void SetBatchCryptoEnabled(bool enabled) { g_batch_crypto_enabled = enabled; }
+
+}  // namespace orderless::perf

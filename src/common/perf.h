@@ -1,0 +1,85 @@
+// Host-side performance toggles, shared by every layer.
+//
+// Each switch gates an optimization that only changes how fast the *host*
+// executes the simulation; simulated CPU service times, event ordering and
+// every protocol decision are identical with the switches on or off
+// (`bench/perf_hotpath` and the determinism tier-1 tests cross-check this by
+// exact simulated-result and fingerprint equality).
+//
+// The switches live below core so that the crypto and ledger layers can read
+// them too (src/core/perf.h forwards into this namespace for existing
+// callers). A plain bool per switch suffices: they are only ever flipped
+// between runs (bench A/B phases, test setup, --no-* escape hatches), never
+// while a simulation — sequential or parallel — is executing, so worker
+// lanes see a constant value for the whole run.
+#pragma once
+
+namespace orderless::perf {
+
+/// True (default) = encode-once/hash-once caches and validation memoization
+/// are active. False = every digest, encoding and validation is recomputed
+/// from scratch, byte-for-byte the pre-optimization behaviour.
+bool MemoEnabled();
+void SetMemoEnabled(bool enabled);
+
+/// True (default) = per-lane epoch arenas and the zero-copy transaction
+/// body path are active: hot-path scratch (digest encodes, validation
+/// temporaries, ledger key formatting) comes from bump allocators reset at
+/// the event/epoch boundary, pooled codec writers are reused across events,
+/// and a committed transaction's sealed canonical encoding is shared by
+/// reference into the ledger instead of copied. False = every temporary is
+/// freshly heap-allocated and every body byte is copied (the pre-arena
+/// behaviour; `perf_hotpath --no-arena`).
+bool ArenaEnabled();
+void SetArenaEnabled(bool enabled);
+
+/// True (default) = runtime-dispatched SIMD crypto: SHA-NI block compression
+/// when the CPU has it, multi-buffer 4/8-wide hashing for independent
+/// digests (`Sha256::HashBatch`), and batched keyed-hash signature
+/// verification (`Pki::VerifyBatch`). False = the portable scalar kernels
+/// everywhere (`perf_hotpath --no-batch-crypto`). Digests are identical
+/// either way — SHA-256 is SHA-256 — only host time differs.
+bool BatchCryptoEnabled();
+void SetBatchCryptoEnabled(bool enabled);
+
+/// RAII scopes for tests and benches that flip a switch and must restore it.
+class ScopedMemo {
+ public:
+  explicit ScopedMemo(bool enabled) : prev_(MemoEnabled()) {
+    SetMemoEnabled(enabled);
+  }
+  ~ScopedMemo() { SetMemoEnabled(prev_); }
+  ScopedMemo(const ScopedMemo&) = delete;
+  ScopedMemo& operator=(const ScopedMemo&) = delete;
+
+ private:
+  bool prev_;
+};
+
+class ScopedArena {
+ public:
+  explicit ScopedArena(bool enabled) : prev_(ArenaEnabled()) {
+    SetArenaEnabled(enabled);
+  }
+  ~ScopedArena() { SetArenaEnabled(prev_); }
+  ScopedArena(const ScopedArena&) = delete;
+  ScopedArena& operator=(const ScopedArena&) = delete;
+
+ private:
+  bool prev_;
+};
+
+class ScopedBatchCrypto {
+ public:
+  explicit ScopedBatchCrypto(bool enabled) : prev_(BatchCryptoEnabled()) {
+    SetBatchCryptoEnabled(enabled);
+  }
+  ~ScopedBatchCrypto() { SetBatchCryptoEnabled(prev_); }
+  ScopedBatchCrypto(const ScopedBatchCrypto&) = delete;
+  ScopedBatchCrypto& operator=(const ScopedBatchCrypto&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace orderless::perf

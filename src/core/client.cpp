@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "codec/scratch.h"
 #include "core/perf.h"
 #include "obs/trace.h"
 
@@ -274,12 +275,32 @@ void Client::StartEndorsePhase(Pending& p) {
   p.chosen = PickOrgs(p);
 
   const sim::SimTime deadline = simulation_.now() + timing_.endorse_timeout;
-  // Hash once here; every per-org copy below inherits the warm digest cache,
-  // so Digest() for routing and WireSize() at Send are both free.
+  // Hash once here; every copy below inherits the warm digest cache, so
+  // Digest() for routing and WireSize() at Send are both free.
   (void)p.proposal.Digest();
+  const bool mutate_per_org =
+      byzantine_.active && byzantine_.inconsistent_clocks;
+  if (perf::ArenaEnabled() && !mutate_per_org) {
+    // Honest proposals are identical for every organization: one immutable
+    // message fans out to all q sends. The digest cache is warm, so the
+    // receiving lanes only ever read the shared proposal.
+    auto msg = std::make_shared<ProposalMsg>();
+    msg->proposal = p.proposal;
+    msg->deadline = deadline;
+    route_[p.proposal.Digest()] = p.seq;
+    for (std::size_t i = 0; i < p.chosen.size(); ++i) {
+      if (obs::Tracer* t = simulation_.tracer()) {
+        t->Instant(obs::EventKind::kProposalSend, simulation_.now(), node_,
+                   p.proposal.Digest().Prefix64(), org_nodes_[p.chosen[i]]);
+      }
+      network_.Send(node_, org_nodes_[p.chosen[i]], msg);
+    }
+    ArmTimeout(p, timing_.endorse_timeout);
+    return;
+  }
   for (std::size_t i = 0; i < p.chosen.size(); ++i) {
     Proposal proposal = p.proposal;
-    if (byzantine_.active && byzantine_.inconsistent_clocks) {
+    if (mutate_per_org) {
       // Byzantine fault (3): different logical timestamps per organization;
       // the endorsements cannot match and no valid transaction forms. The
       // in-place mutation voids the copied digest cache.
@@ -364,20 +385,36 @@ void Client::HandleEndorseReply(sim::NodeId from, const EndorseReplyMsg& msg) {
       // org's divergent write-set differs in its encoding, so it can never
       // inherit the honest digest.
       crypto::Digest ws;
-      if (perf::MemoEnabled()) {
-        codec::Writer w;
-        w.Reserve(16 + msg.ops.size() * 64);
-        crdt::EncodeOperations(msg.ops, w);
-        if (!p.last_ops_encoding.empty() &&
-            w.data() == p.last_ops_encoding) {
-          ws = p.last_ops_digest;
-        } else {
-          ws = crypto::Sha256::Hash(BytesView(w.data()));
-          p.last_ops_encoding = w.Take();
-          p.last_ops_digest = ws;
+      bool have_ws = false;
+      if (perf::ArenaEnabled()) {
+        // The canonical encoding is injective, so comparing ops vectors
+        // directly is equivalent to comparing encoded bytes: the all-honest
+        // case groups q replies with q-1 vector compares (no allocation)
+        // and a single encode+hash for the first reply.
+        for (const auto& [digest, existing] : p.groups) {
+          if (existing.ops == msg.ops) {
+            ws = digest;
+            have_ws = true;
+            break;
+          }
         }
-      } else {
-        ws = WriteSetDigest(msg.ops);
+      }
+      if (!have_ws) {
+        if (perf::MemoEnabled()) {
+          codec::ScratchWriter w;
+          w->Reserve(16 + msg.ops.size() * 64);
+          crdt::EncodeOperations(msg.ops, *w);
+          if (!p.last_ops_encoding.empty() &&
+              w->data() == p.last_ops_encoding) {
+            ws = p.last_ops_digest;
+          } else {
+            ws = crypto::Sha256::Hash(BytesView(w->data()));
+            p.last_ops_encoding = w->Take();
+            p.last_ops_digest = ws;
+          }
+        } else {
+          ws = WriteSetDigest(msg.ops);
+        }
       }
       auto& group = p.groups[ws];
       if (group.ops.empty()) group.ops = msg.ops;
@@ -487,14 +524,26 @@ void Client::StartCommitPhase(Pending& p, Pending::WsGroup group) {
 }
 
 void Client::SendCommits(Pending& p) {
+  // One immutable message serves every commit target (receivers only read);
+  // the simulated wire cost is still charged per link. Legacy keeps per-org
+  // copies so the A/B baseline reflects the old allocation profile.
+  std::shared_ptr<CommitMsg> shared;
   for (std::size_t idx : p.commit_targets) {
     if (obs::Tracer* t = simulation_.tracer()) {
       t->Instant(obs::EventKind::kCommitSend, simulation_.now(), node_,
                  p.tx->id.Prefix64(), org_nodes_[idx]);
     }
-    auto msg = std::make_shared<CommitMsg>();
-    msg->tx = p.tx;
-    network_.Send(node_, org_nodes_[idx], msg);
+    if (perf::ArenaEnabled()) {
+      if (!shared) {
+        shared = std::make_shared<CommitMsg>();
+        shared->tx = p.tx;
+      }
+      network_.Send(node_, org_nodes_[idx], shared);
+    } else {
+      auto msg = std::make_shared<CommitMsg>();
+      msg->tx = p.tx;
+      network_.Send(node_, org_nodes_[idx], msg);
+    }
   }
   ArmTimeout(p, timing_.commit_timeout);
 }

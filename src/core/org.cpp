@@ -215,8 +215,11 @@ void Organization::OnDelivery(const sim::Delivery& delivery) {
   if (delivery.corrupted) return;  // undecodable on the wire
   if (const auto* proposal =
           dynamic_cast<const ProposalMsg*>(delivery.message.get())) {
-    // Copy is cheap relative to execution; keeps the handler simple.
-    HandleProposal(delivery.from, *proposal);
+    // Aliasing share of the delivered message: the handler (and the deferred
+    // execution it schedules) borrows the proposal instead of copying it.
+    HandleProposal(delivery.from,
+                   std::shared_ptr<const ProposalMsg>(delivery.message,
+                                                      proposal));
     return;
   }
   if (const auto* commit =
@@ -439,13 +442,14 @@ void Organization::SendBusy(sim::NodeId to, const crypto::Digest& ref,
   network_.Send(node_, to, busy);
 }
 
-void Organization::HandleProposal(sim::NodeId from, const ProposalMsg& msg) {
+void Organization::HandleProposal(sim::NodeId from,
+                                  std::shared_ptr<const ProposalMsg> msg) {
   if (byzantine_.active && rng_.NextBool(byzantine_.ignore_proposal_prob)) {
     return;  // Byzantine: silently drop
   }
   const sim::SimTime arrival = simulation_.now();
-  const Proposal proposal = msg.proposal;
-  const sim::SimTime deadline = msg.deadline;
+  const Proposal& proposal = msg->proposal;
+  const sim::SimTime deadline = msg->deadline;
 
   // Estimate service before executing: base plus argument-proportional work.
   const sim::SimTime exec_service =
@@ -470,77 +474,97 @@ void Organization::HandleProposal(sim::NodeId from, const ProposalMsg& msg) {
     }
   }
 
-  cpu_.Submit(exec_service, [this, from, proposal, arrival] {
-    if (!running_) return;
-    auto reply = std::make_shared<EndorseReplyMsg>();
-    reply->proposal_digest = proposal.Digest();
+  if (perf::ArenaEnabled()) {
+    // The 16-byte shared_ptr capture fits the closure's inline buffer and
+    // borrows the delivered message — no Proposal deep copies. The sender
+    // warms the proposal's digest cache before the send, so even a message
+    // fanned out to several organizations is only ever read here.
+    cpu_.Submit(exec_service,
+                sim::TriviallyRelocatable{[this, from, msg, arrival] {
+                  ExecuteProposal(from, msg->proposal, arrival);
+                }});
+  } else {
+    // Legacy allocation profile for the A/B: copy into the closure.
+    const Proposal copy = proposal;
+    cpu_.Submit(exec_service, [this, from, copy, arrival] {
+      ExecuteProposal(from, copy, arrival);
+    });
+  }
+}
 
-    const SmartContract* contract = contracts_.Find(proposal.contract);
-    if (contract == nullptr) {
-      reply->ok = false;
-      reply->error = "unknown contract: " + proposal.contract;
-      network_.Send(node_, from, reply);
-      return;
-    }
-    Invocation in;
-    in.client = proposal.client;
-    in.clock = proposal.clock;
-    in.args = proposal.args;
-    LedgerReadContext state(ledger_);
-    ContractResult result = contract->Invoke(state, proposal.function, in);
-    if (!result.ok) {
-      reply->ok = false;
-      reply->error = result.error;
-      network_.Send(node_, from, reply);
-      return;
-    }
+void Organization::ExecuteProposal(sim::NodeId from, const Proposal& proposal,
+                                   sim::SimTime arrival) {
+  if (!running_) return;
+  auto reply = std::make_shared<EndorseReplyMsg>();
+  reply->proposal_digest = proposal.Digest();
 
-    if (proposal.read_only) {
-      // Reads go through the cache's lock as well (read-your-writes path).
-      const sim::SimTime lock_service =
-          timing_.cache_read_base + timing_.cache_read_per_object *
-                                        std::max<std::uint32_t>(
-                                            1, result.objects_read);
-      auto value = std::make_shared<crdt::Value>(std::move(result.value));
-      cache_lock_.Submit(lock_service, [this, from, reply, value, arrival] {
-        reply->ok = true;
-        reply->read_value = *value;
-        phase_stats_.endorse_count++;
-        phase_stats_.endorse_time_us += simulation_.now() - arrival;
-        if (obs::Tracer* t = simulation_.tracer()) {
-          t->Span(obs::EventKind::kEndorseExec, arrival, simulation_.now(),
-                  node_, reply->proposal_digest.Prefix64());
-        }
-        network_.Send(node_, from, reply);
-      });
-      return;
-    }
-
-    std::vector<crdt::Operation> ops = std::move(result.ops);
-    if (byzantine_.active && rng_.NextBool(byzantine_.wrong_endorse_prob) &&
-        !ops.empty()) {
-      // Byzantine: execute the contract incorrectly — the write-set will not
-      // match honest endorsements and the client cannot assemble a valid tx.
-      if (ops[0].value.IsInt()) {
-        ops[0].value = crdt::Value(ops[0].value.AsInt() + 987654321);
-      } else {
-        ops[0].value = crdt::Value(std::string("byzantine-garbage"));
-      }
-    }
-    const crypto::Digest ws_digest = WriteSetDigest(ops);
-    reply->ok = true;
-    reply->ops = std::move(ops);
-    reply->endorsement.org = key_.id();
-    reply->endorsement.signature = key_.Sign(
-        kEndorseContext, EndorsementMessage(reply->proposal_digest, ws_digest));
-    phase_stats_.endorse_count++;
-    phase_stats_.endorse_time_us += simulation_.now() - arrival;
-    if (obs::Tracer* t = simulation_.tracer()) {
-      t->Span(obs::EventKind::kEndorseExec, arrival, simulation_.now(), node_,
-              reply->proposal_digest.Prefix64());
-    }
+  const SmartContract* contract = contracts_.Find(proposal.contract);
+  if (contract == nullptr) {
+    reply->ok = false;
+    reply->error = "unknown contract: " + proposal.contract;
     network_.Send(node_, from, reply);
-  });
+    return;
+  }
+  Invocation in;
+  in.client = proposal.client;
+  in.clock = proposal.clock;
+  in.args = proposal.args;
+  LedgerReadContext state(ledger_);
+  ContractResult result = contract->Invoke(state, proposal.function, in);
+  if (!result.ok) {
+    reply->ok = false;
+    reply->error = result.error;
+    network_.Send(node_, from, reply);
+    return;
+  }
+
+  if (proposal.read_only) {
+    // Reads go through the cache's lock as well (read-your-writes path).
+    const sim::SimTime lock_service =
+        timing_.cache_read_base +
+        timing_.cache_read_per_object *
+            std::max<std::uint32_t>(1, result.objects_read);
+    auto value = std::make_shared<crdt::Value>(std::move(result.value));
+    cache_lock_.Submit(lock_service, sim::TriviallyRelocatable{[this, from,
+                                                               reply, value,
+                                                               arrival] {
+      reply->ok = true;
+      reply->read_value = *value;
+      phase_stats_.endorse_count++;
+      phase_stats_.endorse_time_us += simulation_.now() - arrival;
+      if (obs::Tracer* t = simulation_.tracer()) {
+        t->Span(obs::EventKind::kEndorseExec, arrival, simulation_.now(),
+                node_, reply->proposal_digest.Prefix64());
+      }
+      network_.Send(node_, from, reply);
+    }});
+    return;
+  }
+
+  std::vector<crdt::Operation> ops = std::move(result.ops);
+  if (byzantine_.active && rng_.NextBool(byzantine_.wrong_endorse_prob) &&
+      !ops.empty()) {
+    // Byzantine: execute the contract incorrectly — the write-set will not
+    // match honest endorsements and the client cannot assemble a valid tx.
+    if (ops[0].value.IsInt()) {
+      ops[0].value = crdt::Value(ops[0].value.AsInt() + 987654321);
+    } else {
+      ops[0].value = crdt::Value(std::string("byzantine-garbage"));
+    }
+  }
+  const crypto::Digest ws_digest = WriteSetDigest(ops);
+  reply->ok = true;
+  reply->ops = std::move(ops);
+  reply->endorsement.org = key_.id();
+  reply->endorsement.signature = key_.Sign(
+      kEndorseContext, EndorsementMessage(reply->proposal_digest, ws_digest));
+  phase_stats_.endorse_count++;
+  phase_stats_.endorse_time_us += simulation_.now() - arrival;
+  if (obs::Tracer* t = simulation_.tracer()) {
+    t->Span(obs::EventKind::kEndorseExec, arrival, simulation_.now(), node_,
+            reply->proposal_digest.Prefix64());
+  }
+  network_.Send(node_, from, reply);
 }
 
 void Organization::HandleCommit(sim::NodeId from,
@@ -576,7 +600,11 @@ void Organization::HandleCommit(sim::NodeId from,
   }
   const sim::SimTime arrival = simulation_.now();
 
-  cpu_.Submit(timing_.dedup_check, [this, from, tx, from_gossip, arrival] {
+  // TriviallyRelocatable: scalar + shared_ptr captures relocate by raw byte
+  // copy inside the event queue's slab (see sim::SmallFn).
+  cpu_.Submit(timing_.dedup_check, sim::TriviallyRelocatable{[this, from, tx,
+                                                             from_gossip,
+                                                             arrival] {
     if (!running_) return;
     // Already committed: do not commit again; resend the receipt (paper §4).
     const auto done = commit_index_.find(tx->id);
@@ -602,7 +630,8 @@ void Organization::HandleCommit(sim::NodeId from,
         timing_.commit_per_sig *
             static_cast<sim::SimTime>(tx->endorsements.size() + 1);
     cpu_.Submit(validate_service,
-                [this, from, tx, from_gossip, arrival, validate_service] {
+                sim::TriviallyRelocatable{[this, from, tx, from_gossip,
+                                          arrival, validate_service] {
       if (!running_) return;
       // The simulated validate_service above is charged regardless; the memo
       // only skips the host-side hashing when another organization already
@@ -630,24 +659,23 @@ void Organization::HandleCommit(sim::NodeId from,
             timing_.cache_apply_base +
             timing_.cache_apply_per_op *
                 static_cast<sim::SimTime>(tx->ops.size());
-        cache_lock_.Submit(apply_service,
-                           [this, from, tx, from_gossip, arrival,
-                            apply_service] {
-                             if (!running_) return;
-                             if (obs::Tracer* t = simulation_.tracer()) {
-                               t->Span(obs::EventKind::kCrdtApply,
-                                       simulation_.now() - apply_service,
-                                       simulation_.now(), node_,
-                                       tx->id.Prefix64());
-                             }
-                             FinishCommit(from, tx, from_gossip,
-                                          TxVerdict::kValid, arrival);
-                           });
+        cache_lock_.Submit(
+            apply_service,
+            sim::TriviallyRelocatable{[this, from, tx, from_gossip, arrival,
+                                       apply_service] {
+              if (!running_) return;
+              if (obs::Tracer* t = simulation_.tracer()) {
+                t->Span(obs::EventKind::kCrdtApply,
+                        simulation_.now() - apply_service, simulation_.now(),
+                        node_, tx->id.Prefix64());
+              }
+              FinishCommit(from, tx, from_gossip, TxVerdict::kValid, arrival);
+            }});
       } else {
         FinishCommit(from, tx, from_gossip, verdict, arrival);
       }
-    });
-  });
+    }});
+  }});
 }
 
 void Organization::FinishCommit(sim::NodeId from,
@@ -675,9 +703,12 @@ void Organization::FinishCommit(sim::NodeId from,
     return;
   }
   const bool valid = verdict == TxVerdict::kValid;
+  // A static empty vector keeps both ternary branches lvalues: the old
+  // prvalue form deep-copied tx->ops (every string in every operation) on
+  // every valid commit just to pass a const reference.
+  static const std::vector<crdt::Operation> kNoOps;
   const ledger::Block& block =
-      ledger_.Commit(tx->id, valid, valid ? tx->ops
-                                          : std::vector<crdt::Operation>{});
+      ledger_.Commit(tx->id, valid, valid ? tx->ops : kNoOps);
   commit_index_[tx->id] = CommitRecord{valid, block.hash};
   if (!valid) ++rejected_;
 
@@ -709,7 +740,9 @@ void Organization::FinishCommit(sim::NodeId from,
     advert_queue_.emplace_back(tx->id, timing_.gossip_rounds);
     // Keep the transaction around long enough to serve pulls triggered by
     // the last advert round (one extra round-trip of slack).
-    recent_txs_[tx->id] = {tx, timing_.gossip_rounds + 4};
+    const std::uint64_t expire_at = gossip_tick_ + timing_.gossip_rounds + 4;
+    recent_txs_[tx->id] = {tx, expire_at};
+    recent_expiry_.emplace_back(expire_at, tx->id);
     if (timing_.antientropy_interval > 0) {
       committed_txs_.push_back(tx);
       ++committed_count_;
@@ -719,7 +752,13 @@ void Organization::FinishCommit(sim::NodeId from,
       // organizations committing the same gossiped tx serialize it once
       // between them instead of once each.
       if (perf::MemoEnabled()) {
-        ledger_.PutTransactionBody(tx->id, tx->EncodedBody());
+        if (perf::ArenaEnabled()) {
+          // Zero-copy: the store adopts the sealed canonical encoding the
+          // transaction already carries instead of duplicating the bytes.
+          ledger_.PutTransactionBodyRef(tx->id, tx->SharedEncoding());
+        } else {
+          ledger_.PutTransactionBody(tx->id, tx->EncodedBody());
+        }
       } else {
         codec::Writer w;
         tx->Encode(w);
@@ -754,12 +793,17 @@ void Organization::GossipTick() {
   }
   std::erase_if(advert_queue_,
                 [](const auto& entry) { return entry.second == 0; });
-  // Expire the pull-serving buffer and the pull-dedup index.
-  for (auto it = recent_txs_.begin(); it != recent_txs_.end();) {
-    if (--it->second.second == 0) {
-      it = recent_txs_.erase(it);
-    } else {
-      ++it;
+  // Expire the pull-serving buffer: the FIFO is in expiry order, so only
+  // the entries lapsing this tick are touched (a refreshed entry's stale
+  // FIFO record is skipped via the expiry recorded in the map).
+  ++gossip_tick_;
+  while (!recent_expiry_.empty() &&
+         recent_expiry_.front().first <= gossip_tick_) {
+    const crypto::Digest id = recent_expiry_.front().second;
+    recent_expiry_.pop_front();
+    const auto it = recent_txs_.find(id);
+    if (it != recent_txs_.end() && it->second.second <= gossip_tick_) {
+      recent_txs_.erase(it);
     }
   }
   // Pending-pull repair: a pull (or its reply) that got dropped leaves the

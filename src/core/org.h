@@ -3,6 +3,7 @@
 // its peers (paper §4).
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -299,7 +300,10 @@ class Organization {
   class LedgerReadContext;
 
   void OnDelivery(const sim::Delivery& delivery);
-  void HandleProposal(sim::NodeId from, const ProposalMsg& msg);
+  void HandleProposal(sim::NodeId from, std::shared_ptr<const ProposalMsg> msg);
+  /// Phase-1 contract execution + endorsement; runs on the CPU service queue.
+  void ExecuteProposal(sim::NodeId from, const Proposal& proposal,
+                       sim::SimTime arrival);
   void HandleCommit(sim::NodeId from, std::shared_ptr<const Transaction> tx,
                     bool from_gossip);
   /// Backpressure reply for work shed at admission.
@@ -373,12 +377,19 @@ class Organization {
 
   // Ids still being advertised to peers: (tx id, remaining rounds).
   std::vector<std::pair<crypto::Digest, std::uint32_t>> advert_queue_;
-  // Recently committed transactions kept to serve pulls: (tx, ttl ticks).
+  // Recently committed transactions kept to serve pulls: (tx, expiry tick).
+  // Expiry is driven by the FIFO below, so a tick touches only the entries
+  // that actually lapse instead of walking the whole buffer.
   std::unordered_map<crypto::Digest,
                      std::pair<std::shared_ptr<const Transaction>,
-                               std::uint32_t>,
+                               std::uint64_t>,
                      crypto::DigestHash>
       recent_txs_;
+  // (expiry tick, id) in insertion order — monotone, since every entry gets
+  // the same TTL. A re-commit refreshes the map's expiry; the stale FIFO
+  // entry is skipped when it surfaces.
+  std::deque<std::pair<std::uint64_t, crypto::Digest>> recent_expiry_;
+  std::uint64_t gossip_tick_ = 0;
   // Pulls awaiting their GossipMsg, keyed by tx id. Suppresses duplicate
   // pulls while outstanding, and — because a dropped PullRequest/PullReply
   // would otherwise orphan the id until anti-entropy — re-sends the pull to

@@ -1,39 +1,25 @@
-// Host-side performance toggles.
+// Host-side performance toggles — forwarding shim.
 //
-// The encode-once / hash-once transaction caches and the per-organization
-// validation memo only change how fast the *host* executes the simulation;
-// simulated CPU service times, event ordering and every protocol decision
-// are identical with the caches on or off (the determinism tier-1 test and
-// `bench/perf_hotpath` both cross-check this by fingerprint equality).
-//
-// One process-wide switch keeps the escape hatch trivial to reach from a
-// bench (`--no-memo`), a test, or a debugging session without threading a
-// flag through every config struct. A plain bool suffices: the switch is
-// only ever flipped between runs (bench A/B phases, test setup), never
-// while the simulation — sequential or parallel — is executing, so worker
-// lanes see a constant value for the whole run.
+// The switches moved to src/common/perf.h so layers below core (crypto,
+// ledger, sim) can read them too; this header keeps the historical
+// `core::perf` spelling working for existing callers. See common/perf.h for
+// the semantics and the bit-identical-results contract.
 #pragma once
+
+#include "common/perf.h"
 
 namespace orderless::core::perf {
 
-/// True (default) = encode-once/hash-once caches and validation memoization
-/// are active. False = every digest, encoding and validation is recomputed
-/// from scratch, byte-for-byte the pre-optimization behaviour.
-bool MemoEnabled();
-void SetMemoEnabled(bool enabled);
+using orderless::perf::MemoEnabled;
+using orderless::perf::SetMemoEnabled;
+using orderless::perf::ScopedMemo;
 
-/// RAII scope for tests that flip the switch and must restore it.
-class ScopedMemo {
- public:
-  explicit ScopedMemo(bool enabled) : prev_(MemoEnabled()) {
-    SetMemoEnabled(enabled);
-  }
-  ~ScopedMemo() { SetMemoEnabled(prev_); }
-  ScopedMemo(const ScopedMemo&) = delete;
-  ScopedMemo& operator=(const ScopedMemo&) = delete;
+using orderless::perf::ArenaEnabled;
+using orderless::perf::SetArenaEnabled;
+using orderless::perf::ScopedArena;
 
- private:
-  bool prev_;
-};
+using orderless::perf::BatchCryptoEnabled;
+using orderless::perf::SetBatchCryptoEnabled;
+using orderless::perf::ScopedBatchCrypto;
 
 }  // namespace orderless::core::perf

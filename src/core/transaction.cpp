@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "codec/scratch.h"
 #include "core/perf.h"
 
 namespace orderless::core {
@@ -44,13 +45,13 @@ std::optional<Proposal> Proposal::Decode(codec::Reader& r) {
 
 crypto::Digest Proposal::Digest() const {
   if (cached_ && perf::MemoEnabled()) return cached_digest_;
-  codec::Writer w;
-  w.Reserve(32 + contract.size() + function.size() + args.size() * 16);
-  Encode(w);
-  const crypto::Digest d = crypto::Sha256::Hash(BytesView(w.data()));
+  codec::ScratchWriter w;
+  w->Reserve(32 + contract.size() + function.size() + args.size() * 16);
+  Encode(*w);
+  const crypto::Digest d = crypto::Sha256::Hash(BytesView(w->data()));
   if (perf::MemoEnabled()) {
     cached_digest_ = d;
-    cached_wire_size_ = w.size();
+    cached_wire_size_ = w->size();
     cached_ = true;
   }
   return d;
@@ -61,16 +62,16 @@ std::size_t Proposal::WireSize() const {
     if (!cached_) (void)Digest();  // one encode stamps both digest and size
     return cached_wire_size_;
   }
-  codec::Writer w;
-  Encode(w);
-  return w.size();
+  codec::ScratchWriter w;
+  Encode(*w);
+  return w->size();
 }
 
 crypto::Digest WriteSetDigest(const std::vector<crdt::Operation>& ops) {
-  codec::Writer w;
-  w.Reserve(16 + ops.size() * 64);
-  crdt::EncodeOperations(ops, w);
-  return crypto::Sha256::Hash(BytesView(w.data()));
+  codec::ScratchWriter w;
+  w->Reserve(16 + ops.size() * 64);
+  crdt::EncodeOperations(ops, *w);
+  return crypto::Sha256::Hash(BytesView(w->data()));
 }
 
 crypto::Digest EndorsementMessage(const crypto::Digest& proposal_digest,
@@ -137,16 +138,20 @@ void Transaction::Encode(codec::Writer& w) const {
 }
 
 BytesView Transaction::EncodedBody() const {
-  // An encoded transaction is never empty, so empty doubles as "not yet
-  // computed". Populated even with the memo off: callers hold the returned
-  // view past this call, so it must always point at owned storage.
-  if (cached_encoding_.empty()) {
+  // Populated even with the memo off: callers hold the returned view past
+  // this call, so it must always point at owned storage.
+  if (!cached_encoding_) {
     codec::Writer w;
     w.Reserve(WireSize() + endorsements.size() * 16 + 32);
     EncodeTransactionFields(*this, w);
-    cached_encoding_ = w.Take();
+    cached_encoding_ = std::make_shared<const Bytes>(w.Take());
   }
-  return BytesView(cached_encoding_);
+  return BytesView(*cached_encoding_);
+}
+
+std::shared_ptr<const Bytes> Transaction::SharedEncoding() const {
+  (void)EncodedBody();
+  return cached_encoding_;
 }
 
 crypto::Digest Transaction::ProposalDigest() const { return proposal.Digest(); }
@@ -195,7 +200,8 @@ std::shared_ptr<Transaction> Transaction::Decode(codec::Reader& r) {
 
 std::size_t Transaction::WireSize() const {
   if (cached_wire_size_ == 0) {
-    codec::Writer w;
+    codec::ScratchWriter sw;
+    codec::Writer& w = *sw;
     proposal.Encode(w);
     crdt::EncodeOperations(ops, w);
     // endorsements: org id + 32-byte signature; client signature + id.
@@ -235,11 +241,59 @@ TxVerdict ValidateTransaction(const Transaction& tx, const crypto::Pki& pki,
   if (Transaction::ComputeId(proposal_digest, ws_digest) != tx.id) {
     return TxVerdict::kIdMismatch;
   }
+  const crypto::Digest message = EndorsementMessage(proposal_digest, ws_digest);
+
+  // Batch path: hash the client signature and every endorsement keyed-hash
+  // in one multi-buffer pass, then reconstruct the scalar loop's exact
+  // first-failure verdict from positions. The structural checks (unknown
+  // signer, duplicate) don't depend on signature outcomes, so scanning them
+  // first is order-equivalent: the scalar loop would return a signature
+  // failure only if it occurs at an earlier index than the first structural
+  // failure, which is precisely what the position walk below reports.
+  const std::size_t n = tx.endorsements.size();
+  if (perf::BatchCryptoEnabled() && n >= 2) {
+    std::size_t structural_pos = n;
+    TxVerdict structural_verdict = TxVerdict::kValid;
+    std::unordered_set<crypto::KeyId> seen;
+    seen.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!organization_keys.contains(tx.endorsements[i].org)) {
+        structural_pos = i;
+        structural_verdict = TxVerdict::kUnknownEndorser;
+        break;
+      }
+      if (!seen.insert(tx.endorsements[i].org).second) {
+        structural_pos = i;
+        structural_verdict = TxVerdict::kDuplicateEndorser;
+        break;
+      }
+    }
+    // Endorsements past the first structural failure are never verified by
+    // the scalar loop, so exclude them from the batch too.
+    std::vector<crypto::Pki::BatchItem> items;
+    items.reserve(1 + structural_pos);
+    items.push_back(crypto::Pki::BatchItem{tx.proposal.client, kTxContext,
+                                           tx.id.View(), tx.client_signature});
+    for (std::size_t i = 0; i < structural_pos; ++i) {
+      items.push_back(crypto::Pki::BatchItem{tx.endorsements[i].org,
+                                             kEndorseContext, message.View(),
+                                             tx.endorsements[i].signature});
+    }
+    std::unique_ptr<bool[]> valid(new bool[items.size()]());
+    pki.VerifyBatch(items.data(), items.size(), valid.get());
+    if (!valid[0]) return TxVerdict::kBadClientSignature;
+    for (std::size_t i = 0; i < structural_pos; ++i) {
+      if (!valid[1 + i]) return TxVerdict::kBadEndorsementSignature;
+    }
+    if (structural_pos < n) return structural_verdict;
+    if (n < policy.q) return TxVerdict::kInsufficientEndorsements;
+    return TxVerdict::kValid;
+  }
+
   if (!pki.Verify(tx.proposal.client, kTxContext, tx.id,
                   tx.client_signature)) {
     return TxVerdict::kBadClientSignature;
   }
-  const crypto::Digest message = EndorsementMessage(proposal_digest, ws_digest);
   std::unordered_set<crypto::KeyId> seen;
   std::uint32_t valid_endorsements = 0;
   for (const auto& endorsement : tx.endorsements) {

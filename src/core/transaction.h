@@ -103,6 +103,12 @@ struct Transaction {
   /// valid for the life of the transaction object.
   BytesView EncodedBody() const;
 
+  /// The same canonical encoding as a refcounted buffer, for sinks that keep
+  /// the bytes (ledger body persistence): sharing the transaction's own
+  /// encoding end-to-end replaces the copy the store used to take. The
+  /// buffer outlives the transaction if the sink holds it longer.
+  std::shared_ptr<const Bytes> SharedEncoding() const;
+
   /// Cached digest of the embedded proposal / write-set — what
   /// ValidateTransaction recomputed from scratch per organization before.
   crypto::Digest ProposalDigest() const;
@@ -115,14 +121,16 @@ struct Transaction {
   /// i.e. tests modelling tampering; protocol code never mutates one.
   void InvalidateCache() const {
     cached_wire_size_ = 0;
-    cached_encoding_.clear();
+    cached_encoding_.reset();
     ops_digest_cached_ = false;
     proposal.InvalidateCache();
   }
 
  private:
   mutable std::size_t cached_wire_size_ = 0;
-  mutable Bytes cached_encoding_;
+  // Refcounted so SharedEncoding() can hand the buffer to long-lived sinks
+  // without copying; EncodedBody() views into the same storage.
+  mutable std::shared_ptr<const Bytes> cached_encoding_;
   mutable bool ops_digest_cached_ = false;
   mutable crypto::Digest cached_ops_digest_{};
 };

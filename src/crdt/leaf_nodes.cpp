@@ -1,6 +1,7 @@
 #include "crdt/leaf_nodes.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace orderless::crdt {
 
@@ -8,6 +9,24 @@ namespace {
 // Leaf operations must target this node exactly (path fully consumed).
 bool AtLeaf(const Operation& op, std::size_t depth) {
   return depth == op.path.size();
+}
+
+// Contributions live in a hash set for O(1) dedup on the apply path; the
+// canonical encoding sorts a copy so the bytes match the ordered layout the
+// format has always used.
+template <typename Contributions>
+void EncodeContributions(const Contributions& contributions,
+                         codec::Writer& w) {
+  std::vector<std::pair<OpId, std::int64_t>> sorted(contributions.begin(),
+                                                    contributions.end());
+  std::sort(sorted.begin(), sorted.end());
+  w.PutVarint(sorted.size());
+  for (const auto& [id, amount] : sorted) {
+    w.PutVarint(id.client);
+    w.PutVarint(id.counter);
+    w.PutU32(id.seq);
+    w.PutI64(amount);
+  }
 }
 }  // namespace
 
@@ -33,13 +52,7 @@ ReadResult GCounterNode::ReadAt(const std::vector<std::string>& path,
 }
 
 void GCounterNode::Encode(codec::Writer& w) const {
-  w.PutVarint(contributions_.size());
-  for (const auto& [id, amount] : contributions_) {
-    w.PutVarint(id.client);
-    w.PutVarint(id.counter);
-    w.PutU32(id.seq);
-    w.PutI64(amount);
-  }
+  EncodeContributions(contributions_, w);
 }
 
 std::unique_ptr<GCounterNode> GCounterNode::Decode(codec::Reader& r) {
@@ -97,13 +110,7 @@ ReadResult PNCounterNode::ReadAt(const std::vector<std::string>& path,
 }
 
 void PNCounterNode::Encode(codec::Writer& w) const {
-  w.PutVarint(contributions_.size());
-  for (const auto& [id, amount] : contributions_) {
-    w.PutVarint(id.client);
-    w.PutVarint(id.counter);
-    w.PutU32(id.seq);
-    w.PutI64(amount);
-  }
+  EncodeContributions(contributions_, w);
 }
 
 std::unique_ptr<PNCounterNode> PNCounterNode::Decode(codec::Reader& r) {

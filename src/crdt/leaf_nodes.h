@@ -4,12 +4,29 @@
 
 #include <map>
 #include <set>
+#include <unordered_set>
 #include <utility>
 
 #include "clock/logical_clock.h"
 #include "crdt/node.h"
 
 namespace orderless::crdt {
+
+/// Hash for counter contributions. The containers using it are membership
+/// indices on the apply path; Encode() sorts a copy so the canonical state
+/// bytes never depend on hash layout.
+struct ContributionHash {
+  std::size_t operator()(
+      const std::pair<OpId, std::int64_t>& c) const noexcept {
+    std::uint64_t h = c.first.client * 0x9E3779B97F4A7C15ULL;
+    h ^= (c.first.counter + 0x9E3779B97F4A7C15ULL) * 0xC2B2AE3D27D4EB4FULL;
+    h ^= (static_cast<std::uint64_t>(c.first.seq) ^
+          static_cast<std::uint64_t>(c.second)) *
+         0x165667B19E3779F9ULL;
+    h ^= h >> 29;
+    return static_cast<std::size_t>(h);
+  }
+};
 
 /// Grow-only counter: value = sum of all (positive) AddValue contributions.
 /// Contributions are keyed by (op id, amount) so replays dedup and Byzantine
@@ -30,7 +47,8 @@ class GCounterNode final : public CrdtNode {
   static std::unique_ptr<GCounterNode> Decode(codec::Reader& r);
 
  private:
-  std::set<std::pair<OpId, std::int64_t>> contributions_;
+  std::unordered_set<std::pair<OpId, std::int64_t>, ContributionHash>
+      contributions_;
   std::int64_t total_ = 0;
 };
 
@@ -51,7 +69,8 @@ class PNCounterNode final : public CrdtNode {
   static std::unique_ptr<PNCounterNode> Decode(codec::Reader& r);
 
  private:
-  std::set<std::pair<OpId, std::int64_t>> contributions_;
+  std::unordered_set<std::pair<OpId, std::int64_t>, ContributionHash>
+      contributions_;
   std::int64_t total_ = 0;
 };
 

@@ -2,8 +2,8 @@
 #pragma once
 
 #include <memory>
-#include <set>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -51,10 +51,25 @@ class CrdtObject {
   void MergeState(const CrdtObject& other);
 
  private:
+  /// Hash for the dedup key: the content digest is already uniform
+  /// (SHA-256), so folding the id fields into its prefix is enough.
+  struct AppliedKeyHash {
+    std::size_t operator()(
+        const std::pair<OpId, crypto::Digest>& k) const noexcept {
+      std::uint64_t h = k.second.Prefix64();
+      h ^= k.first.client * 0x9E3779B97F4A7C15ULL;
+      h ^= k.first.counter * 0xC2B2AE3D27D4EB4FULL;
+      h ^= static_cast<std::uint64_t>(k.first.seq) * 0x165667B19E3779F9ULL;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
   std::string id_;
   CrdtType root_type_;
   std::unique_ptr<CrdtNode> root_;
-  std::set<std::pair<OpId, crypto::Digest>> applied_;
+  // Pure membership index (never iterated for output, so the unordered
+  // layout cannot leak into any encoding or simulated outcome).
+  std::unordered_set<std::pair<OpId, crypto::Digest>, AppliedKeyHash> applied_;
 };
 
 }  // namespace orderless::crdt

@@ -66,6 +66,23 @@ class Pki {
   bool Verify(KeyId signer, std::string_view context, const Digest& digest,
               const Signature& signature) const;
 
+  /// One signature check of a batch verification; `message` must stay alive
+  /// until VerifyBatch returns.
+  struct BatchItem {
+    KeyId signer = 0;
+    std::string_view context;
+    BytesView message;
+    Signature signature;
+  };
+
+  /// Verifies `n` independent signatures in one multi-buffer hash pass
+  /// (Sha256::HashBatch), writing each item's verdict to valid_out[i].
+  /// Accept/reject decisions are exactly those of calling Verify() per item
+  /// — unknown signers are false without hashing. Returns true iff every
+  /// item verified.
+  bool VerifyBatch(const BatchItem* items, std::size_t n,
+                   bool* valid_out) const;
+
   /// Counts how many (signer, signature) pairs verify over (context, digest)
   /// with signers drawn from `allowed`, each distinct signer counted once.
   /// The q-of-n primitive behind quorum attestation: duplicate signers,

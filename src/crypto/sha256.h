@@ -51,13 +51,57 @@ class Sha256 {
   static Digest Hash(BytesView data);
   static Digest Hash(std::string_view data);
 
- private:
-  void ProcessBlock(const std::uint8_t* block);
+  /// Hashes `n` independent inputs: out[i] == Hash(inputs[i]) byte-for-byte.
+  /// With batch crypto enabled the work runs on the fastest kernel this CPU
+  /// has (SHA-NI, 8-wide AVX2 or 4-wide SSE2 multi-buffer); with it disabled
+  /// — or on machines with none of those — it is a plain scalar loop. Inputs
+  /// may have unequal lengths.
+  static void HashBatch(const BytesView* inputs, Digest* out, std::size_t n);
 
+ private:
   std::array<std::uint32_t, 8> state_;
   std::array<std::uint8_t, 64> buffer_;
   std::size_t buffer_len_ = 0;
   std::uint64_t total_len_ = 0;
 };
+
+/// Kernel selection controls for HashBatch and the incremental Sha256,
+/// exposed so tests can force every kernel through the FIPS vectors and
+/// benchmarks can measure each width on its own.
+namespace batch {
+
+/// kAuto = runtime dispatch: scalar when perf::BatchCryptoEnabled() is off,
+/// otherwise SHA-NI > 8-wide AVX2 (batches of 5+) > 4-wide (batches of 2+)
+/// > scalar, by CPU capability.
+enum class Kernel { kAuto, kScalar, kShaNi, kWide4, kWide8 };
+
+bool CpuHasShaNi();
+bool CpuHasAvx2();
+
+/// Overrides kernel selection. Returns false — leaving selection unchanged —
+/// if this CPU cannot run `k`. The wide kernels are portable (generic
+/// vectors), so only kShaNi can be refused.
+bool ForceKernel(Kernel k);
+Kernel ForcedKernel();
+
+/// The kernel HashBatch would use right now for a batch of `n` inputs.
+Kernel ActiveKernel(std::size_t n);
+
+/// RAII kernel override; restores the previous selection on destruction.
+class ScopedKernel {
+ public:
+  explicit ScopedKernel(Kernel k);
+  ~ScopedKernel();
+  ScopedKernel(const ScopedKernel&) = delete;
+  ScopedKernel& operator=(const ScopedKernel&) = delete;
+  /// False if the requested kernel was refused (no CPU support).
+  bool ok() const { return ok_; }
+
+ private:
+  Kernel prev_;
+  bool ok_;
+};
+
+}  // namespace batch
 
 }  // namespace orderless::crypto

@@ -1,0 +1,118 @@
+// Runtime kernel dispatch for SHA-256: CPU feature detection, the
+// test/bench kernel override, the shared Compress() used by the incremental
+// Sha256, and HashBatch. Digests are identical across every kernel; the
+// batch-crypto perf toggle only changes which host instructions compute
+// them.
+#include "common/perf.h"
+#include "crypto/sha256_internal.h"
+#include "crypto/sha256_wide.h"
+
+namespace orderless::crypto {
+
+namespace internal {
+
+// 4-lane instantiation at the baseline ISA (SSE2 on x86-64).
+template void HashWide<V4>(const BytesView*, Digest*, std::size_t);
+
+}  // namespace internal
+
+namespace batch {
+
+namespace {
+
+Kernel g_forced = Kernel::kAuto;
+
+bool DetectShaNi() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1");
+#else
+  return false;
+#endif
+}
+
+bool DetectAvx2() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool CpuHasShaNi() {
+  static const bool has = DetectShaNi();
+  return has;
+}
+
+bool CpuHasAvx2() {
+  static const bool has = DetectAvx2();
+  return has;
+}
+
+bool ForceKernel(Kernel k) {
+  if (k == Kernel::kShaNi && !CpuHasShaNi()) return false;
+  g_forced = k;
+  return true;
+}
+
+Kernel ForcedKernel() { return g_forced; }
+
+Kernel ActiveKernel(std::size_t n) {
+  if (g_forced != Kernel::kAuto) return g_forced;
+  if (!perf::BatchCryptoEnabled()) return Kernel::kScalar;
+  if (CpuHasShaNi()) return Kernel::kShaNi;
+  if (n >= 5 && CpuHasAvx2()) return Kernel::kWide8;
+  if (n >= 2) return Kernel::kWide4;
+  return Kernel::kScalar;
+}
+
+ScopedKernel::ScopedKernel(Kernel k) : prev_(g_forced), ok_(ForceKernel(k)) {}
+
+ScopedKernel::~ScopedKernel() { g_forced = prev_; }
+
+}  // namespace batch
+
+namespace internal {
+
+void Compress(std::uint32_t state[8], const std::uint8_t* blocks,
+              std::size_t nblocks) {
+#if defined(__x86_64__) || defined(_M_X64)
+  switch (batch::ForcedKernel()) {
+    case batch::Kernel::kShaNi:
+      CompressShaNi(state, blocks, nblocks);
+      return;
+    case batch::Kernel::kAuto:
+      if (perf::BatchCryptoEnabled() && batch::CpuHasShaNi()) {
+        CompressShaNi(state, blocks, nblocks);
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+#endif
+  CompressScalar(state, blocks, nblocks);
+}
+
+}  // namespace internal
+
+void Sha256::HashBatch(const BytesView* inputs, Digest* out, std::size_t n) {
+  if (n == 0) return;
+  switch (batch::ActiveKernel(n)) {
+    case batch::Kernel::kWide8:
+      internal::HashWide<internal::V8>(inputs, out, n);
+      return;
+    case batch::Kernel::kWide4:
+      internal::HashWide<internal::V4>(inputs, out, n);
+      return;
+    case batch::Kernel::kAuto:  // unreachable: ActiveKernel resolves kAuto
+    case batch::Kernel::kShaNi:
+    case batch::Kernel::kScalar:
+      // Per-lane one-shot; Compress() inside Hash() picks SHA-NI or scalar.
+      for (std::size_t i = 0; i < n; ++i) out[i] = Hash(inputs[i]);
+      return;
+  }
+}
+
+}  // namespace orderless::crypto

@@ -1,0 +1,138 @@
+// Definition of the multi-buffer SHA-256 template declared in
+// sha256_internal.h. Included only by the translation units that instantiate
+// it: sha256_batch.cpp (4 lanes, baseline ISA) and sha256_wide8.cpp (8
+// lanes, compiled with -mavx2 on x86-64 so the generic vectors lower to
+// 256-bit ops).
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+
+#include "crypto/sha256_internal.h"
+
+namespace orderless::crypto::internal {
+
+template <typename V>
+static inline V Splat(std::uint32_t x) {
+  V v;
+  for (std::size_t i = 0; i < sizeof(V) / sizeof(std::uint32_t); ++i) v[i] = x;
+  return v;
+}
+
+template <typename V>
+static inline V RotrV(V x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+template <typename V>
+void HashWide(const BytesView* inputs, Digest* out, std::size_t n) {
+  constexpr std::size_t W = sizeof(V) / sizeof(std::uint32_t);
+  for (std::size_t base = 0; base < n; base += W) {
+    const std::size_t lanes = std::min(W, n - base);
+
+    // Per-lane geometry: full 64-byte data blocks, plus one or two tail
+    // blocks materialized here with FIPS 180-4 padding (0x80, zeros, 64-bit
+    // big-endian bit length).
+    BytesView in[W];
+    std::size_t full_blocks[W];
+    std::size_t total_blocks[W];
+    std::uint8_t tail[W][128];
+    std::size_t max_blocks = 0;
+    for (std::size_t l = 0; l < W; ++l) {
+      in[l] = l < lanes ? inputs[base + l] : BytesView();
+      const std::size_t len = in[l].size();
+      const std::size_t rem = len % 64;
+      full_blocks[l] = len / 64;
+      const std::size_t tail_blocks = rem >= 56 ? 2 : 1;
+      total_blocks[l] = full_blocks[l] + tail_blocks;
+      std::memset(tail[l], 0, sizeof tail[l]);
+      if (rem > 0) {
+        std::memcpy(tail[l], in[l].data() + full_blocks[l] * 64, rem);
+      }
+      tail[l][rem] = 0x80;
+      const std::uint64_t bit_len = static_cast<std::uint64_t>(len) * 8;
+      std::uint8_t* len_bytes = tail[l] + tail_blocks * 64 - 8;
+      for (int i = 0; i < 8; ++i) {
+        len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+      }
+      max_blocks = std::max(max_blocks, total_blocks[l]);
+    }
+
+    V s[8];
+    for (int i = 0; i < 8; ++i) s[i] = Splat<V>(kIv[i]);
+
+    for (std::size_t blk = 0; blk < max_blocks; ++blk) {
+      const std::uint8_t* src[W];
+      V mask = Splat<V>(0);
+      for (std::size_t l = 0; l < W; ++l) {
+        const bool active = blk < total_blocks[l];
+        // Finished lanes re-compress their last block; the masked state
+        // update below discards the result, so shorter inputs still hash
+        // byte-for-byte like the scalar path.
+        const std::size_t bb = active ? blk : total_blocks[l] - 1;
+        src[l] = bb < full_blocks[l] ? in[l].data() + bb * 64
+                                     : tail[l] + (bb - full_blocks[l]) * 64;
+        mask[l] = active ? ~0u : 0u;
+      }
+
+      V w[64];
+      for (int i = 0; i < 16; ++i) {
+        V wi = Splat<V>(0);
+        for (std::size_t l = 0; l < W; ++l) {
+          const std::uint8_t* p = src[l] + i * 4;
+          wi[l] = (static_cast<std::uint32_t>(p[0]) << 24) |
+                  (static_cast<std::uint32_t>(p[1]) << 16) |
+                  (static_cast<std::uint32_t>(p[2]) << 8) |
+                  static_cast<std::uint32_t>(p[3]);
+        }
+        w[i] = wi;
+      }
+      for (int i = 16; i < 64; ++i) {
+        const V s0 =
+            RotrV(w[i - 15], 7) ^ RotrV(w[i - 15], 18) ^ (w[i - 15] >> 3);
+        const V s1 =
+            RotrV(w[i - 2], 17) ^ RotrV(w[i - 2], 19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+      }
+
+      V a = s[0], b = s[1], c = s[2], d = s[3];
+      V e = s[4], f = s[5], g = s[6], h = s[7];
+      for (int i = 0; i < 64; ++i) {
+        const V s1 = RotrV(e, 6) ^ RotrV(e, 11) ^ RotrV(e, 25);
+        const V ch = (e & f) ^ (~e & g);
+        const V temp1 = h + s1 + ch + Splat<V>(kK[i]) + w[i];
+        const V s0 = RotrV(a, 2) ^ RotrV(a, 13) ^ RotrV(a, 22);
+        const V maj = (a & b) ^ (a & c) ^ (b & c);
+        const V temp2 = s0 + maj;
+        h = g;
+        g = f;
+        f = e;
+        e = d + temp1;
+        d = c;
+        c = b;
+        b = a;
+        a = temp1 + temp2;
+      }
+      s[0] = ((s[0] + a) & mask) | (s[0] & ~mask);
+      s[1] = ((s[1] + b) & mask) | (s[1] & ~mask);
+      s[2] = ((s[2] + c) & mask) | (s[2] & ~mask);
+      s[3] = ((s[3] + d) & mask) | (s[3] & ~mask);
+      s[4] = ((s[4] + e) & mask) | (s[4] & ~mask);
+      s[5] = ((s[5] + f) & mask) | (s[5] & ~mask);
+      s[6] = ((s[6] + g) & mask) | (s[6] & ~mask);
+      s[7] = ((s[7] + h) & mask) | (s[7] & ~mask);
+    }
+
+    for (std::size_t l = 0; l < lanes; ++l) {
+      for (int i = 0; i < 8; ++i) {
+        const std::uint32_t v = s[i][l];
+        out[base + l].bytes[i * 4 + 0] = static_cast<std::uint8_t>(v >> 24);
+        out[base + l].bytes[i * 4 + 1] = static_cast<std::uint8_t>(v >> 16);
+        out[base + l].bytes[i * 4 + 2] = static_cast<std::uint8_t>(v >> 8);
+        out[base + l].bytes[i * 4 + 3] = static_cast<std::uint8_t>(v);
+      }
+    }
+  }
+}
+
+}  // namespace orderless::crypto::internal

@@ -1,0 +1,11 @@
+// Explicit 8-lane instantiation of the multi-buffer kernel. This file is
+// compiled with -mavx2 on x86-64 (see CMakeLists.txt) so the 32-byte generic
+// vectors lower to real 256-bit instructions; dispatch only routes here when
+// the CPU reports AVX2, so the baseline build stays runnable everywhere.
+#include "crypto/sha256_wide.h"
+
+namespace orderless::crypto::internal {
+
+template void HashWide<V8>(const BytesView*, Digest*, std::size_t);
+
+}  // namespace orderless::crypto::internal

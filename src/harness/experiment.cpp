@@ -136,6 +136,8 @@ class Driver {
   virtual PhaseBreakdown Breakdown() const = 0;
   /// Overload/retry counters; only OrderlessChain implements the layer.
   virtual RobustnessStats Robustness() const { return {}; }
+  /// Zero-copy commit rows (shared sealed encodings); OrderlessChain only.
+  virtual std::size_t BodyRefRows() const { return 0; }
   /// Event lane of `client`'s simulated node; lane 0 (the sequential
   /// default) for systems without per-actor lanes.
   virtual sim::ActorId ClientActor(std::size_t client) const {
@@ -303,6 +305,8 @@ class OrderlessDriver final : public Driver {
     }
     return r;
   }
+
+  std::size_t BodyRefRows() const override { return net_->BodyRefRows(); }
 
  private:
   std::unique_ptr<OrderlessNet> net_;
@@ -582,6 +586,8 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   result.breakdown = driver->Breakdown();
   result.throughput_per_second = result.metrics.per_second.PerSecond(w.duration);
   result.events_processed = simulation.events_processed();
+  result.arena_high_water = simulation.arena_high_water();
+  result.body_ref_rows = driver->BodyRefRows();
   return result;
 }
 

@@ -123,6 +123,12 @@ struct ExperimentResult {
   /// optimizations must leave it bit-identical (bench/perf_hotpath asserts
   /// this between cached and uncached runs).
   std::uint64_t events_processed = 0;
+  /// Epoch-arena peak usage in bytes (max over lanes; 0 with arenas off or
+  /// for the non-simulation baselines). Host-side diagnostic only.
+  std::size_t arena_high_water = 0;
+  /// KV rows sharing the committing transaction's sealed encoding instead of
+  /// owning a copy (zero-copy commit path; OrderlessChain only).
+  std::size_t body_ref_rows = 0;
 };
 
 ExperimentResult RunExperiment(const ExperimentConfig& config);

@@ -1,0 +1,113 @@
+// Per-lane epoch arena: a chunked bump allocator for within-event scratch.
+//
+// Every simulation lane owns one. The contract is lifetime-based, not
+// type-based: anything allocated here is valid at most until the enclosing
+// conservative epoch's barrier, and the engine currently rewinds the arena
+// at each *event* boundary — strictly shorter, so code must never let an
+// arena pointer escape the event that allocated it. In-flight messages
+// cross epochs by construction (network latency >= lookahead), which is why
+// they stay on shared_ptr and are NOT arena-allocated; the arena serves
+// write-set scratch, validation temporaries and encode buffers.
+//
+// Reset() rewinds offsets but keeps the chunks, so steady-state events
+// allocate without touching malloc at all. The allocator is host-only
+// machinery: with the arena perf toggle off, callers fall back to the heap
+// and simulated results are bit-identical either way (bench/perf_hotpath
+// cross-checks this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <memory_resource>
+#include <vector>
+
+namespace orderless::sim {
+
+class EpochArena : public std::pmr::memory_resource {
+ public:
+  EpochArena() = default;
+  EpochArena(const EpochArena&) = delete;
+  EpochArena& operator=(const EpochArena&) = delete;
+
+  /// Bump-allocates `size` bytes at `align`. Never freed individually;
+  /// reclaimed wholesale by Reset().
+  void* Alloc(std::size_t size, std::size_t align) {
+    Chunk* chunk = active_ < chunks_.size() ? &chunks_[active_] : nullptr;
+    while (chunk != nullptr) {
+      const std::size_t offset = AlignUp(chunk->used, align);
+      if (offset + size <= chunk->capacity) {
+        chunk->used = offset + size;
+        return chunk->data.get() + offset;
+      }
+      ++active_;
+      chunk = active_ < chunks_.size() ? &chunks_[active_] : nullptr;
+    }
+    const std::size_t capacity =
+        size + align > kMinChunk ? size + align : kMinChunk;
+    chunks_.push_back(Chunk{std::make_unique<std::uint8_t[]>(capacity),
+                            capacity, 0});
+    active_ = chunks_.size() - 1;
+    Chunk& fresh = chunks_.back();
+    const std::size_t offset = AlignUp(0, align);
+    fresh.used = offset + size;
+    return fresh.data.get() + offset;
+  }
+
+  /// Rewinds every chunk, keeping the memory for the next event/epoch.
+  void Reset() {
+    std::size_t used = 0;
+    for (Chunk& chunk : chunks_) {
+      used += chunk.used;
+      chunk.used = 0;
+    }
+    if (used > high_water_) high_water_ = used;
+    if (used > 0) ++resets_with_use_;
+    active_ = 0;
+  }
+
+  /// Peak bytes live at any single Reset() — how much scratch one event (or
+  /// epoch) actually needed.
+  std::size_t high_water() const { return high_water_; }
+  /// Resets that reclaimed a nonzero amount — i.e. events that used the
+  /// arena at all.
+  std::size_t resets_with_use() const { return resets_with_use_; }
+  std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const Chunk& chunk : chunks_) total += chunk.capacity;
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kMinChunk = 64 * 1024;
+
+  static std::size_t AlignUp(std::size_t offset, std::size_t align) {
+    return (offset + align - 1) & ~(align - 1);
+  }
+
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  // std::pmr::memory_resource: lets arena-aware code use pmr containers for
+  // scratch vectors without bespoke allocator plumbing.
+  void* do_allocate(std::size_t bytes, std::size_t alignment) override {
+    return Alloc(bytes, alignment);
+  }
+  void do_deallocate(void*, std::size_t, std::size_t) override {
+    // Bump allocator: individual frees are no-ops; Reset() reclaims.
+  }
+  bool do_is_equal(
+      const std::pmr::memory_resource& other) const noexcept override {
+    return this == &other;
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t resets_with_use_ = 0;
+};
+
+}  // namespace orderless::sim

@@ -106,20 +106,24 @@ void Network::Send(NodeId from, NodeId to, MessagePtr message) {
 
   const bool corrupted =
       corrupt_probability > 0 && egress.rng.NextBool(corrupt_probability);
-  simulation_.ScheduleAtFor(simulation_.ActorOf(to), arrival,
-                            [this, from, to, message, corrupted] {
-                              Deliver(from, to, message, corrupted);
-                            });
-
+  // TriviallyRelocatable: the captures are scalars plus a shared_ptr, so the
+  // event queue relocates this payload with a raw byte copy instead of a
+  // move-ctor/dtor pair on every slab touch.
   if (duplicate_probability > 0 &&
       egress.rng.NextBool(duplicate_probability)) {
     const SimTime dup_arrival = arrival + Ms(1) + egress.rng.NextBelow(Ms(20));
-    simulation_.ScheduleAtFor(simulation_.ActorOf(to), dup_arrival,
-                              [this, from, to, message] {
-                                Deliver(from, to, message,
-                                        /*corrupted=*/false);
-                              });
+    simulation_.ScheduleAtFor(
+        simulation_.ActorOf(to), dup_arrival,
+        TriviallyRelocatable{[this, from, to, message] {
+          Deliver(from, to, message, /*corrupted=*/false);
+        }});
   }
+  simulation_.ScheduleAtFor(
+      simulation_.ActorOf(to), arrival,
+      TriviallyRelocatable{[this, from, to,
+                            message = std::move(message), corrupted] {
+        Deliver(from, to, message, corrupted);
+      }});
 }
 
 void Network::Deliver(NodeId from, NodeId to, MessagePtr message,

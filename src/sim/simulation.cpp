@@ -8,9 +8,16 @@
 #include <mutex>
 #include <thread>
 
+#include "common/perf.h"
+
 namespace orderless::sim {
 
 thread_local Simulation::Lane* Simulation::tls_lane_ = nullptr;
+
+EpochArena* Simulation::CurrentArena() {
+  Lane* lane = tls_lane_;
+  return (lane != nullptr && perf::ArenaEnabled()) ? &lane->arena : nullptr;
+}
 
 namespace {
 constexpr SimTime kNever = ~SimTime{0};
@@ -216,6 +223,7 @@ bool Simulation::Step() {
     ++processed_;
     tls_lane_ = &lane;
     fn();
+    lane.arena.Reset();
     tls_lane_ = nullptr;
     return true;
   }
@@ -236,6 +244,7 @@ bool Simulation::Step() {
   ++best->processed;
   tls_lane_ = best;
   fn();
+  best->arena.Reset();
   tls_lane_ = nullptr;
   return true;
 }
@@ -329,6 +338,7 @@ void Simulation::RunLaneEpoch(Lane& lane, SimTime end) {
     lane.now = meta.time;
     ++lane.processed;
     fn();
+    lane.arena.Reset();
   }
   tls_lane_ = nullptr;
 }
@@ -343,6 +353,7 @@ void Simulation::RunHarnessBarrier(SimTime at) {
     SmallFn fn = queue.Pop(meta);
     ++lane.processed;
     fn();
+    lane.arena.Reset();
   }
   tls_lane_ = nullptr;
 }

@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/arena.h"
 #include "sim/time.h"
 
 namespace orderless::obs {
@@ -46,6 +47,30 @@ using NodeId = std::uint32_t;
 /// Index of an actor lane; 0 is the harness lane every un-tagged event and
 /// unregistered node maps to.
 using ActorId = std::uint32_t;
+
+/// Opt-in marker asserting that every capture of the wrapped callable is
+/// trivially relocatable: moving it to a new address by copying the raw
+/// bytes and abandoning the source (no destructor run on the source) is
+/// equivalent to move-construct + destroy. True for scalars, raw pointers,
+/// and libstdc++'s std::shared_ptr/std::unique_ptr/std::string — anything
+/// without interior self-pointers. SmallFn relocates such callables with
+/// memcpy instead of a move-ctor/dtor pair on every slab touch; the final
+/// destructor still runs, so ownership counts stay exact.
+template <typename F>
+struct TriviallyRelocatable {
+  F fn;
+  void operator()() { fn(); }
+};
+template <typename F>
+TriviallyRelocatable(F) -> TriviallyRelocatable<F>;
+
+namespace detail {
+template <typename T>
+struct IsAssumedTriviallyRelocatable : std::false_type {};
+template <typename F>
+struct IsAssumedTriviallyRelocatable<TriviallyRelocatable<F>>
+    : std::true_type {};
+}  // namespace detail
 
 /// Move-only callable with a 64-byte small-buffer optimization: the event
 /// heap's hot-path lambdas (network deliveries, timer ticks, CPU
@@ -132,12 +157,17 @@ class SmallFn {
     delete *reinterpret_cast<D**>(s);
   }
 
-  // Trivial copyability implies a trivial destructor, so the two null slots
-  // always pair up for the memcpy-relocated case.
+  // Relocation and destruction are independent: a TriviallyRelocatable
+  // wrapper memcpy-relocates (null slot) but may still need its destructor
+  // (e.g. a captured shared_ptr releases its reference exactly once, at the
+  // final resting address).
   template <typename D>
   static constexpr Ops kInlineOps = {
       &InvokeInline<D>,
-      std::is_trivially_copyable_v<D> ? nullptr : &RelocateInline<D>,
+      std::is_trivially_copyable_v<D> ||
+              detail::IsAssumedTriviallyRelocatable<D>::value
+          ? nullptr
+          : &RelocateInline<D>,
       std::is_trivially_destructible_v<D> ? nullptr : &DestroyInline<D>,
   };
 
@@ -275,6 +305,22 @@ class Simulation {
   /// decisions, so attaching one cannot change a run's outcome. The
   /// simulation does not own the tracer. Inside a parallel epoch, tracer()
   /// resolves to the executing lane's shard (see SetLaneTracer).
+  /// Scratch arena of the lane executing the current event: null outside
+  /// events or with the arena perf toggle off, so callers branch to the heap
+  /// in exactly the places the toggle is meant to A/B. Allocations are
+  /// rewound when the event returns — nothing that outlives the event may
+  /// point into it (see sim/arena.h for the full contract).
+  static EpochArena* CurrentArena();
+
+  /// Peak within-event scratch across all lanes (bench/diagnostics).
+  std::size_t arena_high_water() const {
+    std::size_t peak = 0;
+    for (const auto& lane : lanes_) {
+      if (lane->arena.high_water() > peak) peak = lane->arena.high_water();
+    }
+    return peak;
+  }
+
   void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
   obs::Tracer* tracer() const {
     if (!parallel_storage_) return tracer_;  // shards exist only in parallel
@@ -344,6 +390,8 @@ class Simulation {
     std::uint64_t next_seq = 0;
     std::size_t processed = 0;
     obs::Tracer* shard = nullptr;
+    // Within-event scratch, rewound after every event this lane executes.
+    EpochArena arena;
     // Parallel-mode storage; sequential mode keeps everything in queue_.
     EventQueue queue;
     std::vector<PendingEvent> outbox;

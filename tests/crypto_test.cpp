@@ -1,10 +1,25 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/perf.h"
 #include "crypto/pki.h"
 #include "crypto/sha256.h"
 
 namespace orderless::crypto {
 namespace {
+
+// Deterministic test-local generator (no <random> to keep runs identical
+// across standard libraries).
+std::uint64_t SplitMix(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
 
 TEST(Sha256, KnownVectors) {
   // FIPS 180-4 test vectors.
@@ -105,6 +120,181 @@ TEST(Pki, NamesAreTracked) {
   EXPECT_EQ(pki.NameOf(alice.id()), "alice");
   EXPECT_EQ(pki.NameOf(9999), "<unknown>");
   EXPECT_EQ(pki.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Padding boundaries: 55 bytes is the longest single-block message, 56 forces
+// the length word into a second block, 64 is an exact block, 65 spills one
+// byte. Expected digests are from the FIPS 180-4 reference implementation.
+
+TEST(Sha256, PaddingBoundaryVectors) {
+  const struct {
+    std::size_t len;
+    const char* hex;
+  } kVectors[] = {
+      {55, "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318"},
+      {56, "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a"},
+      {64, "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"},
+      {65, "635361c48bb9eab14198e76ea8ab7f1a41685d6ad62aa9146d301d4f17eb0ae0"},
+  };
+  for (const auto& v : kVectors) {
+    const std::string input(v.len, 'a');
+    EXPECT_EQ(Sha256::Hash(std::string_view(input)).Hex(), v.hex)
+        << "length " << v.len;
+  }
+}
+
+// Every kernel the CPU supports must produce the FIPS vectors through the
+// plain one-shot entry point (the incremental path shares the compression
+// function with HashBatch's scalar lane).
+TEST(Sha256, AllKernelsMatchFipsVectors) {
+  for (const batch::Kernel k :
+       {batch::Kernel::kScalar, batch::Kernel::kShaNi, batch::Kernel::kWide4,
+        batch::Kernel::kWide8}) {
+    batch::ScopedKernel forced(k);
+    if (!forced.ok()) continue;  // CPU cannot run this kernel
+    EXPECT_EQ(
+        Sha256::Hash(std::string_view("abc")).Hex(),
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    EXPECT_EQ(
+        Sha256::Hash(std::string_view("")).Hex(),
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  }
+}
+
+// HashBatch must agree byte-for-byte with the scalar one-shot hash for every
+// kernel, every batch size (including the widths' remainder lanes), and
+// unequal input lengths straddling block boundaries.
+TEST(Sha256, HashBatchMatchesScalarAcrossKernels) {
+  std::uint64_t rng = 0x5eed;
+  std::vector<Bytes> inputs;
+  for (std::size_t i = 0; i < 29; ++i) {
+    // Lengths exercise empty, sub-block, exact-block and multi-block lanes.
+    const std::size_t len = (SplitMix(rng) % 200 == 0)
+                                ? 0
+                                : static_cast<std::size_t>(SplitMix(rng) % 300);
+    Bytes s(len, 0);
+    for (auto& c : s) c = static_cast<std::uint8_t>(SplitMix(rng) & 0xff);
+    inputs.push_back(std::move(s));
+  }
+  inputs.emplace_back();              // empty input in the batch
+  inputs.emplace_back(64, 'x');       // exact block
+  inputs.emplace_back(65, 'y');       // block + 1
+
+  std::vector<Digest> expected(inputs.size());
+  {
+    batch::ScopedKernel scalar(batch::Kernel::kScalar);
+    ASSERT_TRUE(scalar.ok());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      expected[i] = Sha256::Hash(BytesView(inputs[i]));
+    }
+  }
+
+  for (const batch::Kernel k :
+       {batch::Kernel::kScalar, batch::Kernel::kShaNi, batch::Kernel::kWide4,
+        batch::Kernel::kWide8, batch::Kernel::kAuto}) {
+    batch::ScopedKernel forced(k);
+    if (!forced.ok()) continue;
+    for (std::size_t n = 1; n <= inputs.size(); ++n) {
+      std::vector<BytesView> views;
+      views.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        views.emplace_back(inputs[i]);
+      }
+      std::vector<Digest> out(n);
+      Sha256::HashBatch(views.data(), out.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i], expected[i])
+            << "kernel " << static_cast<int>(k) << " batch " << n << " lane "
+            << i;
+      }
+    }
+  }
+}
+
+// With batch crypto disabled, HashBatch must still be correct (it falls back
+// to the scalar loop) — the --no-batch-crypto escape hatch relies on it.
+TEST(Sha256, HashBatchWithBatchCryptoDisabled) {
+  perf::ScopedBatchCrypto off(false);
+  const Bytes a = ToBytes("alpha");
+  const Bytes b = ToBytes("bravo-bravo-bravo-bravo");
+  const Bytes c;
+  const BytesView views[3] = {BytesView(a), BytesView(b), BytesView(c)};
+  Digest out[3];
+  Sha256::HashBatch(views, out, 3);
+  EXPECT_EQ(out[0], Sha256::Hash(BytesView(a)));
+  EXPECT_EQ(out[1], Sha256::Hash(BytesView(b)));
+  EXPECT_EQ(out[2], Sha256::Hash(BytesView(c)));
+}
+
+TEST(Pki, VerifyBatchMatchesScalarVerify) {
+  Pki pki;
+  const PrivateKey alice = pki.Generate("alice");
+  const PrivateKey bob = pki.Generate("bob");
+  Pki other;
+  const PrivateKey mallory = other.Generate("mallory");
+
+  const Bytes m1 = ToBytes("endorse tx 1");
+  const Bytes m2 = ToBytes("endorse tx 2");
+  const Bytes m3 = ToBytes("endorse tx 3");
+
+  Signature tampered = bob.Sign("endorse", BytesView(m2));
+  tampered.bytes[4] ^= 0x10;
+
+  const std::vector<Pki::BatchItem> items = {
+      {alice.id(), "endorse", BytesView(m1), alice.Sign("endorse",
+                                                        BytesView(m1))},
+      {bob.id(), "endorse", BytesView(m2), tampered},
+      {bob.id(), "endorse", BytesView(m3), bob.Sign("endorse", BytesView(m3))},
+      // Unknown signer: must be rejected without crediting the hash pass.
+      {mallory.id(), "endorse", BytesView(m1),
+       mallory.Sign("endorse", BytesView(m1))},
+      // Wrong context.
+      {alice.id(), "commit", BytesView(m1), alice.Sign("endorse",
+                                                       BytesView(m1))},
+  };
+
+  for (const batch::Kernel k :
+       {batch::Kernel::kScalar, batch::Kernel::kShaNi, batch::Kernel::kWide4,
+        batch::Kernel::kWide8}) {
+    batch::ScopedKernel forced(k);
+    if (!forced.ok()) continue;
+    std::vector<bool> expected;
+    for (const auto& item : items) {
+      expected.push_back(pki.Verify(item.signer, item.context, item.message,
+                                    item.signature));
+    }
+    std::vector<std::uint8_t> got(items.size(), 0xAA);
+    const bool all = pki.VerifyBatch(items.data(), items.size(),
+                                     reinterpret_cast<bool*>(got.data()));
+    EXPECT_FALSE(all);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      EXPECT_EQ(static_cast<bool>(got[i]), expected[i]) << "item " << i;
+    }
+  }
+}
+
+TEST(Pki, VerifyBatchAllValid) {
+  Pki pki;
+  const PrivateKey alice = pki.Generate("alice");
+  std::vector<Bytes> messages;
+  std::vector<Pki::BatchItem> items;
+  for (int i = 0; i < 9; ++i) {
+    messages.push_back(ToBytes("message " + std::to_string(i)));
+  }
+  for (int i = 0; i < 9; ++i) {
+    items.push_back({alice.id(), "ctx", BytesView(messages[i]),
+                     alice.Sign("ctx", BytesView(messages[i]))});
+  }
+  std::vector<std::uint8_t> got(items.size(), 0);
+  EXPECT_TRUE(pki.VerifyBatch(items.data(), items.size(),
+                              reinterpret_cast<bool*>(got.data())));
+  for (const auto v : got) EXPECT_TRUE(static_cast<bool>(v));
+}
+
+TEST(Pki, VerifyBatchEmpty) {
+  Pki pki;
+  EXPECT_TRUE(pki.VerifyBatch(nullptr, 0, nullptr));
 }
 
 }  // namespace
