@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/json.h"
 
 namespace {
 
@@ -93,31 +94,24 @@ Point RunPoint(double multiplier, bool protected_mode) {
 }
 
 void WriteJson(const std::vector<Point>& points) {
-  FILE* out = std::fopen("BENCH_overload.json", "w");
-  if (!out) return;
-  std::fprintf(out,
-               "{\n  \"figure\": \"overload\",\n  \"saturation_tps\": %.0f,\n"
-               "  \"points\": [\n",
-               kSaturationTps);
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const Point& p = points[i];
-    std::fprintf(
-        out,
-        "    {\"multiplier\": %.0f, \"mode\": \"%s\", "
-        "\"goodput_tps\": %.1f, \"p99_ms\": %.2f, \"failed_fraction\": %.4f, "
-        "\"shed\": %llu, \"busy_sent\": %llu, \"retries\": %llu, "
-        "\"breaker_opens\": %llu}%s\n",
-        p.multiplier, p.protected_mode ? "protected" : "unprotected",
-        p.goodput_tps, p.p99_ms, p.failed_fraction,
-        static_cast<unsigned long long>(p.robustness.TotalShed()),
-        static_cast<unsigned long long>(p.robustness.busy_sent),
-        static_cast<unsigned long long>(p.robustness.client_retries),
-        static_cast<unsigned long long>(p.robustness.breaker_opens),
-        i + 1 < points.size() ? "," : "");
+  // Shared emitter (obs/json.h): every BENCH_*.json carries the same
+  // top-level shape and run-metadata header bench_regress keys on.
+  orderless::obs::JsonBench json("overload");
+  json.Scalar("saturation_tps", kSaturationTps, 0);
+  for (const Point& p : points) {
+    const char* mode = p.protected_mode ? "protected" : "unprotected";
+    json.Point(std::to_string(static_cast<int>(p.multiplier)) + "x_" + mode);
+    json.Field("multiplier", p.multiplier, 0);
+    json.Field("mode", std::string(mode));
+    json.Field("goodput_tps", p.goodput_tps, 1);
+    json.Field("p99_ms", p.p99_ms, 2);
+    json.Field("failed_fraction", p.failed_fraction, 4);
+    json.Field("shed", p.robustness.TotalShed());
+    json.Field("busy_sent", p.robustness.busy_sent);
+    json.Field("retries", p.robustness.client_retries);
+    json.Field("breaker_opens", p.robustness.breaker_opens);
   }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  std::printf("\nwrote BENCH_overload.json\n");
+  json.Write();
 }
 
 }  // namespace

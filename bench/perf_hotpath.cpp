@@ -35,6 +35,7 @@
 #include "core/perf.h"
 #include "crypto/sha256.h"
 #include "obs/json.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "sim/simulation.h"
 
@@ -405,6 +406,36 @@ int main(int argc, char** argv) {
               tracer.events().size(),
               deterministic ? "identical" : "DIVERGED");
 
+  // --- Profiler A/B: the untraced pair above doubles as the profiler-off
+  // proof (no tracer AND no profiler attached — both hooks are the same
+  // single pointer test, so the zero alloc delta covers both). Attaching a
+  // profiler must not change the simulated outcome, and its lane totals
+  // must account for every simulation event — proof the hooks actually
+  // fired rather than silently compiling to nothing. ---
+  obs::Profiler profiler;
+  ExperimentConfig prof_ab = ab;
+  prof_ab.tracer = nullptr;
+  prof_ab.profiler = &profiler;
+  const CountedRun profiled = RunCountingAllocs(prof_ab);
+  deterministic &= SimulatedIdentical(off_a.result, profiled.result,
+                                      "prof_ab", "unprofiled", "profiled");
+  if (profiler.total_events() != profiled.result.events_processed) {
+    std::printf("PROFILER COVERAGE FAIL: lane slices saw %llu events, the "
+                "engine processed %llu\n",
+                static_cast<unsigned long long>(profiler.total_events()),
+                static_cast<unsigned long long>(
+                    profiled.result.events_processed));
+    deterministic = false;
+  }
+  std::printf("\nprofiler A/B: unprofiled %llu allocs (delta %llu, shared "
+              "with the tracing pair), profiled %llu allocs, %llu events "
+              "profiled, simulated results %s\n",
+              static_cast<unsigned long long>(off_a.allocs),
+              static_cast<unsigned long long>(disabled_extra_allocs),
+              static_cast<unsigned long long>(profiled.allocs),
+              static_cast<unsigned long long>(profiler.total_events()),
+              deterministic ? "identical" : "DIVERGED");
+
   // --- SmallFn SBO A/B: a hot-path-sized capture (48 bytes: shared_ptr +
   // a few ids, what network deliveries and timer ticks carry) scheduled
   // through the event loop must never touch the heap. The std::function
@@ -475,6 +506,11 @@ int main(int argc, char** argv) {
   json.Scalar("trace_traced_allocs", traced.allocs);
   json.Scalar("trace_event_count",
               static_cast<std::uint64_t>(tracer.events().size()));
+  json.Scalar("prof_profiled_allocs", profiled.allocs);
+  json.Scalar("prof_events", profiler.total_events());
+  // host_ prefix: host wall time, info-only under bench_regress's policy.
+  json.Scalar("prof_host_busy_ms",
+              static_cast<double>(profiler.total_busy_ns()) / 1e6, 3);
   json.Write();
 
   if (!baseline_only) {

@@ -1,11 +1,44 @@
 #include "codec/scratch.h"
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "common/perf.h"
 
 namespace orderless::codec {
+
+namespace {
+std::atomic<bool> g_count_pool{false};
+struct AtomicPoolCounts {
+  std::atomic<std::uint64_t> acquires{0};
+  std::atomic<std::uint64_t> pool_hits{0};
+  std::atomic<std::uint64_t> heap_allocs{0};
+  std::atomic<std::uint64_t> drops{0};
+};
+AtomicPoolCounts g_pool_counts;
+}  // namespace
+
+void SetCountScratchPool(bool enabled) {
+  g_count_pool.store(enabled, std::memory_order_relaxed);
+}
+bool CountScratchPool() {
+  return g_count_pool.load(std::memory_order_relaxed);
+}
+ScratchPoolCounts ScratchPoolCountsSnapshot() {
+  ScratchPoolCounts out;
+  out.acquires = g_pool_counts.acquires.load(std::memory_order_relaxed);
+  out.pool_hits = g_pool_counts.pool_hits.load(std::memory_order_relaxed);
+  out.heap_allocs = g_pool_counts.heap_allocs.load(std::memory_order_relaxed);
+  out.drops = g_pool_counts.drops.load(std::memory_order_relaxed);
+  return out;
+}
+void ResetScratchPoolCounts() {
+  g_pool_counts.acquires.store(0, std::memory_order_relaxed);
+  g_pool_counts.pool_hits.store(0, std::memory_order_relaxed);
+  g_pool_counts.heap_allocs.store(0, std::memory_order_relaxed);
+  g_pool_counts.drops.store(0, std::memory_order_relaxed);
+}
 
 namespace {
 // Thread-local: parallel lanes draw from their executing worker's pool, so
@@ -23,10 +56,16 @@ ScratchWriter::ScratchWriter() : pooled_(orderless::perf::ArenaEnabled()) {
     writer_ = &local_;
     return;
   }
+  const bool count = CountScratchPool();
+  if (count) g_pool_counts.acquires.fetch_add(1, std::memory_order_relaxed);
   if (t_pool.empty()) {
+    if (count) {
+      g_pool_counts.heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    }
     writer_ = new Writer();
     return;
   }
+  if (count) g_pool_counts.pool_hits.fetch_add(1, std::memory_order_relaxed);
   writer_ = t_pool.back().release();
   t_pool.pop_back();
   writer_->Clear();
@@ -37,6 +76,9 @@ ScratchWriter::~ScratchWriter() {
   if (t_pool.size() < kMaxPooled) {
     t_pool.emplace_back(writer_);
   } else {
+    if (CountScratchPool()) {
+      g_pool_counts.drops.fetch_add(1, std::memory_order_relaxed);
+    }
     delete writer_;
   }
 }

@@ -36,4 +36,20 @@ class ScratchWriter {
 /// Pool occupancy for the current thread (tests/diagnostics).
 std::size_t ScratchWriterPoolSize();
 
+/// Pool traffic counters for the host profiler. Counting is OFF by default:
+/// the constructor/destructor check one relaxed atomic flag and only then
+/// touch the (relaxed atomic) counters, so unprofiled runs pay a predictable
+/// non-contended load and nothing else. Recycle hit rate = pool_hits /
+/// acquires; drops are returns discarded because the pool was full.
+struct ScratchPoolCounts {
+  std::uint64_t acquires = 0;    // pooled ScratchWriter constructions
+  std::uint64_t pool_hits = 0;   // served by reusing a pooled Writer
+  std::uint64_t heap_allocs = 0; // fell through to `new Writer`
+  std::uint64_t drops = 0;       // destructor deletes (pool at capacity)
+};
+void SetCountScratchPool(bool enabled);
+bool CountScratchPool();
+ScratchPoolCounts ScratchPoolCountsSnapshot();
+void ResetScratchPoolCounts();
+
 }  // namespace orderless::codec

@@ -665,9 +665,21 @@ void Organization::HandleCommit(sim::NodeId from,
                                        apply_service] {
               if (!running_) return;
               if (obs::Tracer* t = simulation_.tracer()) {
+                // aux tags the touched object (32-bit FNV-1a of the first
+                // op's object id, 0 for op-less txs) so the report's
+                // convergence heat table can pivot lag by org x object.
+                // Tracer-gated: the untraced hot path never hashes.
+                std::uint64_t object_tag = 0;
+                if (!tx->ops.empty()) {
+                  std::uint32_t h = 2166136261u;
+                  for (const char c : tx->ops.front().object_id) {
+                    h = (h ^ static_cast<unsigned char>(c)) * 16777619u;
+                  }
+                  object_tag = h;
+                }
                 t->Span(obs::EventKind::kCrdtApply,
                         simulation_.now() - apply_service, simulation_.now(),
-                        node_, tx->id.Prefix64());
+                        node_, tx->id.Prefix64(), object_tag);
               }
               FinishCommit(from, tx, from_gossip, TxVerdict::kValid, arrival);
             }});

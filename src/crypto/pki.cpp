@@ -93,6 +93,7 @@ bool Pki::Verify(KeyId signer, std::string_view context, const Digest& digest,
 
 bool Pki::VerifyBatch(const BatchItem* items, std::size_t n,
                       bool* valid_out) const {
+  if (n > 0) batch::TallyVerify(n);  // no-op unless the profiler counts
   bool all = true;
   // Fixed-size chunks keep the staging buffers on the stack; 16 lanes also
   // matches the largest endorsement sets the experiments run.

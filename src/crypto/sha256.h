@@ -87,6 +87,31 @@ Kernel ForcedKernel();
 /// The kernel HashBatch would use right now for a batch of `n` inputs.
 Kernel ActiveKernel(std::size_t n);
 
+/// Host-side dispatch statistics for the profiler (obs::Profiler): how many
+/// HashBatch calls landed on which kernel, and how much work the batched
+/// signature verifier pushed through them. Counting is OFF by default and
+/// gated on one relaxed atomic flag, so the default hot path pays a single
+/// predictable branch and never allocates; with counting on, tallies are
+/// relaxed atomics (organization lanes hash concurrently).
+struct DispatchCounts {
+  std::uint64_t batches = 0;  // HashBatch calls (n > 0)
+  std::uint64_t hashes = 0;   // total inputs across those calls
+  std::uint64_t scalar = 0;   // batches landing on each kernel
+  std::uint64_t sha_ni = 0;
+  std::uint64_t wide4 = 0;
+  std::uint64_t wide8 = 0;
+  std::uint64_t verify_batches = 0;  // Pki::VerifyBatch multi-buffer passes
+  std::uint64_t verify_sigs = 0;     // signatures staged through them
+};
+
+void SetCountDispatch(bool on);
+bool CountDispatch();
+DispatchCounts Counts();
+void ResetCounts();
+/// Tally hook for the batched verifier (crypto/pki.cpp); no-op while
+/// counting is off.
+void TallyVerify(std::size_t sigs);
+
 /// RAII kernel override; restores the previous selection on destruction.
 class ScopedKernel {
  public:

@@ -3,6 +3,8 @@
 // Sha256, and HashBatch. Digests are identical across every kernel; the
 // batch-crypto perf toggle only changes which host instructions compute
 // them.
+#include <atomic>
+
 #include "common/perf.h"
 #include "crypto/sha256_internal.h"
 #include "crypto/sha256_wide.h"
@@ -21,6 +23,23 @@ namespace batch {
 namespace {
 
 Kernel g_forced = Kernel::kAuto;
+
+// Dispatch counting (see DispatchCounts in sha256.h): one relaxed gate
+// flag, relaxed per-counter atomics behind it. Exactness across threads is
+// not required — the profiler reports totals after the run, when every
+// worker has passed an epoch barrier (a seq_cst fence in practice).
+std::atomic<bool> g_count{false};
+struct AtomicCounts {
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> hashes{0};
+  std::atomic<std::uint64_t> scalar{0};
+  std::atomic<std::uint64_t> sha_ni{0};
+  std::atomic<std::uint64_t> wide4{0};
+  std::atomic<std::uint64_t> wide8{0};
+  std::atomic<std::uint64_t> verify_batches{0};
+  std::atomic<std::uint64_t> verify_sigs{0};
+};
+AtomicCounts g_counts;
 
 bool DetectShaNi() {
 #if defined(__x86_64__) || defined(_M_X64)
@@ -71,6 +90,67 @@ ScopedKernel::ScopedKernel(Kernel k) : prev_(g_forced), ok_(ForceKernel(k)) {}
 
 ScopedKernel::~ScopedKernel() { g_forced = prev_; }
 
+void SetCountDispatch(bool on) {
+  g_count.store(on, std::memory_order_relaxed);
+}
+
+bool CountDispatch() { return g_count.load(std::memory_order_relaxed); }
+
+DispatchCounts Counts() {
+  DispatchCounts c;
+  c.batches = g_counts.batches.load(std::memory_order_relaxed);
+  c.hashes = g_counts.hashes.load(std::memory_order_relaxed);
+  c.scalar = g_counts.scalar.load(std::memory_order_relaxed);
+  c.sha_ni = g_counts.sha_ni.load(std::memory_order_relaxed);
+  c.wide4 = g_counts.wide4.load(std::memory_order_relaxed);
+  c.wide8 = g_counts.wide8.load(std::memory_order_relaxed);
+  c.verify_batches = g_counts.verify_batches.load(std::memory_order_relaxed);
+  c.verify_sigs = g_counts.verify_sigs.load(std::memory_order_relaxed);
+  return c;
+}
+
+void ResetCounts() {
+  g_counts.batches.store(0, std::memory_order_relaxed);
+  g_counts.hashes.store(0, std::memory_order_relaxed);
+  g_counts.scalar.store(0, std::memory_order_relaxed);
+  g_counts.sha_ni.store(0, std::memory_order_relaxed);
+  g_counts.wide4.store(0, std::memory_order_relaxed);
+  g_counts.wide8.store(0, std::memory_order_relaxed);
+  g_counts.verify_batches.store(0, std::memory_order_relaxed);
+  g_counts.verify_sigs.store(0, std::memory_order_relaxed);
+}
+
+void TallyVerify(std::size_t sigs) {
+  if (!CountDispatch()) return;
+  g_counts.verify_batches.fetch_add(1, std::memory_order_relaxed);
+  g_counts.verify_sigs.fetch_add(sigs, std::memory_order_relaxed);
+}
+
+namespace {
+
+void TallyBatch(Kernel kernel, std::size_t n) {
+  g_counts.batches.fetch_add(1, std::memory_order_relaxed);
+  g_counts.hashes.fetch_add(n, std::memory_order_relaxed);
+  switch (kernel) {
+    case Kernel::kScalar:
+      g_counts.scalar.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Kernel::kShaNi:
+      g_counts.sha_ni.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Kernel::kWide4:
+      g_counts.wide4.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Kernel::kWide8:
+      g_counts.wide8.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Kernel::kAuto:
+      break;
+  }
+}
+
+}  // namespace
+
 }  // namespace batch
 
 namespace internal {
@@ -99,7 +179,9 @@ void Compress(std::uint32_t state[8], const std::uint8_t* blocks,
 
 void Sha256::HashBatch(const BytesView* inputs, Digest* out, std::size_t n) {
   if (n == 0) return;
-  switch (batch::ActiveKernel(n)) {
+  const batch::Kernel kernel = batch::ActiveKernel(n);
+  if (batch::CountDispatch()) batch::TallyBatch(kernel, n);
+  switch (kernel) {
     case batch::Kernel::kWide8:
       internal::HashWide<internal::V8>(inputs, out, n);
       return;

@@ -12,7 +12,10 @@
 #include "fabric/apps.h"
 #include "fabric/net.h"
 #include "fabriccrdt/apps.h"
+#include "codec/scratch.h"
+#include "crypto/sha256.h"
 #include "harness/orderless_net.h"
+#include "obs/prof.h"
 #include "synchotstuff/net.h"
 
 namespace orderless::harness {
@@ -191,6 +194,7 @@ class OrderlessDriver final : public Driver {
     net.client_timing.breaker_cooldown = config.client_breaker_cooldown;
     net.client_timing.hedge = config.client_hedge;
     net.tracer = config.tracer;
+    net.profiler = config.profiler;
     net.threads = config.threads;
     net_ = std::make_unique<OrderlessNet>(net);
     net_->RegisterContract(std::make_shared<contracts::SyntheticContract>());
@@ -492,6 +496,15 @@ std::unique_ptr<Driver> MakeDriver(const ExperimentConfig& config) {
 }  // namespace
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  // Batch-crypto dispatch counting spans the whole run (setup included):
+  // the counters are process-wide relaxed atomics, flipped on only while a
+  // profiler is attached so unprofiled runs pay a single predictable branch.
+  if (config.profiler) {
+    crypto::batch::ResetCounts();
+    crypto::batch::SetCountDispatch(true);
+    codec::ResetScratchPoolCounts();
+    codec::SetCountScratchPool(true);
+  }
   auto driver = MakeDriver(config);
   sim::Simulation& simulation = driver->simulation();
   Rng rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
@@ -577,6 +590,30 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   }
 
   simulation.RunUntil(w.duration + w.drain);
+
+  if (config.profiler) {
+    crypto::batch::SetCountDispatch(false);
+    const crypto::batch::DispatchCounts c = crypto::batch::Counts();
+    // Field-copy into the obs-side mirror struct: obs never links crypto.
+    obs::CryptoSnapshot snap;
+    snap.batches = c.batches;
+    snap.hashes = c.hashes;
+    snap.scalar = c.scalar;
+    snap.sha_ni = c.sha_ni;
+    snap.wide4 = c.wide4;
+    snap.wide8 = c.wide8;
+    snap.verify_batches = c.verify_batches;
+    snap.verify_sigs = c.verify_sigs;
+    config.profiler->SetCrypto(snap);
+    codec::SetCountScratchPool(false);
+    const codec::ScratchPoolCounts s = codec::ScratchPoolCountsSnapshot();
+    obs::ScratchSnapshot scratch;
+    scratch.acquires = s.acquires;
+    scratch.pool_hits = s.pool_hits;
+    scratch.heap_allocs = s.heap_allocs;
+    scratch.drops = s.drops;
+    config.profiler->SetScratch(scratch);
+  }
 
   ExperimentResult result;
   for (const ExperimentMetrics& shard : shards) {

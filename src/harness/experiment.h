@@ -13,6 +13,7 @@
 
 namespace orderless::obs {
 class Tracer;
+class Profiler;
 }
 
 namespace orderless::harness {
@@ -103,6 +104,11 @@ struct ExperimentConfig {
   /// Optional observability hook (not owned; OrderlessChain only). Wired
   /// into the simulated network when set; null = tracing disabled.
   obs::Tracer* tracer = nullptr;
+
+  /// Optional host-side profiler (not owned; OrderlessChain only): lane
+  /// utilization, barrier waits, arena recycle rates and batch-crypto
+  /// dispatch counts. Null = zero profiler instructions on the hot path.
+  obs::Profiler* profiler = nullptr;
 
   /// Simulation worker threads (OrderlessChain only; baselines ignore it
   /// and stay sequential). Any value produces bit-identical simulated

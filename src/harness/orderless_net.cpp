@@ -27,6 +27,7 @@ OrderlessNet::OrderlessNet(OrderlessNetConfig config)
                                    "client-" + std::to_string(i));
     }
   }
+  if (config_.profiler) simulation_.SetProfiler(config_.profiler);
   network_ = std::make_unique<sim::Network>(simulation_, config_.net,
                                             rng_.Fork());
 

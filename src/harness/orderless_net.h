@@ -12,6 +12,10 @@
 #include "obs/trace.h"
 #include "sim/network.h"
 
+namespace orderless::obs {
+class Profiler;
+}
+
 namespace orderless::harness {
 
 struct OrderlessNetConfig {
@@ -25,6 +29,9 @@ struct OrderlessNetConfig {
   /// Optional observability hook (not owned). Attached to the simulation and
   /// given per-actor track names; null = tracing disabled, zero overhead.
   obs::Tracer* tracer = nullptr;
+  /// Optional host-side profiler (not owned). Attached to the simulation;
+  /// null = no profiler instructions on the hot path.
+  obs::Profiler* profiler = nullptr;
   /// Simulation worker threads. 1 = the sequential engine; >1 executes org
   /// and client lanes in conservative parallel epochs with bit-identical
   /// results (see sim/simulation.h).

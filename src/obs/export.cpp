@@ -184,6 +184,7 @@ bool WriteJsonl(const Tracer& tracer, const std::string& path) {
 void FillTraceMetrics(const Tracer& tracer, MetricsRegistry& registry) {
   registry.counter("trace.events").Add(tracer.events().size());
   registry.counter("trace.dropped").Add(tracer.dropped());
+  registry.counter("trace.hwm").Add(tracer.high_water());
   for (const PhaseSummary& phase : tracer.Phases()) {
     const std::string prefix =
         "trace.phase." + std::string(EventKindName(phase.kind));

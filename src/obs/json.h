@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace orderless::obs {
@@ -59,15 +60,39 @@ class JsonBench {
     points_.back().push_back("\"" + key + "\": " + list);
   }
 
+  /// The source revision baked in at configure time (CMake runs
+  /// `git describe --always --dirty`); "unknown" outside a git checkout.
+  static const char* GitDescribe() {
+#ifdef ORDERLESS_GIT_DESCRIBE
+    return ORDERLESS_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+  }
+
   /// Writes BENCH_<name>.json in the working directory; returns false when
   /// the file cannot be opened (benches warn but do not fail on this).
-  bool Write() const { return WriteTo("BENCH_" + name_ + ".json"); }
+  /// Bench artifacts carry a run-metadata header (bench name, git describe,
+  /// host thread count) so bench_regress and humans can tell which revision
+  /// and machine produced a trajectory point.
+  bool Write() const {
+    return WriteTo("BENCH_" + name_ + ".json", /*with_meta=*/true);
+  }
 
   /// Writes the same document to an explicit path (metrics exporter).
-  bool WriteTo(const std::string& path) const {
+  /// No meta header by default: metrics documents must stay byte-identical
+  /// across thread counts and revisions (the determinism tests diff them).
+  bool WriteTo(const std::string& path, bool with_meta = false) const {
     FILE* out = std::fopen(path.c_str(), "w");
     if (!out) return false;
     std::fprintf(out, "{\n  \"bench\": \"%s\",\n", name_.c_str());
+    if (with_meta) {
+      std::fprintf(out,
+                   "  \"meta\": {\"bench\": \"%s\", \"git_describe\": \"%s\", "
+                   "\"host_threads\": %u},\n",
+                   name_.c_str(), GitDescribe(),
+                   std::thread::hardware_concurrency());
+    }
     for (const std::string& scalar : scalars_) {
       std::fprintf(out, "  %s,\n", scalar.c_str());
     }

@@ -1,0 +1,162 @@
+#include "obs/prof.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace orderless::obs {
+
+namespace {
+
+double MsOf(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+void Appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+std::uint64_t Profiler::total_busy_ns() const {
+  std::uint64_t sum = 0;
+  for (const LaneStat& s : lanes_) sum += s.busy_ns;
+  return sum;
+}
+
+std::uint64_t Profiler::total_events() const {
+  std::uint64_t sum = 0;
+  for (const LaneStat& s : lanes_) sum += s.events;
+  return sum;
+}
+
+double Profiler::Utilization() const {
+  if (pool_width_ns_ == 0) return 0;
+  return static_cast<double>(total_busy_ns()) /
+         static_cast<double>(pool_width_ns_);
+}
+
+double Profiler::ArenaHitRate() const {
+  if (arena_.alloc_calls == 0) return 0;
+  return static_cast<double>(arena_.alloc_calls - arena_.chunk_allocs) /
+         static_cast<double>(arena_.alloc_calls);
+}
+
+double Profiler::ScratchHitRate() const {
+  if (scratch_.acquires == 0) return 0;
+  return static_cast<double>(scratch_.pool_hits) /
+         static_cast<double>(scratch_.acquires);
+}
+
+void Profiler::Fill(MetricsRegistry& registry) const {
+  registry.counter("prof.epochs").Add(epochs_);
+  registry.counter("prof.lanes").Add(lanes_.size());
+  registry.counter("prof.events").Add(total_events());
+  registry.gauge("prof.busy_ms").Set(MsOf(total_busy_ns()));
+  registry.gauge("prof.epoch_wall_ms").Set(MsOf(wall_ns_));
+  registry.gauge("prof.barrier_wait_ms").Set(MsOf(barrier_wait_ns_));
+  registry.gauge("prof.utilization").Set(Utilization());
+  if (epochs_ > 0) {
+    registry.gauge("prof.active_lanes_avg")
+        .Set(static_cast<double>(active_lane_sum_) /
+             static_cast<double>(epochs_));
+  }
+  registry.counter("prof.arena.alloc_calls").Add(arena_.alloc_calls);
+  registry.counter("prof.arena.chunk_allocs").Add(arena_.chunk_allocs);
+  registry.gauge("prof.arena.recycle_hit_rate").Set(ArenaHitRate());
+  registry.counter("prof.arena.capacity_bytes").Add(arena_.capacity_bytes);
+  registry.counter("prof.arena.high_water_bytes")
+      .Add(arena_.high_water_bytes);
+  registry.counter("prof.arena.resets_with_use").Add(arena_.resets_with_use);
+  registry.counter("prof.scratch.acquires").Add(scratch_.acquires);
+  registry.counter("prof.scratch.pool_hits").Add(scratch_.pool_hits);
+  registry.counter("prof.scratch.heap_allocs").Add(scratch_.heap_allocs);
+  registry.counter("prof.scratch.drops").Add(scratch_.drops);
+  registry.gauge("prof.scratch.recycle_hit_rate").Set(ScratchHitRate());
+  registry.counter("prof.crypto.batches").Add(crypto_.batches);
+  registry.counter("prof.crypto.hashes").Add(crypto_.hashes);
+  registry.counter("prof.crypto.scalar").Add(crypto_.scalar);
+  registry.counter("prof.crypto.sha_ni").Add(crypto_.sha_ni);
+  registry.counter("prof.crypto.wide4").Add(crypto_.wide4);
+  registry.counter("prof.crypto.wide8").Add(crypto_.wide8);
+  registry.counter("prof.crypto.verify_batches").Add(crypto_.verify_batches);
+  registry.counter("prof.crypto.verify_sigs").Add(crypto_.verify_sigs);
+}
+
+std::string Profiler::RenderText() const {
+  std::string out;
+  out += "=== engine profile (host time) ===\n";
+  Appendf(out,
+          "epochs %" PRIu64 "  events %" PRIu64 "  busy %.3fms  wall %.3fms  "
+          "barrier-wait %.3fms  utilization %.1f%%\n",
+          epochs_, total_events(), MsOf(total_busy_ns()), MsOf(wall_ns_),
+          MsOf(barrier_wait_ns_), Utilization() * 100.0);
+  if (epochs_ > 0) {
+    Appendf(out, "active lanes/epoch: %.2f avg of %zu\n",
+            static_cast<double>(active_lane_sum_) /
+                static_cast<double>(epochs_),
+            lanes_.size());
+  }
+
+  // Busiest lanes by host time (top 8) — index-ordered tie-break.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (lanes_[i].slices != 0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (lanes_[a].busy_ns != lanes_[b].busy_ns) {
+      return lanes_[a].busy_ns > lanes_[b].busy_ns;
+    }
+    return a < b;
+  });
+  if (!order.empty()) {
+    out += "busiest lanes:\n";
+    const std::size_t n = std::min<std::size_t>(order.size(), 8);
+    for (std::size_t k = 0; k < n; ++k) {
+      const LaneStat& s = lanes_[order[k]];
+      Appendf(out,
+              "  lane %-4zu busy %9.3fms  events %8" PRIu64
+              "  slices %6" PRIu64 "\n",
+              order[k], MsOf(s.busy_ns), s.events, s.slices);
+    }
+  }
+
+  Appendf(out,
+          "arena: allocs %" PRIu64 "  chunk-mallocs %" PRIu64
+          "  recycle hit %.2f%%  capacity %" PRIu64 "B  high-water %" PRIu64
+          "B  used-resets %" PRIu64 "\n",
+          arena_.alloc_calls, arena_.chunk_allocs, ArenaHitRate() * 100.0,
+          arena_.capacity_bytes, arena_.high_water_bytes,
+          arena_.resets_with_use);
+  Appendf(out,
+          "scratch-pool: acquires %" PRIu64 "  pool-hits %" PRIu64
+          " (%.2f%%)  heap-allocs %" PRIu64 "  drops %" PRIu64 "\n",
+          scratch_.acquires, scratch_.pool_hits, ScratchHitRate() * 100.0,
+          scratch_.heap_allocs, scratch_.drops);
+  Appendf(out,
+          "crypto: batches %" PRIu64 " (scalar %" PRIu64 ", sha-ni %" PRIu64
+          ", wide4 %" PRIu64 ", wide8 %" PRIu64 ")  hashes %" PRIu64
+          "  verify-batches %" PRIu64 "  verify-sigs %" PRIu64 "\n",
+          crypto_.batches, crypto_.scalar, crypto_.sha_ni, crypto_.wide4,
+          crypto_.wide8, crypto_.hashes, crypto_.verify_batches,
+          crypto_.verify_sigs);
+  return out;
+}
+
+void Profiler::Reset() {
+  lanes_.clear();
+  epochs_ = 0;
+  wall_ns_ = 0;
+  barrier_wait_ns_ = 0;
+  active_lane_sum_ = 0;
+  pool_width_ns_ = 0;
+  arena_ = ArenaSnapshot{};
+  scratch_ = ScratchSnapshot{};
+  crypto_ = CryptoSnapshot{};
+}
+
+}  // namespace orderless::obs

@@ -1,0 +1,485 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+namespace orderless::obs {
+
+namespace {
+
+constexpr std::array<std::string_view,
+                     static_cast<std::size_t>(Segment::kSegmentCount)>
+    kSegmentNames = {
+        "endorse_fanout", "endorse_net_out", "endorse_exec",
+        "endorse_net_back", "match_gap",     "commit_fanout",
+        "commit_net_out",  "commit_validate", "commit_apply",
+        "commit_net_back", "finalize",
+};
+
+struct FlagName {
+  std::uint32_t bit;
+  const char* name;
+};
+
+constexpr FlagName kFlagNames[] = {
+    {kFlagFailed, "failed"},
+    {kFlagRejected, "rejected"},
+    {kFlagNoOutcome, "no-outcome"},
+    {kFlagNoSubmit, "no-submit"},
+    {kFlagUnsolicitedReply, "unsolicited-reply"},
+    {kFlagUnsolicitedReceipt, "unsolicited-receipt"},
+    {kFlagInvalidValidation, "invalid-validation"},
+    {kFlagMatchWithoutReply, "match-without-reply"},
+    {kFlagClampedSegment, "clamped-segment"},
+};
+
+/// Per-org observation during reconstruction; one entry per org a
+/// transaction touched (bounded by the endorsement policy's n, so linear
+/// search beats a map here and is deterministic by construction).
+struct OrgMark {
+  std::uint32_t org = 0;
+  sim::SimTime ts = 0;
+  sim::SimTime ts2 = 0;  // span end for spans
+};
+
+const OrgMark* FindMark(const std::vector<OrgMark>& marks, std::uint32_t org) {
+  for (const OrgMark& m : marks) {
+    if (m.org == org) return &m;
+  }
+  return nullptr;
+}
+
+/// Transient reconstruction state, parallel to TimelineSet::txs and
+/// dropped once segments are computed.
+struct Work {
+  std::vector<OrgMark> proposal_sends;  // ts = send time
+  std::vector<OrgMark> exec_spans;      // ts = start, ts2 = end
+  bool any_reply = false;
+  std::uint32_t last_reply_org = 0;  // last kEndorseReply in record order
+  sim::SimTime last_reply_ts = 0;
+  bool matched = false;
+  sim::SimTime match_ts = 0;
+  std::vector<OrgMark> commit_sends;    // ts = send time
+  std::vector<OrgMark> validate_spans;  // ts = start, ts2 = end
+  std::vector<OrgMark> ledger_appends;  // ts = append time
+  bool any_receipt = false;
+  std::uint32_t last_receipt_org = 0;  // last kReceipt in record order
+  sim::SimTime last_receipt_ts = 0;
+};
+
+void MarkOnce(std::vector<OrgMark>& marks, std::uint32_t org, sim::SimTime ts,
+              sim::SimTime ts2 = 0) {
+  if (FindMark(marks, org)) return;  // first observation wins (re-delivery)
+  marks.push_back(OrgMark{org, ts, ts2});
+}
+
+/// Sets one leg, clamping negative evidence to zero (flagged).
+void SetSeg(TxTimeline& t, Segment seg, sim::SimTime from, sim::SimTime to) {
+  const auto i = static_cast<std::size_t>(seg);
+  if (to < from) {
+    t.flags |= kFlagClampedSegment;
+    to = from;
+  }
+  t.seg_us[i] = to - from;
+  t.seg_present[i] = true;
+}
+
+/// Resolves the endorse-phase legs along the critical endorser. The reply
+/// closing the quorum ends the phase; missing org-side instrumentation
+/// collapses exec into one wide wire leg so totals still add up.
+void ResolveEndorseLegs(TxTimeline& t, const Work& w, sim::SimTime phase_end) {
+  if (!w.any_reply) return;
+  t.has_critical_endorser = true;
+  t.critical_endorser = w.last_reply_org;
+  const OrgMark* send = FindMark(w.proposal_sends, w.last_reply_org);
+  const OrgMark* exec = FindMark(w.exec_spans, w.last_reply_org);
+  if (!send) {
+    t.flags |= kFlagUnsolicitedReply;
+  } else {
+    SetSeg(t, Segment::kEndorseFanout, t.submit_ts, send->ts);
+  }
+  const sim::SimTime out_from = send ? send->ts : t.submit_ts;
+  if (exec) {
+    SetSeg(t, Segment::kEndorseNetOut, out_from, exec->ts);
+    SetSeg(t, Segment::kEndorseExec, exec->ts, exec->ts2);
+    SetSeg(t, Segment::kEndorseNetBack, exec->ts2, w.last_reply_ts);
+  } else {
+    SetSeg(t, Segment::kEndorseNetOut, out_from, w.last_reply_ts);
+  }
+  SetSeg(t, Segment::kMatchGap, w.last_reply_ts, phase_end);
+}
+
+/// Resolves the commit-phase legs along the critical committer.
+void ResolveCommitLegs(TxTimeline& t, const Work& w, sim::SimTime phase_end) {
+  if (!w.any_receipt) return;
+  t.has_critical_committer = true;
+  t.critical_committer = w.last_receipt_org;
+  const OrgMark* send = FindMark(w.commit_sends, w.last_receipt_org);
+  const OrgMark* val = FindMark(w.validate_spans, w.last_receipt_org);
+  const OrgMark* led = FindMark(w.ledger_appends, w.last_receipt_org);
+  if (!send) {
+    t.flags |= kFlagUnsolicitedReceipt;
+  } else if (w.matched) {
+    SetSeg(t, Segment::kCommitFanout, w.match_ts, send->ts);
+  }
+  const sim::SimTime out_from = send ? send->ts
+                                : w.matched ? w.match_ts
+                                            : t.submit_ts;
+  if (val) {
+    SetSeg(t, Segment::kCommitNetOut, out_from, val->ts);
+    SetSeg(t, Segment::kCommitValidate, val->ts, val->ts2);
+    if (led) {
+      SetSeg(t, Segment::kCommitApply, val->ts2, led->ts);
+      SetSeg(t, Segment::kCommitNetBack, led->ts, w.last_receipt_ts);
+    } else {
+      SetSeg(t, Segment::kCommitNetBack, val->ts2, w.last_receipt_ts);
+    }
+  } else if (led) {
+    SetSeg(t, Segment::kCommitNetOut, out_from, led->ts);
+    SetSeg(t, Segment::kCommitNetBack, led->ts, w.last_receipt_ts);
+  } else {
+    SetSeg(t, Segment::kCommitNetOut, out_from, w.last_receipt_ts);
+  }
+  SetSeg(t, Segment::kFinalize, w.last_receipt_ts, phase_end);
+}
+
+}  // namespace
+
+std::string_view SegmentName(Segment segment) {
+  const auto idx = static_cast<std::size_t>(segment);
+  return idx < kSegmentNames.size() ? kSegmentNames[idx] : "?";
+}
+
+std::string TimelineFlagNames(std::uint32_t flags) {
+  std::string out;
+  for (const FlagName& f : kFlagNames) {
+    if (!(flags & f.bit)) continue;
+    if (!out.empty()) out += ',';
+    out += f.name;
+  }
+  return out;
+}
+
+TimelineSet BuildTimelines(const std::vector<TraceEvent>& events) {
+  TimelineSet set;
+  set.total_events = events.size();
+  std::vector<Work> work;
+  // Key (either key space) → index into set.txs; lookup only, the output
+  // order is first appearance in the buffer.
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(events.size() / 4 + 16);
+
+  auto fresh = [&](std::uint64_t key) {
+    const std::size_t i = set.txs.size();
+    set.txs.emplace_back();
+    work.emplace_back();
+    set.txs[i].proposal_key = key;
+    index.emplace(key, i);
+    return i;
+  };
+  // Looks up a lifecycle event's timeline; client-side kinds without a
+  // submit open a flagged timeline instead of being dropped (Byzantine
+  // equivocation produces exactly this shape).
+  auto find_or_flag = [&](std::uint64_t key) {
+    const auto it = index.find(key);
+    if (it != index.end()) return it->second;
+    const std::size_t i = fresh(key);
+    set.txs[i].flags |= kFlagNoSubmit;
+    return i;
+  };
+
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case EventKind::kTxSubmit: {
+        const auto it = index.find(e.tx);
+        const std::size_t i = it != index.end() ? it->second : fresh(e.tx);
+        TxTimeline& t = set.txs[i];
+        t.client = e.actor;
+        t.read_only = e.aux != 0;
+        t.submit_ts = e.ts;
+        t.flags &= ~kFlagNoSubmit;
+        break;
+      }
+      case EventKind::kProposalSend: {
+        const std::size_t i = find_or_flag(e.tx);
+        MarkOnce(work[i].proposal_sends, static_cast<std::uint32_t>(e.aux),
+                 e.ts);
+        break;
+      }
+      case EventKind::kEndorseExec: {
+        const auto it = index.find(e.tx);
+        if (it == index.end()) {
+          ++set.orphan_org_events;
+          break;
+        }
+        MarkOnce(work[it->second].exec_spans, e.actor, e.ts, e.ts + e.dur);
+        break;
+      }
+      case EventKind::kEndorseReply: {
+        const std::size_t i = find_or_flag(e.tx);
+        Work& w = work[i];
+        w.any_reply = true;
+        w.last_reply_org = static_cast<std::uint32_t>(e.aux);
+        w.last_reply_ts = e.ts;
+        if (!FindMark(w.proposal_sends, w.last_reply_org)) {
+          set.txs[i].flags |= kFlagUnsolicitedReply;
+        }
+        break;
+      }
+      case EventKind::kWriteSetMatch: {
+        // tx = transaction id, aux = proposal digest: link the key spaces.
+        const std::size_t i = find_or_flag(e.aux);
+        TxTimeline& t = set.txs[i];
+        t.tx_key = e.tx;
+        index.emplace(e.tx, i);
+        Work& w = work[i];
+        w.matched = true;
+        w.match_ts = e.ts;
+        if (!w.any_reply) t.flags |= kFlagMatchWithoutReply;
+        break;
+      }
+      case EventKind::kCommitSend: {
+        const std::size_t i = find_or_flag(e.tx);
+        MarkOnce(work[i].commit_sends, static_cast<std::uint32_t>(e.aux),
+                 e.ts);
+        break;
+      }
+      case EventKind::kValidate: {
+        const auto it = index.find(e.tx);
+        if (it == index.end()) {
+          ++set.orphan_org_events;
+          break;
+        }
+        MarkOnce(work[it->second].validate_spans, e.actor, e.ts, e.ts + e.dur);
+        if (e.aux == 0) set.txs[it->second].flags |= kFlagInvalidValidation;
+        break;
+      }
+      case EventKind::kLedgerAppend: {
+        const auto it = index.find(e.tx);
+        if (it == index.end()) {
+          ++set.orphan_org_events;
+          break;
+        }
+        MarkOnce(work[it->second].ledger_appends, e.actor, e.ts);
+        if (e.aux == 0) set.txs[it->second].flags |= kFlagInvalidValidation;
+        break;
+      }
+      case EventKind::kCrdtApply:
+      case EventKind::kConverge: {
+        // Convergence is analyzed buffer-wide (report heat table), not per
+        // timeline; only the orphan check applies here.
+        if (index.find(e.tx) == index.end()) ++set.orphan_org_events;
+        break;
+      }
+      case EventKind::kReceipt: {
+        const std::size_t i = find_or_flag(e.tx);
+        Work& w = work[i];
+        w.any_receipt = true;
+        w.last_receipt_org = static_cast<std::uint32_t>(e.aux);
+        w.last_receipt_ts = e.ts;
+        if (!FindMark(w.commit_sends, w.last_receipt_org)) {
+          set.txs[i].flags |= kFlagUnsolicitedReceipt;
+        }
+        break;
+      }
+      case EventKind::kTxOutcome: {
+        const std::size_t i = find_or_flag(e.tx);
+        TxTimeline& t = set.txs[i];
+        t.has_outcome = true;
+        t.status = static_cast<TxStatus>(e.aux);
+        t.outcome_end = e.ts + e.dur;
+        // The span starts at the submit time; with a missing submit this
+        // recovers the start, otherwise it re-states the identical value.
+        t.submit_ts = e.ts;
+        break;
+      }
+      default:
+        break;  // gossip, checkpoint: not tx-lifecycle-scoped
+    }
+  }
+
+  // Second pass: segment resolution per timeline, against the final
+  // evidence (replies recorded after the match belong to the losing legs
+  // of the fan-out, so phase boundaries use the *work* snapshot which
+  // tracked "last before" via record order — see the phase_end args).
+  for (std::size_t i = 0; i < set.txs.size(); ++i) {
+    TxTimeline& t = set.txs[i];
+    const Work& w = work[i];
+    if (!t.has_outcome) t.flags |= kFlagNoOutcome;
+    if (t.has_outcome) {
+      if (t.status == TxStatus::kFailed) t.flags |= kFlagFailed;
+      if (t.status == TxStatus::kRejected) t.flags |= kFlagRejected;
+    }
+    const sim::SimTime endorse_end =
+        w.matched ? w.match_ts
+                  : (t.has_outcome ? t.outcome_end : w.last_reply_ts);
+    ResolveEndorseLegs(t, w, endorse_end);
+    if (w.any_receipt) {
+      const sim::SimTime commit_end =
+          t.has_outcome ? t.outcome_end : w.last_receipt_ts;
+      ResolveCommitLegs(t, w, commit_end);
+    } else if (t.read_only && t.has_outcome && w.any_reply) {
+      // Read-only path: the quorum reply IS the result; finalize covers
+      // reply → outcome (overwrites the match-gap placeholder above).
+      t.seg_present[static_cast<std::size_t>(Segment::kMatchGap)] = false;
+      t.seg_us[static_cast<std::size_t>(Segment::kMatchGap)] = 0;
+      SetSeg(t, Segment::kFinalize, w.last_reply_ts, t.outcome_end);
+    }
+  }
+  return set;
+}
+
+DistSummary Summarize(std::vector<std::uint64_t>& samples_us) {
+  DistSummary d;
+  d.count = samples_us.size();
+  if (samples_us.empty()) return d;
+  std::sort(samples_us.begin(), samples_us.end());
+  // Exact nearest-rank: idx = ceil(p/100 * n) - 1, clamped.
+  auto rank = [&](double p) {
+    const auto n = static_cast<double>(samples_us.size());
+    auto idx = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+    idx = idx > 0 ? idx - 1 : 0;
+    idx = std::min(idx, samples_us.size() - 1);
+    return static_cast<double>(samples_us[idx]) / 1000.0;
+  };
+  d.p50_ms = rank(50);
+  d.p95_ms = rank(95);
+  d.p99_ms = rank(99);
+  std::uint64_t sum = 0;
+  for (std::uint64_t s : samples_us) sum += s;
+  d.avg_ms = static_cast<double>(sum) / 1000.0 /
+             static_cast<double>(samples_us.size());
+  d.max_ms = static_cast<double>(samples_us.back()) / 1000.0;
+  return d;
+}
+
+bool CulpritOf(const TxTimeline& t, Segment& segment, std::uint64_t& dur_us,
+               std::uint32_t& actor) {
+  bool found = false;
+  std::uint64_t best = 0;
+  std::size_t best_i = 0;
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(Segment::kSegmentCount); ++i) {
+    if (!t.seg_present[i]) continue;
+    if (!found || t.seg_us[i] > best) {  // ties keep the earlier leg
+      found = true;
+      best = t.seg_us[i];
+      best_i = i;
+    }
+  }
+  if (!found) return false;
+  segment = static_cast<Segment>(best_i);
+  dur_us = best;
+  switch (segment) {
+    case Segment::kEndorseNetOut:
+    case Segment::kEndorseExec:
+    case Segment::kEndorseNetBack:
+      actor = t.critical_endorser;
+      break;
+    case Segment::kCommitNetOut:
+    case Segment::kCommitValidate:
+    case Segment::kCommitApply:
+    case Segment::kCommitNetBack:
+      actor = t.critical_committer;
+      break;
+    default:
+      actor = t.client;  // fan-out, match and finalize run at the client
+      break;
+  }
+  return true;
+}
+
+TimelineAnalysis Analyze(const TimelineSet& set, std::size_t slowest_n) {
+  TimelineAnalysis a;
+  constexpr auto kSegCount = static_cast<std::size_t>(Segment::kSegmentCount);
+  std::array<std::vector<std::uint64_t>, kSegCount> seg_samples;
+  std::array<std::uint64_t, kSegCount> culprit_hits{};
+  std::vector<std::uint64_t> latency_samples;
+  std::map<std::uint32_t, CriticalOrgCount> orgs;
+  std::uint64_t finished = 0;
+
+  std::vector<std::size_t> outcome_order;  // candidates for slowest-N
+  for (std::size_t i = 0; i < set.txs.size(); ++i) {
+    const TxTimeline& t = set.txs[i];
+    if (t.flags != 0) ++a.flagged;
+    if (!t.has_outcome) {
+      ++a.no_outcome;
+      continue;
+    }
+    switch (t.status) {
+      case TxStatus::kCommitted: ++a.committed; break;
+      case TxStatus::kRead: ++a.reads; break;
+      case TxStatus::kRejected: ++a.rejected; break;
+      case TxStatus::kFailed: ++a.failed; break;
+    }
+    ++finished;
+    outcome_order.push_back(i);
+    if (t.Committed()) latency_samples.push_back(t.LatencyUs());
+    for (std::size_t s = 0; s < kSegCount; ++s) {
+      if (t.seg_present[s]) seg_samples[s].push_back(t.seg_us[s]);
+    }
+    Segment culprit;
+    std::uint64_t dur;
+    std::uint32_t actor;
+    if (CulpritOf(t, culprit, dur, actor)) {
+      ++culprit_hits[static_cast<std::size_t>(culprit)];
+    }
+    if (t.has_critical_endorser) {
+      auto& c = orgs[t.critical_endorser];
+      c.org = t.critical_endorser;
+      ++c.endorse_hits;
+    }
+    if (t.has_critical_committer) {
+      auto& c = orgs[t.critical_committer];
+      c.org = t.critical_committer;
+      ++c.commit_hits;
+    }
+  }
+
+  a.latency = Summarize(latency_samples);
+  for (std::size_t s = 0; s < kSegCount; ++s) {
+    if (seg_samples[s].empty()) continue;
+    PhaseStat p;
+    p.segment = static_cast<Segment>(s);
+    p.dist = Summarize(seg_samples[s]);
+    p.critical_hits = culprit_hits[s];
+    p.critical_share =
+        finished == 0 ? 0
+                      : static_cast<double>(culprit_hits[s]) /
+                            static_cast<double>(finished);
+    a.phases.push_back(p);
+  }
+  for (const auto& [org, c] : orgs) a.critical_orgs.push_back(c);
+
+  // Slowest-N by latency; ties broken by submit time then proposal key so
+  // the report is stable across reconstruction runs.
+  std::sort(outcome_order.begin(), outcome_order.end(),
+            [&](std::size_t x, std::size_t y) {
+              const TxTimeline& tx = set.txs[x];
+              const TxTimeline& ty = set.txs[y];
+              if (tx.LatencyUs() != ty.LatencyUs()) {
+                return tx.LatencyUs() > ty.LatencyUs();
+              }
+              if (tx.submit_ts != ty.submit_ts) {
+                return tx.submit_ts < ty.submit_ts;
+              }
+              return tx.proposal_key < ty.proposal_key;
+            });
+  const std::size_t n = std::min(slowest_n, outcome_order.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    const TxTimeline& t = set.txs[outcome_order[k]];
+    SlowTx s;
+    s.proposal_key = t.proposal_key;
+    s.tx_key = t.tx_key;
+    s.latency_us = t.LatencyUs();
+    s.flags = t.flags;
+    s.has_culprit = CulpritOf(t, s.culprit, s.culprit_us, s.culprit_actor);
+    a.slowest.push_back(s);
+  }
+  return a;
+}
+
+}  // namespace orderless::obs

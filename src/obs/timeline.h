@@ -1,0 +1,188 @@
+// Causal timeline reconstruction and critical-path attribution.
+//
+// BuildTimelines() replays a globally ordered trace buffer (live Tracer
+// events or a re-parsed trace JSONL — both paths share this code) and
+// stitches each transaction's lifecycle back together: submit → endorse
+// fan-out → write-set match → commit fan-out → per-org validate / apply /
+// ledger append → receipt quorum → outcome. The two key spaces (proposal
+// digest before assembly, transaction id after) are linked through
+// kWriteSetMatch exactly as Tracer::EventsForTx does.
+//
+// The critical path through the two quorums falls out of record order:
+// the endorsement phase completes at the LAST kEndorseReply recorded
+// before the kWriteSetMatch, so that reply's org is the critical
+// endorser; the commit phase completes at the LAST kReceipt recorded
+// before the outcome, so that receipt's org is the critical committer.
+// Per-transaction latency then decomposes into the Segment legs below,
+// measured along the critical org's leg of each fan-out.
+//
+// Everything here is deterministic: timelines are emitted in first-
+// appearance order, percentiles are exact nearest-rank over sorted
+// samples, and hash maps are used only for lookup, never to order
+// output — a trace reconstructed at --threads 1/2/4 yields byte-identical
+// reports (tests/timeline_test).
+//
+// Malformed or Byzantine traces (unsolicited replies, equivocating
+// proposals, invalid validations, missing submits) produce *flagged*
+// timelines, never a crash — triage needs the reconstruction most exactly
+// when the run was adversarial.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace orderless::obs {
+
+/// One leg of a transaction's critical path, in lifecycle order. Leg
+/// durations are measured along the critical endorser (endorse legs) and
+/// critical committer (commit legs).
+enum class Segment : std::uint8_t {
+  kEndorseFanout = 0,  // submit → proposal_send to the critical endorser
+  kEndorseNetOut,      // proposal_send → endorse_exec start (client→org wire)
+  kEndorseExec,        // endorsement execution span at the critical endorser
+  kEndorseNetBack,     // endorse_exec end → endorse_reply (org→client wire)
+  kMatchGap,           // quorum reply → write-set match / tx assembly
+  kCommitFanout,       // write-set match → commit_send to the critical org
+  kCommitNetOut,       // commit_send → validate start (client→org wire)
+  kCommitValidate,     // signature-validation span at the critical committer
+  kCommitApply,        // validate end → ledger append (CRDT apply + block)
+  kCommitNetBack,      // ledger append → receipt (org→client wire)
+  kFinalize,           // quorum receipt → recorded outcome
+  kSegmentCount,
+};
+
+/// Lower-case stable segment name ("endorse_exec", "commit_apply", ...).
+std::string_view SegmentName(Segment segment);
+
+/// Per-timeline anomaly flags. A flagged timeline is still reconstructed
+/// as far as the evidence allows.
+enum TimelineFlag : std::uint32_t {
+  kFlagFailed = 1u << 0,              // outcome: failed / timed out
+  kFlagRejected = 1u << 1,            // outcome: rejected by validation
+  kFlagNoOutcome = 1u << 2,           // trace ended before the outcome
+  kFlagNoSubmit = 1u << 3,            // lifecycle events without a submit
+  kFlagUnsolicitedReply = 1u << 4,    // reply from an org never proposed to
+  kFlagUnsolicitedReceipt = 1u << 5,  // receipt from an org never committed to
+  kFlagInvalidValidation = 1u << 6,   // some org judged the tx invalid
+  kFlagMatchWithoutReply = 1u << 7,   // write-set match with zero replies seen
+  kFlagClampedSegment = 1u << 8,      // a leg came out negative; clamped to 0
+};
+
+/// "failed,unsolicited-reply" style render of a flag mask ("" when clean).
+std::string TimelineFlagNames(std::uint32_t flags);
+
+/// One reconstructed transaction.
+struct TxTimeline {
+  std::uint64_t proposal_key = 0;  // submit-phase key (digest Prefix64)
+  std::uint64_t tx_key = 0;        // commit-phase key; 0 until matched
+  std::uint32_t client = 0;        // submitting client's node id
+  bool read_only = false;
+  bool has_outcome = false;
+  TxStatus status = TxStatus::kFailed;  // valid when has_outcome
+  sim::SimTime submit_ts = 0;
+  sim::SimTime outcome_end = 0;  // submit_ts + end-to-end latency
+
+  bool has_critical_endorser = false;
+  std::uint32_t critical_endorser = 0;  // org node id
+  bool has_critical_committer = false;
+  std::uint32_t critical_committer = 0;  // org node id
+
+  /// Leg durations in µs; seg_present masks which legs had evidence
+  /// (missing instrumentation collapses into the neighbouring wire leg).
+  std::uint64_t seg_us[static_cast<std::size_t>(Segment::kSegmentCount)] = {};
+  bool seg_present[static_cast<std::size_t>(Segment::kSegmentCount)] = {};
+
+  std::uint32_t flags = 0;
+
+  std::uint64_t LatencyUs() const { return outcome_end - submit_ts; }
+  bool Committed() const {
+    return has_outcome && (status == TxStatus::kCommitted ||
+                           status == TxStatus::kRead);
+  }
+};
+
+/// Everything BuildTimelines() recovers from one trace buffer.
+struct TimelineSet {
+  std::vector<TxTimeline> txs;  // first-appearance order
+  /// Org-side lifecycle events whose tx key matched no timeline (e.g.
+  /// trace filters dropped the client side). Checkpoint and gossip events
+  /// are never counted here — they are not tx-lifecycle-scoped.
+  std::uint64_t orphan_org_events = 0;
+  std::uint64_t total_events = 0;
+};
+
+/// Replays an ordered event buffer into per-transaction timelines.
+TimelineSet BuildTimelines(const std::vector<TraceEvent>& events);
+
+/// Exact nearest-rank distribution summary (deterministic: no
+/// interpolation). All figures in milliseconds.
+struct DistSummary {
+  std::uint64_t count = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double avg_ms = 0;
+  double max_ms = 0;
+};
+
+/// Summarizes µs samples; sorts the vector in place.
+DistSummary Summarize(std::vector<std::uint64_t>& samples_us);
+
+/// Aggregate view of one segment across all finished transactions.
+struct PhaseStat {
+  Segment segment = Segment::kEndorseFanout;
+  DistSummary dist;
+  std::uint64_t critical_hits = 0;  // timelines whose culprit is this leg
+  double critical_share = 0;        // critical_hits / finished timelines
+};
+
+/// One slowest-N report row: the transaction, its end-to-end latency and
+/// the named culprit — the longest leg and the actor it ran on.
+struct SlowTx {
+  std::uint64_t proposal_key = 0;
+  std::uint64_t tx_key = 0;
+  std::uint64_t latency_us = 0;
+  Segment culprit = Segment::kEndorseFanout;
+  bool has_culprit = false;
+  std::uint64_t culprit_us = 0;
+  std::uint32_t culprit_actor = 0;  // org for org legs, client otherwise
+  std::uint32_t flags = 0;
+};
+
+/// Per-org critical-path tally (node id → times on the critical path),
+/// ordered by node id.
+struct CriticalOrgCount {
+  std::uint32_t org = 0;
+  std::uint64_t endorse_hits = 0;
+  std::uint64_t commit_hits = 0;
+};
+
+struct TimelineAnalysis {
+  std::uint64_t committed = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t no_outcome = 0;
+  std::uint64_t flagged = 0;  // timelines with any anomaly flag
+
+  DistSummary latency;  // end-to-end, committed + read outcomes only
+  std::vector<PhaseStat> phases;        // segments with count > 0, in order
+  std::vector<SlowTx> slowest;          // top-N by latency, descending
+  std::vector<CriticalOrgCount> critical_orgs;  // by node id
+};
+
+/// Analyzes a timeline set: per-leg latency distributions with
+/// critical-path attribution, the slowest-N transactions with named
+/// culprits, and per-org critical-path tallies.
+TimelineAnalysis Analyze(const TimelineSet& set, std::size_t slowest_n);
+
+/// Culprit leg of one timeline: the longest present segment (ties go to
+/// the earlier lifecycle leg). Returns false when no leg has evidence.
+bool CulpritOf(const TxTimeline& t, Segment& segment, std::uint64_t& dur_us,
+               std::uint32_t& actor);
+
+}  // namespace orderless::obs

@@ -99,6 +99,7 @@ void Tracer::AbsorbShards(const std::vector<Tracer*>& shards) {
     }
     events_.push_back(e);
   }
+  if (events_.size() > high_water_) high_water_ = events_.size();
 }
 
 void Tracer::Append(EventKind kind, sim::SimTime ts, sim::SimTime dur,
@@ -116,6 +117,7 @@ void Tracer::Append(EventKind kind, sim::SimTime ts, sim::SimTime dur,
   e.actor = actor;
   e.kind = kind;
   events_.push_back(e);
+  if (events_.size() > high_water_) high_water_ = events_.size();
 }
 
 void Tracer::CommitApplied(sim::SimTime now, std::uint32_t actor,
@@ -219,6 +221,7 @@ std::string Tracer::Render(const TraceEvent& event) const {
 void Tracer::Clear() {
   events_.clear();
   dropped_ = 0;
+  high_water_ = 0;
   first_apply_.clear();
   convergence_.clear();
 }

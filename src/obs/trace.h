@@ -40,7 +40,8 @@ enum class EventKind : std::uint8_t {
   kValidate,         // org: signature validation, aux = 1 valid / 0 invalid
                      //                                     (span)
   kLedgerAppend,     // org: block appended, aux = valid    (instant)
-  kCrdtApply,        // org: CRDT cache apply               (span)
+  kCrdtApply,        // org: CRDT cache apply, aux = 32-bit FNV-1a of the
+                     // first op's object id (0 = op-less)   (span)
   kGossipSend,       // org → peer, aux = peer node         (instant, flow out)
   kGossipRecv,       // org, aux = sender node              (instant, flow in)
   kReceipt,          // client: valid receipt, aux = org    (instant)
@@ -171,6 +172,10 @@ class Tracer {
 
   const std::vector<TraceEvent>& events() const { return events_; }
   std::uint64_t dropped() const { return dropped_; }
+  /// Peak buffered-event count ever reached — the buffer's high-water mark.
+  /// Together with `dropped()` it answers "how close to max_events did this
+  /// run get" without replaying the trace (`trace.hwm` in --metrics-json).
+  std::uint64_t high_water() const { return high_water_; }
   const std::unordered_map<std::uint32_t, ConvergenceStats>& convergence()
       const {
     return convergence_;
@@ -204,6 +209,7 @@ class Tracer {
   bool shard_ = false;
   std::vector<TraceEvent> events_;
   std::uint64_t dropped_ = 0;
+  std::uint64_t high_water_ = 0;
   std::unordered_map<std::uint32_t, std::string> actor_names_;
   // First CRDT apply time per tx key (the convergence-lag reference point).
   std::unordered_map<std::uint64_t, sim::SimTime> first_apply_;

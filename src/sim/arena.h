@@ -33,6 +33,7 @@ class EpochArena : public std::pmr::memory_resource {
   /// Bump-allocates `size` bytes at `align`. Never freed individually;
   /// reclaimed wholesale by Reset().
   void* Alloc(std::size_t size, std::size_t align) {
+    ++alloc_calls_;
     Chunk* chunk = active_ < chunks_.size() ? &chunks_[active_] : nullptr;
     while (chunk != nullptr) {
       const std::size_t offset = AlignUp(chunk->used, align);
@@ -45,6 +46,7 @@ class EpochArena : public std::pmr::memory_resource {
     }
     const std::size_t capacity =
         size + align > kMinChunk ? size + align : kMinChunk;
+    ++chunk_allocs_;
     chunks_.push_back(Chunk{std::make_unique<std::uint8_t[]>(capacity),
                             capacity, 0});
     active_ = chunks_.size() - 1;
@@ -72,6 +74,13 @@ class EpochArena : public std::pmr::memory_resource {
   /// Resets that reclaimed a nonzero amount — i.e. events that used the
   /// arena at all.
   std::size_t resets_with_use() const { return resets_with_use_; }
+  /// Total Alloc() calls and how many fell through to a fresh malloc'd
+  /// chunk; together they give the recycle hit rate the profiler reports
+  /// (hits = alloc_calls - chunk_allocs). Plain counter increments on the
+  /// bump path — no allocation, no branch — so they stay on even when no
+  /// profiler is attached.
+  std::size_t alloc_calls() const { return alloc_calls_; }
+  std::size_t chunk_allocs() const { return chunk_allocs_; }
   std::size_t capacity() const {
     std::size_t total = 0;
     for (const Chunk& chunk : chunks_) total += chunk.capacity;
@@ -108,6 +117,8 @@ class EpochArena : public std::pmr::memory_resource {
   std::size_t active_ = 0;
   std::size_t high_water_ = 0;
   std::size_t resets_with_use_ = 0;
+  std::size_t alloc_calls_ = 0;
+  std::size_t chunk_allocs_ = 0;
 };
 
 }  // namespace orderless::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +10,7 @@
 #include <thread>
 
 #include "common/perf.h"
+#include "obs/prof.h"
 
 namespace orderless::sim {
 
@@ -21,6 +23,14 @@ EpochArena* Simulation::CurrentArena() {
 
 namespace {
 constexpr SimTime kNever = ~SimTime{0};
+
+using ProfClock = std::chrono::steady_clock;
+
+std::uint64_t NsBetween(ProfClock::time_point from, ProfClock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
 }  // namespace
 
 /// Generation-signalled worker pool. Workers pull lanes off a shared atomic
@@ -86,6 +96,11 @@ void Simulation::AddEpochHook(std::function<void()> hook) {
 
 void Simulation::SetLaneTracer(ActorId actor, obs::Tracer* shard) {
   if (actor < lanes_.size()) lanes_[actor]->shard = shard;
+}
+
+void Simulation::SetProfiler(obs::Profiler* profiler) {
+  profiler_ = profiler;
+  if (profiler_) profiler_->BeginLanes(lanes_.size());
 }
 
 // Hole-based sifts (heap[0] = earliest): one 32-byte key copy per level,
@@ -213,6 +228,10 @@ void Simulation::ReserveEventsFor(ActorId dst, std::size_t n) {
 
 bool Simulation::Step() {
   if (!mode_latched_) LatchMode();
+  // Profiler-off runs take the `prof == nullptr` branches only: one
+  // pointer test per event, no clock reads, no allocations.
+  obs::Profiler* const prof = profiler_;
+  ProfClock::time_point t0;
   if (!parallel_storage_) {
     if (queue_.empty()) return false;
     Event meta;
@@ -222,8 +241,15 @@ bool Simulation::Step() {
     lane.now = meta.time;
     ++processed_;
     tls_lane_ = &lane;
+    if (prof) {
+      prof->BeginLanes(lanes_.size());
+      t0 = ProfClock::now();
+    }
     fn();
     lane.arena.Reset();
+    if (prof) {
+      prof->OnLaneSlice(lane.index, 1, NsBetween(t0, ProfClock::now()));
+    }
     tls_lane_ = nullptr;
     return true;
   }
@@ -243,8 +269,15 @@ bool Simulation::Step() {
   best->now = meta.time;
   ++best->processed;
   tls_lane_ = best;
+  if (prof) {
+    prof->BeginLanes(lanes_.size());
+    t0 = ProfClock::now();
+  }
   fn();
   best->arena.Reset();
+  if (prof) {
+    prof->OnLaneSlice(best->index, 1, NsBetween(t0, ProfClock::now()));
+  }
   tls_lane_ = nullptr;
   return true;
 }
@@ -257,6 +290,7 @@ void Simulation::RunUntil(SimTime until) {
   }
   while (!queue_.empty() && queue_.front().time <= until) Step();
   if (now_ < until) now_ = until;
+  if (profiler_) SampleProfilerArena();
 }
 
 void Simulation::RunUntilIdle() {
@@ -267,6 +301,7 @@ void Simulation::RunUntilIdle() {
   }
   while (Step()) {
   }
+  if (profiler_) SampleProfilerArena();
 }
 
 std::size_t Simulation::pending() const {
@@ -281,6 +316,7 @@ std::size_t Simulation::pending() const {
 
 void Simulation::RunParallel(SimTime until) {
   EnsureWorkers();
+  if (profiler_) profiler_->BeginLanes(lanes_.size());
   std::vector<Lane*> active;
   for (;;) {
     SimTime next = kNever;
@@ -332,6 +368,12 @@ void Simulation::RunParallel(SimTime until) {
 void Simulation::RunLaneEpoch(Lane& lane, SimTime end) {
   tls_lane_ = &lane;
   EventQueue& queue = lane.queue;
+  // One clock pair per epoch-slice, not per event; the slice write goes to
+  // this lane's private profiler slot (the epoch barrier publishes it).
+  obs::Profiler* const prof = profiler_;
+  ProfClock::time_point t0;
+  if (prof) t0 = ProfClock::now();
+  const std::size_t before = lane.processed;
   while (!queue.empty() && queue.front().time < end) {
     Event meta;
     SmallFn fn = queue.Pop(meta);
@@ -339,6 +381,10 @@ void Simulation::RunLaneEpoch(Lane& lane, SimTime end) {
     ++lane.processed;
     fn();
     lane.arena.Reset();
+  }
+  if (prof) {
+    prof->OnLaneSlice(lane.index, lane.processed - before,
+                      NsBetween(t0, ProfClock::now()));
   }
   tls_lane_ = nullptr;
 }
@@ -360,6 +406,9 @@ void Simulation::RunHarnessBarrier(SimTime at) {
 
 void Simulation::ExecuteEpoch(std::vector<Lane*>& active, SimTime end) {
   if (active.empty()) return;
+  obs::Profiler* const prof = profiler_;
+  ProfClock::time_point t0;
+  if (prof) t0 = ProfClock::now();
   {
     std::lock_guard<std::mutex> lock(workers_->mutex);
     workers_->active = &active;
@@ -372,10 +421,19 @@ void Simulation::ExecuteEpoch(std::vector<Lane*>& active, SimTime end) {
   }
   workers_->work_cv.notify_all();
   DrainActiveLanes(active, end);
+  // Barrier wait: host time the coordinator spends blocked on stragglers
+  // after finishing its own share — the epoch's load-imbalance cost.
+  ProfClock::time_point tb;
+  if (prof) tb = ProfClock::now();
   {
     std::unique_lock<std::mutex> lock(workers_->mutex);
     workers_->done_cv.wait(lock, [this] { return workers_->running == 0; });
     in_epoch_ = false;
+  }
+  if (prof) {
+    const ProfClock::time_point t1 = ProfClock::now();
+    prof->OnEpoch(NsBetween(t0, t1), NsBetween(tb, t1), active.size(),
+                  workers_->workers.size() + 1);
   }
 }
 
@@ -403,6 +461,21 @@ void Simulation::MergeOutboxes() {
 
 void Simulation::RunEpochHooks() {
   for (const auto& hook : epoch_hooks_) hook();
+  if (profiler_) SampleProfilerArena();
+}
+
+void Simulation::SampleProfilerArena() {
+  obs::ArenaSnapshot snap;
+  for (const auto& lane : lanes_) {
+    snap.alloc_calls += lane->arena.alloc_calls();
+    snap.chunk_allocs += lane->arena.chunk_allocs();
+    snap.capacity_bytes += lane->arena.capacity();
+    snap.high_water_bytes =
+        std::max<std::uint64_t>(snap.high_water_bytes,
+                                lane->arena.high_water());
+    snap.resets_with_use += lane->arena.resets_with_use();
+  }
+  profiler_->SetArena(snap);
 }
 
 void Simulation::EnsureWorkers() {

@@ -37,6 +37,7 @@
 
 namespace orderless::obs {
 class Tracer;
+class Profiler;
 }
 
 namespace orderless::sim {
@@ -321,6 +322,15 @@ class Simulation {
     return peak;
   }
 
+  /// Host-side profiler hook (obs::Profiler): per-lane busy time, epoch
+  /// wall/barrier timing and arena counters, sampled around the engine's
+  /// own loops. Like the tracer, the simulation does not own it; unlike
+  /// the tracer, it measures *host* time — simulated results stay
+  /// bit-identical with or without one attached. Every engine-side hook
+  /// is gated on a single pointer test, so detached runs pay nothing.
+  void SetProfiler(obs::Profiler* profiler);
+  obs::Profiler* profiler() const { return profiler_; }
+
   void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
   obs::Tracer* tracer() const {
     if (!parallel_storage_) return tracer_;  // shards exist only in parallel
@@ -421,11 +431,13 @@ class Simulation {
   void EnsureWorkers();
   void WorkerLoop();
   void DrainActiveLanes(std::vector<Lane*>& active, SimTime end);
+  void SampleProfilerArena();
 
   static thread_local Lane* tls_lane_;
 
   SimTime now_ = 0;
   obs::Tracer* tracer_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
   std::size_t processed_ = 0;
   // Queue shape (4-ary, slab-indexed) is invisible to determinism: the
   // canonical key is a strict total order (seq is unique per source lane),

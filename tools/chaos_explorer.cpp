@@ -14,6 +14,10 @@
 //                                          # (checkpoints + attestation on)
 //   chaos_explorer --seed 1337 --trace t.json [--trace-filter kinds]
 //                  [--metrics-json m.json]   # record + export a trace
+//   chaos_explorer --preset byzantine-catchup --report summary
+//                  [--report-json r.json]    # reconstructed run report
+//                  # (works on successful runs too; forces tracing; modes
+//                  #  summary|timelines|full, unknown modes list + exit 2)
 //
 // On an invariant failure, --minimized-out PATH additionally ddmin-shrinks
 // the fault script and writes the minimized scenario description to PATH
@@ -37,6 +41,7 @@
 #include "chaos/scenario.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 
 namespace {
@@ -64,13 +69,16 @@ void PrintViolations(const ChaosRunResult& result) {
 }
 
 /// Failure triage (tracing on only): the last events before the violation
-/// plus the full per-phase timeline of every transaction a violation names.
+/// plus the reconstructed critical-path timeline of every transaction a
+/// violation names. Rendering routes through the report library so live
+/// triage and offline `obs_report` output read identically.
 void PrintTraceTriage(const obs::Tracer& tracer, const ChaosRunResult& result) {
+  const std::vector<obs::TraceEvent>& events = tracer.events();
+  const obs::ActorNames names = obs::NamesFromTracer(tracer, events);
   std::printf("\ntrace tail (last %zu of %zu events):\n",
-              std::min(kFailureTailEvents, tracer.events().size()),
-              tracer.events().size());
+              std::min(kFailureTailEvents, events.size()), events.size());
   for (const obs::TraceEvent& e : tracer.Tail(kFailureTailEvents)) {
-    std::printf("  %s\n", tracer.Render(e).c_str());
+    std::printf("  %s\n", obs::RenderEventLine(e, names).c_str());
   }
   std::printf("\nper-phase summary:\n");
   for (const obs::PhaseSummary& phase : tracer.Phases()) {
@@ -83,11 +91,26 @@ void PrintTraceTriage(const obs::Tracer& tracer, const ChaosRunResult& result) {
   for (const Violation& v : result.violations) {
     if (v.tx != 0) offenders.insert(v.tx);
   }
+  if (offenders.empty()) return;
+  const obs::TimelineSet set = obs::BuildTimelines(events);
   for (std::uint64_t tx : offenders) {
     std::printf("\ntimeline of offending tx %016llx:\n",
                 static_cast<unsigned long long>(tx));
+    const obs::TxTimeline* found = nullptr;
+    for (const obs::TxTimeline& t : set.txs) {
+      if (t.tx_key == tx || t.proposal_key == tx) {
+        found = &t;
+        break;
+      }
+    }
+    if (found != nullptr) {
+      std::printf("%s", obs::RenderTimeline(*found, names).c_str());
+    }
+    // Raw events stay in the dump either way: a Byzantine tx may not
+    // reconstruct into a timeline at all, and the violation is in the raw
+    // record when it does not.
     for (const obs::TraceEvent& e : tracer.EventsForTx(tx)) {
-      std::printf("  %s\n", tracer.Render(e).c_str());
+      std::printf("  %s\n", obs::RenderEventLine(e, names).c_str());
     }
   }
 }
@@ -331,6 +354,7 @@ int main(int argc, char** argv) {
   std::uint64_t preset_txs = 0;
   std::uint64_t threads = 1;
   std::string trace_path, trace_filter, metrics_path, minimized_out;
+  std::string report_mode_name, report_json_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -371,6 +395,10 @@ int main(int argc, char** argv) {
       next_u64(byzantine_seeds);
     } else if (arg == "--minimized-out") {
       next_str(minimized_out);
+    } else if (arg == "--report") {
+      next_str(report_mode_name);
+    } else if (arg == "--report-json") {
+      next_str(report_json_path);
     } else if (arg == "--verbose") {
       verbose = true;
     } else if (arg == "--threads") {
@@ -391,13 +419,29 @@ int main(int argc, char** argv) {
           "[--preset-seed S] [--preset-txs N] [--byzantine-seeds N] "
           "[--minimized-out PATH] [--verbose] [--threads N] "
           "[--trace PATH] "
-          "[--trace-filter K,K] [--metrics-json PATH]\n");
+          "[--trace-filter K,K] [--metrics-json PATH] "
+          "[--report summary|timelines|full] [--report-json PATH]\n");
       return 2;
     }
   }
 
-  const bool tracing =
-      !trace_path.empty() || !trace_filter.empty() || !metrics_path.empty();
+  // --report implies tracing: the report is reconstructed from the trace
+  // buffer, and unlike the failure triage it renders on success too.
+  obs::ReportMode report_mode = obs::ReportMode::kSummary;
+  const bool want_report =
+      !report_mode_name.empty() || !report_json_path.empty();
+  if (!report_mode_name.empty() &&
+      !obs::ParseReportMode(report_mode_name, report_mode)) {
+    std::fprintf(stderr, "unknown report mode: %s\navailable modes:\n",
+                 report_mode_name.c_str());
+    for (const char* name : {"summary", "timelines", "full"}) {
+      std::fprintf(stderr, "  %s\n", name);
+    }
+    return 2;
+  }
+
+  const bool tracing = !trace_path.empty() || !trace_filter.empty() ||
+                       !metrics_path.empty() || want_report;
   obs::TracerConfig tracer_config;
   tracer_config.kind_mask = obs::ParseKindMask(trace_filter);
   obs::Tracer tracer(tracer_config);
@@ -447,6 +491,35 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (want_report) {
+    // Rendered whatever the verdict (on a sweep: the last scenario run,
+    // each seed reuses the buffer). Same code path as tools/obs_report.
+    obs::ReportInputs inputs;
+    inputs.events = &tracer.events();
+    inputs.names = obs::NamesFromTracer(tracer, tracer.events());
+    if (!preset.empty()) {
+      inputs.label = "chaos " + preset;
+    } else if (unsafe_demo) {
+      inputs.label = "chaos unsafe-demo";
+    } else {
+      inputs.label = "chaos seed sweep";
+    }
+    if (have_seed) {
+      inputs.label = "chaos seed " + std::to_string(seed);
+    }
+    inputs.have_drop_info = true;
+    inputs.dropped = tracer.dropped();
+    inputs.trace_hwm = tracer.high_water();
+    const obs::RunReport report = obs::BuildReport(inputs);
+    std::printf("\n%s", obs::RenderReportText(report, report_mode).c_str());
+    if (!report_json_path.empty()) {
+      if (!obs::WriteReportJson(report, report_json_path)) {
+        std::fprintf(stderr, "cannot write %s\n", report_json_path.c_str());
+        return rc == 0 ? 1 : rc;
+      }
+      std::printf("wrote %s\n", report_json_path.c_str());
+    }
+  }
   if (tracing) {
     // Exported whatever the verdict: a failing run's trace is exactly the
     // artifact worth keeping.

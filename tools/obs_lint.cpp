@@ -1,335 +1,32 @@
 // Dependency-free validator for the repo's observability artifacts: Chrome
-// traces, metrics documents and JSONL event streams, checked against the
-// schemas in docs/schema/. CI's obs-smoke job runs it on the artifacts a
-// traced experiment produces, so a schema drift fails the build instead of
-// silently breaking downstream tooling.
+// traces, metrics documents, run reports and JSONL event streams, checked
+// against the schemas in docs/schema/. CI's obs-smoke job runs it on the
+// artifacts a traced experiment produces, so a schema drift fails the build
+// instead of silently breaking downstream tooling.
 //
 //   obs_lint --schema docs/schema/trace.schema.json out.trace.json
+//   obs_lint --schema docs/schema/report.schema.json report.json
 //   obs_lint --schema docs/schema/trace_event.schema.json --jsonl out.jsonl
 //
-// The schema language is the subset of JSON Schema the checked-in files
-// use: "type" (object|array|string|number|boolean|null), "required",
-// "properties", "items" and "enum" (over strings). Unknown keys in the
-// document are allowed — emitters may grow fields without breaking old
-// validators — but every present field with a schema entry must match.
+// The schema language is the subset of JSON Schema the checked-in files use
+// (see src/obs/json_subset.h, which holds the parser and validator shared
+// with obs_report and bench_regress). Deliberately standalone: the only
+// dependency is that one header, so the linter keeps working even when the
+// libraries it checks are broken.
 //
 // Exit 0: every document valid. 1: validation failure. 2: usage/IO error.
-#include <cctype>
 #include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <map>
-#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
-namespace {
+#include "obs/json_subset.h"
 
-// --- minimal JSON document model + recursive-descent parser ---
-
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string string;
-  std::vector<JsonValue> array;
-  // Insertion order preserved so error messages match the document.
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* Find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-const char* TypeName(JsonValue::Type t) {
-  switch (t) {
-    case JsonValue::Type::kNull: return "null";
-    case JsonValue::Type::kBool: return "boolean";
-    case JsonValue::Type::kNumber: return "number";
-    case JsonValue::Type::kString: return "string";
-    case JsonValue::Type::kArray: return "array";
-    case JsonValue::Type::kObject: return "object";
-  }
-  return "?";
-}
-
-class Parser {
- public:
-  explicit Parser(const std::string& text) : text_(text) {}
-
-  bool Parse(JsonValue& out, std::string& error) {
-    if (!ParseValue(out)) {
-      error = error_ + " at offset " + std::to_string(pos_);
-      return false;
-    }
-    SkipWs();
-    if (pos_ != text_.size()) {
-      error = "trailing data at offset " + std::to_string(pos_);
-      return false;
-    }
-    return true;
-  }
-
- private:
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Fail(const std::string& what) {
-    if (error_.empty()) error_ = what;
-    return false;
-  }
-
-  bool Literal(const char* lit) {
-    const std::size_t n = std::strlen(lit);
-    if (text_.compare(pos_, n, lit) != 0) return Fail("bad literal");
-    pos_ += n;
-    return true;
-  }
-
-  bool ParseString(std::string& out) {
-    if (text_[pos_] != '"') return Fail("expected string");
-    ++pos_;
-    out.clear();
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return Fail("bad escape");
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'b': c = '\b'; break;
-          case 'f': c = '\f'; break;
-          case 'n': c = '\n'; break;
-          case 'r': c = '\r'; break;
-          case 't': c = '\t'; break;
-          case 'u':
-            // \uXXXX: the emitters never produce these; accept and keep the
-            // raw digits rather than decoding UTF-16.
-            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
-            out += "\\u";
-            out.append(text_, pos_, 4);
-            pos_ += 4;
-            continue;
-          default:
-            return Fail("bad escape");
-        }
-      }
-      out += c;
-    }
-    if (pos_ >= text_.size()) return Fail("unterminated string");
-    ++pos_;  // closing quote
-    return true;
-  }
-
-  bool ParseValue(JsonValue& out) {
-    SkipWs();
-    if (pos_ >= text_.size()) return Fail("unexpected end of input");
-    const char c = text_[pos_];
-    if (c == '{') {
-      ++pos_;
-      out.type = JsonValue::Type::kObject;
-      SkipWs();
-      if (pos_ < text_.size() && text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      while (true) {
-        SkipWs();
-        std::string key;
-        if (!ParseString(key)) return false;
-        SkipWs();
-        if (pos_ >= text_.size() || text_[pos_] != ':') {
-          return Fail("expected ':'");
-        }
-        ++pos_;
-        JsonValue value;
-        if (!ParseValue(value)) return false;
-        out.object.emplace_back(std::move(key), std::move(value));
-        SkipWs();
-        if (pos_ >= text_.size()) return Fail("unterminated object");
-        if (text_[pos_] == ',') {
-          ++pos_;
-          continue;
-        }
-        if (text_[pos_] == '}') {
-          ++pos_;
-          return true;
-        }
-        return Fail("expected ',' or '}'");
-      }
-    }
-    if (c == '[') {
-      ++pos_;
-      out.type = JsonValue::Type::kArray;
-      SkipWs();
-      if (pos_ < text_.size() && text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      while (true) {
-        JsonValue value;
-        if (!ParseValue(value)) return false;
-        out.array.push_back(std::move(value));
-        SkipWs();
-        if (pos_ >= text_.size()) return Fail("unterminated array");
-        if (text_[pos_] == ',') {
-          ++pos_;
-          continue;
-        }
-        if (text_[pos_] == ']') {
-          ++pos_;
-          return true;
-        }
-        return Fail("expected ',' or ']'");
-      }
-    }
-    if (c == '"') {
-      out.type = JsonValue::Type::kString;
-      return ParseString(out.string);
-    }
-    if (c == 't') {
-      out.type = JsonValue::Type::kBool;
-      out.boolean = true;
-      return Literal("true");
-    }
-    if (c == 'f') {
-      out.type = JsonValue::Type::kBool;
-      out.boolean = false;
-      return Literal("false");
-    }
-    if (c == 'n') {
-      out.type = JsonValue::Type::kNull;
-      return Literal("null");
-    }
-    // Number.
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) return Fail("unexpected character");
-    out.type = JsonValue::Type::kNumber;
-    out.number = std::strtod(text_.c_str() + start, nullptr);
-    return true;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-  std::string error_;
-};
-
-// --- schema-subset validation ---
-
-struct Lint {
-  std::vector<std::string> errors;
-  // Every violation is reported, but huge artifacts should not flood the
-  // terminal with one error per event.
-  static constexpr std::size_t kMaxErrors = 20;
-
-  void Error(const std::string& where, const std::string& what) {
-    if (errors.size() < kMaxErrors) errors.push_back(where + ": " + what);
-    else if (errors.size() == kMaxErrors) errors.push_back("... (truncated)");
-  }
-};
-
-bool TypeMatches(const JsonValue& value, const std::string& type) {
-  using T = JsonValue::Type;
-  if (type == "object") return value.type == T::kObject;
-  if (type == "array") return value.type == T::kArray;
-  if (type == "string") return value.type == T::kString;
-  if (type == "number") return value.type == T::kNumber;
-  if (type == "boolean") return value.type == T::kBool;
-  if (type == "null") return value.type == T::kNull;
-  return true;  // unknown type name in the schema: no constraint
-}
-
-void Validate(const JsonValue& value, const JsonValue& schema,
-              const std::string& where, Lint& lint) {
-  if (const JsonValue* type = schema.Find("type")) {
-    if (type->type == JsonValue::Type::kString &&
-        !TypeMatches(value, type->string)) {
-      lint.Error(where, "expected " + type->string + ", got " +
-                            TypeName(value.type));
-      return;  // deeper checks assume the right shape
-    }
-  }
-  if (const JsonValue* allowed = schema.Find("enum")) {
-    bool found = false;
-    for (const JsonValue& candidate : allowed->array) {
-      if (candidate.type == JsonValue::Type::kString &&
-          value.type == JsonValue::Type::kString &&
-          candidate.string == value.string) {
-        found = true;
-        break;
-      }
-    }
-    if (!found && value.type == JsonValue::Type::kString) {
-      lint.Error(where, "value \"" + value.string + "\" not in enum");
-    }
-  }
-  if (value.type == JsonValue::Type::kObject) {
-    if (const JsonValue* required = schema.Find("required")) {
-      for (const JsonValue& key : required->array) {
-        if (key.type == JsonValue::Type::kString &&
-            value.Find(key.string) == nullptr) {
-          lint.Error(where, "missing required field \"" + key.string + "\"");
-        }
-      }
-    }
-    if (const JsonValue* properties = schema.Find("properties")) {
-      for (const auto& [key, field] : value.object) {
-        if (const JsonValue* field_schema = properties->Find(key)) {
-          Validate(field, *field_schema, where + "." + key, lint);
-        }
-      }
-    }
-  }
-  if (value.type == JsonValue::Type::kArray) {
-    if (const JsonValue* items = schema.Find("items")) {
-      for (std::size_t i = 0; i < value.array.size(); ++i) {
-        Validate(value.array[i], *items,
-                 where + "[" + std::to_string(i) + "]", lint);
-      }
-    }
-  }
-}
-
-bool ReadFile(const std::string& path, std::string& out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return false;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  out = buffer.str();
-  return true;
-}
-
-bool ParseDocument(const std::string& text, const std::string& label,
-                   JsonValue& out) {
-  Parser parser(text);
-  std::string error;
-  if (!parser.Parse(out, error)) {
-    std::fprintf(stderr, "%s: parse error: %s\n", label.c_str(),
-                 error.c_str());
-    return false;
-  }
-  return true;
-}
-
-}  // namespace
+using orderless::obs::json::JsonValue;
+using orderless::obs::json::Lint;
+using orderless::obs::json::ParseDocument;
+using orderless::obs::json::ReadFile;
+using orderless::obs::json::Validate;
 
 int main(int argc, char** argv) {
   std::string schema_path;

@@ -1,0 +1,149 @@
+// obs_report: turn a trace JSONL (and optionally a metrics JSON) into a
+// human-readable run report and/or a machine-readable report.json that
+// validates against docs/schema/report.schema.json.
+//
+// Usage:
+//   obs_report TRACE.jsonl [--metrics METRICS.json] [--mode summary|timelines|full]
+//              [--json report.json] [--label NAME] [--slowest N]
+//
+// The heavy lifting (timeline reconstruction, critical-path attribution,
+// rendering, JSON emission) lives in src/obs/report.* so chaos_explorer and
+// the tier-1 tests exercise the exact same code paths.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/json_subset.h"
+#include "obs/report.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s TRACE.jsonl [options]\n"
+      "  --metrics FILE   metrics JSON (picks up trace.dropped / trace.hwm)\n"
+      "  --mode MODE      summary | timelines | full (default: summary)\n"
+      "  --json FILE      also write machine-readable report JSON\n"
+      "  --label NAME     report label (default: trace file name)\n"
+      "  --slowest N      slowest-transaction rows to keep (default: 10)\n",
+      argv0);
+}
+
+/// Pulls trace.dropped / trace.hwm out of a metrics JSON document written by
+/// MetricsRegistry::WriteJsonFile ({"bench": ..., "points": [{name, value}]}).
+bool LoadDropInfo(const std::string& path, orderless::obs::ReportInputs& in) {
+  namespace json = orderless::obs::json;
+  std::string text;
+  if (!json::ReadFile(path, text)) {
+    std::fprintf(stderr, "obs_report: cannot read metrics %s\n", path.c_str());
+    return false;
+  }
+  json::JsonValue doc;
+  if (!json::ParseDocument(text, path, doc)) return false;
+  const json::JsonValue* points = doc.Find("points");
+  if (points == nullptr || points->type != json::JsonValue::Type::kArray) {
+    std::fprintf(stderr, "obs_report: %s has no points array\n", path.c_str());
+    return false;
+  }
+  for (const json::JsonValue& point : points->array) {
+    const json::JsonValue* name = point.Find("name");
+    const json::JsonValue* value = point.Find("value");
+    if (name == nullptr || value == nullptr) continue;
+    if (name->type != json::JsonValue::Type::kString ||
+        value->type != json::JsonValue::Type::kNumber) {
+      continue;
+    }
+    if (name->string == "trace.dropped") {
+      in.dropped = static_cast<std::uint64_t>(value->number);
+      in.have_drop_info = true;
+    } else if (name->string == "trace.hwm") {
+      in.trace_hwm = static_cast<std::uint64_t>(value->number);
+      in.have_drop_info = true;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace orderless::obs;
+  std::string trace_path;
+  std::string metrics_path;
+  std::string json_path;
+  std::string label;
+  ReportMode mode = ReportMode::kSummary;
+  int slowest_n = 10;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "obs_report: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--metrics") {
+      metrics_path = next("--metrics");
+    } else if (arg == "--mode") {
+      const char* value = next("--mode");
+      if (!ParseReportMode(value, mode)) {
+        std::fprintf(stderr,
+                     "obs_report: unknown mode '%s' (known: summary, "
+                     "timelines, full)\n",
+                     value);
+        return 2;
+      }
+    } else if (arg == "--json") {
+      json_path = next("--json");
+    } else if (arg == "--label") {
+      label = next("--label");
+    } else if (arg == "--slowest") {
+      slowest_n = std::atoi(next("--slowest"));
+      if (slowest_n < 0) slowest_n = 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "obs_report: unknown option %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      std::fprintf(stderr, "obs_report: extra positional argument %s\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (trace_path.empty()) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  std::vector<TraceEvent> events;
+  ActorNames names;
+  if (!ParseJsonlTrace(trace_path, events, names)) {
+    return 1;
+  }
+
+  ReportInputs inputs;
+  inputs.events = &events;
+  inputs.names = names;
+  inputs.label = label.empty() ? trace_path : label;
+  inputs.slowest_n = static_cast<std::size_t>(slowest_n);
+  if (!metrics_path.empty() && !LoadDropInfo(metrics_path, inputs)) {
+    return 1;
+  }
+
+  const RunReport report = BuildReport(inputs);
+  std::fputs(RenderReportText(report, mode).c_str(), stdout);
+  if (!json_path.empty() && !WriteReportJson(report, json_path)) {
+    std::fprintf(stderr, "obs_report: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

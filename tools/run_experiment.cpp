@@ -15,6 +15,7 @@
 #include "harness/table.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 
 using namespace orderless;
@@ -37,6 +38,9 @@ void Usage() {
       "                       checkpoint installs (orderless only)\n"
       "  --threads N          simulation worker threads (orderless only;\n"
       "                       results are bit-identical at any N)\n"
+      "  --prof               host-side engine profile (lane utilization,\n"
+      "                       barrier wait, arena + batch-crypto counters;\n"
+      "                       orderless only, simulated results unchanged)\n"
       "  --trace PATH         write Chrome trace-event JSON (Perfetto)\n"
       "  --trace-jsonl PATH   write one JSON object per trace event\n"
       "  --trace-filter K,K   only record the named event kinds\n"
@@ -71,6 +75,7 @@ int main(int argc, char** argv) {
   config.workload.num_clients = 1000;
   std::uint32_t q = 4;
   std::string trace_path, trace_jsonl_path, trace_filter, metrics_path;
+  bool profiling = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -135,6 +140,8 @@ int main(int argc, char** argv) {
       config.checkpoint_attest = true;
     } else if (arg == "--threads") {
       config.threads = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--prof") {
+      profiling = true;
     } else if (arg == "--trace") {
       trace_path = next();
     } else if (arg == "--trace-jsonl") {
@@ -161,6 +168,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     config.tracer = &tracer;
+  }
+  obs::Profiler profiler;
+  if (profiling) {
+    if (config.system != harness::SystemKind::kOrderless) {
+      std::fprintf(stderr, "--prof covers --system orderless only\n");
+      return 2;
+    }
+    config.profiler = &profiler;
   }
 
   std::printf("system=%s app=%s orgs=%u EP=%s rate=%.0f tps duration=%.0fs "
@@ -196,6 +211,9 @@ int main(int argc, char** argv) {
     std::printf("  %-14s %10.1f ms\n", phase.c_str(), ms);
   }
 
+  if (profiling) {
+    std::printf("\n%s", profiler.RenderText().c_str());
+  }
   if (tracing) {
     std::printf("\ntraced phases (%zu events, %llu dropped):\n",
                 tracer.events().size(),
@@ -228,6 +246,7 @@ int main(int argc, char** argv) {
     registry.counter("experiment.events_processed")
         .Add(result.events_processed);
     if (tracing) obs::FillTraceMetrics(tracer, registry);
+    if (profiling) profiler.Fill(registry);
     if (!registry.WriteJsonFile("experiment_metrics", metrics_path)) {
       std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
       return 1;
