@@ -136,6 +136,21 @@ TimedRun RunToggled(const ExperimentConfig& config, bool arena_and_batch) {
   return run;
 }
 
+/// Parallel-engine run with the commit-pipeline hub pinned on or off. Memo
+/// stays on for both sides: the hub requires the sealed digest caches (see
+/// core/pipeline.h), and pinning it isolates the hub from the memo's win.
+TimedRun RunPipelined(const ExperimentConfig& config, bool pipeline) {
+  core::perf::ScopedMemo memo(true);
+  core::perf::ScopedPipeline pipe(pipeline);
+  const auto start = std::chrono::steady_clock::now();
+  TimedRun run;
+  run.result = harness::RunExperiment(config);
+  run.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  return run;
+}
+
 const char* KernelName(crypto::batch::Kernel k) {
   switch (k) {
     case crypto::batch::Kernel::kScalar: return "scalar";
@@ -210,16 +225,19 @@ int main(int argc, char** argv) {
   bool baseline_only = false;
   bool no_arena = false;
   bool no_batch_crypto = false;
+  bool no_pipeline = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-memo") == 0) baseline_only = true;
     if (std::strcmp(argv[i], "--no-arena") == 0) no_arena = true;
     if (std::strcmp(argv[i], "--no-batch-crypto") == 0) no_batch_crypto = true;
+    if (std::strcmp(argv[i], "--no-pipeline") == 0) no_pipeline = true;
   }
   // Escape hatches: pin the toggle off for the whole binary (CI smoke runs
   // exercise these to prove the legacy paths still work and still produce
   // the same simulated results).
   if (no_arena) orderless::perf::SetArenaEnabled(false);
   if (no_batch_crypto) orderless::perf::SetBatchCryptoEnabled(false);
+  if (no_pipeline) orderless::perf::SetPipelineEnabled(false);
 
   PrintBanner("Hot path — host wall-clock, caches on vs off",
               "fig6b/fig7-style workloads timed with encode-once + "
@@ -345,6 +363,44 @@ int main(int argc, char** argv) {
   }
   std::printf("\narena+batch A/B (fig6b shape, memo on both sides):\n");
   arena_table.Print();
+
+  // --- Commit-pipeline A/B: on the parallel engine the hub on vs off must
+  // land in exactly the same simulated place — only host wall-clock may
+  // move. Interleaved min-of-5 like the arena A/B; the headline 8-thread
+  // number lives in bench/fig_parallel, this is the regression tripwire. ---
+  double pipeline_speedup_t4 = 0;
+  {
+    ExperimentConfig pipe_ab = Workloads()[0].config;
+    pipe_ab.workload.duration = BenchSeconds(sim::Sec(2));
+    pipe_ab.threads = 4;
+    TimedRun on = RunPipelined(pipe_ab, true);
+    TimedRun off = RunPipelined(pipe_ab, false);
+    for (int rep = 1; rep < 5; ++rep) {
+      TimedRun on2 = RunPipelined(pipe_ab, true);
+      TimedRun off2 = RunPipelined(pipe_ab, false);
+      if (on2.wall_ms < on.wall_ms) on = std::move(on2);
+      if (off2.wall_ms < off.wall_ms) off = std::move(off2);
+    }
+    deterministic &= SimulatedIdentical(on.result, off.result,
+                                        "pipeline_ab_t4", "pipeline",
+                                        "no-pipeline");
+    pipeline_speedup_t4 = on.wall_ms > 0 ? off.wall_ms / on.wall_ms : 0;
+    for (const auto& [mode, run] :
+         {std::pair<const char*, const TimedRun*>{"pipeline", &on},
+          std::pair<const char*, const TimedRun*>{"no-pipeline", &off}}) {
+      const std::uint64_t committed = Committed(run->result);
+      json.Point("pipeline_ab_t4");
+      json.Field("mode", std::string(mode));
+      json.Field("threads", static_cast<std::uint64_t>(4));
+      json.Field("wall_ms", run->wall_ms, 2);
+      json.Field("ns_per_tx",
+                 committed == 0 ? 0 : run->wall_ms * 1e6 / committed, 1);
+      json.Field("committed", committed);
+    }
+    std::printf("\ncommit-pipeline A/B (fig6b shape, 4 threads): pipeline "
+                "%.1fms vs no-pipeline %.1fms — %.2fx\n",
+                on.wall_ms, off.wall_ms, pipeline_speedup_t4);
+  }
 
   // --- Allocation regression gate: with every toggle at its default the
   // hot path must stay within the recorded allocations-per-event baseline
@@ -487,6 +543,7 @@ int main(int argc, char** argv) {
 
   json.Scalar("deterministic", deterministic ? "true" : "false");
   json.Scalar("arena_batch_speedup_t1", arena_speedup_t1, 3);
+  json.Scalar("pipeline_speedup_t4", pipeline_speedup_t4, 3);
   json.Scalar("allocs_per_event", allocs_per_event, 3);
   json.Scalar("allocs_per_event_baseline", max_allocs_per_event, 3);
   json.Scalar("arena_high_water",

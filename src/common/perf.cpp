@@ -6,6 +6,7 @@ namespace {
 bool g_memo_enabled = true;
 bool g_arena_enabled = true;
 bool g_batch_crypto_enabled = true;
+bool g_pipeline_enabled = true;
 }  // namespace
 
 bool MemoEnabled() { return g_memo_enabled; }
@@ -16,5 +17,44 @@ void SetArenaEnabled(bool enabled) { g_arena_enabled = enabled; }
 
 bool BatchCryptoEnabled() { return g_batch_crypto_enabled; }
 void SetBatchCryptoEnabled(bool enabled) { g_batch_crypto_enabled = enabled; }
+
+bool PipelineEnabled() { return g_pipeline_enabled; }
+void SetPipelineEnabled(bool enabled) { g_pipeline_enabled = enabled; }
+
+std::vector<std::string> ToggleConflicts(const ToggleRequest& request) {
+  std::vector<std::string> conflicts;
+  if (request.profiling && request.no_arena) {
+    conflicts.push_back(
+        "--no-arena with --prof: the profiler's arena/scratch-pool section "
+        "would report zero recycles (the layer is off, not leaking); drop "
+        "one of the two");
+  }
+  if (request.profiling && request.no_batch_crypto) {
+    conflicts.push_back(
+        "--no-batch-crypto with --prof: the profiler's crypto-dispatch "
+        "counters (SHA-NI / wide4 / wide8 / verify batches) would read "
+        "all-zero; drop one of the two");
+  }
+  if (request.profiling && request.no_pipeline) {
+    conflicts.push_back(
+        "--no-pipeline with --prof: the profiler's commit-pipeline section "
+        "(published / stolen / shared) would read all-zero; drop one of "
+        "the two");
+  }
+  if (request.no_memo && !request.no_pipeline) {
+    conflicts.push_back(
+        "--no-memo without --no-pipeline: the commit pipeline needs the "
+        "memo layer's sealed digest caches, so --no-memo silently disables "
+        "it; pass --no-pipeline explicitly (or drop --no-memo)");
+  }
+  return conflicts;
+}
+
+void ApplyToggles(const ToggleRequest& request) {
+  if (request.no_memo) SetMemoEnabled(false);
+  if (request.no_arena) SetArenaEnabled(false);
+  if (request.no_batch_crypto) SetBatchCryptoEnabled(false);
+  if (request.no_pipeline) SetPipelineEnabled(false);
+}
 
 }  // namespace orderless::perf

@@ -14,6 +14,9 @@
 // lanes see a constant value for the whole run.
 #pragma once
 
+#include <string>
+#include <vector>
+
 namespace orderless::perf {
 
 /// True (default) = encode-once/hash-once caches and validation memoization
@@ -41,6 +44,42 @@ void SetArenaEnabled(bool enabled);
 /// either way — SHA-256 is SHA-256 — only host time differs.
 bool BatchCryptoEnabled();
 void SetBatchCryptoEnabled(bool enabled);
+
+/// True (default) = the intra-org commit pipeline is active: validation of
+/// independent commits (disjoint write sets, endorsement sets already
+/// sealed) is published to a shared work pool so idle simulation workers
+/// steal and batch-verify them across organizations while conflicting
+/// transactions keep their canonical (time, lane, seq) order. False = every
+/// commit validates inline on its org's lane, the pre-pipeline behaviour
+/// (`perf_hotpath --no-pipeline`). Simulated service-time charging, event
+/// order, verdicts and traces are identical either way — only host
+/// wall-clock differs.
+bool PipelineEnabled();
+void SetPipelineEnabled(bool enabled);
+
+/// CLI escape-hatch request, shared by run_experiment / chaos_explorer (the
+/// benches keep their own A/B plumbing). Parsed `--no-*` flags land here;
+/// `ToggleConflicts` names every contradictory combination before
+/// `ApplyToggles` flips the globals.
+struct ToggleRequest {
+  bool no_memo = false;
+  bool no_arena = false;
+  bool no_batch_crypto = false;
+  bool no_pipeline = false;
+  /// True when the tool will attach an obs::Profiler (--prof).
+  bool profiling = false;
+};
+
+/// Returns one human-readable line per contradictory combination (empty =
+/// consistent). A combination is contradictory when one flag silently
+/// falsifies what another was asked to measure — e.g. `--no-arena --prof`
+/// would render the profiler's scratch-pool section as all-zero recycle
+/// counts, which reads like a leak rather than a disabled layer. Tools
+/// print the listing and exit 2 instead of producing misleading output.
+std::vector<std::string> ToggleConflicts(const ToggleRequest& request);
+
+/// Applies a (conflict-free) request to the global switches.
+void ApplyToggles(const ToggleRequest& request);
 
 /// RAII scopes for tests and benches that flip a switch and must restore it.
 class ScopedMemo {
@@ -77,6 +116,19 @@ class ScopedBatchCrypto {
   ~ScopedBatchCrypto() { SetBatchCryptoEnabled(prev_); }
   ScopedBatchCrypto(const ScopedBatchCrypto&) = delete;
   ScopedBatchCrypto& operator=(const ScopedBatchCrypto&) = delete;
+
+ private:
+  bool prev_;
+};
+
+class ScopedPipeline {
+ public:
+  explicit ScopedPipeline(bool enabled) : prev_(PipelineEnabled()) {
+    SetPipelineEnabled(enabled);
+  }
+  ~ScopedPipeline() { SetPipelineEnabled(prev_); }
+  ScopedPipeline(const ScopedPipeline&) = delete;
+  ScopedPipeline& operator=(const ScopedPipeline&) = delete;
 
  private:
   bool prev_;

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "core/perf.h"
+#include "core/pipeline.h"
 #include "core/validation_cache.h"
 #include "crdt/object.h"
 #include "obs/trace.h"
@@ -78,6 +79,11 @@ void Organization::Start() {
 void Organization::Stop() {
   running_ = false;
   network_.Unregister(node_);
+  // Queued FinishCommit events become no-ops, so admission records would
+  // leak and mark unrelated later transactions conflicting; a crash empties
+  // the in-flight set either way.
+  pipe_pending_.clear();
+  pipe_object_refs_.clear();
 }
 
 bool Organization::RecoverFromLedger() {
@@ -567,6 +573,55 @@ void Organization::ExecuteProposal(sim::NodeId from, const Proposal& proposal,
   network_.Send(node_, from, reply);
 }
 
+void Organization::PipeAdmit(const std::shared_ptr<const Transaction>& tx) {
+  // One admission record per id: re-sent or gossiped copies of an id
+  // already committed, or already in flight, change nothing (the dedup
+  // stage answers them from the indexes).
+  if (commit_index_.find(tx->id) != commit_index_.end()) return;
+  if (pipe_pending_.find(tx->id) != pipe_pending_.end()) return;
+  std::vector<std::uint64_t> objects;
+  objects.reserve(tx->ops.size());
+  bool independent = true;
+  for (const auto& op : tx->ops) {
+    // FNV-1a 64 of the object id; collisions only ever demote an
+    // independent pair to conflicting (conservative).
+    std::uint64_t h = 14695981039346656037ull;
+    for (const char c : op.object_id) {
+      h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+    }
+    if (pipe_object_refs_.find(h) != pipe_object_refs_.end()) {
+      independent = false;
+    }
+    objects.push_back(h);
+  }
+  for (const std::uint64_t h : objects) ++pipe_object_refs_[h];
+  if (obs::Tracer* t = simulation_.tracer()) {
+    t->Instant(obs::EventKind::kPipeAdmit, simulation_.now(), node_,
+               tx->id.Prefix64(), independent ? 1 : 0);
+  }
+  pipe_pending_.emplace(tx->id, std::move(objects));
+  // Only independent commits are eligible for out-of-order host
+  // verification; conflicting ones stay on this lane in canonical event
+  // order. The hub also needs the sealed digest caches (memo on) for
+  // thief-thread reads, and only exists in parallel runs.
+  if (independent && perf::PipelineEnabled() && perf::MemoEnabled() &&
+      timing_.commit_pipeline) {
+    timing_.commit_pipeline->Publish(tx);
+  }
+}
+
+void Organization::PipeFinish(const crypto::Digest& id) {
+  const auto it = pipe_pending_.find(id);
+  if (it == pipe_pending_.end()) return;
+  for (const std::uint64_t h : it->second) {
+    const auto ref = pipe_object_refs_.find(h);
+    if (ref != pipe_object_refs_.end() && --ref->second == 0) {
+      pipe_object_refs_.erase(ref);
+    }
+  }
+  pipe_pending_.erase(it);
+}
+
 void Organization::HandleCommit(sim::NodeId from,
                                 std::shared_ptr<const Transaction> tx,
                                 bool from_gossip) {
@@ -599,6 +654,7 @@ void Organization::HandleCommit(sim::NodeId from,
     }
   }
   const sim::SimTime arrival = simulation_.now();
+  PipeAdmit(tx);
 
   // TriviallyRelocatable: scalar + shared_ptr captures relocate by raw byte
   // copy inside the event queue's slab (see sim::SmallFn).
@@ -609,6 +665,14 @@ void Organization::HandleCommit(sim::NodeId from,
     // Already committed: do not commit again; resend the receipt (paper §4).
     const auto done = commit_index_.find(tx->id);
     if (done != commit_index_.end()) {
+      // A checkpoint install covered the id between admission and this
+      // dedup check — the admission record will never reach FinishCommit.
+      PipeFinish(tx->id);
+      if (obs::Tracer* t = simulation_.tracer()) {
+        t->Span(obs::EventKind::kPipeDedup,
+                simulation_.now() - timing_.dedup_check, simulation_.now(),
+                node_, tx->id.Prefix64(), 1);
+      }
       if (!from_gossip) {
         auto reply = std::make_shared<CommitReplyMsg>();
         reply->receipt = Receipt::Make(tx->id, done->second.valid,
@@ -620,10 +684,20 @@ void Organization::HandleCommit(sim::NodeId from,
     // Already being processed: just remember who else wants the receipt.
     const auto inflight = in_flight_.find(tx->id);
     if (inflight != in_flight_.end()) {
+      if (obs::Tracer* t = simulation_.tracer()) {
+        t->Span(obs::EventKind::kPipeDedup,
+                simulation_.now() - timing_.dedup_check, simulation_.now(),
+                node_, tx->id.Prefix64(), 2);
+      }
       if (!from_gossip) inflight->second.push_back(from);
       return;
     }
     in_flight_.emplace(tx->id, std::vector<sim::NodeId>{});
+    if (obs::Tracer* t = simulation_.tracer()) {
+      t->Span(obs::EventKind::kPipeDedup,
+              simulation_.now() - timing_.dedup_check, simulation_.now(),
+              node_, tx->id.Prefix64(), 0);
+    }
 
     const sim::SimTime validate_service =
         timing_.commit_base +
@@ -644,7 +718,18 @@ void Organization::HandleCommit(sim::NodeId from,
       if (cached) {
         verdict = *cached;
       } else {
-        verdict = ValidateTransaction(*tx, pki_, org_keys_, policy_);
+        // Pipeline hub: an idle worker (or an earlier org lane) may already
+        // have verified this exact body — reuse its verdict instead of
+        // redoing the signature work. The memo store below is unchanged, so
+        // memo contents (and everything simulated) are bit-identical with
+        // the hub bypassed.
+        std::optional<TxVerdict> hub;
+        if (perf::PipelineEnabled() && perf::MemoEnabled() &&
+            timing_.commit_pipeline) {
+          hub = timing_.commit_pipeline->Resolve(tx);
+        }
+        verdict = hub ? *hub
+                      : ValidateTransaction(*tx, pki_, org_keys_, policy_);
         if (memo) memo->StoreFor(node_, tx, verdict);
       }
       if (obs::Tracer* t = simulation_.tracer()) {
@@ -694,6 +779,9 @@ void Organization::FinishCommit(sim::NodeId from,
                                 std::shared_ptr<const Transaction> tx,
                                 bool from_gossip, TxVerdict verdict,
                                 sim::SimTime arrival) {
+  // Validation is decided; later admissions touching these objects are
+  // independent of this transaction again.
+  PipeFinish(tx->id);
   // A checkpoint install can cover a transaction while it is in the
   // validate/commit pipeline; committing it again would double-append the
   // block and double-count it. Serve the receipt from the adopted record.

@@ -20,6 +20,7 @@
 
 namespace orderless::core {
 
+class CommitPipeline;
 class ValidationMemo;
 
 /// Bounded admission + priority load shedding. Past saturation an unbounded
@@ -158,6 +159,15 @@ struct OrgTimingConfig {
   /// simulated network holds fixed. Null = every validation runs in full.
   /// Simulated validate-service time is charged either way.
   std::shared_ptr<ValidationMemo> validation_memo;
+
+  /// Shared commit-pipeline hub (host-side; see pipeline.h). Independent
+  /// commits admitted by any organization are published here so idle
+  /// simulation workers steal and batch-verify them while the simulated
+  /// validate service elapses; the memo above still records every verdict,
+  /// so memo contents and all simulated results are bit-identical with the
+  /// hub absent or the pipeline toggle off. Null = inline validation only
+  /// (sequential runs, `--no-pipeline`).
+  std::shared_ptr<CommitPipeline> commit_pipeline;
 
   /// Ledger retention knobs (benchmarks use lightweight settings).
   ledger::LedgerOptions ledger_options;
@@ -311,6 +321,18 @@ class Organization {
   void FinishCommit(sim::NodeId from, std::shared_ptr<const Transaction> tx,
                     bool from_gossip, TxVerdict verdict,
                     sim::SimTime arrival);
+  /// Pipeline admission (commit arrival, after overload shedding): records
+  /// the transaction's write-set objects against the org's in-flight set.
+  /// A commit whose objects are all un-contended is *independent* — its
+  /// host-side signature verification may run out of order (published to
+  /// the shared CommitPipeline hub for idle workers to steal); a
+  /// conflicting commit is validated inline on this lane in canonical
+  /// event order. Pure simulated-state bookkeeping: runs identically with
+  /// the pipeline on or off, so the kPipeAdmit trace is bit-identical too.
+  void PipeAdmit(const std::shared_ptr<const Transaction>& tx);
+  /// Releases the admission record (commit finished, deduplicated away, or
+  /// covered by a checkpoint install mid-pipeline).
+  void PipeFinish(const crypto::Digest& id);
   void GossipTick();
   void AntiEntropyTick();
   void CheckpointTick();
@@ -424,6 +446,17 @@ class Organization {
   std::unordered_map<crypto::Digest, std::vector<sim::NodeId>,
                      crypto::DigestHash>
       in_flight_;
+
+  // Pipeline conflict bookkeeping: per admitted transaction, the FNV-1a
+  // hashes of its write-set object ids; and per object hash, how many
+  // admitted transactions touch it. An admission finding any of its hashes
+  // already referenced is *conflicting* and never leaves its lane. (A hash
+  // collision can only mark an independent pair conflicting — a
+  // conservative, still-correct direction.)
+  std::unordered_map<crypto::Digest, std::vector<std::uint64_t>,
+                     crypto::DigestHash>
+      pipe_pending_;
+  std::unordered_map<std::uint64_t, std::uint32_t> pipe_object_refs_;
 
   // Checkpoint state. `sealed_ckpt_` is this organization's own latest seal:
   // the only checkpoint whose chain fields may seed the chain base, the only

@@ -22,4 +22,8 @@ using orderless::perf::BatchCryptoEnabled;
 using orderless::perf::SetBatchCryptoEnabled;
 using orderless::perf::ScopedBatchCrypto;
 
+using orderless::perf::PipelineEnabled;
+using orderless::perf::SetPipelineEnabled;
+using orderless::perf::ScopedPipeline;
+
 }  // namespace orderless::core::perf

@@ -315,6 +315,99 @@ TxVerdict ValidateTransaction(const Transaction& tx, const crypto::Pki& pki,
   return TxVerdict::kValid;
 }
 
+void ValidateTransactionsBatch(const Transaction* const* txs,
+                               std::size_t count, const crypto::Pki& pki,
+                               const std::set<crypto::KeyId>& organization_keys,
+                               const EndorsementPolicy& policy, TxVerdict* out) {
+  if (!perf::BatchCryptoEnabled() || count < 2) {
+    for (std::size_t t = 0; t < count; ++t) {
+      out[t] = ValidateTransaction(*txs[t], pki, organization_keys, policy);
+    }
+    return;
+  }
+  // Per-transaction structural pass (id binding, unknown/duplicate endorser
+  // scan) mirrors ValidateTransaction's batch branch; signatures from every
+  // transaction then share one VerifyBatch call. first_item[t] indexes the
+  // transaction's client-signature item; its endorsement items follow.
+  struct Plan {
+    std::size_t first_item = 0;
+    std::size_t structural_pos = 0;
+    TxVerdict structural_verdict = TxVerdict::kValid;
+    crypto::Digest message{};
+    bool in_batch = false;
+  };
+  std::vector<Plan> plans(count);
+  std::vector<crypto::Pki::BatchItem> items;
+  std::size_t reserve = 0;
+  for (std::size_t t = 0; t < count; ++t) {
+    reserve += 1 + txs[t]->endorsements.size();
+  }
+  items.reserve(reserve);
+  for (std::size_t t = 0; t < count; ++t) {
+    const Transaction& tx = *txs[t];
+    const crypto::Digest proposal_digest = tx.ProposalDigest();
+    const crypto::Digest ws_digest = tx.OpsDigest();
+    if (Transaction::ComputeId(proposal_digest, ws_digest) != tx.id) {
+      out[t] = TxVerdict::kIdMismatch;
+      continue;
+    }
+    Plan& plan = plans[t];
+    plan.in_batch = true;
+    plan.message = EndorsementMessage(proposal_digest, ws_digest);
+    const std::size_t n = tx.endorsements.size();
+    plan.structural_pos = n;
+    std::unordered_set<crypto::KeyId> seen;
+    seen.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!organization_keys.contains(tx.endorsements[i].org)) {
+        plan.structural_pos = i;
+        plan.structural_verdict = TxVerdict::kUnknownEndorser;
+        break;
+      }
+      if (!seen.insert(tx.endorsements[i].org).second) {
+        plan.structural_pos = i;
+        plan.structural_verdict = TxVerdict::kDuplicateEndorser;
+        break;
+      }
+    }
+    plan.first_item = items.size();
+    items.push_back(crypto::Pki::BatchItem{tx.proposal.client, kTxContext,
+                                           tx.id.View(), tx.client_signature});
+    for (std::size_t i = 0; i < plan.structural_pos; ++i) {
+      items.push_back(crypto::Pki::BatchItem{tx.endorsements[i].org,
+                                             kEndorseContext,
+                                             plan.message.View(),
+                                             tx.endorsements[i].signature});
+    }
+  }
+  std::unique_ptr<bool[]> valid(new bool[items.size()]());
+  if (!items.empty()) pki.VerifyBatch(items.data(), items.size(), valid.get());
+  for (std::size_t t = 0; t < count; ++t) {
+    const Plan& plan = plans[t];
+    if (!plan.in_batch) continue;  // verdict already written (id mismatch)
+    const Transaction& tx = *txs[t];
+    if (!valid[plan.first_item]) {
+      out[t] = TxVerdict::kBadClientSignature;
+      continue;
+    }
+    TxVerdict verdict = TxVerdict::kValid;
+    for (std::size_t i = 0; i < plan.structural_pos; ++i) {
+      if (!valid[plan.first_item + 1 + i]) {
+        verdict = TxVerdict::kBadEndorsementSignature;
+        break;
+      }
+    }
+    if (verdict == TxVerdict::kValid) {
+      if (plan.structural_pos < tx.endorsements.size()) {
+        verdict = plan.structural_verdict;
+      } else if (tx.endorsements.size() < policy.q) {
+        verdict = TxVerdict::kInsufficientEndorsements;
+      }
+    }
+    out[t] = verdict;
+  }
+}
+
 crypto::Digest Receipt::SignedMessage(const crypto::Digest& tx_id, bool valid,
                                       const crypto::Digest& block_hash) {
   crypto::Sha256 h;

@@ -154,6 +154,18 @@ TxVerdict ValidateTransaction(const Transaction& tx, const crypto::Pki& pki,
                               const std::set<crypto::KeyId>& organization_keys,
                               const EndorsementPolicy& policy);
 
+/// Validates `count` independent transactions in one multi-buffer signature
+/// pass: the client signature and every endorsement keyed-hash across all of
+/// them feed a single `Pki::VerifyBatch` call, amortizing the SIMD lanes
+/// across transactions instead of per transaction. Verdicts written to
+/// `out[i]` are exactly what `ValidateTransaction(*txs[i], ...)` returns —
+/// same first-failure semantics per transaction. Falls back to the scalar
+/// per-transaction path when batch crypto is off.
+void ValidateTransactionsBatch(const Transaction* const* txs,
+                               std::size_t count, const crypto::Pki& pki,
+                               const std::set<crypto::KeyId>& organization_keys,
+                               const EndorsementPolicy& policy, TxVerdict* out);
+
 /// Signed commit receipt (RCPT) or rejection (REJ).
 struct Receipt {
   crypto::Digest tx_id;

@@ -1,5 +1,7 @@
 #include "fabric/peer.h"
 
+#include <vector>
+
 #include "crdt/object.h"
 
 namespace orderless::fabric {
@@ -82,25 +84,75 @@ void Peer::HandleProposal(sim::NodeId from, const FabProposal& proposal) {
 void Peer::HandleBlock(std::shared_ptr<const FabBlock> block) {
   // Validation cost: per-transaction read checks plus writes.
   sim::SimTime service = config_.commit_base;
+  sim::SimTime read_checks = 0;
   for (const auto& tx : block->txs) {
-    service += config_.commit_per_read_check * tx->rwset.reads.size() +
-               config_.commit_per_write * tx->rwset.writes.size();
+    read_checks += config_.commit_per_read_check * tx->rwset.reads.size();
+    service += config_.commit_per_write * tx->rwset.writes.size();
     if (config_.mode == ValidationMode::kCrdtMerge) {
       service += config_.merge_per_kb * (tx->rwset.WireSize() / 1024 + 1);
     }
+  }
+  if (config_.lockless && config_.mode == ValidationMode::kMvcc &&
+      config_.cores > 1) {
+    // Lockless committer: read-set checks never mutate the version table,
+    // so the block's checks fan out across the peer's cores; only the
+    // serial write-apply keeps its full cost. Pure integer arithmetic —
+    // deterministic for any core count.
+    service += (read_checks + config_.cores - 1) / config_.cores;
+  } else {
+    service += read_checks;
   }
   cpu_.Submit(service, [this, block] { CommitBlock(*block); });
 }
 
 void Peer::CommitBlock(const FabBlock& block) {
   ++blocks_seen_;
-  for (const auto& tx : block.txs) {
+  // Phase 1 (MVCC only) — lockless read-set validation: every transaction's
+  // reads are checked against the committed version table plus a
+  // block-local write shadow holding the version bumps of earlier *valid*
+  // transactions in this block. The shadow reproduces exactly what each
+  // transaction would have seen under the serial lock-and-apply committer,
+  // so verdicts are bit-identical — but no check mutates the store, which
+  // is what lets HandleBlock spread this phase across cores.
+  std::vector<bool> valid(block.txs.size(), true);
+  if (config_.mode == ValidationMode::kMvcc) {
+    std::unordered_map<std::string, std::uint64_t> shadow;
+    for (std::size_t i = 0; i < block.txs.size(); ++i) {
+      const FabTransaction& tx = *block.txs[i];
+      bool ok = true;
+      for (const auto& [key, version] : tx.rwset.reads) {
+        const auto it = shadow.find(key);
+        const std::uint64_t bump = it == shadow.end() ? 0 : it->second;
+        if (state_.VersionOf(key) + bump != version) {
+          ok = false;
+          break;
+        }
+      }
+      valid[i] = ok;
+      if (ok) {
+        for (const auto& [key, value] : tx.rwset.writes) ++shadow[key];
+      }
+    }
+  }
+  // Phase 2 — apply the valid transactions' writes serially in block order.
+  for (std::size_t i = 0; i < block.txs.size(); ++i) {
+    const auto& tx = block.txs[i];
     if (config_.emits_events && tx->order_submit_time > 0) {
       ++consensus_count_;
       consensus_time_us_ += simulation_.now() - tx->order_submit_time;
     }
-    const bool valid = ApplyTransaction(*tx);
-    if (valid) {
+    bool is_valid;
+    if (config_.mode == ValidationMode::kMvcc) {
+      is_valid = valid[i];
+      if (is_valid) {
+        for (const auto& [key, value] : tx->rwset.writes) {
+          state_.Put(key, value);
+        }
+      }
+    } else {
+      is_valid = ApplyTransaction(*tx);
+    }
+    if (is_valid) {
       ++committed_valid_;
     } else {
       ++committed_invalid_;
@@ -108,24 +160,13 @@ void Peer::CommitBlock(const FabBlock& block) {
     if (config_.emits_events && tx->client_node != 0) {
       auto event = std::make_shared<FabCommitEventMsg>();
       event->tx_id = tx->id;
-      event->valid = valid;
+      event->valid = is_valid;
       network_.Send(node_, tx->client_node, event);
     }
   }
 }
 
 bool Peer::ApplyTransaction(const FabTransaction& tx) {
-  if (config_.mode == ValidationMode::kMvcc) {
-    // MVCC validation: every read version must still be current.
-    for (const auto& [key, version] : tx.rwset.reads) {
-      if (state_.VersionOf(key) != version) return false;
-    }
-    for (const auto& [key, value] : tx.rwset.writes) {
-      state_.Put(key, value);
-    }
-    return true;
-  }
-
   // FabricCRDT: merge the incoming full-object states into the stored ones;
   // nothing is rejected.
   for (const auto& [key, value] : tx.rwset.writes) {

@@ -14,6 +14,7 @@
 #include "fabriccrdt/apps.h"
 #include "codec/scratch.h"
 #include "crypto/sha256.h"
+#include "core/pipeline.h"
 #include "harness/orderless_net.h"
 #include "obs/prof.h"
 #include "synchotstuff/net.h"
@@ -141,6 +142,8 @@ class Driver {
   virtual RobustnessStats Robustness() const { return {}; }
   /// Zero-copy commit rows (shared sealed encodings); OrderlessChain only.
   virtual std::size_t BodyRefRows() const { return 0; }
+  /// Commit-pipeline hub traffic (OrderlessChain parallel runs only).
+  virtual obs::PipelineSnapshot Pipeline() const { return {}; }
   /// Event lane of `client`'s simulated node; lane 0 (the sequential
   /// default) for systems without per-actor lanes.
   virtual sim::ActorId ClientActor(std::size_t client) const {
@@ -311,6 +314,20 @@ class OrderlessDriver final : public Driver {
   }
 
   std::size_t BodyRefRows() const override { return net_->BodyRefRows(); }
+
+  obs::PipelineSnapshot Pipeline() const override {
+    obs::PipelineSnapshot snap;
+    if (const core::CommitPipeline* pipe = net_->commit_pipeline()) {
+      const core::PipelineStats& s = pipe->stats();
+      snap.published = s.published;
+      snap.stolen = s.stolen;
+      snap.inline_claims = s.inline_claims;
+      snap.shared = s.shared;
+      snap.batches = s.batches;
+      snap.swept = s.swept;
+    }
+    return snap;
+  }
 
  private:
   std::unique_ptr<OrderlessNet> net_;
@@ -613,6 +630,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     scratch.heap_allocs = s.heap_allocs;
     scratch.drops = s.drops;
     config.profiler->SetScratch(scratch);
+    config.profiler->SetPipeline(driver->Pipeline());
   }
 
   ExperimentResult result;

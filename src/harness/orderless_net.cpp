@@ -1,5 +1,6 @@
 #include "harness/orderless_net.h"
 
+#include "core/pipeline.h"
 #include "core/validation_cache.h"
 
 namespace orderless::harness {
@@ -66,15 +67,30 @@ OrderlessNet::OrderlessNet(OrderlessNetConfig config)
   }
 
   for (std::uint32_t i = 0; i < config_.num_orgs; ++i) {
-    const sim::NodeId node = org_node(i);
-    crypto::PrivateKey key = pki_.Generate("org" + std::to_string(i));
-    org_keys_.insert(key.id());
-    org_nodes_.push_back(node);
-    org_identities_.push_back(key);
+    org_nodes_.push_back(org_node(i));
+    org_identities_.push_back(pki_.Generate("org" + std::to_string(i)));
+    org_keys_.insert(org_identities_.back().id());
     org_stores_.push_back(std::make_shared<ledger::MemKvStore>());
+  }
+  // One commit-pipeline hub per simulated network, parallel runs only: the
+  // full key directory and policy are fixed now (the shareability
+  // precondition, same as the memo's), its Sweep hook reclaims items at
+  // every barrier, and idle workers drain published verifications between
+  // finishing their lanes and parking. Sequential runs never execute epoch
+  // hooks or idle work, so the hub would only leak there — orgs validate
+  // inline, which a single thread does at full speed anyway.
+  if (simulation_.parallel()) {
+    config_.org_timing.commit_pipeline = std::make_shared<core::CommitPipeline>(
+        pki_, org_keys_, config_.policy);
+    const auto pipe = config_.org_timing.commit_pipeline;
+    simulation_.AddEpochHook([pipe] { pipe->Sweep(); });
+    simulation_.SetIdleWork([pipe] { return pipe->DrainOne(); });
+  }
+  for (std::uint32_t i = 0; i < config_.num_orgs; ++i) {
     orgs_.push_back(std::make_unique<core::Organization>(
-        simulation_, *network_, node, key, pki_, contracts_, config_.policy,
-        config_.org_timing, rng_.Fork(), org_stores_.back()));
+        simulation_, *network_, org_nodes_[i], org_identities_[i], pki_,
+        contracts_, config_.policy, config_.org_timing, rng_.Fork(),
+        org_stores_[i]));
   }
   for (auto& org : orgs_) {
     org->SetPeers(org_nodes_, org_keys_);

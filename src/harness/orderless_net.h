@@ -57,6 +57,11 @@ class OrderlessNet {
   const core::ValidationMemo& validation_memo() const {
     return *config_.org_timing.validation_memo;
   }
+  /// The shared commit-pipeline hub; null in sequential runs (orgs validate
+  /// inline there — see the constructor). Stats feed the profiler.
+  const core::CommitPipeline* commit_pipeline() const {
+    return config_.org_timing.commit_pipeline.get();
+  }
 
   std::size_t org_count() const { return orgs_.size(); }
   std::size_t client_count() const { return clients_.size(); }

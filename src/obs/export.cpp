@@ -31,6 +31,8 @@ TrackInfo TrackOf(EventKind kind) {
     case EventKind::kEndorseExec:
       return {2, "endorse"};
     case EventKind::kValidate:
+    case EventKind::kPipeAdmit:
+    case EventKind::kPipeDedup:
       return {3, "validate"};
     case EventKind::kLedgerAppend:
     case EventKind::kCrdtApply:

@@ -85,6 +85,12 @@ void Profiler::Fill(MetricsRegistry& registry) const {
   registry.counter("prof.crypto.wide8").Add(crypto_.wide8);
   registry.counter("prof.crypto.verify_batches").Add(crypto_.verify_batches);
   registry.counter("prof.crypto.verify_sigs").Add(crypto_.verify_sigs);
+  registry.counter("prof.pipeline.published").Add(pipeline_.published);
+  registry.counter("prof.pipeline.stolen").Add(pipeline_.stolen);
+  registry.counter("prof.pipeline.inline_claims").Add(pipeline_.inline_claims);
+  registry.counter("prof.pipeline.shared").Add(pipeline_.shared);
+  registry.counter("prof.pipeline.batches").Add(pipeline_.batches);
+  registry.counter("prof.pipeline.swept").Add(pipeline_.swept);
 }
 
 std::string Profiler::RenderText() const {
@@ -144,6 +150,12 @@ std::string Profiler::RenderText() const {
           crypto_.batches, crypto_.scalar, crypto_.sha_ni, crypto_.wide4,
           crypto_.wide8, crypto_.hashes, crypto_.verify_batches,
           crypto_.verify_sigs);
+  Appendf(out,
+          "commit-pipeline: published %" PRIu64 "  stolen %" PRIu64
+          " (batches %" PRIu64 ")  inline-claims %" PRIu64
+          "  shared %" PRIu64 "  swept %" PRIu64 "\n",
+          pipeline_.published, pipeline_.stolen, pipeline_.batches,
+          pipeline_.inline_claims, pipeline_.shared, pipeline_.swept);
   return out;
 }
 
@@ -157,6 +169,7 @@ void Profiler::Reset() {
   arena_ = ArenaSnapshot{};
   scratch_ = ScratchSnapshot{};
   crypto_ = CryptoSnapshot{};
+  pipeline_ = PipelineSnapshot{};
 }
 
 }  // namespace orderless::obs

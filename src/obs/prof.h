@@ -48,6 +48,20 @@ struct ScratchSnapshot {
   std::uint64_t drops = 0;
 };
 
+/// Commit-pipeline hub traffic (mirrors core::PipelineStats; plain struct
+/// so obs never links core — the harness copies the fields across). All
+/// host-side work accounting: `stolen` verifications ran on idle workers,
+/// `shared` resolves reused another thread's verdict instead of redoing
+/// the signature checks.
+struct PipelineSnapshot {
+  std::uint64_t published = 0;
+  std::uint64_t stolen = 0;
+  std::uint64_t inline_claims = 0;
+  std::uint64_t shared = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t swept = 0;
+};
+
 /// Batch-crypto dispatch snapshot (mirrors crypto::batch::DispatchCounts;
 /// duplicated as a plain struct so obs never links the crypto library —
 /// the harness copies the fields across).
@@ -103,6 +117,7 @@ class Profiler {
   void SetArena(const ArenaSnapshot& arena) { arena_ = arena; }
   void SetScratch(const ScratchSnapshot& scratch) { scratch_ = scratch; }
   void SetCrypto(const CryptoSnapshot& crypto) { crypto_ = crypto; }
+  void SetPipeline(const PipelineSnapshot& pipeline) { pipeline_ = pipeline; }
 
   // --- Read-out (single-threaded, after the run). ---
 
@@ -114,6 +129,7 @@ class Profiler {
   const ArenaSnapshot& arena() const { return arena_; }
   const ScratchSnapshot& scratch() const { return scratch_; }
   const CryptoSnapshot& crypto() const { return crypto_; }
+  const PipelineSnapshot& pipeline() const { return pipeline_; }
 
   /// Worker-pool utilization over all epochs: busy lane time divided by
   /// (epoch wall time x pool width). 0 when nothing ran in parallel.
@@ -147,6 +163,7 @@ class Profiler {
   ArenaSnapshot arena_;
   ScratchSnapshot scratch_;
   CryptoSnapshot crypto_;
+  PipelineSnapshot pipeline_;
 };
 
 }  // namespace orderless::obs

@@ -326,6 +326,7 @@ std::string RenderTimeline(const TxTimeline& t, const ActorNames& names) {
         Appendf(out, "  %s", names.Of(t.critical_endorser).c_str());
         break;
       case Segment::kCommitNetOut:
+      case Segment::kCommitQueue:
       case Segment::kCommitValidate:
       case Segment::kCommitApply:
       case Segment::kCommitNetBack:

@@ -15,8 +15,8 @@ constexpr std::array<std::string_view,
     kSegmentNames = {
         "endorse_fanout", "endorse_net_out", "endorse_exec",
         "endorse_net_back", "match_gap",     "commit_fanout",
-        "commit_net_out",  "commit_validate", "commit_apply",
-        "commit_net_back", "finalize",
+        "commit_net_out",  "commit_queue",   "commit_validate",
+        "commit_apply",    "commit_net_back", "finalize",
 };
 
 struct FlagName {
@@ -63,6 +63,7 @@ struct Work {
   bool matched = false;
   sim::SimTime match_ts = 0;
   std::vector<OrgMark> commit_sends;    // ts = send time
+  std::vector<OrgMark> pipe_admits;     // ts = commit-pipeline admission
   std::vector<OrgMark> validate_spans;  // ts = start, ts2 = end
   std::vector<OrgMark> ledger_appends;  // ts = append time
   bool any_receipt = false;
@@ -128,8 +129,18 @@ void ResolveCommitLegs(TxTimeline& t, const Work& w, sim::SimTime phase_end) {
   const sim::SimTime out_from = send ? send->ts
                                 : w.matched ? w.match_ts
                                             : t.submit_ts;
+  const OrgMark* adm = FindMark(w.pipe_admits, w.last_receipt_org);
   if (val) {
-    SetSeg(t, Segment::kCommitNetOut, out_from, val->ts);
+    if (adm) {
+      // Pipeline-instrumented trace: the wire leg ends at commit-pipeline
+      // admission, and the queueing/dedup time until validation starts is
+      // its own leg. Older traces without kPipeAdmit keep the wire leg
+      // running straight to validate start (seg_present stays false).
+      SetSeg(t, Segment::kCommitNetOut, out_from, adm->ts);
+      SetSeg(t, Segment::kCommitQueue, adm->ts, val->ts);
+    } else {
+      SetSeg(t, Segment::kCommitNetOut, out_from, val->ts);
+    }
     SetSeg(t, Segment::kCommitValidate, val->ts, val->ts2);
     if (led) {
       SetSeg(t, Segment::kCommitApply, val->ts2, led->ts);
@@ -245,6 +256,21 @@ TimelineSet BuildTimelines(const std::vector<TraceEvent>& events) {
         const std::size_t i = find_or_flag(e.tx);
         MarkOnce(work[i].commit_sends, static_cast<std::uint32_t>(e.aux),
                  e.ts);
+        break;
+      }
+      case EventKind::kPipeAdmit: {
+        const auto it = index.find(e.tx);
+        if (it == index.end()) {
+          ++set.orphan_org_events;
+          break;
+        }
+        MarkOnce(work[it->second].pipe_admits, e.actor, e.ts);
+        break;
+      }
+      case EventKind::kPipeDedup: {
+        // Dedup outcome is aggregate-level (metrics) — per timeline only
+        // the admission instant bounds the queue leg.
+        if (index.find(e.tx) == index.end()) ++set.orphan_org_events;
         break;
       }
       case EventKind::kValidate: {
@@ -380,6 +406,7 @@ bool CulpritOf(const TxTimeline& t, Segment& segment, std::uint64_t& dur_us,
       actor = t.critical_endorser;
       break;
     case Segment::kCommitNetOut:
+    case Segment::kCommitQueue:
     case Segment::kCommitValidate:
     case Segment::kCommitApply:
     case Segment::kCommitNetBack:

@@ -47,7 +47,11 @@ enum class Segment : std::uint8_t {
   kEndorseNetBack,     // endorse_exec end → endorse_reply (org→client wire)
   kMatchGap,           // quorum reply → write-set match / tx assembly
   kCommitFanout,       // write-set match → commit_send to the critical org
-  kCommitNetOut,       // commit_send → validate start (client→org wire)
+  kCommitNetOut,       // commit_send → pipe admit (client→org wire)
+  kCommitQueue,        // pipe admit → validate start (dedup + admission
+                       // queueing at the critical committer; absent in
+                       // traces without kPipeAdmit, where the wire leg
+                       // runs straight to validate start)
   kCommitValidate,     // signature-validation span at the critical committer
   kCommitApply,        // validate end → ledger append (CRDT apply + block)
   kCommitNetBack,      // ledger append → receipt (org→client wire)

@@ -17,6 +17,7 @@ constexpr std::array<std::string_view,
         "crdt_apply",    "gossip_send",   "gossip_recv",  "receipt",
         "tx_outcome",    "converge",      "ckpt_seal",    "ckpt_send",
         "ckpt_install",  "ckpt_prune",    "ckpt_attest",  "ckpt_reject",
+        "pipe_admit",    "pipe_dedup",
 };
 
 const std::string kUnknownActor = "?";

@@ -94,6 +94,10 @@ void Simulation::AddEpochHook(std::function<void()> hook) {
   epoch_hooks_.push_back(std::move(hook));
 }
 
+void Simulation::SetIdleWork(std::function<bool()> work) {
+  idle_work_ = std::move(work);
+}
+
 void Simulation::SetLaneTracer(ActorId actor, obs::Tracer* shard) {
   if (actor < lanes_.size()) lanes_[actor]->shard = shard;
 }
@@ -441,8 +445,15 @@ void Simulation::DrainActiveLanes(std::vector<Lane*>& active, SimTime end) {
   for (;;) {
     const std::size_t i =
         workers_->next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= active.size()) return;
+    if (i >= active.size()) break;
     RunLaneEpoch(*active[i], end);
+  }
+  // Out of lanes: steal host-only work (published signature verifications)
+  // instead of parking immediately. The epoch barrier waits for this loop,
+  // so barrier-time hooks never overlap a stealing thread.
+  if (idle_work_) {
+    while (idle_work_()) {
+    }
   }
 }
 

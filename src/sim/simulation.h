@@ -252,6 +252,15 @@ class Simulation {
   /// structures (validation memo, trace buffers) merge deterministically.
   void AddEpochHook(std::function<void()> hook);
 
+  /// Host-side idle-work hook for parallel epochs: a worker (or the
+  /// coordinator) that runs out of lanes in the current epoch calls `work`
+  /// repeatedly until it returns false, then parks at the barrier. The
+  /// callback runs concurrently on multiple threads and must not touch
+  /// simulation state — it is the steal point for host-only work pools
+  /// (the commit pipeline drains published signature verifications here).
+  /// Epoch hooks never overlap it: the barrier joins every idle loop first.
+  void SetIdleWork(std::function<bool()> work);
+
   /// Points a lane at its private trace shard; tracer() returns it for code
   /// executing on that lane. Null (default) = record into the main tracer.
   void SetLaneTracer(ActorId actor, obs::Tracer* shard);
@@ -456,6 +465,7 @@ class Simulation {
   bool in_epoch_ = false;
   SimTime epoch_end_ = 0;
   std::vector<std::function<void()>> epoch_hooks_;
+  std::function<bool()> idle_work_;
   std::unique_ptr<ParallelState> workers_;
 };
 

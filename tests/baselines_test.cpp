@@ -251,6 +251,77 @@ TEST(FabricNet, CrdtModeCommitsAllConcurrentVotes) {
   }
 }
 
+TEST(FabricNet, LocklessValidationMatchesSerialVerdicts) {
+  // The lockless committer (read checks spread across cores, two-phase
+  // validate-then-apply) must produce the serial committer's exact verdicts
+  // and final state — it only changes the commit-phase service time.
+  int committed[2] = {0, 0};
+  int rejected[2] = {0, 0};
+  crdt::Value final_count[2];
+  for (const bool lockless : {false, true}) {
+    auto config = SmallFabricConfig(false);
+    config.peer.lockless = lockless;
+    fabric::FabricNet net(config);
+    net.RegisterContract(std::make_shared<fabric::FabricVotingContract>());
+    net.Start();
+    const std::vector<crdt::Value> args = {crdt::Value("e1"),
+                                           crdt::Value(std::int64_t{0}),
+                                           crdt::Value(std::int64_t{4})};
+    for (std::size_t c = 0; c < 4; ++c) {
+      net.client(c).SubmitModify("voting", "Vote", args,
+                                 [&, lockless](const TxOutcome& o) {
+                                   if (o.committed) ++committed[lockless];
+                                   if (o.rejected) ++rejected[lockless];
+                                 });
+    }
+    net.simulation().RunUntil(sim::Sec(4));
+    final_count[lockless] =
+        net.peer(0)
+            .state()
+            .Get(fabric::FabricVotingContract::CountKey("e1", 0))
+            .value;
+  }
+  EXPECT_EQ(committed[0], committed[1]);
+  EXPECT_EQ(rejected[0], rejected[1]);
+  EXPECT_EQ(committed[1], 1);
+  EXPECT_EQ(rejected[1], 3);
+  EXPECT_EQ(final_count[0], final_count[1]);
+}
+
+TEST(FabricNet, LocklessIntraBlockDependencyVerdicts) {
+  // Serial-equivalence of the write shadow: with every vote in one block,
+  // the first passes and bumps the tally key's shadow version, so the rest
+  // still fail exactly as the serial committer decides.
+  auto config = SmallFabricConfig(false);
+  config.orderer.block_size = 8;  // one block holds all four votes
+  config.orderer.block_timeout = sim::Ms(400);
+  fabric::FabricNet net(config);
+  net.RegisterContract(std::make_shared<fabric::FabricVotingContract>());
+  net.Start();
+  int committed = 0;
+  int rejected = 0;
+  const std::vector<crdt::Value> args = {crdt::Value("e1"),
+                                         crdt::Value(std::int64_t{0}),
+                                         crdt::Value(std::int64_t{4})};
+  for (std::size_t c = 0; c < 4; ++c) {
+    net.client(c).SubmitModify("voting", "Vote", args,
+                               [&](const TxOutcome& o) {
+                                 if (o.committed) ++committed;
+                                 if (o.rejected) ++rejected;
+                               });
+  }
+  net.simulation().RunUntil(sim::Sec(4));
+  EXPECT_EQ(committed, 1);
+  EXPECT_EQ(rejected, 3);
+  for (std::size_t i = 0; i < net.peer_count(); ++i) {
+    EXPECT_EQ(net.peer(i)
+                  .state()
+                  .Get(fabric::FabricVotingContract::CountKey("e1", 0))
+                  .value,
+              crdt::Value(std::int64_t{1}));
+  }
+}
+
 TEST(FabricNet, OrdererBatchesBySizeAndTimeout) {
   auto config = SmallFabricConfig(false);
   config.orderer.block_size = 2;

@@ -133,6 +133,33 @@ TEST(TimelineUnit, CleanSingleTxSegmentsAndAttribution) {
   EXPECT_EQ(actor, 2u);  // endorse wire legs attribute to the endorser
 }
 
+TEST(TimelineUnit, PipeAdmitSplitsCommitWireIntoQueueLeg) {
+  std::vector<TraceEvent> ev = CleanSingleTx();
+  // Commit-pipeline admission instants at both committers, recorded after
+  // the commit sends and before the validate spans. The critical committer
+  // (org 2) admitted at 1390: the wire leg must end there and the
+  // dedup/queueing gap until validate start becomes its own leg.
+  ev.insert(ev.begin() + 10, Instant(EventKind::kPipeAdmit, 1385, 1, 0x7A1D, 1));
+  ev.insert(ev.begin() + 11, Instant(EventKind::kPipeAdmit, 1390, 2, 0x7A1D, 1));
+  const obs::TimelineSet set = obs::BuildTimelines(ev);
+  ASSERT_EQ(set.txs.size(), 1u);
+  EXPECT_EQ(set.orphan_org_events, 0u);
+  const obs::TxTimeline& t = set.txs[0];
+  EXPECT_EQ(t.flags, 0u) << obs::TimelineFlagNames(t.flags);
+
+  EXPECT_EQ(Seg(t, Segment::kCommitNetOut), 20u);  // 1370 → admit@1390
+  EXPECT_EQ(Seg(t, Segment::kCommitQueue), 10u);   // 1390 → validate@1400
+  EXPECT_EQ(Seg(t, Segment::kCommitValidate), 30u);
+
+  // The finer decomposition still tiles the end-to-end latency exactly.
+  std::uint64_t total = 0;
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(Segment::kSegmentCount); ++i) {
+    total += t.seg_us[i];
+  }
+  EXPECT_EQ(total, t.LatencyUs());
+}
+
 TEST(TimelineUnit, ByzantineShapesFlaggedNotCrashed) {
   std::vector<TraceEvent> ev;
   // (a) Reply for a key nobody submitted, from an org never proposed to.

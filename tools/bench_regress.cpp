@@ -78,6 +78,15 @@ MetricClass Classify(const std::string& key, Direction* direction) {
     *direction = Direction::kAnyChangeIsBad;
     return MetricClass::kExact;
   }
+  // Catch-up sweep counts (fig_catchup / fig_byzantine_catchup): pulled
+  // bodies, installed/attested/refused checkpoints, pruned records — all
+  // functions of simulated event order, so any drift is a real change.
+  if (key == "tx_count" || key == "honest_pushback" ||
+      Contains(key, "sync_txs") || Contains(key, "ckpt_") ||
+      Contains(key, "_records")) {
+    *direction = Direction::kAnyChangeIsBad;
+    return MetricClass::kExact;
+  }
   // Allocator behaviour: loose band, lower is better.
   if (Contains(key, "allocs_per")) return MetricClass::kBand30;
   // Simulated-time latency and throughput.
